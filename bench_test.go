@@ -1,0 +1,99 @@
+package hslb
+
+// One benchmark per experiment in DESIGN.md's index (T1–T7, F1–F2): each
+// regenerates the corresponding table/figure series at Quick scale so that
+// `go test -bench=.` exercises the entire reproduction harness. Run
+// `go run ./cmd/fmobench -scale full` for the paper-scale numbers recorded
+// in EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func benchTable(b *testing.B, run func(experiments.Scale) (*experiments.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tbl, err := run(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tbl.Rows) == 0 {
+			b.Fatalf("%s produced no rows", tbl.ID)
+		}
+	}
+}
+
+// BenchmarkT1FitQuality regenerates T1: performance-model fit quality vs
+// the number of benchmark points (paper claim C5).
+func BenchmarkT1FitQuality(b *testing.B) { benchTable(b, experiments.T1FitQuality) }
+
+// BenchmarkT2Objectives regenerates T2: min-max vs max-min vs min-sum
+// objectives (paper claim C3).
+func BenchmarkT2Objectives(b *testing.B) { benchTable(b, experiments.T2Objectives) }
+
+// BenchmarkT3Baselines regenerates T3: executed time of HSLB vs uniform /
+// proportional / manual / tuned-DLB baselines (paper claim C2).
+func BenchmarkT3Baselines(b *testing.B) { benchTable(b, experiments.T3Baselines) }
+
+// BenchmarkF1Scaling regenerates the F1 figure series: predicted vs actual
+// scaling curves (paper claim C1).
+func BenchmarkF1Scaling(b *testing.B) { benchTable(b, experiments.F1Scaling) }
+
+// BenchmarkT4Solver regenerates T4: SOS1 vs binary branching in the MINLP
+// solver (paper claim C4).
+func BenchmarkT4Solver(b *testing.B) { benchTable(b, experiments.T4Solver) }
+
+// BenchmarkT4Relaxation regenerates T4b: LP/NLP-based B&B ablations.
+func BenchmarkT4Relaxation(b *testing.B) { benchTable(b, experiments.T4Relaxation) }
+
+// BenchmarkT5Sensitivity regenerates T5: allocation quality vs benchmark
+// budget, interpolation vs extrapolation (paper claim C5).
+func BenchmarkT5Sensitivity(b *testing.B) { benchTable(b, experiments.T5Sensitivity) }
+
+// BenchmarkT6Coupled regenerates T6: the coupled-extension Table III analog
+// (paper claim C6).
+func BenchmarkT6Coupled(b *testing.B) { benchTable(b, experiments.T6Coupled) }
+
+// BenchmarkF2Layouts regenerates the F2 figure series: layouts (1)-(3)
+// comparison (paper claim C6).
+func BenchmarkF2Layouts(b *testing.B) { benchTable(b, experiments.F2Layouts) }
+
+// BenchmarkT7Crossover regenerates T7: the SLB/DLB regime crossover (the
+// introduction's positioning claim).
+func BenchmarkT7Crossover(b *testing.B) { benchTable(b, experiments.T7Crossover) }
+
+// BenchmarkT8Families regenerates T8: the performance-model family
+// ablation (HSLB form vs Amdahl vs power law, AICc-selected).
+func BenchmarkT8Families(b *testing.B) { benchTable(b, experiments.T8Families) }
+
+// BenchmarkPipeline measures the full four-step pipeline on a synthetic
+// 8-task workload (the library's hot path).
+func BenchmarkPipeline(b *testing.B) {
+	truth := []Params{
+		{A: 2000, C: 1, D: 2}, {A: 9000, C: 1, D: 5},
+		{A: 32000, C: 1.1, D: 10}, {A: 500, C: 1, D: 1},
+		{A: 15000, C: 1, D: 4}, {A: 64000, C: 1.05, D: 12},
+		{A: 1200, C: 1, D: 2}, {A: 7000, C: 1, D: 3},
+	}
+	names := make([]string, len(truth))
+	for i := range names {
+		names[i] = "t"
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := RunPipeline(&PipelineConfig{
+			TaskNames:  names,
+			TotalNodes: 4096,
+			Benchmark: func(task, nodes int) float64 {
+				return truth[task].Eval(float64(nodes))
+			},
+			UseParametric: true,
+			Seed:          uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

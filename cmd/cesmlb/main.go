@@ -1,0 +1,76 @@
+// Command cesmlb demonstrates the coupled-component extension (the
+// follow-up application of HSLB): optimize a four-component layout at a
+// chosen resolution and node count, and compare against the published
+// manual allocation when one exists.
+//
+//	cesmlb -resolution 1deg|eighth -nodes 32768 [-layout 1|2|3]
+//	       [-free-ocean] [-solver exact|minlp] [-tsync 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/coupled"
+	"repro/internal/minlp"
+)
+
+func main() {
+	resolution := flag.String("resolution", "1deg", "1deg or eighth")
+	nodes := flag.Int("nodes", 128, "total node budget")
+	layout := flag.Int("layout", 1, "component layout 1, 2, or 3")
+	freeOcean := flag.Bool("free-ocean", false, "drop the hard-coded ocean allocation set (1/8° only)")
+	solver := flag.String("solver", "exact", "exact (enumeration) or minlp (the paper's route)")
+	tsync := flag.Float64("tsync", 0, "synchronization tolerance |T_lnd − T_ice| ≤ tsync (exact solver only)")
+	flag.Parse()
+
+	var cfg *coupled.Config
+	switch *resolution {
+	case "1deg":
+		cfg = coupled.OneDegree(*nodes)
+	case "eighth":
+		cfg = coupled.EighthDegree(*nodes, !*freeOcean)
+	default:
+		fmt.Fprintf(os.Stderr, "cesmlb: unknown resolution %q\n", *resolution)
+		os.Exit(2)
+	}
+	cfg.Layout = coupled.Layout(*layout)
+	cfg.Tsync = *tsync
+
+	var res *coupled.Result
+	var err error
+	switch *solver {
+	case "exact":
+		res, err = cfg.Solve()
+	case "minlp":
+		res, err = cfg.SolveMINLP(minlp.Options{})
+	default:
+		fmt.Fprintf(os.Stderr, "cesmlb: unknown solver %q\n", *solver)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cesmlb:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s, %d nodes, %v (%s solver)\n\n", *resolution, *nodes, cfg.Layout, *solver)
+	fmt.Printf("%-10s %10s %14s\n", "component", "# nodes", "time, sec")
+	order := []string{"lnd", "ice", "atm", "ocn"}
+	nmap, tmap := res.Nodes(), res.Times()
+	for _, c := range order {
+		fmt.Printf("%-10s %10d %14.3f\n", c, nmap[c], tmap[c])
+	}
+	fmt.Printf("%-10s %10s %14.3f\n\n", "total", "", res.Total)
+
+	if m, ok := coupled.ManualTableIII(*resolution, *nodes); ok {
+		man := cfg.EvaluateManual(m)
+		fmt.Printf("manual expert allocation (follow-up Table III):\n")
+		mn, mt := man.Nodes(), man.Times()
+		for _, c := range order {
+			fmt.Printf("%-10s %10d %14.3f\n", c, mn[c], mt[c])
+		}
+		fmt.Printf("%-10s %10s %14.3f\n", "total", "", man.Total)
+		fmt.Printf("\nHSLB improvement over manual: %.1f%%\n", (1-res.Total/man.Total)*100)
+	}
+}

@@ -1,0 +1,94 @@
+// Command fmobench regenerates every experiment table and figure series of
+// the reproduction (DESIGN.md's index T1–T7, F1–F2).
+//
+// Usage:
+//
+//	fmobench [-scale quick|full] [-only T3] [-list]
+//
+// Quick scale keeps every experiment laptop-instant; full scale runs the
+// paper's node counts (tens of seconds).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+var runners = []struct {
+	id  string
+	run func(experiments.Scale) (*experiments.Table, error)
+}{
+	{"T1", experiments.T1FitQuality},
+	{"T2", experiments.T2Objectives},
+	{"T3", experiments.T3Baselines},
+	{"F1", experiments.F1Scaling},
+	{"T4", experiments.T4Solver},
+	{"T4b", experiments.T4Relaxation},
+	{"T5", experiments.T5Sensitivity},
+	{"T6", experiments.T6Coupled},
+	{"F2", experiments.F2Layouts},
+	{"T7", experiments.T7Crossover},
+	{"T8", experiments.T8Families},
+}
+
+func main() {
+	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
+	only := flag.String("only", "", "comma-separated experiment ids (e.g. T3,F1); empty runs all")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	csvDir := flag.String("csv", "", "also write each table as <dir>/<id>.csv")
+	flag.Parse()
+
+	if *list {
+		for _, r := range runners {
+			fmt.Println(r.id)
+		}
+		return
+	}
+	var scale experiments.Scale
+	switch *scaleFlag {
+	case "quick":
+		scale = experiments.Quick
+	case "full":
+		scale = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "fmobench: unknown scale %q (want quick or full)\n", *scaleFlag)
+		os.Exit(2)
+	}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	start := time.Now()
+	for _, r := range runners {
+		if len(want) > 0 && !want[r.id] {
+			continue
+		}
+		t0 := time.Now()
+		tbl, err := r.run(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fmobench: %s failed: %v\n", r.id, err)
+			os.Exit(1)
+		}
+		fmt.Println(tbl)
+		fmt.Printf("(%s took %v)\n\n", r.id, time.Since(t0).Round(time.Millisecond))
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "fmobench: %v\n", err)
+				os.Exit(1)
+			}
+			path := fmt.Sprintf("%s/%s.csv", *csvDir, r.id)
+			if err := os.WriteFile(path, []byte(tbl.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "fmobench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+	fmt.Printf("total: %v (scale %s)\n", time.Since(start).Round(time.Millisecond), scale)
+}

@@ -1,0 +1,193 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCmdFitRoundTrip(t *testing.T) {
+	in := writeTemp(t, "samples.json", `{"samples":[
+		{"nodes":1,"time":1002},
+		{"nodes":4,"time":252},
+		{"nodes":16,"time":64.5},
+		{"nodes":64,"time":17.6},
+		{"nodes":256,"time":5.9}
+	]}`)
+	out := filepath.Join(t.TempDir(), "fit.json")
+	if err := cmdFit([]string{"-in", in, "-out", out, "-seed", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	var fit struct {
+		Params struct {
+			A float64 `json:"a"`
+			D float64 `json:"d"`
+		} `json:"params"`
+		R2 float64 `json:"r2"`
+	}
+	if err := readJSON(out, &fit); err != nil {
+		t.Fatal(err)
+	}
+	if fit.R2 < 0.999 {
+		t.Fatalf("R² = %v", fit.R2)
+	}
+	if fit.Params.A < 500 || fit.Params.A > 2000 {
+		t.Fatalf("a = %v, want ≈1000", fit.Params.A)
+	}
+}
+
+func TestCmdFitBadInput(t *testing.T) {
+	in := writeTemp(t, "bad.json", `{"samples":[{"nodes":4,"time":1}]}`)
+	if err := cmdFit([]string{"-in", in, "-out", filepath.Join(t.TempDir(), "o.json")}); err == nil {
+		t.Fatal("single-point fit accepted")
+	}
+	if err := cmdFit([]string{"-in", filepath.Join(t.TempDir(), "missing.json")}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	garbage := writeTemp(t, "garbage.json", `{`)
+	if err := cmdFit([]string{"-in", garbage}); err == nil {
+		t.Fatal("truncated JSON accepted")
+	}
+}
+
+const tasksJSON = `{"tasks":[
+	{"name":"a","params":{"a":1500,"b":0.001,"c":1,"d":2}},
+	{"name":"b","params":{"a":9000,"b":0.002,"c":1,"d":5}},
+	{"name":"c","params":{"a":32000,"b":0.001,"c":1.1,"d":10},"allowed":[8,16,32,64,128,256]}
+]}`
+
+func TestCmdSolve(t *testing.T) {
+	in := writeTemp(t, "tasks.json", tasksJSON)
+	out := filepath.Join(t.TempDir(), "alloc.json")
+	if err := cmdSolve([]string{"-in", in, "-nodes", "400", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Allocation []struct {
+			Name  string  `json:"name"`
+			Nodes int     `json:"nodes"`
+			Time  float64 `json:"time"`
+		} `json:"allocation"`
+		Makespan float64 `json:"makespan"`
+		Used     int     `json:"used"`
+	}
+	if err := readJSON(out, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Allocation) != 3 || res.Used > 400 || res.Makespan <= 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	// The allowed-set task must pick a set member.
+	ok := false
+	for _, v := range []int{8, 16, 32, 64, 128, 256} {
+		if res.Allocation[2].Nodes == v {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Fatalf("task c picked %d, not in its allowed set", res.Allocation[2].Nodes)
+	}
+}
+
+func TestCmdSolveParametricAgrees(t *testing.T) {
+	in := writeTemp(t, "tasks.json", tasksJSON)
+	out1 := filepath.Join(t.TempDir(), "a1.json")
+	out2 := filepath.Join(t.TempDir(), "a2.json")
+	if err := cmdSolve([]string{"-in", in, "-nodes", "400", "-solver", "minlp", "-out", out1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdSolve([]string{"-in", in, "-nodes", "400", "-solver", "parametric", "-out", out2}); err != nil {
+		t.Fatal(err)
+	}
+	var r1, r2 struct {
+		Makespan float64 `json:"makespan"`
+	}
+	if err := readJSON(out1, &r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := readJSON(out2, &r2); err != nil {
+		t.Fatal(err)
+	}
+	if d := r1.Makespan - r2.Makespan; d > 1e-5*r1.Makespan || d < -1e-5*r1.Makespan {
+		t.Fatalf("solver routes disagree: %v vs %v", r1.Makespan, r2.Makespan)
+	}
+}
+
+func TestCmdSolveErrors(t *testing.T) {
+	in := writeTemp(t, "tasks.json", tasksJSON)
+	if err := cmdSolve([]string{"-in", in}); err == nil {
+		t.Fatal("missing -nodes accepted")
+	}
+	if err := cmdSolve([]string{"-in", in, "-nodes", "400", "-objective", "min-mean"}); err == nil {
+		t.Fatal("unknown objective accepted")
+	}
+	if err := cmdSolve([]string{"-in", in, "-nodes", "400", "-solver", "magic"}); err == nil {
+		t.Fatal("unknown solver accepted")
+	}
+}
+
+func TestCmdJobSize(t *testing.T) {
+	in := writeTemp(t, "tasks.json", tasksJSON)
+	if err := cmdJobSize([]string{"-in", in, "-sizes", "64,256,1024"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdJobSize([]string{"-in", in}); err == nil {
+		t.Fatal("missing -sizes accepted")
+	}
+	if err := cmdJobSize([]string{"-in", in, "-sizes", "64,abc"}); err == nil {
+		t.Fatal("bad size accepted")
+	}
+}
+
+func TestCmdPredict(t *testing.T) {
+	fit := writeTemp(t, "fit.json",
+		`{"params":{"a":1000,"b":0,"c":1,"d":2},"sse":0,"r2":1}`)
+	if err := cmdPredict([]string{"-in", fit, "-n", "10,100"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdPredict([]string{"-in", fit}); err == nil {
+		t.Fatal("missing -n accepted")
+	}
+	if err := cmdPredict([]string{"-in", fit, "-n", "0"}); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func TestCmdExportAMPL(t *testing.T) {
+	in := writeTemp(t, "tasks.json", tasksJSON)
+	out := filepath.Join(t.TempDir(), "model.mod")
+	if err := cmdExportAMPL([]string{"-in", in, "-nodes", "512", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"param N := 512;", "minimize makespan", "ALLOWED2"} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("AMPL file missing %q", want)
+		}
+	}
+	if err := cmdExportAMPL([]string{"-in", in}); err == nil {
+		t.Fatal("missing -nodes accepted")
+	}
+	if err := cmdExportAMPL([]string{"-in", in, "-nodes", "512", "-objective", "nope"}); err == nil {
+		t.Fatal("bad objective accepted")
+	}
+}
+
+func TestCmdDemo(t *testing.T) {
+	if err := cmdDemo([]string{"-tasks", "4", "-nodes", "128", "-seed", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,64 @@
+// Quickstart: the four HSLB steps on a synthetic workload in ~40 lines.
+//
+//	go run ./examples/quickstart
+//
+// Three tasks with very different scalability share 1024 nodes. The
+// pipeline benchmarks each task (here: synthetic truth curves standing in
+// for real timings), fits the performance model T(n) = a/n + b·nᶜ + d,
+// solves the min-max allocation MINLP, and verifies the prediction.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	hslb "repro"
+)
+
+func main() {
+	// Ground truth the pipeline will rediscover: a small, a medium, and a
+	// large task (the "few large tasks of diverse size" regime).
+	truth := []hslb.Params{
+		{A: 2000, B: 0.001, C: 1, D: 2},    // small
+		{A: 12000, B: 0.002, C: 1, D: 5},   // medium
+		{A: 64000, B: 0.001, C: 1.1, D: 9}, // large
+	}
+	names := []string{"small", "medium", "large"}
+
+	res, err := hslb.RunPipeline(&hslb.PipelineConfig{
+		TaskNames:  names,
+		TotalNodes: 1024,
+		// Step 1 (gather): in a real application this calls your code;
+		// here the truth curves play the machine.
+		Benchmark: func(task, nodes int) float64 {
+			return truth[task].Eval(float64(nodes))
+		},
+		// Step 4 (execute): run with the chosen allocation and report
+		// the measured total time.
+		Execute: func(nodes []int) float64 {
+			worst := 0.0
+			for i, n := range nodes {
+				if t := truth[i].Eval(float64(n)); t > worst {
+					worst = t
+				}
+			}
+			return worst
+		},
+		Seed: 42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("HSLB allocation (min-max objective):")
+	if err := hslb.NewReport(names, res).WriteTable(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nprediction error vs execution: %.2f%%\n", res.PredictionError*100)
+
+	// Compare with the naive equal split.
+	uniform := hslb.Uniform(res.Problem)
+	fmt.Printf("uniform groups makespan: %.2f s  →  HSLB speedup: %.2fx\n",
+		uniform.Makespan, uniform.Makespan/res.Allocation.Makespan)
+}

@@ -1,0 +1,107 @@
+// Solvertour: using the optimization stack directly — for readers who want
+// the MINLP machinery (the MINOTAUR stand-in) rather than the HSLB facade.
+//
+//	go run ./examples/solvertour
+//
+// Three stops:
+//  1. a tiny convex MINLP solved by LP/NLP-based branch-and-bound,
+//  2. the paper's allocation model built by hand with sweet-spot sets,
+//  3. the SOS1-branching ablation on the same model.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/lp"
+	"repro/internal/minlp"
+	"repro/internal/model"
+	"repro/internal/perfmodel"
+)
+
+func main() {
+	stop1()
+	stop2and3()
+}
+
+// stop1: min -x - y  s.t. x² + y² ≤ 25, x, y ∈ {0..5}.
+func stop1() {
+	m := model.New()
+	x := m.AddVar(0, 5, model.Integer, "x")
+	y := m.AddVar(0, 5, model.Integer, "y")
+	m.SetObjective([]model.Term{{Var: x, Coef: -1}, {Var: y, Coef: -1}}, 0)
+	m.AddNonlinear(&model.FuncSmooth{
+		Over: []int{x, y},
+		F:    func(v []float64) float64 { return v[x]*v[x] + v[y]*v[y] - 25 },
+		DF:   func(v []float64) []float64 { return []float64{2 * v[x], 2 * v[y]} },
+	}, "circle")
+	res := minlp.Solve(m, minlp.Options{})
+	fmt.Printf("stop 1 — integer point on a disc: status=%v x=%v y=%v obj=%v\n",
+		res.Status, res.X[x], res.X[y], res.Obj)
+	fmt.Printf("         (%d branch-and-bound nodes, %d LP solves, %d OA cuts)\n\n",
+		res.Nodes, res.LPSolves, res.OACuts)
+}
+
+// stop2and3: the paper's min-max allocation MINLP, written out by hand the
+// way Table I writes it, with an ocean-style sweet-spot set.
+func stop2and3() {
+	perf := []perfmodel.Params{
+		{A: 1500, B: 0.001, C: 1, D: 2},
+		{A: 9000, B: 0.002, C: 1, D: 5},
+		{A: 32000, B: 0.001, C: 1.1, D: 10},
+	}
+	// Task 2 must pick from an ocean-style table of 64 admissible counts.
+	var sweet []int
+	for lv := 16; lv <= 1024; lv += 16 {
+		sweet = append(sweet, lv)
+	}
+
+	build := func() *model.Model {
+		m := model.New()
+		tv := m.AddVar(0, 1e7, model.Continuous, "T")
+		m.SetObjective([]model.Term{{Var: tv, Coef: 1}}, 0)
+		budget := []model.Term{}
+		for j, p := range perf {
+			var n int
+			if j == 2 {
+				// n = Σ z·level with Σ z = 1, declared SOS1.
+				n = m.AddVar(float64(sweet[0]), float64(sweet[len(sweet)-1]),
+					model.Continuous, "n2")
+				one := []model.Term{}
+				link := []model.Term{{Var: n, Coef: -1}}
+				var zs []int
+				var wts []float64
+				for _, lv := range sweet {
+					z := m.AddBinary("z")
+					zs = append(zs, z)
+					wts = append(wts, float64(lv))
+					one = append(one, model.Term{Var: z, Coef: 1})
+					link = append(link, model.Term{Var: z, Coef: float64(lv)})
+				}
+				m.AddLinear(one, lp.EQ, 1, "pick")
+				m.AddLinear(link, lp.EQ, 0, "link")
+				m.AddSOS1(zs, wts, "ocean-style set")
+			} else {
+				n = m.AddVar(1, 1024, model.Integer, "n")
+			}
+			m.AddNonlinear(p.Constraint(n, tv), "perf")
+			budget = append(budget, model.Term{Var: n, Coef: 1})
+		}
+		m.AddLinear(budget, lp.LE, 1024, "budget")
+		return m
+	}
+
+	withSOS := minlp.Solve(build(), minlp.Options{})
+	if withSOS.Status != minlp.Optimal {
+		log.Fatalf("solve failed: %v", withSOS.Status)
+	}
+	fmt.Printf("stop 2 — allocation MINLP: makespan %.3f s, %d nodes, %d LPs\n",
+		withSOS.Obj, withSOS.Nodes, withSOS.LPSolves)
+
+	noSOS := minlp.Solve(build(), minlp.Options{DisableSOSBranching: true})
+	fmt.Printf("stop 3 — same model, SOS branching disabled: same optimum %.3f s,\n",
+		noSOS.Obj)
+	fmt.Printf("         but %d nodes / %d LPs instead of %d / %d — the paper's\n",
+		noSOS.Nodes, noSOS.LPSolves, withSOS.Nodes, withSOS.LPSolves)
+	fmt.Println("         observation that set branching is what keeps the solver fast.")
+}

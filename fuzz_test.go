@@ -1,0 +1,30 @@
+package hslb
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseReport must never panic on arbitrary input.
+func FuzzParseReport(f *testing.F) {
+	f.Add(`{"taskNames":["a"],"fits":[{}],"nodes":[1],"predicted":[2],"makespan":2,"imbalance":1}`)
+	f.Add(`{`)
+	f.Add(``)
+	f.Add(`{"taskNames":["a","b"],"nodes":[1],"predicted":[1,2]}`)
+	f.Fuzz(func(t *testing.T, data string) {
+		rep, err := ParseReport(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted reports must be internally consistent.
+		if len(rep.Nodes) != len(rep.TaskNames) || len(rep.Predicted) != len(rep.TaskNames) {
+			t.Fatalf("inconsistent report accepted: %+v", rep)
+		}
+		// These must not panic.
+		_ = rep.SortedByTime()
+		var sb strings.Builder
+		if len(rep.Fits) == len(rep.TaskNames) {
+			_ = rep.WriteTable(&sb)
+		}
+	})
+}

@@ -1,0 +1,121 @@
+// Package hslb is the public API of this repository: a from-scratch Go
+// implementation of the Heuristic Static Load-Balancing (HSLB) algorithm of
+// Alexeev, Mahajan, Leyffer, Fletcher and Fedorov ("Heuristic static
+// load-balancing algorithm applied to the fragment molecular orbital
+// method", SC 2012), together with every substrate the evaluation needs:
+// an FMO application simulator, a Blue Gene/P-like machine model, a GDDI
+// group-execution simulator, dynamic-load-balancing baselines, and a full
+// MINLP optimization stack (LP simplex, convex NLP, MILP branch-and-bound
+// with SOS1 branching, and LP/NLP-based outer approximation).
+//
+// # The algorithm
+//
+// HSLB replaces manual tuning of static node allocations with four steps:
+//
+//  1. Gather  — benchmark every task at a handful of node counts;
+//  2. Fit     — least-squares fit the performance model
+//     T(n) = a/n + b·nᶜ + d per task;
+//  3. Solve   — find the allocation minimizing the maximum task time by
+//     solving a mixed-integer nonlinear program with branch-and-bound
+//     (globally optimal, since the fitted functions are convex);
+//  4. Execute — run with the optimal allocation.
+//
+// RunPipeline drives all four steps; the sub-steps are available
+// individually through the re-exported types below.
+//
+// # Package map
+//
+//   - core — allocation problems, solver routes, baselines (the paper's
+//     contribution);
+//   - perfmodel — the performance model and its fitting;
+//   - fmo, machine, gddi, dlb — the application and machine substrates;
+//   - coupled — the coupled-component layout extension;
+//   - lp, nlp, milp, minlp, model — the optimization stack.
+package hslb
+
+import (
+	"repro/internal/core"
+	"repro/internal/perfmodel"
+)
+
+// Re-exported core types: these form the public surface of the library.
+type (
+	// Task is one load-balancing unit with its performance model.
+	Task = core.Task
+	// Problem is an allocation instance (tasks, budget, objective).
+	Problem = core.Problem
+	// Allocation is a solved or heuristic node assignment.
+	Allocation = core.Allocation
+	// Objective selects min-max (default), max-min, or min-sum.
+	Objective = core.Objective
+	// SolverOptions tunes the MINLP route.
+	SolverOptions = core.SolverOptions
+	// Params are the performance-model coefficients a, b, c, d.
+	Params = perfmodel.Params
+	// Sample is one benchmark observation (nodes, seconds).
+	Sample = perfmodel.Sample
+	// FitResult is a fitted performance function with R² diagnostics.
+	FitResult = perfmodel.FitResult
+	// FitOptions tunes the least-squares fit.
+	FitOptions = perfmodel.FitOptions
+)
+
+// Objectives.
+const (
+	MinMax = core.MinMax
+	MaxMin = core.MaxMin
+	MinSum = core.MinSum
+)
+
+// Fit estimates performance-model coefficients from benchmark samples
+// (HSLB step 2).
+func Fit(samples []Sample, opts FitOptions) (*FitResult, error) {
+	return perfmodel.Fit(samples, opts)
+}
+
+// SuggestSampleNodes returns benchmark node counts per the paper's
+// guidance: minimum, maximum, and geometric intermediates.
+func SuggestSampleNodes(minNodes, maxNodes, count int) []int {
+	return perfmodel.SuggestSampleNodes(minNodes, maxNodes, count)
+}
+
+// Solve runs HSLB step 3 on an assembled problem using the paper's MINLP
+// route, falling back to the specialized parametric solver when the MINLP
+// route does not support the objective (max-min).
+func Solve(p *Problem, opts SolverOptions) (*Allocation, error) {
+	a, err := p.SolveMINLP(opts)
+	if err == core.ErrObjectiveUnsupported {
+		return p.SolveParametric()
+	}
+	return a, err
+}
+
+// SolveParametric runs the specialized exact solver (bisection on the
+// objective level), which supports all three objectives and is much faster
+// at very large node counts.
+func SolveParametric(p *Problem) (*Allocation, error) {
+	return p.SolveParametric()
+}
+
+// Baselines for comparison tables.
+var (
+	// Uniform is the GDDI-default equal-groups baseline.
+	Uniform = core.Uniform
+	// Proportional allocates proportionally to scalable work.
+	Proportional = core.Proportional
+	// ManualMimic imitates the paper's human-expert tuning loop.
+	ManualMimic = core.ManualMimic
+)
+
+// JobSizePoint is one point of a machine-size sweep (see SweepJobSize).
+type JobSizePoint = core.JobSizePoint
+
+// SweepJobSize, FastestSize, and CostEfficientSize implement the paper's
+// "prediction of the optimal number of nodes to run a job": sweep candidate
+// machine sizes, then pick either the shortest time to solution or the
+// largest size that keeps parallel efficiency above a floor.
+var (
+	SweepJobSize      = core.SweepJobSize
+	FastestSize       = core.FastestSize
+	CostEfficientSize = core.CostEfficientSize
+)

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteAMPL emits the allocation problem as an AMPL model in the style of
+// the paper's Table I/II — the format its authors actually ran through
+// MINOTAUR on the NEOS server. The export lets users of this library solve
+// the same instance with the original toolchain (or any AMPL-speaking
+// solver) and compare answers against the built-in branch-and-bound.
+//
+// Max-min is exported with a maximized floor variable; sweet-spot sets use
+// the binary-selection formulation of Table I lines 29-31.
+func (p *Problem) WriteAMPL(w io.Writer) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	pr := func(format string, args ...interface{}) {}
+	var firstErr error
+	pr = func(format string, args ...interface{}) {
+		if firstErr != nil {
+			return
+		}
+		_, firstErr = fmt.Fprintf(w, format, args...)
+	}
+
+	pr("# HSLB allocation model (generated; cf. the paper's Table I/II)\n")
+	pr("# objective: %v, total nodes: %d\n\n", p.Objective, p.TotalNodes)
+	pr("param N := %d;\n\n", p.TotalNodes)
+
+	for i := range p.Tasks {
+		t := &p.Tasks[i]
+		lo, hi := t.rangeFor(p.TotalNodes)
+		pr("# task %d: %s — T(n) = a/n + b*n^c + d\n", i, t.Name)
+		pr("param a%d := %.17g; param b%d := %.17g; param c%d := %.17g; param d%d := %.17g;\n",
+			i, t.Perf.A, i, t.Perf.B, i, t.Perf.C, i, t.Perf.D)
+		if t.Allowed != nil {
+			cands := t.candidates(p.TotalNodes)
+			pr("set ALLOWED%d :=", i)
+			for _, c := range cands {
+				pr(" %d", c)
+			}
+			pr(";\n")
+			pr("var z%d {ALLOWED%d} binary;\n", i, i)
+			pr("var n%d >= %d, <= %d;\n", i, cands[0], cands[len(cands)-1])
+			pr("subject to pick%d: sum {k in ALLOWED%d} z%d[k] = 1;\n", i, i, i)
+			pr("subject to link%d: sum {k in ALLOWED%d} k*z%d[k] = n%d;\n", i, i, i, i)
+		} else {
+			pr("var n%d integer >= %d, <= %d;\n", i, lo, hi)
+		}
+		pr("\n")
+	}
+
+	switch p.Objective {
+	case MinMax:
+		pr("var T >= 0;\nminimize makespan: T;\n")
+		for i := range p.Tasks {
+			pr("subject to perf%d: a%d/n%d + b%d*n%d^c%d + d%d <= T;\n",
+				i, i, i, i, i, i, i)
+		}
+	case MaxMin:
+		pr("var S >= 0;\nmaximize floor_time: S;\n")
+		for i := range p.Tasks {
+			pr("subject to perf%d: a%d/n%d + b%d*n%d^c%d + d%d >= S;\n",
+				i, i, i, i, i, i, i)
+		}
+	default: // MinSum
+		pr("minimize total_time: ")
+		for i := range p.Tasks {
+			if i > 0 {
+				pr(" + ")
+			}
+			pr("(a%d/n%d + b%d*n%d^c%d + d%d)", i, i, i, i, i, i)
+		}
+		pr(";\n")
+	}
+
+	pr("subject to budget: ")
+	for i := range p.Tasks {
+		if i > 0 {
+			pr(" + ")
+		}
+		pr("n%d", i)
+	}
+	if p.UseAllNodes || p.Objective == MaxMin {
+		pr(" = N;\n")
+	} else {
+		pr(" <= N;\n")
+	}
+	pr("\nsolve;\ndisplay ")
+	for i := range p.Tasks {
+		if i > 0 {
+			pr(", ")
+		}
+		pr("n%d", i)
+	}
+	pr(";\n")
+	return firstErr
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/perfmodel"
+)
+
+func TestWriteAMPLMinMax(t *testing.T) {
+	p := &Problem{
+		Tasks: []Task{
+			{Name: "atm", Perf: perfmodel.Params{A: 27180, B: 2e-4, C: 1, D: 45.3}},
+			{Name: "ocn", Perf: perfmodel.Params{A: 7697, B: 1e-4, C: 1.1, D: 42.3},
+				Allowed: []int{2, 4, 8, 16}},
+		},
+		TotalNodes: 64,
+		Objective:  MinMax,
+	}
+	var sb strings.Builder
+	if err := p.WriteAMPL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"param N := 64;",
+		"var n0 integer >= 1, <= 64;",
+		"set ALLOWED1 := 2 4 8 16;",
+		"var z1 {ALLOWED1} binary;",
+		"subject to pick1: sum {k in ALLOWED1} z1[k] = 1;",
+		"minimize makespan: T;",
+		"subject to perf0: a0/n0 + b0*n0^c0 + d0 <= T;",
+		"subject to budget: n0 + n1 <= N;",
+		"solve;",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("AMPL export missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteAMPLObjectives(t *testing.T) {
+	base := fourTasks(32, MaxMin)
+	var sb strings.Builder
+	if err := base.WriteAMPL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "maximize floor_time: S;") {
+		t.Fatalf("max-min export wrong:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "= N;") {
+		t.Fatal("max-min export must force Σn = N")
+	}
+
+	sum := fourTasks(32, MinSum)
+	sb.Reset()
+	if err := sum.WriteAMPL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "minimize total_time:") {
+		t.Fatalf("min-sum export wrong:\n%s", sb.String())
+	}
+}
+
+func TestWriteAMPLRejectsInvalid(t *testing.T) {
+	p := &Problem{TotalNodes: 4}
+	var sb strings.Builder
+	if err := p.WriteAMPL(&sb); err == nil {
+		t.Fatal("invalid problem exported")
+	}
+}
+
+func TestWriteAMPLCoefficientsRoundTrip(t *testing.T) {
+	// Full-precision parameters must appear verbatim (%.17g preserves
+	// float64 exactly).
+	p := fourTasks(16, MinMax)
+	p.Tasks[0].Perf.A = 1234.5678901234567
+	var sb strings.Builder
+	if err := p.WriteAMPL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "1234.5678901234567") {
+		t.Fatal("parameter precision lost in export")
+	}
+}

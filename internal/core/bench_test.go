@@ -1,0 +1,48 @@
+package core
+
+import (
+	"testing"
+)
+
+// BenchmarkParametric32768 solves the headline-scale allocation (32,768
+// nodes, the paper's largest run) with the specialized solver.
+func BenchmarkParametric32768(b *testing.B) {
+	p := fourTasks(32768, MinMax)
+	for i := 0; i < b.N; i++ {
+		if _, err := p.SolveParametric(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMINLP8192SweetSpots solves the MINLP route with a sparse ocean
+// allocation set at 8192 nodes.
+func BenchmarkMINLP8192SweetSpots(b *testing.B) {
+	p := fourTasks(8192, MinMax)
+	p.Tasks[3].Allowed = []int{480, 512, 2356, 3136, 4564, 6124}
+	for i := 0; i < b.N; i++ {
+		if _, err := p.SolveMINLP(SolverOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDPOracle measures the exact dynamic program at oracle scale.
+func BenchmarkDPOracle(b *testing.B) {
+	p := fourTasks(256, MinMax)
+	for i := 0; i < b.N; i++ {
+		if _, err := p.SolveDP(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBaselines measures the heuristic allocators.
+func BenchmarkBaselines(b *testing.B) {
+	p := fourTasks(8192, MinMax)
+	for i := 0; i < b.N; i++ {
+		Uniform(p)
+		Proportional(p)
+		ManualMimic(p, 8)
+	}
+}

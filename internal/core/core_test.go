@@ -1,0 +1,430 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/perfmodel"
+	"repro/internal/stats"
+)
+
+// fourTasks builds a CESM/FMO-flavoured four-task problem with heterogeneous
+// scalable work, reminiscent of the paper's ice/lnd/atm/ocn component mix.
+func fourTasks(n int, obj Objective) *Problem {
+	return &Problem{
+		Tasks: []Task{
+			{Name: "lnd", Perf: perfmodel.Params{A: 1500, B: 0.001, C: 1, D: 2}},
+			{Name: "ice", Perf: perfmodel.Params{A: 9000, B: 0.002, C: 1, D: 5}},
+			{Name: "atm", Perf: perfmodel.Params{A: 32000, B: 0.001, C: 1.1, D: 10}},
+			{Name: "ocn", Perf: perfmodel.Params{A: 14000, B: 0.003, C: 1, D: 8}},
+		},
+		TotalNodes: n,
+		Objective:  obj,
+	}
+}
+
+func randomProblem(rng *stats.RNG, maxTasks, maxNodes int, obj Objective, allowSets bool) *Problem {
+	k := 2 + rng.Intn(maxTasks-1)
+	n := k + rng.Intn(maxNodes-k)
+	p := &Problem{TotalNodes: n, Objective: obj}
+	for i := 0; i < k; i++ {
+		t := Task{
+			Name: "t",
+			Perf: perfmodel.Params{
+				A: rng.Range(1, 500),
+				B: rng.Range(0, 0.05),
+				C: rng.Range(1, 1.6),
+				D: rng.Range(0, 3),
+			},
+		}
+		if allowSets && rng.Intn(2) == 0 {
+			// A sparse allowed set.
+			set := []int{}
+			for v := 1; v <= n; v += 1 + rng.Intn(3) {
+				set = append(set, v)
+			}
+			t.Allowed = set
+		}
+		p.Tasks = append(p.Tasks, t)
+	}
+	return p
+}
+
+func TestValidate(t *testing.T) {
+	p := fourTasks(16, MinMax)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("valid problem rejected: %v", err)
+	}
+	if err := (&Problem{TotalNodes: 4}).Validate(); err == nil {
+		t.Fatal("empty task list accepted")
+	}
+	small := fourTasks(3, MinMax)
+	if err := small.Validate(); err == nil {
+		t.Fatal("4 tasks on 3 nodes accepted")
+	}
+	bad := fourTasks(16, MinMax)
+	bad.Tasks[0].Allowed = []int{4, 4}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("non-increasing allowed set accepted")
+	}
+	gap := fourTasks(16, MinMax)
+	gap.Tasks[0].Allowed = []int{100} // beyond the budget
+	if err := gap.Validate(); err == nil {
+		t.Fatal("unreachable allowed set accepted")
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	p := fourTasks(100, MinMax)
+	a := p.Evaluate([]int{10, 30, 40, 20})
+	if a.Used != 100 {
+		t.Fatalf("Used = %d", a.Used)
+	}
+	if a.Makespan < a.MinTime || a.Imbalance < 1 {
+		t.Fatalf("inconsistent stats: %+v", a)
+	}
+	wantSum := 0.0
+	for _, v := range a.Times {
+		wantSum += v
+	}
+	if math.Abs(a.SumTime-wantSum) > 1e-9 {
+		t.Fatalf("SumTime = %v, want %v", a.SumTime, wantSum)
+	}
+}
+
+func TestTaskCandidateHelpers(t *testing.T) {
+	task := Task{Allowed: []int{2, 4, 8, 16}, MinNodes: 3}
+	if n, ok := task.minCandidate(100); !ok || n != 4 {
+		t.Fatalf("minCandidate = %d, %v", n, ok)
+	}
+	if n, ok := task.nextUp(4, 100); !ok || n != 8 {
+		t.Fatalf("nextUp(4) = %d, %v", n, ok)
+	}
+	if _, ok := task.nextUp(16, 100); ok {
+		t.Fatal("nextUp past the end succeeded")
+	}
+	if n, ok := task.nextDown(8, 100); !ok || n != 4 {
+		t.Fatalf("nextDown(8) = %d, %v", n, ok)
+	}
+	if _, ok := task.nextDown(4, 100); ok {
+		t.Fatal("nextDown below MinNodes succeeded")
+	}
+	if v := task.snapDown(11, 100); v != 8 {
+		t.Fatalf("snapDown(11) = %d", v)
+	}
+	if v := task.snapDown(1, 100); v != 4 {
+		t.Fatalf("snapDown below set = %d (want smallest admissible)", v)
+	}
+	// Budget caps the set.
+	if n, ok := task.nextUp(8, 10); ok {
+		t.Fatalf("nextUp beyond budget gave %d", n)
+	}
+	free := Task{}
+	if n, ok := free.minCandidate(50); !ok || n != 1 {
+		t.Fatalf("free minCandidate = %d", n)
+	}
+	if n, ok := free.nextUp(7, 50); !ok || n != 8 {
+		t.Fatalf("free nextUp = %d", n)
+	}
+}
+
+func TestMinMaxParametricSmall(t *testing.T) {
+	p := fourTasks(64, MinMax)
+	a, err := p.SolveParametric()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Feasible(a.Nodes) {
+		t.Fatalf("infeasible allocation %v", a.Nodes)
+	}
+	dp, err := p.SolveDP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan > dp.Makespan*(1+1e-9) {
+		t.Fatalf("parametric %v worse than DP %v", a.Makespan, dp.Makespan)
+	}
+}
+
+func TestMINLPMatchesDP(t *testing.T) {
+	p := fourTasks(48, MinMax)
+	a, err := p.SolveMINLP(SolverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := p.SolveDP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Makespan-dp.Makespan) > 1e-6*dp.Makespan {
+		t.Fatalf("MINLP %v vs DP %v (nodes %v vs %v)", a.Makespan, dp.Makespan, a.Nodes, dp.Nodes)
+	}
+}
+
+func TestMINLPMaxMinRejected(t *testing.T) {
+	p := fourTasks(48, MaxMin)
+	if _, err := p.SolveMINLP(SolverOptions{}); err == nil {
+		t.Fatal("max-min accepted by the convex MINLP route")
+	}
+}
+
+func TestMinSumRoutesAgree(t *testing.T) {
+	p := fourTasks(40, MinSum)
+	greedy, err := p.SolveParametric()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := p.SolveDP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	minlpRes, err := p.SolveMINLP(SolverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(minlpRes.SumTime-dp.SumTime) > 1e-5*dp.SumTime {
+		t.Fatalf("MINLP min-sum %v vs DP %v", minlpRes.SumTime, dp.SumTime)
+	}
+	// Greedy is exact for unit-step convex tasks.
+	if math.Abs(greedy.SumTime-dp.SumTime) > 1e-6*dp.SumTime {
+		t.Fatalf("greedy min-sum %v vs DP %v", greedy.SumTime, dp.SumTime)
+	}
+}
+
+func TestMaxMinParametricAgainstDP(t *testing.T) {
+	p := fourTasks(32, MaxMin)
+	a, err := p.SolveParametric()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := p.SolveDP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Used != p.TotalNodes {
+		t.Fatalf("max-min must use all nodes, used %d", a.Used)
+	}
+	if math.Abs(a.MinTime-dp.MinTime) > 1e-6*(1+dp.MinTime) {
+		t.Fatalf("max-min parametric %v vs DP %v", a.MinTime, dp.MinTime)
+	}
+}
+
+func TestAllowedSetsRespected(t *testing.T) {
+	p := fourTasks(128, MinMax)
+	p.Tasks[3].Allowed = []int{2, 4, 8, 16, 32, 64} // the ocean-style set
+	a, err := p.SolveMINLP(SolverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Feasible(a.Nodes) {
+		t.Fatalf("allocation violates allowed set: %v", a.Nodes)
+	}
+	b, err := p.SolveParametric()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Feasible(b.Nodes) {
+		t.Fatalf("parametric allocation violates allowed set: %v", b.Nodes)
+	}
+	if math.Abs(a.Makespan-b.Makespan) > 1e-6*a.Makespan {
+		t.Fatalf("routes disagree: MINLP %v vs parametric %v", a.Makespan, b.Makespan)
+	}
+}
+
+func TestBaselinesFeasibleAndWorse(t *testing.T) {
+	p := fourTasks(256, MinMax)
+	opt, err := p.SolveParametric()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, a := range map[string]*Allocation{
+		"uniform":      Uniform(p),
+		"proportional": Proportional(p),
+		"manual":       ManualMimic(p, 8),
+	} {
+		if a.Used > p.TotalNodes {
+			t.Fatalf("%s overspends: %d > %d", name, a.Used, p.TotalNodes)
+		}
+		if a.Makespan < opt.Makespan*(1-1e-9) {
+			t.Fatalf("%s beats the optimum: %v < %v", name, a.Makespan, opt.Makespan)
+		}
+	}
+	// The heterogeneous mix should make uniform clearly worse than HSLB.
+	if Uniform(p).Makespan < opt.Makespan*1.05 {
+		t.Fatalf("uniform unexpectedly close to optimal: %v vs %v",
+			Uniform(p).Makespan, opt.Makespan)
+	}
+	// Manual tuning lands between uniform and optimal.
+	man := ManualMimic(p, 8)
+	if man.Makespan > Uniform(p).Makespan*(1+1e-9) {
+		t.Fatalf("manual mimic worse than its uniform start: %v vs %v",
+			man.Makespan, Uniform(p).Makespan)
+	}
+}
+
+// Property: parametric min-max matches the DP oracle on random instances,
+// including sparse allowed sets.
+func TestMinMaxParametricVsDPProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		p := randomProblem(rng, 4, 40, MinMax, true)
+		if p.Validate() != nil {
+			return true // skip degenerate instance
+		}
+		a, err := p.SolveParametric()
+		if err != nil {
+			return false
+		}
+		dp, err := p.SolveDP()
+		if err != nil {
+			return false
+		}
+		if !p.Feasible(a.Nodes) {
+			return false
+		}
+		return a.Makespan <= dp.Makespan*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the MINLP route matches the DP oracle on random instances.
+func TestMINLPVsDPProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		p := randomProblem(rng, 3, 24, MinMax, true)
+		if p.Validate() != nil {
+			return true
+		}
+		a, err := p.SolveMINLP(SolverOptions{})
+		if err != nil {
+			return false
+		}
+		dp, err := p.SolveDP()
+		if err != nil {
+			return false
+		}
+		return math.Abs(a.Makespan-dp.Makespan) <= 1e-5*(1+dp.Makespan)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: baselines never beat the exact optimum.
+func TestBaselinesNeverBeatOptimumProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		p := randomProblem(rng, 4, 60, MinMax, false)
+		if p.Validate() != nil {
+			return true
+		}
+		opt, err := p.SolveParametric()
+		if err != nil {
+			return false
+		}
+		for _, a := range []*Allocation{Uniform(p), Proportional(p), ManualMimic(p, 6)} {
+			if a.Makespan < opt.Makespan*(1-1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeScaleParametric(t *testing.T) {
+	// The paper's headline scale: 32,768 nodes. The parametric solver must
+	// handle it fast and produce a balanced allocation.
+	p := fourTasks(32768, MinMax)
+	a, err := p.SolveParametric()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Feasible(a.Nodes) {
+		t.Fatalf("infeasible: %v", a.Nodes)
+	}
+	if a.Imbalance > 1.10 {
+		t.Fatalf("imbalance %v at 32768 nodes; times %v", a.Imbalance, a.Times)
+	}
+}
+
+func TestLargeScaleMINLPWithSweetSpots(t *testing.T) {
+	// MINLP route at scale with a sparse ocean set (the paper's setting).
+	p := fourTasks(8192, MinMax)
+	p.Tasks[3].Allowed = []int{480, 512, 2356, 3136, 4564, 6124}
+	a, err := p.SolveMINLP(SolverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.SolveParametric()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Makespan-b.Makespan) > 1e-5*a.Makespan {
+		t.Fatalf("routes disagree at scale: %v vs %v", a.Makespan, b.Makespan)
+	}
+}
+
+func TestUseAllNodes(t *testing.T) {
+	p := fourTasks(100, MinMax)
+	p.UseAllNodes = true
+	a, err := p.SolveParametric()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Used != 100 {
+		t.Fatalf("Used = %d, want 100", a.Used)
+	}
+	if !p.Feasible(a.Nodes) {
+		t.Fatal("infeasible equality allocation")
+	}
+}
+
+func TestObjectiveValue(t *testing.T) {
+	p := fourTasks(40, MinMax)
+	a := p.Evaluate([]int{10, 10, 10, 10})
+	if p.ObjectiveValue(a) != a.Makespan {
+		t.Fatal("min-max objective mismatch")
+	}
+	p.Objective = MaxMin
+	if p.ObjectiveValue(a) != -a.MinTime {
+		t.Fatal("max-min objective mismatch")
+	}
+	p.Objective = MinSum
+	if p.ObjectiveValue(a) != a.SumTime {
+		t.Fatal("min-sum objective mismatch")
+	}
+}
+
+func TestObjectiveComparisonShape(t *testing.T) {
+	// The paper: min-max and max-min give similar quality; min-sum is much
+	// worse as a load-balancing objective. Judge each objective's
+	// allocation by the resulting makespan.
+	mm := fourTasks(1024, MinMax)
+	aMM, err := mm.SolveParametric()
+	if err != nil {
+		t.Fatal(err)
+	}
+	xm := fourTasks(1024, MaxMin)
+	aXM, err := xm.SolveParametric()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := fourTasks(1024, MinSum)
+	aMS, err := ms.SolveParametric()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aMM.Makespan > aXM.Makespan*1.25 {
+		t.Fatalf("min-max (%v) much worse than max-min (%v)?", aMM.Makespan, aXM.Makespan)
+	}
+	if aMS.Makespan < aMM.Makespan*1.02 {
+		t.Fatalf("min-sum (%v) not worse than min-max (%v); paper says it is much worse",
+			aMS.Makespan, aMM.Makespan)
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file implements the paper's section on "prediction of the optimal
+// layout and number of nodes to a job": once per-task performance functions
+// exist, HSLB can answer not only "how do I split N nodes" but "what N
+// should I ask the scheduler for" — either the shortest time to solution or
+// the largest job that still meets a parallel-efficiency floor ("nodes are
+// increased until scaling is reduced to a predefined limit").
+
+// JobSizePoint is one point of a job-size sweep.
+type JobSizePoint struct {
+	Nodes      int     `json:"nodes"`
+	Makespan   float64 `json:"makespan"`
+	NodeHours  float64 `json:"nodeHours"`  // Nodes × Makespan / 3600
+	Speedup    float64 `json:"speedup"`    // vs the smallest swept size
+	Efficiency float64 `json:"efficiency"` // Speedup × smallestN / Nodes
+}
+
+// SweepJobSize solves the allocation problem at each candidate machine size
+// (ascending) and reports makespan, node-hours, and efficiency relative to
+// the smallest candidate. The tasks are shared across sizes; per-task
+// restrictions apply at every size.
+func SweepJobSize(tasks []Task, objective Objective, candidates []int) ([]JobSizePoint, error) {
+	if len(candidates) == 0 {
+		return nil, errors.New("core: no candidate sizes")
+	}
+	for i := 1; i < len(candidates); i++ {
+		if candidates[i] <= candidates[i-1] {
+			return nil, errors.New("core: candidate sizes must be strictly increasing")
+		}
+	}
+	points := make([]JobSizePoint, 0, len(candidates))
+	var base float64
+	for i, n := range candidates {
+		p := &Problem{Tasks: tasks, TotalNodes: n, Objective: objective}
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("core: size %d: %w", n, err)
+		}
+		a, err := p.SolveParametric()
+		if err != nil {
+			return nil, fmt.Errorf("core: size %d: %w", n, err)
+		}
+		pt := JobSizePoint{
+			Nodes:     n,
+			Makespan:  a.Makespan,
+			NodeHours: float64(n) * a.Makespan / 3600,
+		}
+		if i == 0 {
+			base = a.Makespan * float64(n)
+			pt.Speedup = 1
+			pt.Efficiency = 1
+		} else {
+			pt.Speedup = base / float64(candidates[0]) / a.Makespan
+			pt.Efficiency = base / (a.Makespan * float64(n))
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// FastestSize returns the swept size with the smallest makespan (ties go to
+// the smaller size — never pay for nodes that do not help).
+func FastestSize(points []JobSizePoint) (JobSizePoint, error) {
+	if len(points) == 0 {
+		return JobSizePoint{}, errors.New("core: empty sweep")
+	}
+	best := points[0]
+	for _, p := range points[1:] {
+		if p.Makespan < best.Makespan*(1-1e-12) {
+			best = p
+		}
+	}
+	return best, nil
+}
+
+// CostEfficientSize returns the largest swept size whose parallel
+// efficiency stays at or above minEfficiency — the paper's "cost-efficient
+// goal". It falls back to the smallest size when nothing qualifies.
+func CostEfficientSize(points []JobSizePoint, minEfficiency float64) (JobSizePoint, error) {
+	if len(points) == 0 {
+		return JobSizePoint{}, errors.New("core: empty sweep")
+	}
+	best := points[0]
+	for _, p := range points[1:] {
+		if p.Efficiency >= minEfficiency {
+			best = p
+		}
+	}
+	return best, nil
+}

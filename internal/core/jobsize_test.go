@@ -1,0 +1,140 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/perfmodel"
+	"repro/internal/stats"
+)
+
+func sweepTasks() []Task {
+	return []Task{
+		{Name: "a", Perf: perfmodel.Params{A: 4000, B: 0.001, C: 1, D: 2}},
+		{Name: "b", Perf: perfmodel.Params{A: 16000, B: 0.001, C: 1, D: 4}},
+	}
+}
+
+func TestSweepJobSize(t *testing.T) {
+	pts, err := SweepJobSize(sweepTasks(), MinMax, []int{8, 32, 128, 512, 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].Speedup != 1 || pts[0].Efficiency != 1 {
+		t.Fatalf("base point = %+v", pts[0])
+	}
+	// Makespan non-increasing; efficiency broadly decreasing (small
+	// increases are legitimate: integer allocations at tiny sizes are
+	// coarse, so the base point can be slightly inefficient itself).
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Makespan > pts[i-1].Makespan*(1+1e-9) {
+			t.Fatalf("makespan increased at %d nodes", pts[i].Nodes)
+		}
+		if pts[i].Efficiency > pts[i-1].Efficiency*1.15 {
+			t.Fatalf("efficiency jumped at %d nodes: %v → %v",
+				pts[i].Nodes, pts[i-1].Efficiency, pts[i].Efficiency)
+		}
+	}
+	if pts[len(pts)-1].Efficiency >= pts[0].Efficiency {
+		t.Fatal("efficiency did not decay across the sweep (Amdahl)")
+	}
+}
+
+func TestSweepJobSizeErrors(t *testing.T) {
+	if _, err := SweepJobSize(sweepTasks(), MinMax, nil); err == nil {
+		t.Fatal("empty candidates accepted")
+	}
+	if _, err := SweepJobSize(sweepTasks(), MinMax, []int{8, 8}); err == nil {
+		t.Fatal("non-increasing candidates accepted")
+	}
+	if _, err := SweepJobSize(sweepTasks(), MinMax, []int{1, 8}); err == nil {
+		t.Fatal("size below task count accepted")
+	}
+}
+
+func TestFastestSize(t *testing.T) {
+	pts, err := SweepJobSize(sweepTasks(), MinMax, []int{8, 64, 512, 4096, 32768})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := FastestSize(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With the b·n term present, the fastest size is not the largest one
+	// once overhead dominates — and is never slower than any other point.
+	for _, p := range pts {
+		if fast.Makespan > p.Makespan*(1+1e-12) {
+			t.Fatalf("fastest %d slower than %d", fast.Nodes, p.Nodes)
+		}
+	}
+	if _, err := FastestSize(nil); err == nil {
+		t.Fatal("empty sweep accepted")
+	}
+}
+
+func TestCostEfficientSize(t *testing.T) {
+	pts, err := SweepJobSize(sweepTasks(), MinMax, []int{8, 32, 128, 512, 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eff, err := CostEfficientSize(pts, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff.Efficiency < 0.5 {
+		t.Fatalf("returned efficiency %v below the floor", eff.Efficiency)
+	}
+	// A stricter floor cannot pick a larger machine.
+	strict, err := CostEfficientSize(pts, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strict.Nodes > eff.Nodes {
+		t.Fatalf("stricter floor picked a bigger machine: %d > %d", strict.Nodes, eff.Nodes)
+	}
+	if _, err := CostEfficientSize(nil, 0.5); err == nil {
+		t.Fatal("empty sweep accepted")
+	}
+}
+
+// Property: the cost-efficient size always meets the floor or is the
+// smallest size; the fastest size's makespan is the sweep minimum.
+func TestJobSizeProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		tasks := []Task{
+			{Name: "a", Perf: perfmodel.Params{A: rng.Range(100, 10000), B: rng.Range(0, 0.01), C: 1, D: rng.Range(0, 5)}},
+			{Name: "b", Perf: perfmodel.Params{A: rng.Range(100, 10000), B: rng.Range(0, 0.01), C: 1, D: rng.Range(0, 5)}},
+			{Name: "c", Perf: perfmodel.Params{A: rng.Range(100, 10000), B: rng.Range(0, 0.01), C: 1, D: rng.Range(0, 5)}},
+		}
+		pts, err := SweepJobSize(tasks, MinMax, []int{4, 16, 64, 256, 1024})
+		if err != nil {
+			return false
+		}
+		floor := rng.Range(0.2, 0.95)
+		eff, err := CostEfficientSize(pts, floor)
+		if err != nil {
+			return false
+		}
+		if eff.Nodes != pts[0].Nodes && eff.Efficiency < floor {
+			return false
+		}
+		fast, err := FastestSize(pts)
+		if err != nil {
+			return false
+		}
+		for _, p := range pts {
+			if fast.Makespan > p.Makespan*(1+1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,570 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/lp"
+	"repro/internal/minlp"
+	"repro/internal/model"
+)
+
+// SolverOptions forwards tuning knobs to the MINLP solver.
+type SolverOptions struct {
+	// DisableSOSBranching is the paper's ablation: branch on individual
+	// binaries instead of the allocation special ordered sets.
+	DisableSOSBranching bool
+	// SkipNLPRelaxation starts branch-and-bound from the pure linear
+	// relaxation without the initial Kelley solve.
+	SkipNLPRelaxation bool
+	// CutAtFractional adds outer-approximation cuts at fractional nodes.
+	CutAtFractional bool
+	// MaxNodes bounds the branch-and-bound tree.
+	MaxNodes int
+}
+
+// ErrObjectiveUnsupported is returned by SolveMINLP for max-min, whose
+// constraints S ≤ T_j(n_j) are concave-side and therefore outside the
+// convex outer-approximation framework; use SolveParametric for it.
+var ErrObjectiveUnsupported = errors.New("core: max-min is not convex; use SolveParametric")
+
+// BuildModel constructs the paper's MINLP (Table I structure) for the
+// problem. It returns the model plus the ids of the per-task allocation
+// variables (for inspection and tests).
+func (p *Problem) BuildModel() (*model.Model, []int, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if p.Objective == MaxMin {
+		return nil, nil, ErrObjectiveUnsupported
+	}
+	m := model.New()
+	k := len(p.Tasks)
+
+	// A safe upper bound for any per-task time the solver can select.
+	ub := 1.0
+	for i := range p.Tasks {
+		t := &p.Tasks[i]
+		lo, _ := t.minCandidate(p.TotalNodes)
+		_, hi := t.rangeFor(p.TotalNodes)
+		v := math.Max(t.Perf.Eval(float64(lo)), t.Perf.Eval(float64(hi)))
+		if v > ub {
+			ub = v
+		}
+	}
+	ub *= 1.0000001
+
+	nVars := make([]int, k)
+	var timeVars []int
+	var tv int
+	if p.Objective == MinMax {
+		tv = m.AddVar(0, ub, model.Continuous, "T")
+		m.SetObjective([]model.Term{{Var: tv, Coef: 1}}, 0)
+	} else { // MinSum
+		timeVars = make([]int, k)
+		obj := make([]model.Term, 0, k)
+		for i := range p.Tasks {
+			timeVars[i] = m.AddVar(0, ub, model.Continuous, fmt.Sprintf("t[%s]", p.Tasks[i].Name))
+			obj = append(obj, model.Term{Var: timeVars[i], Coef: 1})
+		}
+		m.SetObjective(obj, 0)
+	}
+
+	budget := make([]model.Term, 0, k)
+	for i := range p.Tasks {
+		t := &p.Tasks[i]
+		lo, hi := t.rangeFor(p.TotalNodes)
+		if t.Allowed != nil {
+			// Discrete allocation set modelled exactly as the paper's
+			// AMPL: binaries z_k with Σz = 1, n = Σ z·A_k, declared as
+			// an SOS1 branched on as a set (Table I, lines 29-31).
+			cands := t.candidates(p.TotalNodes)
+			n := m.AddVar(float64(cands[0]), float64(cands[len(cands)-1]), model.Continuous,
+				fmt.Sprintf("n[%s]", t.Name))
+			nVars[i] = n
+			one := make([]model.Term, 0, len(cands))
+			link := []model.Term{{Var: n, Coef: -1}}
+			zs := make([]int, 0, len(cands))
+			wts := make([]float64, 0, len(cands))
+			for _, c := range cands {
+				z := m.AddBinary(fmt.Sprintf("z[%s=%d]", t.Name, c))
+				zs = append(zs, z)
+				wts = append(wts, float64(c))
+				one = append(one, model.Term{Var: z, Coef: 1})
+				link = append(link, model.Term{Var: z, Coef: float64(c)})
+			}
+			m.AddLinear(one, lp.EQ, 1, fmt.Sprintf("pick[%s]", t.Name))
+			m.AddLinear(link, lp.EQ, 0, fmt.Sprintf("link[%s]", t.Name))
+			m.AddSOS1(zs, wts, fmt.Sprintf("sos[%s]", t.Name))
+		} else {
+			nVars[i] = m.AddVar(float64(lo), float64(hi), model.Integer,
+				fmt.Sprintf("n[%s]", t.Name))
+		}
+		target := tv
+		if p.Objective == MinSum {
+			target = timeVars[i]
+		}
+		m.AddNonlinear(t.Perf.Constraint(nVars[i], target), fmt.Sprintf("perf[%s]", t.Name))
+		budget = append(budget, model.Term{Var: nVars[i], Coef: 1})
+	}
+	sense := lp.LE
+	if p.UseAllNodes {
+		sense = lp.EQ
+	}
+	m.AddLinear(budget, sense, float64(p.TotalNodes), "budget")
+	return m, nVars, nil
+}
+
+// SolveMINLP is the paper's solver route: formulate the allocation MINLP
+// and solve it with LP/NLP-based branch-and-bound. Valid for the convex
+// objectives (min-max and min-sum); globally optimal by convexity.
+func (p *Problem) SolveMINLP(opts SolverOptions) (*Allocation, error) {
+	m, nVars, err := p.BuildModel()
+	if err != nil {
+		return nil, err
+	}
+	res := minlp.Solve(m, minlp.Options{
+		DisableSOSBranching: opts.DisableSOSBranching,
+		SkipNLPRelaxation:   opts.SkipNLPRelaxation,
+		CutAtFractional:     opts.CutAtFractional,
+		MaxNodes:            opts.MaxNodes,
+	})
+	if res.Status != minlp.Optimal {
+		return nil, fmt.Errorf("core: MINLP solve ended with status %v", res.Status)
+	}
+	nodes := make([]int, len(p.Tasks))
+	for i, v := range nVars {
+		nodes[i] = int(math.Round(res.X[v]))
+	}
+	a := p.Evaluate(nodes)
+	a.SolverNodes = res.Nodes
+	a.LPSolves = res.LPSolves
+	a.OACuts = res.OACuts
+	return a, nil
+}
+
+// minNodesAchieving returns the smallest admissible allocation for task i
+// whose predicted time is ≤ target, or ok=false.
+func (p *Problem) minNodesAchieving(i int, target float64) (int, bool) {
+	t := &p.Tasks[i]
+	lo, hi := t.rangeFor(p.TotalNodes)
+	if t.Allowed != nil {
+		for _, n := range t.Allowed {
+			if n < lo || n > hi {
+				continue
+			}
+			if t.Perf.Eval(float64(n)) <= target {
+				return n, true
+			}
+		}
+		return 0, false
+	}
+	n0, ok := t.Perf.MinNodesFor(target, hi)
+	if !ok {
+		return 0, false
+	}
+	if n0 < lo {
+		n0 = lo
+	}
+	if t.Perf.Eval(float64(n0)) > target {
+		return 0, false
+	}
+	return n0, true
+}
+
+// maxNodesKeeping returns the largest admissible allocation for task i whose
+// predicted time is still ≥ target (used by max-min), or ok=false.
+func (p *Problem) maxNodesKeeping(i int, target float64) (int, bool) {
+	t := &p.Tasks[i]
+	lo, hi := t.rangeFor(p.TotalNodes)
+	if t.Allowed != nil {
+		for k := len(t.Allowed) - 1; k >= 0; k-- {
+			n := t.Allowed[k]
+			if n < lo || n > hi {
+				continue
+			}
+			if t.Perf.Eval(float64(n)) >= target {
+				return n, true
+			}
+		}
+		return 0, false
+	}
+	// The time curve is convex: ≥ target holds on a prefix [lo, d1] of the
+	// decreasing branch and possibly a suffix [d2, hi] of the increasing
+	// branch. Prefer the suffix (larger n).
+	if t.Perf.Eval(float64(hi)) >= target {
+		return hi, true
+	}
+	am := t.Perf.ArgMin()
+	upper := hi
+	if am < float64(upper) {
+		upper = int(am)
+	}
+	if upper < lo {
+		upper = lo
+	}
+	// Binary search the decreasing branch [lo, upper] for the largest n
+	// with T(n) ≥ target.
+	if t.Perf.Eval(float64(lo)) < target {
+		return 0, false
+	}
+	loN, hiN := lo, upper
+	for loN < hiN {
+		mid := (loN + hiN + 1) / 2
+		if t.Perf.Eval(float64(mid)) >= target {
+			loN = mid
+		} else {
+			hiN = mid - 1
+		}
+	}
+	return loN, true
+}
+
+// SolveParametric is the specialized exact solver: it bisects the objective
+// level and uses the per-task inverse of the performance function. It
+// supports all three objectives and serves as the independent
+// cross-validation of the MINLP route (DESIGN.md, decision 4).
+func (p *Problem) SolveParametric() (*Allocation, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	switch p.Objective {
+	case MinMax:
+		return p.solveMinMaxParametric()
+	case MaxMin:
+		return p.solveMaxMinParametric()
+	default:
+		return p.solveMinSumGreedy()
+	}
+}
+
+func (p *Problem) minAllocation() []int {
+	nodes := make([]int, len(p.Tasks))
+	for i := range p.Tasks {
+		nodes[i], _ = p.Tasks[i].minCandidate(p.TotalNodes)
+	}
+	return nodes
+}
+
+func (p *Problem) solveMinMaxParametric() (*Allocation, error) {
+	// Feasibility check of a makespan target.
+	tryTarget := func(target float64) ([]int, bool) {
+		nodes := make([]int, len(p.Tasks))
+		used := 0
+		for i := range p.Tasks {
+			n, ok := p.minNodesAchieving(i, target)
+			if !ok {
+				return nil, false
+			}
+			nodes[i] = n
+			used += n
+		}
+		if used > p.TotalNodes {
+			return nil, false
+		}
+		return nodes, true
+	}
+
+	// Bracket: hi = makespan of the minimum allocation (always feasible),
+	// lo = the best any single task can ever do (optimum is ≥ max of the
+	// per-task minima... the max over tasks of their minimum achievable
+	// time is a valid lower bound).
+	minAlloc := p.Evaluate(p.minAllocation())
+	hi := minAlloc.Makespan
+	lo := 0.0
+	for i := range p.Tasks {
+		best := math.Inf(1)
+		t := &p.Tasks[i]
+		if t.Allowed != nil {
+			for _, n := range t.candidates(p.TotalNodes) {
+				if v := t.Perf.Eval(float64(n)); v < best {
+					best = v
+				}
+			}
+		} else {
+			lo2, hi2 := t.rangeFor(p.TotalNodes)
+			am := int(math.Round(t.Perf.ArgMin()))
+			for _, n := range []int{lo2, hi2, clampInt(am, lo2, hi2), clampInt(am+1, lo2, hi2)} {
+				if v := t.Perf.Eval(float64(n)); v < best {
+					best = v
+				}
+			}
+		}
+		if best > lo {
+			lo = best
+		}
+	}
+	if lo > hi {
+		lo = hi
+	}
+	for iter := 0; iter < 100 && hi-lo > 1e-12*(1+hi); iter++ {
+		mid := (lo + hi) / 2
+		if _, ok := tryTarget(mid); ok {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	nodes, ok := tryTarget(hi)
+	if !ok {
+		// Numerical edge: fall back to the always-feasible minimum
+		// allocation.
+		nodes = p.minAllocation()
+	}
+	// Spend leftover nodes where they reduce the makespan.
+	p.polishMinMax(nodes)
+	if p.UseAllNodes {
+		used := 0
+		for _, n := range nodes {
+			used += n
+		}
+		distributeLeftover(p, nodes, p.TotalNodes-used)
+	}
+	return p.Evaluate(nodes), nil
+}
+
+// polishMinMax greedily grows the current makespan task while that strictly
+// helps and budget remains.
+func (p *Problem) polishMinMax(nodes []int) {
+	used := 0
+	for _, n := range nodes {
+		used += n
+	}
+	for {
+		times := make([]float64, len(nodes))
+		for i := range nodes {
+			times[i] = p.Tasks[i].Perf.Eval(float64(nodes[i]))
+		}
+		worst := argMaxF(times)
+		up, ok := p.Tasks[worst].nextUp(nodes[worst], p.TotalNodes)
+		if !ok || used+up-nodes[worst] > p.TotalNodes {
+			return
+		}
+		if p.Tasks[worst].Perf.Eval(float64(up)) >= times[worst] {
+			return // no longer improving (entered the increasing branch)
+		}
+		used += up - nodes[worst]
+		nodes[worst] = up
+	}
+}
+
+func (p *Problem) solveMaxMinParametric() (*Allocation, error) {
+	minAlloc := p.minAllocation()
+	budget := p.EffectiveBudget()
+	sumMin := 0
+	for _, n := range minAlloc {
+		sumMin += n
+	}
+	// Feasibility of a floor S: every task can stay ≥ S while together
+	// absorbing the whole (effective) budget.
+	tryFloor := func(s float64) ([]int, bool) {
+		caps := make([]int, len(p.Tasks))
+		sumCap := 0
+		for i := range p.Tasks {
+			c, ok := p.maxNodesKeeping(i, s)
+			if !ok || c < minAlloc[i] {
+				return nil, false
+			}
+			caps[i] = c
+			sumCap += c
+		}
+		if sumCap < budget {
+			return nil, false
+		}
+		nodes := append([]int(nil), minAlloc...)
+		leftover := budget - sumMin
+		// Distribute the surplus to the currently slowest growable task:
+		// any distribution within the caps keeps the floor, but this one
+		// also improves the makespan as a secondary criterion.
+		for leftover > 0 {
+			bestI, bestUp := -1, 0
+			bestTime := -1.0
+			for i := range nodes {
+				up, ok := p.Tasks[i].nextUp(nodes[i], p.TotalNodes)
+				if !ok || up > caps[i] || up-nodes[i] > leftover {
+					continue
+				}
+				t := p.Tasks[i].Perf.Eval(float64(nodes[i]))
+				if t > bestTime {
+					bestTime, bestI, bestUp = t, i, up
+				}
+			}
+			if bestI < 0 {
+				break
+			}
+			leftover -= bestUp - nodes[bestI]
+			nodes[bestI] = bestUp
+		}
+		if leftover != 0 {
+			return nil, false
+		}
+		return nodes, true
+	}
+
+	// Bracket S ∈ [0, min time at the minimum allocation].
+	hi := math.Inf(1)
+	for i, n := range minAlloc {
+		if v := p.Tasks[i].Perf.Eval(float64(n)); v < hi {
+			hi = v
+		}
+	}
+	lo := 0.0
+	best, ok := tryFloor(lo)
+	if !ok {
+		return nil, errors.New("core: max-min allocation cannot use all nodes (allowed-set gaps)")
+	}
+	for iter := 0; iter < 100 && hi-lo > 1e-12*(1+hi); iter++ {
+		mid := (lo + hi) / 2
+		if nodes, ok := tryFloor(mid); ok {
+			lo = mid
+			best = nodes
+		} else {
+			hi = mid
+		}
+	}
+	return p.Evaluate(best), nil
+}
+
+// solveMinSumGreedy allocates by largest marginal time reduction per node.
+// For unit-step tasks with convex performance functions the exchange
+// argument makes this exact; with sparse allowed sets it is a (good)
+// heuristic, and the MINLP route remains the exact reference.
+func (p *Problem) solveMinSumGreedy() (*Allocation, error) {
+	nodes := p.minAllocation()
+	used := 0
+	for _, n := range nodes {
+		used += n
+	}
+	for {
+		bestI, bestUp := -1, 0
+		bestRate := 0.0
+		for i := range p.Tasks {
+			up, ok := p.Tasks[i].nextUp(nodes[i], p.TotalNodes)
+			if !ok || used+up-nodes[i] > p.TotalNodes {
+				continue
+			}
+			gain := p.Tasks[i].Perf.Eval(float64(nodes[i])) - p.Tasks[i].Perf.Eval(float64(up))
+			rate := gain / float64(up-nodes[i])
+			if rate > bestRate {
+				bestRate, bestI, bestUp = rate, i, up
+			}
+		}
+		if bestI < 0 {
+			break
+		}
+		used += bestUp - nodes[bestI]
+		nodes[bestI] = bestUp
+	}
+	if p.UseAllNodes {
+		distributeLeftover(p, nodes, p.TotalNodes-used)
+	}
+	return p.Evaluate(nodes), nil
+}
+
+// SolveDP solves the allocation problem exactly by dynamic programming over
+// (task, nodes-used) states. It is O(k·N·|candidates|) and intended as the
+// test oracle for small N; all objectives and allowed sets are supported.
+func (p *Problem) SolveDP() (*Allocation, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	k := len(p.Tasks)
+	N := p.TotalNodes
+	const inf = math.MaxFloat64
+	worstInit := inf
+	better := func(a, b float64) bool { return a < b }
+	combine := func(prev, t float64) float64 { return math.Max(prev, t) } // MinMax
+	switch p.Objective {
+	case MaxMin:
+		combine = func(prev, t float64) float64 { return math.Min(prev, t) }
+		better = func(a, b float64) bool { return a > b }
+		worstInit = -1
+	case MinSum:
+		combine = func(prev, t float64) float64 { return prev + t }
+	}
+	identity := 0.0
+	if p.Objective == MinMax {
+		identity = 0
+	} else if p.Objective == MaxMin {
+		identity = inf
+	}
+
+	val := make([][]float64, k+1)
+	choice := make([][]int, k+1)
+	for j := 0; j <= k; j++ {
+		val[j] = make([]float64, N+1)
+		choice[j] = make([]int, N+1)
+		for m := range val[j] {
+			val[j][m] = worstInit
+			choice[j][m] = -1
+		}
+	}
+	val[0][0] = identity
+	for j := 1; j <= k; j++ {
+		cands := p.Tasks[j-1].candidates(N)
+		for m := 0; m <= N; m++ {
+			if val[j-1][m] == worstInit {
+				continue
+			}
+			for _, c := range cands {
+				if m+c > N {
+					break
+				}
+				t := p.Tasks[j-1].Perf.Eval(float64(c))
+				v := combine(val[j-1][m], t)
+				if choice[j][m+c] == -1 || better(v, val[j][m+c]) {
+					val[j][m+c] = v
+					choice[j][m+c] = c
+				}
+			}
+		}
+	}
+	bestM, bestV := -1, worstInit
+	loM := 0
+	if p.UseAllNodes || p.Objective == MaxMin {
+		loM = p.EffectiveBudget()
+	}
+	for m := loM; m <= N; m++ {
+		if choice[k][m] == -1 && !(k == 0 && m == 0) {
+			continue
+		}
+		if val[k][m] == worstInit {
+			continue
+		}
+		if bestM == -1 || better(val[k][m], bestV) {
+			bestM, bestV = m, val[k][m]
+		}
+	}
+	if bestM < 0 {
+		return nil, errors.New("core: DP found no feasible allocation")
+	}
+	nodes := make([]int, k)
+	m := bestM
+	for j := k; j >= 1; j-- {
+		c := choice[j][m]
+		nodes[j-1] = c
+		m -= c
+	}
+	return p.Evaluate(nodes), nil
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func argMaxF(xs []float64) int {
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}

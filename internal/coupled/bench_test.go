@@ -1,0 +1,37 @@
+package coupled
+
+import (
+	"testing"
+
+	"repro/internal/minlp"
+)
+
+// BenchmarkEighthDegreeConstrained solves the 1/8°, 32768-node layout with
+// the hard-coded ocean set (the follow-up's production configuration).
+func BenchmarkEighthDegreeConstrained(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := EighthDegree(32768, true).Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEighthDegreeUnconstrained opens the ocean set (ternary-search
+// path over the full range).
+func BenchmarkEighthDegreeUnconstrained(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := EighthDegree(32768, false).Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOneDegreeMINLP solves the 1° layout via the paper's MINLP route.
+func BenchmarkOneDegreeMINLP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := OneDegree(128)
+		if _, err := cfg.SolveMINLP(minlp.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

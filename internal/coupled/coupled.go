@@ -1,0 +1,514 @@
+// Package coupled is the generality extension of HSLB: load balancing a
+// coupled multi-component application whose components run concurrently
+// and/or sequentially on overlapping processor sets — the setting of the
+// follow-up paper (HSLB applied to CESM, IPDPSW 2014), which this
+// repository treats as published evidence for the target paper's claim that
+// the method applies to "any coarse-grained application with large tasks of
+// diverse size".
+//
+// Three layouts are modelled, following the follow-up's Table I (Figure 1):
+//
+//	layout 1 (hybrid, the common production layout):
+//	    T = max( max(T_ice, T_lnd) + T_atm , T_ocn )
+//	    with n_ice + n_lnd ≤ n_atm and n_atm + n_ocn ≤ N
+//	layout 2: ice, lnd, atm sequential on N−n_ocn nodes, ocn concurrent:
+//	    T = max( T_ice + T_lnd + T_atm , T_ocn )
+//	layout 3: everything sequential on all N nodes:
+//	    T = T_ice + T_lnd + T_atm + T_ocn
+//
+// Ocean and atmosphere allocations may be restricted to discrete sets (the
+// hard-coded ocean counts and atmosphere "sweet spots" of the follow-up).
+// An optional synchronization tolerance couples T_lnd to T_ice within
+// ±Tsync (layout 1 only); note the follow-up's warning that this extra
+// constraint can reduce performance.
+//
+// Two solver routes: Solve (exact enumeration over the discrete outer
+// choices with bisection inner splits — supports Tsync) and SolveMINLP (the
+// paper's MINLP route via outer approximation — Tsync unsupported there
+// because its lower-bounding side is concave).
+package coupled
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/perfmodel"
+	"repro/internal/stats"
+)
+
+// Layout selects the component arrangement.
+type Layout int
+
+// Layouts (1)-(3) of the follow-up's Figure 1.
+const (
+	Layout1 Layout = iota + 1
+	Layout2
+	Layout3
+)
+
+func (l Layout) String() string { return fmt.Sprintf("layout%d", int(l)) }
+
+// Component is one model component with its fitted performance function.
+type Component struct {
+	Name string
+	Perf perfmodel.Params
+	// Allowed restricts the allocation to this strictly increasing set;
+	// nil allows any count in [1, N].
+	Allowed []int
+	// MinNodes is the memory floor (default 1).
+	MinNodes int
+}
+
+func (c *Component) minNodes() int {
+	if c.MinNodes < 1 {
+		return 1
+	}
+	return c.MinNodes
+}
+
+// bestIn returns the admissible n ≤ cap minimizing the component time, and
+// that time. ok=false when no admissible count fits.
+func (c *Component) bestIn(cap int) (int, float64, bool) {
+	lo := c.minNodes()
+	if cap < lo {
+		return 0, 0, false
+	}
+	if c.Allowed != nil {
+		bestN, bestT := 0, math.Inf(1)
+		for _, n := range c.Allowed {
+			if n < lo || n > cap {
+				continue
+			}
+			if t := c.Perf.Eval(float64(n)); t < bestT {
+				bestN, bestT = n, t
+			}
+		}
+		if bestN == 0 {
+			return 0, 0, false
+		}
+		return bestN, bestT, true
+	}
+	// Convex curve: minimum at clamp(ArgMin).
+	am := int(math.Round(c.Perf.ArgMin()))
+	cands := []int{lo, cap}
+	if am > lo && am < cap {
+		cands = append(cands, am, am+1, am-1)
+	}
+	bestN, bestT := 0, math.Inf(1)
+	for _, n := range cands {
+		if n < lo || n > cap {
+			continue
+		}
+		if t := c.Perf.Eval(float64(n)); t < bestT {
+			bestN, bestT = n, t
+		}
+	}
+	return bestN, bestT, true
+}
+
+// candidatesUpTo returns the admissible counts in [minNodes, cap].
+// Unrestricted components with a large range are sampled on a geometric
+// grid of ~maxPoints values (the solvers refine around the coarse optimum
+// afterwards); discrete sets are always returned in full.
+func (c *Component) candidatesUpTo(cap, maxPoints int) []int {
+	lo := c.minNodes()
+	var out []int
+	if c.Allowed != nil {
+		for _, n := range c.Allowed {
+			if n >= lo && n <= cap {
+				out = append(out, n)
+			}
+		}
+		return out
+	}
+	if cap < lo {
+		return nil
+	}
+	if maxPoints <= 0 || cap-lo+1 <= maxPoints {
+		for n := lo; n <= cap; n++ {
+			out = append(out, n)
+		}
+		return out
+	}
+	ratio := float64(cap) / float64(lo)
+	prev := 0
+	for i := 0; i < maxPoints; i++ {
+		f := float64(i) / float64(maxPoints-1)
+		n := int(math.Round(float64(lo) * math.Pow(ratio, f)))
+		if n <= prev {
+			n = prev + 1
+		}
+		if n > cap {
+			break
+		}
+		out = append(out, n)
+		prev = n
+	}
+	return out
+}
+
+// Config is one coupled load-balancing instance over the four heavy
+// components (runoff, land-ice, and the coupler are excluded, as in the
+// follow-up, because their cost is small).
+type Config struct {
+	Ice, Lnd, Atm, Ocn Component
+	TotalNodes         int
+	Layout             Layout
+	// Tsync, when positive, requires |T_lnd − T_ice| ≤ Tsync (layout 1).
+	Tsync float64
+}
+
+// Validate reports structural problems.
+func (cfg *Config) Validate() error {
+	if cfg.TotalNodes < 4 {
+		return fmt.Errorf("coupled: need at least 4 nodes, have %d", cfg.TotalNodes)
+	}
+	if cfg.Layout < Layout1 || cfg.Layout > Layout3 {
+		return fmt.Errorf("coupled: unknown layout %d", int(cfg.Layout))
+	}
+	for _, c := range []*Component{&cfg.Ice, &cfg.Lnd, &cfg.Atm, &cfg.Ocn} {
+		if !c.Perf.Valid() {
+			return fmt.Errorf("coupled: component %q has invalid parameters", c.Name)
+		}
+		for i := 1; i < len(c.Allowed); i++ {
+			if c.Allowed[i] <= c.Allowed[i-1] {
+				return fmt.Errorf("coupled: component %q allowed set not increasing", c.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// Result is a solved coupled allocation.
+type Result struct {
+	NIce, NLnd, NAtm, NOcn int
+	TIce, TLnd, TAtm, TOcn float64
+	TIceLnd                float64 // layout-1 intermediate (max of ice, lnd)
+	Total                  float64
+}
+
+// Times returns the per-component times keyed by name for reports.
+func (r *Result) Times() map[string]float64 {
+	return map[string]float64{
+		"ice": r.TIce, "lnd": r.TLnd, "atm": r.TAtm, "ocn": r.TOcn,
+	}
+}
+
+// Nodes returns the per-component allocations keyed by name.
+func (r *Result) Nodes() map[string]int {
+	return map[string]int{
+		"ice": r.NIce, "lnd": r.NLnd, "atm": r.NAtm, "ocn": r.NOcn,
+	}
+}
+
+// Assemble computes the layout's total time formula from per-component
+// times (used for both predictions and simulated "actual" runs).
+func Assemble(layout Layout, tIce, tLnd, tAtm, tOcn float64) float64 {
+	switch layout {
+	case Layout1:
+		return math.Max(math.Max(tIce, tLnd)+tAtm, tOcn)
+	case Layout2:
+		return math.Max(tIce+tLnd+tAtm, tOcn)
+	default:
+		return tIce + tLnd + tAtm + tOcn
+	}
+}
+
+// evaluate fills a Result from allocations.
+func (cfg *Config) evaluate(ni, nl, na, no int) *Result {
+	r := &Result{NIce: ni, NLnd: nl, NAtm: na, NOcn: no}
+	r.TIce = cfg.Ice.Perf.Eval(float64(ni))
+	r.TLnd = cfg.Lnd.Perf.Eval(float64(nl))
+	r.TAtm = cfg.Atm.Perf.Eval(float64(na))
+	r.TOcn = cfg.Ocn.Perf.Eval(float64(no))
+	r.TIceLnd = math.Max(r.TIce, r.TLnd)
+	r.Total = Assemble(cfg.Layout, r.TIce, r.TLnd, r.TAtm, r.TOcn)
+	return r
+}
+
+// Feasible reports whether the allocation satisfies the layout's node
+// constraints, allowed sets, and Tsync.
+func (cfg *Config) Feasible(r *Result) bool {
+	inSet := func(c *Component, n int) bool {
+		if n < c.minNodes() || n > cfg.TotalNodes {
+			return false
+		}
+		if c.Allowed == nil {
+			return true
+		}
+		for _, v := range c.Allowed {
+			if v == n {
+				return true
+			}
+		}
+		return false
+	}
+	if !inSet(&cfg.Ice, r.NIce) || !inSet(&cfg.Lnd, r.NLnd) ||
+		!inSet(&cfg.Atm, r.NAtm) || !inSet(&cfg.Ocn, r.NOcn) {
+		return false
+	}
+	switch cfg.Layout {
+	case Layout1:
+		if r.NIce+r.NLnd > r.NAtm || r.NAtm+r.NOcn > cfg.TotalNodes {
+			return false
+		}
+		if cfg.Tsync > 0 && math.Abs(r.TLnd-r.TIce) > cfg.Tsync+1e-9 {
+			return false
+		}
+	case Layout2:
+		lim := cfg.TotalNodes - r.NOcn
+		if r.NIce > lim || r.NLnd > lim || r.NAtm > lim {
+			return false
+		}
+	default:
+		// Layout 3: each within N, already checked.
+	}
+	return true
+}
+
+// Solve finds the optimal allocation by exact enumeration of the discrete
+// outer choices (ocean and atmosphere counts) with an inner bisection split
+// of the atmosphere nodes between ice and land (layout 1).
+func (cfg *Config) Solve() (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	switch cfg.Layout {
+	case Layout1:
+		return cfg.solveLayout1()
+	case Layout2:
+		return cfg.solveLayout2()
+	default:
+		return cfg.solveLayout3()
+	}
+}
+
+// splitIceLnd finds the best split ni + nl ≤ budget minimizing
+// max(T_ice(ni), T_lnd(nl)), honouring Tsync. Returns ok=false when no
+// feasible split exists.
+func (cfg *Config) splitIceLnd(budget int) (ni, nl int, tmax float64, ok bool) {
+	loI, loL := cfg.Ice.minNodes(), cfg.Lnd.minNodes()
+	if loI+loL > budget {
+		return 0, 0, 0, false
+	}
+	// d(ni) = T_ice(ni) − T_lnd(budget−ni) is decreasing in ni on the
+	// decreasing branches; find the crossing by bisection, then examine
+	// its neighbourhood (coarse granularity effects).
+	d := func(n int) float64 {
+		return cfg.Ice.Perf.Eval(float64(n)) - cfg.Lnd.Perf.Eval(float64(budget-n))
+	}
+	lo, hi := loI, budget-loL
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if d(mid) <= 0 {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	bestT := math.Inf(1)
+	for _, n := range []int{lo - 2, lo - 1, lo, lo + 1, lo + 2} {
+		if n < loI || n > budget-loL {
+			continue
+		}
+		ti := cfg.Ice.Perf.Eval(float64(n))
+		tl := cfg.Lnd.Perf.Eval(float64(budget - n))
+		if cfg.Tsync > 0 && math.Abs(ti-tl) > cfg.Tsync {
+			continue
+		}
+		if t := math.Max(ti, tl); t < bestT {
+			ni, nl, bestT, ok = n, budget-n, t, true
+		}
+	}
+	// With Tsync the feasible interval may sit away from ±2 of the
+	// crossing only when no split is Tsync-feasible at all (|d| is
+	// minimized at the crossing); scan outward briefly to be safe.
+	if !ok && cfg.Tsync > 0 {
+		for off := 3; off <= 64 && !ok; off++ {
+			for _, n := range []int{lo - off, lo + off} {
+				if n < loI || n > budget-loL {
+					continue
+				}
+				ti := cfg.Ice.Perf.Eval(float64(n))
+				tl := cfg.Lnd.Perf.Eval(float64(budget - n))
+				if math.Abs(ti-tl) > cfg.Tsync {
+					continue
+				}
+				if t := math.Max(ti, tl); t < bestT {
+					ni, nl, bestT, ok = n, budget-n, t, true
+				}
+			}
+		}
+	}
+	return ni, nl, bestT, ok
+}
+
+func (cfg *Config) solveLayout1() (*Result, error) {
+	// Ranges up to this size are enumerated fully (exact); beyond it the
+	// quasi-unimodal structure is exploited with a padded ternary search.
+	const scanLimit = 4096
+	minIceLnd := cfg.Ice.minNodes() + cfg.Lnd.minNodes()
+
+	// innerBest finds the best atmosphere count for a given cap and
+	// returns the concurrent-branch time max(T_icelnd + T_atm) along with
+	// the allocation. The function na → tIceLnd(na)+tAtm(na) is
+	// quasi-unimodal: the split max is non-increasing in na while tAtm
+	// first falls then rises.
+	type inner struct {
+		ni, nl, na int
+		branch     float64 // max(ice,lnd)+atm
+		ok         bool
+	}
+	evalNa := func(na int) inner {
+		ni, nl, tIceLnd, ok := cfg.splitIceLnd(na)
+		if !ok {
+			return inner{}
+		}
+		return inner{ni: ni, nl: nl, na: na,
+			branch: tIceLnd + cfg.Atm.Perf.Eval(float64(na)), ok: true}
+	}
+	innerBest := func(capAtm int) inner {
+		if capAtm < minIceLnd {
+			return inner{}
+		}
+		if cfg.Atm.Allowed != nil || capAtm-minIceLnd <= scanLimit {
+			best := inner{}
+			for _, na := range cfg.Atm.candidatesUpTo(capAtm, 0) {
+				if na < minIceLnd {
+					continue
+				}
+				if c := evalNa(na); c.ok && (!best.ok || c.branch < best.branch) {
+					best = c
+				}
+			}
+			return best
+		}
+		lo, hi := minIceLnd, capAtm
+		for hi-lo > 16 {
+			m1 := lo + (hi-lo)/3
+			m2 := hi - (hi-lo)/3
+			c1, c2 := evalNa(m1), evalNa(m2)
+			switch {
+			case !c1.ok:
+				lo = m1 + 1
+			case !c2.ok:
+				hi = m2 - 1
+			case c1.branch <= c2.branch:
+				hi = m2 - 1
+			default:
+				lo = m1 + 1
+			}
+		}
+		best := inner{}
+		for na := lo - 8; na <= hi+8; na++ {
+			if na < minIceLnd || na > capAtm {
+				continue
+			}
+			if c := evalNa(na); c.ok && (!best.ok || c.branch < best.branch) {
+				best = c
+			}
+		}
+		return best
+	}
+
+	evalNo := func(no int) *Result {
+		c := innerBest(cfg.TotalNodes - no)
+		if !c.ok {
+			return nil
+		}
+		cand := cfg.evaluate(c.ni, c.nl, c.na, no)
+		return cand
+	}
+
+	var best *Result
+	consider := func(r *Result) {
+		if r != nil && (best == nil || r.Total < best.Total) {
+			best = r
+		}
+	}
+	loOcn := cfg.Ocn.minNodes()
+	hiOcn := cfg.TotalNodes - minIceLnd
+	if cfg.Ocn.Allowed != nil || hiOcn-loOcn <= scanLimit {
+		for _, no := range cfg.Ocn.candidatesUpTo(hiOcn, 0) {
+			consider(evalNo(no))
+		}
+	} else {
+		// total(no) = max(branch(N−no), tOcn(no)) is quasi-unimodal in
+		// no: the first term rises with no, the second falls.
+		lo, hi := loOcn, hiOcn
+		total := func(no int) float64 {
+			r := evalNo(no)
+			if r == nil {
+				return math.Inf(1)
+			}
+			return r.Total
+		}
+		for hi-lo > 16 {
+			m1 := lo + (hi-lo)/3
+			m2 := hi - (hi-lo)/3
+			if total(m1) <= total(m2) {
+				hi = m2 - 1
+			} else {
+				lo = m1 + 1
+			}
+		}
+		for no := lo - 8; no <= hi+8; no++ {
+			if no < loOcn || no > hiOcn {
+				continue
+			}
+			consider(evalNo(no))
+		}
+	}
+	if best == nil {
+		return nil, errors.New("coupled: no feasible layout-1 allocation")
+	}
+	return best, nil
+}
+
+func (cfg *Config) solveLayout2() (*Result, error) {
+	var best *Result
+	for _, no := range cfg.Ocn.candidatesUpTo(cfg.TotalNodes-1, 0) {
+		lim := cfg.TotalNodes - no
+		ni, ti, ok1 := cfg.Ice.bestIn(lim)
+		nl, tl, ok2 := cfg.Lnd.bestIn(lim)
+		na, ta, ok3 := cfg.Atm.bestIn(lim)
+		if !ok1 || !ok2 || !ok3 {
+			continue
+		}
+		total := math.Max(ti+tl+ta, cfg.Ocn.Perf.Eval(float64(no)))
+		if best == nil || total < best.Total {
+			best = cfg.evaluate(ni, nl, na, no)
+		}
+	}
+	if best == nil {
+		return nil, errors.New("coupled: no feasible layout-2 allocation")
+	}
+	return best, nil
+}
+
+func (cfg *Config) solveLayout3() (*Result, error) {
+	ni, _, ok1 := cfg.Ice.bestIn(cfg.TotalNodes)
+	nl, _, ok2 := cfg.Lnd.bestIn(cfg.TotalNodes)
+	na, _, ok3 := cfg.Atm.bestIn(cfg.TotalNodes)
+	no, _, ok4 := cfg.Ocn.bestIn(cfg.TotalNodes)
+	if !ok1 || !ok2 || !ok3 || !ok4 {
+		return nil, errors.New("coupled: no feasible layout-3 allocation")
+	}
+	return cfg.evaluate(ni, nl, na, no), nil
+}
+
+// SimulateActual evaluates the allocation against noisy "actual" component
+// runs (lognormal noise of relative size sigma), returning a Result whose
+// times include the noise — the analog of the follow-up's "actual time"
+// columns.
+func (cfg *Config) SimulateActual(r *Result, sigma float64, rng *stats.RNG) *Result {
+	a := *r
+	a.TIce *= rng.LogNormFactor(sigma)
+	a.TLnd *= rng.LogNormFactor(sigma)
+	a.TAtm *= rng.LogNormFactor(sigma)
+	a.TOcn *= rng.LogNormFactor(sigma)
+	a.TIceLnd = math.Max(a.TIce, a.TLnd)
+	a.Total = Assemble(cfg.Layout, a.TIce, a.TLnd, a.TAtm, a.TOcn)
+	return &a
+}

@@ -1,0 +1,352 @@
+package coupled
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/minlp"
+	"repro/internal/perfmodel"
+	"repro/internal/stats"
+)
+
+// smallConfig returns a 4-component instance small enough for exhaustive
+// verification.
+func smallConfig(n int, layout Layout) *Config {
+	return &Config{
+		Ice:        Component{Name: "ice", Perf: perfmodel.Params{A: 90, B: 0.01, C: 1, D: 1}},
+		Lnd:        Component{Name: "lnd", Perf: perfmodel.Params{A: 15, B: 0.01, C: 1, D: 0.5}},
+		Atm:        Component{Name: "atm", Perf: perfmodel.Params{A: 320, B: 0.005, C: 1.1, D: 2}},
+		Ocn:        Component{Name: "ocn", Perf: perfmodel.Params{A: 140, B: 0.02, C: 1, D: 1.5}},
+		TotalNodes: n,
+		Layout:     layout,
+	}
+}
+
+// bruteLayout exhaustively enumerates all admissible allocations of the
+// config (test oracle; exponential, keep n small).
+func bruteLayout(cfg *Config) *Result {
+	var best *Result
+	for _, no := range cfg.Ocn.candidatesUpTo(cfg.TotalNodes, 0) {
+		for _, na := range cfg.Atm.candidatesUpTo(cfg.TotalNodes, 0) {
+			for _, ni := range cfg.Ice.candidatesUpTo(cfg.TotalNodes, 0) {
+				for _, nl := range cfg.Lnd.candidatesUpTo(cfg.TotalNodes, 0) {
+					r := cfg.evaluate(ni, nl, na, no)
+					if !cfg.Feasible(r) {
+						continue
+					}
+					if best == nil || r.Total < best.Total {
+						best = r
+					}
+				}
+			}
+		}
+	}
+	return best
+}
+
+func TestValidate(t *testing.T) {
+	if err := smallConfig(32, Layout1).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := smallConfig(32, Layout1)
+	bad.Layout = Layout(7)
+	if err := bad.Validate(); err == nil {
+		t.Fatal("bad layout accepted")
+	}
+	tiny := smallConfig(3, Layout1)
+	if err := tiny.Validate(); err == nil {
+		t.Fatal("3 nodes accepted")
+	}
+	seq := smallConfig(32, Layout1)
+	seq.Ocn.Allowed = []int{4, 4}
+	if err := seq.Validate(); err == nil {
+		t.Fatal("non-increasing allowed set accepted")
+	}
+}
+
+func TestAssemble(t *testing.T) {
+	if v := Assemble(Layout1, 2, 3, 5, 7); v != 8 {
+		t.Fatalf("layout1 = %v, want max(max(2,3)+5, 7) = 8", v)
+	}
+	if v := Assemble(Layout2, 2, 3, 5, 11); v != 11 {
+		t.Fatalf("layout2 = %v, want max(10, 11) = 11", v)
+	}
+	if v := Assemble(Layout3, 2, 3, 5, 7); v != 17 {
+		t.Fatalf("layout3 = %v, want 17", v)
+	}
+}
+
+func TestLayout1AgainstBrute(t *testing.T) {
+	cfg := smallConfig(24, Layout1)
+	got, err := cfg.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bruteLayout(cfg)
+	if want == nil {
+		t.Fatal("brute found nothing")
+	}
+	if math.Abs(got.Total-want.Total) > 1e-9*want.Total {
+		t.Fatalf("solve %v vs brute %v (alloc %+v vs %+v)", got.Total, want.Total, got.Nodes(), want.Nodes())
+	}
+	if !cfg.Feasible(got) {
+		t.Fatalf("infeasible solution %+v", got)
+	}
+}
+
+func TestLayout2And3AgainstBrute(t *testing.T) {
+	for _, layout := range []Layout{Layout2, Layout3} {
+		cfg := smallConfig(20, layout)
+		got, err := cfg.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteLayout(cfg)
+		if math.Abs(got.Total-want.Total) > 1e-9*want.Total {
+			t.Fatalf("%v: solve %v vs brute %v", layout, got.Total, want.Total)
+		}
+	}
+}
+
+func TestMINLPRouteAgrees(t *testing.T) {
+	for _, layout := range []Layout{Layout1, Layout2, Layout3} {
+		cfg := smallConfig(20, layout)
+		exact, err := cfg.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaMINLP, err := cfg.SolveMINLP(minlp.Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", layout, err)
+		}
+		if math.Abs(exact.Total-viaMINLP.Total) > 1e-5*exact.Total {
+			t.Fatalf("%v: exact %v vs MINLP %v", layout, exact.Total, viaMINLP.Total)
+		}
+	}
+}
+
+func TestTsyncRejectedByMINLP(t *testing.T) {
+	cfg := smallConfig(20, Layout1)
+	cfg.Tsync = 0.5
+	if _, err := cfg.SolveMINLP(minlp.Options{}); err != ErrTsyncNotConvex {
+		t.Fatalf("err = %v, want ErrTsyncNotConvex", err)
+	}
+}
+
+func TestTsyncConstrainsSolve(t *testing.T) {
+	free := smallConfig(32, Layout1)
+	rFree, err := free.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sync := smallConfig(32, Layout1)
+	sync.Tsync = 0.05
+	rSync, err := sync.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rSync.TLnd-rSync.TIce) > sync.Tsync+1e-9 {
+		t.Fatalf("Tsync violated: |%v - %v| > %v", rSync.TLnd, rSync.TIce, sync.Tsync)
+	}
+	// The follow-up's warning: extra sync constraints cannot help.
+	if rSync.Total < rFree.Total-1e-9 {
+		t.Fatalf("Tsync improved the optimum: %v < %v", rSync.Total, rFree.Total)
+	}
+}
+
+func TestAllowedSetsRespected(t *testing.T) {
+	cfg := smallConfig(32, Layout1)
+	cfg.Ocn.Allowed = []int{2, 4, 8, 16}
+	cfg.Atm.Allowed = []int{4, 8, 12, 16, 24}
+	r, err := cfg.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Feasible(r) {
+		t.Fatalf("allocation violates sets: %+v", r.Nodes())
+	}
+	want := bruteLayout(cfg)
+	if math.Abs(r.Total-want.Total) > 1e-9*want.Total {
+		t.Fatalf("solve %v vs brute %v", r.Total, want.Total)
+	}
+	viaMINLP, err := cfg.SolveMINLP(minlp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(viaMINLP.Total-want.Total) > 1e-5*want.Total {
+		t.Fatalf("MINLP %v vs brute %v", viaMINLP.Total, want.Total)
+	}
+}
+
+func TestLayoutOrderingShape(t *testing.T) {
+	// The follow-up's Figure 4: layouts 1 and 2 perform similarly;
+	// layout 3 (all sequential) is clearly worst.
+	for _, n := range []int{128, 512, 2048} {
+		r1, err := OneDegree(n).Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg2 := OneDegree(n)
+		cfg2.Layout = Layout2
+		r2, err := cfg2.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg3 := OneDegree(n)
+		cfg3.Layout = Layout3
+		r3, err := cfg3.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r3.Total < r1.Total || r3.Total < r2.Total {
+			t.Fatalf("n=%d: layout3 (%v) beats layout1 (%v) or layout2 (%v)",
+				n, r3.Total, r1.Total, r2.Total)
+		}
+		if r1.Total > 1.5*r2.Total || r2.Total > 1.5*r1.Total {
+			t.Fatalf("n=%d: layouts 1 (%v) and 2 (%v) should be comparable",
+				n, r1.Total, r2.Total)
+		}
+	}
+}
+
+func TestOneDegreePresetMatchesTableIII(t *testing.T) {
+	// Evaluating the paper's manual 1° allocations under the calibrated
+	// curves must land near the reported times.
+	cfg := OneDegree(128)
+	manual, ok := ManualTableIII("1deg", 128)
+	if !ok {
+		t.Fatal("missing manual row")
+	}
+	r := cfg.EvaluateManual(manual)
+	want := map[string]float64{"lnd": 63.766, "ice": 109.054, "atm": 306.952, "ocn": 362.669}
+	got := r.Times()
+	for k, w := range want {
+		if math.Abs(got[k]-w) > 0.15*w {
+			t.Fatalf("%s: preset gives %v, Table III says %v", k, got[k], w)
+		}
+	}
+	if math.Abs(r.Total-416.0) > 0.15*416 {
+		t.Fatalf("total %v, Table III says 416.0", r.Total)
+	}
+}
+
+func TestEighthDegreePresetMatchesTableIII(t *testing.T) {
+	cfg := EighthDegree(32768, true)
+	manual, ok := ManualTableIII("eighth", 32768)
+	if !ok {
+		t.Fatal("missing manual row")
+	}
+	r := cfg.EvaluateManual(manual)
+	want := map[string]float64{"lnd": 44.225, "ice": 214.203, "atm": 787.478, "ocn": 1645.009}
+	got := r.Times()
+	for k, w := range want {
+		if math.Abs(got[k]-w) > 0.2*w {
+			t.Fatalf("%s: preset gives %v, Table III says %v", k, got[k], w)
+		}
+	}
+}
+
+func TestHSLBBeatsManualAtEighthDegree(t *testing.T) {
+	// The headline: ~25% improvement at 32768 nodes with unconstrained
+	// ocean counts.
+	cfg := EighthDegree(32768, true)
+	manual := cfg.EvaluateManual(mustManual(t, "eighth", 32768))
+	constr, err := cfg.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if constr.Total > manual.Total*1.02 {
+		t.Fatalf("constrained HSLB (%v) worse than manual (%v)", constr.Total, manual.Total)
+	}
+	free := EighthDegree(32768, false)
+	unconstr, err := free.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := 1 - unconstr.Total/manual.Total
+	if imp < 0.15 || imp > 0.45 {
+		t.Fatalf("unconstrained improvement %.0f%% outside the paper's ~25%% shape (HSLB %v vs manual %v)",
+			imp*100, unconstr.Total, manual.Total)
+	}
+}
+
+func mustManual(t *testing.T, res string, n int) Result {
+	t.Helper()
+	r, ok := ManualTableIII(res, n)
+	if !ok {
+		t.Fatalf("no manual row for %s/%d", res, n)
+	}
+	return r
+}
+
+func TestSimulateActual(t *testing.T) {
+	cfg := smallConfig(24, Layout1)
+	r, err := cfg.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(1)
+	a := cfg.SimulateActual(r, 0.03, rng)
+	if a.Total <= 0 {
+		t.Fatalf("actual total %v", a.Total)
+	}
+	if a.NIce != r.NIce || a.NOcn != r.NOcn {
+		t.Fatal("SimulateActual changed the allocation")
+	}
+	if math.Abs(a.Total-r.Total) > 0.3*r.Total {
+		t.Fatalf("3%% noise moved total from %v to %v", r.Total, a.Total)
+	}
+	quiet := cfg.SimulateActual(r, 0, rng)
+	if quiet.Total != r.Total {
+		t.Fatal("zero-noise simulation changed times")
+	}
+}
+
+// Property: Solve always returns a feasible allocation no worse than the
+// uniform-ish baseline (equal quarters).
+func TestSolveFeasibleAndReasonableProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		cfg := &Config{
+			Ice:        Component{Name: "ice", Perf: perfmodel.Params{A: rng.Range(10, 200), B: 0.01, C: 1, D: rng.Range(0, 2)}},
+			Lnd:        Component{Name: "lnd", Perf: perfmodel.Params{A: rng.Range(5, 50), B: 0.01, C: 1, D: rng.Range(0, 1)}},
+			Atm:        Component{Name: "atm", Perf: perfmodel.Params{A: rng.Range(50, 500), B: 0.01, C: 1, D: rng.Range(0, 3)}},
+			Ocn:        Component{Name: "ocn", Perf: perfmodel.Params{A: rng.Range(20, 300), B: 0.01, C: 1, D: rng.Range(0, 2)}},
+			TotalNodes: 8 + rng.Intn(56),
+			Layout:     Layout1,
+		}
+		r, err := cfg.Solve()
+		if err != nil {
+			return false
+		}
+		if !cfg.Feasible(r) {
+			return false
+		}
+		q := cfg.TotalNodes / 4
+		base := cfg.evaluate(q, q, 2*q, cfg.TotalNodes-2*q)
+		if !cfg.Feasible(base) {
+			return true // baseline itself infeasible; nothing to compare
+		}
+		return r.Total <= base.Total+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeScaleSolveFast(t *testing.T) {
+	// Unconstrained 1/8° at 32768 nodes must solve quickly via the
+	// ternary path and beat the constrained solution.
+	free, err := EighthDegree(32768, false).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	constr, err := EighthDegree(32768, true).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.Total > constr.Total+1e-9 {
+		t.Fatalf("unconstrained (%v) worse than constrained (%v)", free.Total, constr.Total)
+	}
+}

@@ -1,0 +1,159 @@
+package coupled
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/lp"
+	"repro/internal/minlp"
+	"repro/internal/model"
+	"repro/internal/perfmodel"
+)
+
+// ErrTsyncNotConvex is returned by SolveMINLP when Tsync > 0: the
+// constraint T_lnd ≥ T_ice − Tsync bounds a convex function from below,
+// which is outside the convex outer-approximation framework. Use Solve.
+var ErrTsyncNotConvex = errors.New("coupled: Tsync constraints are non-convex; use Solve")
+
+// addAlloc adds component c's allocation variable to m (integer range or
+// binary-set + SOS1 for discrete allowed sets) and returns its id.
+func addAlloc(m *model.Model, c *Component, total int) int {
+	lo := c.minNodes()
+	if c.Allowed == nil {
+		return m.AddVar(float64(lo), float64(total), model.Integer, "n["+c.Name+"]")
+	}
+	var cands []int
+	for _, v := range c.Allowed {
+		if v >= lo && v <= total {
+			cands = append(cands, v)
+		}
+	}
+	n := m.AddVar(float64(cands[0]), float64(cands[len(cands)-1]), model.Continuous, "n["+c.Name+"]")
+	one := make([]model.Term, 0, len(cands))
+	link := []model.Term{{Var: n, Coef: -1}}
+	zs := make([]int, 0, len(cands))
+	wts := make([]float64, 0, len(cands))
+	for _, v := range cands {
+		z := m.AddBinary(fmt.Sprintf("z[%s=%d]", c.Name, v))
+		zs = append(zs, z)
+		wts = append(wts, float64(v))
+		one = append(one, model.Term{Var: z, Coef: 1})
+		link = append(link, model.Term{Var: z, Coef: float64(v)})
+	}
+	m.AddLinear(one, lp.EQ, 1, "pick["+c.Name+"]")
+	m.AddLinear(link, lp.EQ, 0, "link["+c.Name+"]")
+	m.AddSOS1(zs, wts, "sos["+c.Name+"]")
+	return n
+}
+
+// perfLE adds the constraint Perf(x[nVar]) ≤ x[target] (plus optional extra
+// linear offset variable with coefficient +1), i.e.
+// Perf(n) + x[plus] − x[target] ≤ 0. Pass plus = -1 for no offset.
+func perfLE(m *model.Model, p perfmodel.Params, nVar, plus, target int, name string) {
+	over := []int{nVar, target}
+	if plus >= 0 {
+		over = []int{nVar, plus, target}
+	}
+	m.AddNonlinear(&model.FuncSmooth{
+		Over: over,
+		F: func(x []float64) float64 {
+			v := p.Eval(x[nVar]) - x[target]
+			if plus >= 0 {
+				v += x[plus]
+			}
+			return v
+		},
+		DF: func(x []float64) []float64 {
+			if plus >= 0 {
+				return []float64{p.Deriv(x[nVar]), 1, -1}
+			}
+			return []float64{p.Deriv(x[nVar]), -1}
+		},
+	}, name)
+}
+
+// BuildModel constructs the layout MINLP exactly as the follow-up's Table I
+// writes it (Tsync omitted — see ErrTsyncNotConvex).
+func (cfg *Config) BuildModel() (*model.Model, map[string]int, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if cfg.Tsync > 0 {
+		return nil, nil, ErrTsyncNotConvex
+	}
+	m := model.New()
+	N := cfg.TotalNodes
+	comps := []*Component{&cfg.Ice, &cfg.Lnd, &cfg.Atm, &cfg.Ocn}
+	ub := 1.0
+	for _, c := range comps {
+		v := math.Max(c.Perf.Eval(float64(c.minNodes())), c.Perf.Eval(float64(N)))
+		ub += v
+	}
+	tv := m.AddVar(0, ub, model.Continuous, "T")
+	m.SetObjective([]model.Term{{Var: tv, Coef: 1}}, 0)
+
+	ids := map[string]int{}
+	ni := addAlloc(m, &cfg.Ice, N)
+	nl := addAlloc(m, &cfg.Lnd, N)
+	na := addAlloc(m, &cfg.Atm, N)
+	no := addAlloc(m, &cfg.Ocn, N)
+	ids["ice"], ids["lnd"], ids["atm"], ids["ocn"] = ni, nl, na, no
+	ids["T"] = tv
+
+	switch cfg.Layout {
+	case Layout1:
+		ticelnd := m.AddVar(0, ub, model.Continuous, "Ticelnd")
+		ids["Ticelnd"] = ticelnd
+		perfLE(m, cfg.Ice.Perf, ni, -1, ticelnd, "ice<=icelnd")
+		perfLE(m, cfg.Lnd.Perf, nl, -1, ticelnd, "lnd<=icelnd")
+		perfLE(m, cfg.Atm.Perf, na, ticelnd, tv, "icelnd+atm<=T")
+		perfLE(m, cfg.Ocn.Perf, no, -1, tv, "ocn<=T")
+		m.AddLinear([]model.Term{{Var: ni, Coef: 1}, {Var: nl, Coef: 1}, {Var: na, Coef: -1}},
+			lp.LE, 0, "ni+nl<=na")
+		m.AddLinear([]model.Term{{Var: na, Coef: 1}, {Var: no, Coef: 1}},
+			lp.LE, float64(N), "na+no<=N")
+	case Layout2:
+		ti := m.AddVar(0, ub, model.Continuous, "t_ice")
+		tl := m.AddVar(0, ub, model.Continuous, "t_lnd")
+		ta := m.AddVar(0, ub, model.Continuous, "t_atm")
+		perfLE(m, cfg.Ice.Perf, ni, -1, ti, "ice")
+		perfLE(m, cfg.Lnd.Perf, nl, -1, tl, "lnd")
+		perfLE(m, cfg.Atm.Perf, na, -1, ta, "atm")
+		perfLE(m, cfg.Ocn.Perf, no, -1, tv, "ocn<=T")
+		m.AddLinear([]model.Term{{Var: ti, Coef: 1}, {Var: tl, Coef: 1}, {Var: ta, Coef: 1}, {Var: tv, Coef: -1}},
+			lp.LE, 0, "seq<=T")
+		for _, pair := range [][2]int{{ni, no}, {nl, no}, {na, no}} {
+			m.AddLinear([]model.Term{{Var: pair[0], Coef: 1}, {Var: pair[1], Coef: 1}},
+				lp.LE, float64(N), "n<=N-no")
+		}
+	default: // Layout3
+		ti := m.AddVar(0, ub, model.Continuous, "t_ice")
+		tl := m.AddVar(0, ub, model.Continuous, "t_lnd")
+		ta := m.AddVar(0, ub, model.Continuous, "t_atm")
+		to := m.AddVar(0, ub, model.Continuous, "t_ocn")
+		perfLE(m, cfg.Ice.Perf, ni, -1, ti, "ice")
+		perfLE(m, cfg.Lnd.Perf, nl, -1, tl, "lnd")
+		perfLE(m, cfg.Atm.Perf, na, -1, ta, "atm")
+		perfLE(m, cfg.Ocn.Perf, no, -1, to, "ocn")
+		m.AddLinear([]model.Term{{Var: ti, Coef: 1}, {Var: tl, Coef: 1}, {Var: ta, Coef: 1}, {Var: to, Coef: 1}, {Var: tv, Coef: -1}},
+			lp.LE, 0, "seq<=T")
+	}
+	return m, ids, nil
+}
+
+// SolveMINLP solves the layout model with LP/NLP-based branch-and-bound —
+// the paper's solver route, demonstrated here on the coupled extension.
+func (cfg *Config) SolveMINLP(opts minlp.Options) (*Result, error) {
+	m, ids, err := cfg.BuildModel()
+	if err != nil {
+		return nil, err
+	}
+	res := minlp.Solve(m, opts)
+	if res.Status != minlp.Optimal {
+		return nil, fmt.Errorf("coupled: MINLP ended with status %v", res.Status)
+	}
+	round := func(k string) int { return int(math.Round(res.X[ids[k]])) }
+	out := cfg.evaluate(round("ice"), round("lnd"), round("atm"), round("ocn"))
+	return out, nil
+}

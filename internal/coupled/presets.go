@@ -1,0 +1,98 @@
+package coupled
+
+// Presets calibrated so that the synthetic component scaling curves
+// reproduce the magnitudes of the follow-up paper's Table III (manual
+// columns). The a and d coefficients were solved from the two manual
+// allocations reported per resolution (e.g. 1°: atm takes 306.95 s on 104
+// nodes and 61.99 s on 1664 nodes → a ≈ 27180, d ≈ 45.7); the small b·n^c
+// overhead term is added so that over-allocating eventually hurts, as on
+// the real machine.
+//
+// These are the "ground truth" curves for the T6/F2 extension experiments:
+// the benchmark harness fits HSLB's model against noisy samples of these
+// curves and compares allocations, reproducing the shape of the follow-up's
+// results (HSLB ≈ manual at 1°, ~10% better at 1/8° with the constrained
+// ocean set, ~25% better with the ocean set opened up).
+
+import "repro/internal/perfmodel"
+
+// oceanSet1Deg is the hard-coded 1° ocean allocation set of Table I line 5:
+// even counts up to 480, plus 768.
+func oceanSet1Deg() []int {
+	var s []int
+	for n := 2; n <= 480; n += 2 {
+		s = append(s, n)
+	}
+	return append(s, 768)
+}
+
+// atmSet1Deg is the 1° atmosphere sweet-spot set of Table I line 6:
+// 1..1638 plus 1664.
+func atmSet1Deg() []int {
+	var s []int
+	for n := 1; n <= 1638; n++ {
+		s = append(s, n)
+	}
+	return append(s, 1664)
+}
+
+// OneDegree returns the 1° resolution configuration (layout 1 by default).
+func OneDegree(totalNodes int) *Config {
+	return &Config{
+		Lnd: Component{Name: "lnd", Perf: perfmodel.Params{A: 1485, B: 3e-4, C: 1, D: 1.9}},
+		Ice: Component{Name: "ice", Perf: perfmodel.Params{A: 7772, B: 2e-4, C: 1.05, D: 11.0}},
+		Atm: Component{Name: "atm", Perf: perfmodel.Params{A: 27180, B: 2e-4, C: 1, D: 45.3},
+			Allowed: atmSet1Deg()},
+		Ocn: Component{Name: "ocn", Perf: perfmodel.Params{A: 7697, B: 1e-4, C: 1.1, D: 42.3},
+			Allowed: oceanSet1Deg()},
+		TotalNodes: totalNodes,
+		Layout:     Layout1,
+	}
+}
+
+// EighthDegreeOceanSet is the 1/8° constrained ocean set ("the ocean model
+// was initially limited to a few handful of node counts ... as a result of
+// prior testing").
+var EighthDegreeOceanSet = []int{480, 512, 2356, 3136, 4564, 6124, 19460}
+
+// EighthDegree returns the 1/8° resolution configuration. When
+// constrainedOcean is true the ocean component is limited to
+// EighthDegreeOceanSet, matching the follow-up's first experiments; false
+// reproduces the "unconstrained ocean nodes" entries.
+func EighthDegree(totalNodes int, constrainedOcean bool) *Config {
+	cfg := &Config{
+		Lnd:        Component{Name: "lnd", Perf: perfmodel.Params{A: 64225, B: 2e-4, C: 1.05, D: 14.5}},
+		Ice:        Component{Name: "ice", Perf: perfmodel.Params{A: 1.7903e6, B: 1e-4, C: 1.05, D: 140.0}},
+		Atm:        Component{Name: "atm", Perf: perfmodel.Params{A: 1.3071e7, B: 1e-4, C: 1.05, D: 292.0}},
+		Ocn:        Component{Name: "ocn", Perf: perfmodel.Params{A: 8.1955e6, B: 1e-4, C: 1.05, D: 303.0}},
+		TotalNodes: totalNodes,
+		Layout:     Layout1,
+	}
+	if constrainedOcean {
+		cfg.Ocn.Allowed = append([]int(nil), EighthDegreeOceanSet...)
+	}
+	return cfg
+}
+
+// ManualTableIII returns the follow-up's reported manual ("human expert")
+// allocations for comparison rows, keyed by (resolution, nodes). ok=false
+// when the paper has no manual row for that configuration.
+func ManualTableIII(resolution string, nodes int) (Result, bool) {
+	switch {
+	case resolution == "1deg" && nodes == 128:
+		return Result{NLnd: 24, NIce: 80, NAtm: 104, NOcn: 24}, true
+	case resolution == "1deg" && nodes == 2048:
+		return Result{NLnd: 384, NIce: 1280, NAtm: 1664, NOcn: 384}, true
+	case resolution == "eighth" && nodes == 8192:
+		return Result{NLnd: 486, NIce: 5350, NAtm: 5836, NOcn: 2356}, true
+	case resolution == "eighth" && nodes == 32768:
+		return Result{NLnd: 2220, NIce: 24424, NAtm: 26644, NOcn: 6124}, true
+	}
+	return Result{}, false
+}
+
+// EvaluateManual fills in the predicted times of a manual allocation under
+// the preset curves.
+func (cfg *Config) EvaluateManual(r Result) *Result {
+	return cfg.evaluate(r.NIce, r.NLnd, r.NAtm, r.NOcn)
+}

@@ -1,0 +1,164 @@
+// Package dlb provides the dynamic load-balancing baselines the paper's
+// introduction positions HSLB against: a central-queue master/worker
+// scheduler and a work-stealing scheduler, both over equal-size node
+// groups.
+//
+// DLB shines when there are many more tasks than groups — the queue evens
+// out imbalance. It fails in the paper's regime ("a few large tasks of
+// diverse size ... the number of tasks is much smaller than the number of
+// processors"): with one task per group, dynamic reassignment has nothing
+// to reassign, and equal group sizes leave the largest task dominating.
+// The T7 crossover benchmark measures exactly this transition.
+package dlb
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/gddi"
+	"repro/internal/stats"
+)
+
+// Result reports a DLB run.
+type Result struct {
+	Makespan    float64
+	Groups      int
+	GroupSize   int
+	Utilization float64
+	// Steals counts successful steals (work-stealing runs only).
+	Steals int
+}
+
+// RunCentralQueue schedules the tasks on totalNodes split into `groups`
+// equal groups, with free groups pulling the largest remaining task first.
+func RunCentralQueue(tasks []gddi.Task, totalNodes, groups int, rng *stats.RNG) (*Result, error) {
+	if groups < 1 || totalNodes < groups {
+		return nil, errors.New("dlb: invalid group count")
+	}
+	sizes := gddi.UniformGroups(totalNodes, groups)
+	res, err := gddi.Run(&gddi.Spec{
+		GroupSizes: sizes,
+		Tasks:      tasks,
+		Policy:     gddi.DynamicLPT,
+		RNG:        rng,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Makespan:    res.Makespan,
+		Groups:      len(sizes),
+		GroupSize:   sizes[0],
+		Utilization: res.Utilization,
+	}, nil
+}
+
+// RunWorkStealing schedules the tasks with decentralized queues: tasks are
+// dealt round-robin to per-group queues; a group that runs dry steals the
+// last task of the longest remaining queue (random stealing is the paper's
+// cited technique; stealing from the longest queue is the strongest common
+// variant, giving DLB its best shot).
+func RunWorkStealing(tasks []gddi.Task, totalNodes, groups int, rng *stats.RNG) (*Result, error) {
+	if groups < 1 || totalNodes < groups {
+		return nil, errors.New("dlb: invalid group count")
+	}
+	sizes := gddi.UniformGroups(totalNodes, groups)
+	g := len(sizes)
+	queues := make([][]int, g)
+	for i := range tasks {
+		queues[i%g] = append(queues[i%g], i)
+	}
+	clock := make([]float64, g)
+	steals := 0
+	busySum := 0.0
+	for {
+		// Advance the earliest-free group.
+		gi := 0
+		for i := 1; i < g; i++ {
+			if clock[i] < clock[gi] {
+				gi = i
+			}
+		}
+		var ti int
+		if len(queues[gi]) > 0 {
+			ti, queues[gi] = queues[gi][0], queues[gi][1:]
+		} else {
+			// Steal from the longest queue.
+			victim := -1
+			for i := 0; i < g; i++ {
+				if len(queues[i]) > 0 && (victim < 0 || len(queues[i]) > len(queues[victim])) {
+					victim = i
+				}
+			}
+			if victim < 0 {
+				break // all queues empty
+			}
+			last := len(queues[victim]) - 1
+			ti = queues[victim][last]
+			queues[victim] = queues[victim][:last]
+			steals++
+		}
+		d := tasks[ti].Time(sizes[gi], rng)
+		clock[gi] += d
+		busySum += d
+	}
+	mk := 0.0
+	for _, c := range clock {
+		if c > mk {
+			mk = c
+		}
+	}
+	util := 1.0
+	if mk > 0 {
+		util = busySum / (float64(g) * mk)
+	}
+	return &Result{
+		Makespan:    mk,
+		Groups:      g,
+		GroupSize:   sizes[0],
+		Utilization: util,
+		Steals:      steals,
+	}, nil
+}
+
+// AutoTune runs the central-queue scheduler over a sweep of group counts
+// (powers of two up to min(totalNodes, len(tasks)·4)) and returns the best
+// result — the strongest DLB configuration, so comparisons against HSLB are
+// fair.
+func AutoTune(tasks []gddi.Task, totalNodes int, rng *stats.RNG) (*Result, error) {
+	if len(tasks) == 0 {
+		return nil, errors.New("dlb: no tasks")
+	}
+	best := (*Result)(nil)
+	limit := totalNodes
+	if l := len(tasks) * 4; l < limit {
+		limit = l
+	}
+	for g := 1; g <= limit; g *= 2 {
+		r, err := RunCentralQueue(tasks, totalNodes, g, rng)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || r.Makespan < best.Makespan {
+			best = r
+		}
+	}
+	if best == nil {
+		return nil, errors.New("dlb: no feasible group count")
+	}
+	return best, nil
+}
+
+// IdealMakespan returns the trivial lower bound max(longest task on the
+// whole machine, Σ work at perfect efficiency) used in reports.
+func IdealMakespan(tasks []gddi.Task, totalNodes int) float64 {
+	longest, sum := 0.0, 0.0
+	for _, t := range tasks {
+		d := t.Time(totalNodes, nil)
+		if d > longest {
+			longest = d
+		}
+		sum += t.Time(1, nil)
+	}
+	return math.Max(longest, sum/float64(totalNodes))
+}

@@ -1,0 +1,193 @@
+package dlb
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gddi"
+	"repro/internal/stats"
+)
+
+func constTask(id int, d float64) gddi.Task {
+	return gddi.Task{ID: id, Time: func(int, *stats.RNG) float64 { return d }}
+}
+
+func scaledTask(id int, w float64) gddi.Task {
+	return gddi.Task{ID: id, Time: func(n int, _ *stats.RNG) float64 { return w / float64(n) }}
+}
+
+func TestCentralQueueBasic(t *testing.T) {
+	tasks := []gddi.Task{constTask(0, 1), constTask(1, 1), constTask(2, 1), constTask(3, 1)}
+	r, err := RunCentralQueue(tasks, 8, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Makespan != 2 || r.Groups != 2 || r.GroupSize != 4 {
+		t.Fatalf("r = %+v", r)
+	}
+}
+
+func TestCentralQueueErrors(t *testing.T) {
+	if _, err := RunCentralQueue(nil, 4, 0, nil); err == nil {
+		t.Fatal("zero groups accepted")
+	}
+	if _, err := RunCentralQueue(nil, 2, 4, nil); err == nil {
+		t.Fatal("groups > nodes accepted")
+	}
+}
+
+func TestWorkStealingBalances(t *testing.T) {
+	// Imbalanced deal: all large tasks land on queue 0 without stealing.
+	var tasks []gddi.Task
+	for i := 0; i < 16; i++ {
+		d := 1.0
+		if i%2 == 0 {
+			d = 4.0
+		}
+		tasks = append(tasks, constTask(i, d))
+	}
+	r, err := RunWorkStealing(tasks, 2, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total work = 8*4 + 8*1 = 40 on 2 workers → ideal 20.
+	if r.Makespan > 24 {
+		t.Fatalf("work stealing failed to balance: makespan %v", r.Makespan)
+	}
+	if r.Steals == 0 {
+		t.Fatal("no steals happened on an imbalanced deal")
+	}
+}
+
+func TestWorkStealingMatchesCentralOnUniform(t *testing.T) {
+	var tasks []gddi.Task
+	for i := 0; i < 32; i++ {
+		tasks = append(tasks, constTask(i, 1))
+	}
+	ws, err := RunWorkStealing(tasks, 4, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cq, err := RunCentralQueue(tasks, 4, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ws.Makespan-cq.Makespan) > 1e-9 {
+		t.Fatalf("uniform tasks: stealing %v vs central %v", ws.Makespan, cq.Makespan)
+	}
+}
+
+func TestAutoTunePicksGoodGroupCount(t *testing.T) {
+	// 4 perfectly scalable equal tasks on 16 nodes: 4 groups of 4 is
+	// ideal (makespan w/4); 1 group serializes (4·w/16 = w/4 too —
+	// scalable tasks make single-group fine as well); use a task mix
+	// with a serial floor so group count matters.
+	mk := func(id int, w, floor float64) gddi.Task {
+		return gddi.Task{ID: id, Time: func(n int, _ *stats.RNG) float64 {
+			return w/float64(n) + floor
+		}}
+	}
+	tasks := []gddi.Task{mk(0, 16, 1), mk(1, 16, 1), mk(2, 16, 1), mk(3, 16, 1)}
+	best, err := AutoTune(tasks, 16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 groups of 4: each task 16/4+1 = 5. 1 group of 16: 4·(1+1) = 8.
+	// 16 groups of 1: 4 tasks of 17 on 16 groups = 17.
+	if best.Makespan > 5+1e-9 {
+		t.Fatalf("AutoTune makespan %v (groups %d), want ≤ 5", best.Makespan, best.Groups)
+	}
+}
+
+func TestDLBRegimeCrossover(t *testing.T) {
+	// The intro claim: with many small tasks DLB utilization is high;
+	// with few large diverse tasks on equal groups it degrades.
+	rng := stats.NewRNG(1)
+	many := make([]gddi.Task, 256)
+	for i := range many {
+		many[i] = constTask(i, rng.Range(0.5, 1.5))
+	}
+	rMany, err := RunCentralQueue(many, 16, 16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	few := []gddi.Task{scaledTask(0, 100), scaledTask(1, 10), scaledTask(2, 1)}
+	rFew, err := RunCentralQueue(few, 16, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rMany.Utilization < 0.9 {
+		t.Fatalf("many-small utilization %v, want ≥ 0.9", rMany.Utilization)
+	}
+	if rFew.Utilization > 0.75 {
+		t.Fatalf("few-large utilization %v unexpectedly good", rFew.Utilization)
+	}
+}
+
+func TestIdealMakespan(t *testing.T) {
+	tasks := []gddi.Task{scaledTask(0, 100), scaledTask(1, 100)}
+	// Σ work = 200 on 10 nodes → 20; longest on full machine = 10.
+	if got := IdealMakespan(tasks, 10); got != 20 {
+		t.Fatalf("IdealMakespan = %v", got)
+	}
+}
+
+// Property: work stealing conserves work and respects the list-scheduling
+// bound on unit groups.
+func TestWorkStealingBoundProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		g := 1 + rng.Intn(6)
+		n := 1 + rng.Intn(30)
+		tasks := make([]gddi.Task, n)
+		sum, maxD := 0.0, 0.0
+		for i := range tasks {
+			d := rng.Range(0.1, 4)
+			tasks[i] = constTask(i, d)
+			sum += d
+			if d > maxD {
+				maxD = d
+			}
+		}
+		r, err := RunWorkStealing(tasks, g, g, nil)
+		if err != nil {
+			return false
+		}
+		lower := math.Max(maxD, sum/float64(g))
+		return r.Makespan >= lower-1e-9 && r.Makespan <= 2*lower+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AutoTune never loses to the single-group configuration.
+func TestAutoTuneDominatesSingleGroupProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := 1 + rng.Intn(12)
+		tasks := make([]gddi.Task, n)
+		for i := range tasks {
+			w := rng.Range(1, 50)
+			fl := rng.Range(0, 2)
+			i := i
+			_ = i
+			tasks[i] = gddi.Task{ID: i, Time: func(nn int, _ *stats.RNG) float64 {
+				return w/float64(nn) + fl
+			}}
+		}
+		best, err := AutoTune(tasks, 32, nil)
+		if err != nil {
+			return false
+		}
+		single, err := RunCentralQueue(tasks, 32, 1, nil)
+		if err != nil {
+			return false
+		}
+		return best.Makespan <= single.Makespan+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,327 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// T1FitQuality reproduces the fit-quality claim (C5): with ≥4 benchmark
+// points per task the performance model fits with R² ≈ 1, and
+// interpolation inside the sampled range is accurate.
+func T1FitQuality(scale Scale) (*Table, error) {
+	nFrag, maxSample := 24, 512
+	if scale == Full {
+		nFrag, maxSample = 64, 4096
+	}
+	w := Protein(nFrag, maxSample*8, 1)
+	tbl := &Table{
+		ID:     "T1",
+		Title:  "fit quality vs number of benchmark points (protein workload, 2%-noise samples)",
+		Header: []string{"points D", "mean R²", "min R²", "median interp err %", "max interp err %"},
+	}
+	for _, d := range []int{3, 4, 5, 6, 8} {
+		fits, err := w.FitAll(d, maxSample, true)
+		if err != nil {
+			return nil, err
+		}
+		r2s := make([]float64, len(fits))
+		var errs []float64
+		for i, f := range fits {
+			r2s[i] = f.R2
+			// Interpolation probes at off-grid node counts inside each
+			// fragment's sampled range.
+			cap := w.Cost.MaxUsefulNodes(i)
+			if cap > maxSample {
+				cap = maxSample
+			}
+			for _, n := range []int{2, cap / 4, cap / 2, 3 * cap / 4} {
+				if n < 2 || n > cap {
+					continue
+				}
+				truth := w.Cost.MonomerTotalTime(i, n, nil)
+				pred := f.Params.Eval(float64(n))
+				errs = append(errs, math.Abs(pred-truth)/truth*100)
+			}
+		}
+		tbl.AddRow(d, stats.Mean(r2s), stats.Min(r2s),
+			stats.Quantile(errs, 0.5), stats.Max(errs))
+	}
+	tbl.Note("paper: 'four points were enough to build well-fitted scaling curves'; R² 'very close to 1'")
+	return tbl, nil
+}
+
+// T2Objectives reproduces the objective comparison (C3): min-max and
+// max-min allocations balance comparably; min-sum is much worse.
+func T2Objectives(scale Scale) (*Table, error) {
+	nFrag := 16
+	ns := []int{256, 1024}
+	if scale == Full {
+		nFrag = 64
+		ns = []int{256, 1024, 4096, 16384}
+	}
+	w := Protein(nFrag, 65536, 2)
+	fits, err := w.FitAll(5, 1024, true)
+	if err != nil {
+		return nil, err
+	}
+	tbl := &Table{
+		ID:     "T2",
+		Title:  "objective comparison: resulting makespan of each objective's allocation",
+		Header: []string{"nodes", "min-max", "max-min", "min-sum", "min-sum / min-max"},
+	}
+	for _, n := range ns {
+		row := make([]float64, 3)
+		for i, obj := range []core.Objective{core.MinMax, core.MaxMin, core.MinSum} {
+			p := w.Problem(fits, n)
+			p.Objective = obj
+			a, err := p.SolveParametric()
+			if err != nil {
+				return nil, fmt.Errorf("T2 %v at %d: %w", obj, n, err)
+			}
+			// Judge every objective by the true executed makespan.
+			row[i] = stats.Max(w.TrueTimes(a.Nodes))
+		}
+		tbl.AddRow(n, row[0], row[1], row[2], row[2]/row[0])
+	}
+	tbl.Note("paper: min-max slightly better than max-min; min-sum 'performs much worse'")
+	return tbl, nil
+}
+
+// T3Baselines reproduces the headline comparison (C2): HSLB versus the
+// uniform GDDI default, proportional and manual-mimic heuristics, and
+// auto-tuned dynamic dispatch, at growing machine sizes. All strategies are
+// judged by executing the monomer phase in the simulator.
+func T3Baselines(scale Scale) (*Table, error) {
+	type wl struct {
+		name string
+		mk   func(machineNodes int) *Workload
+	}
+	wls := []wl{
+		{"protein", func(mn int) *Workload { return Protein(32, mn, 3) }},
+		{"water", func(mn int) *Workload { return Water(64, mn, 4) }},
+	}
+	ns := []int{128, 512}
+	if scale == Full {
+		wls = []wl{
+			{"protein", func(mn int) *Workload { return Protein(64, mn, 3) }},
+			{"water", func(mn int) *Workload { return Water(256, mn, 4) }},
+		}
+		ns = []int{128, 512, 2048, 8192, 32768}
+	}
+	tbl := &Table{
+		ID:    "T3",
+		Title: "executed monomer-phase time: HSLB vs baselines (seconds; speedup vs uniform groups)",
+		Header: []string{"workload", "nodes", "uniform", "proportional", "manual",
+			"dlb-tuned", "HSLB", "speedup"},
+	}
+	for _, wspec := range wls {
+		for _, n := range ns {
+			w := wspec.mk(n * 2)
+			k := w.NumTasks()
+			if n < k {
+				continue
+			}
+			fits, err := w.FitAll(5, n, true)
+			if err != nil {
+				return nil, err
+			}
+			p := w.Problem(fits, n)
+
+			exec := func(a *core.Allocation) (float64, error) {
+				nodes := append([]int(nil), a.Nodes...)
+				// Idle leftover nodes stay idle (as the paper's layouts do).
+				return w.ExecuteMonomers(nodes, w.Seed+77)
+			}
+			uni, err := exec(core.Uniform(p))
+			if err != nil {
+				return nil, err
+			}
+			prop, err := exec(core.Proportional(p))
+			if err != nil {
+				return nil, err
+			}
+			man, err := exec(core.ManualMimic(p, 8))
+			if err != nil {
+				return nil, err
+			}
+			hslbAlloc, err := p.SolveParametric()
+			if err != nil {
+				return nil, err
+			}
+			hslbT, err := exec(hslbAlloc)
+			if err != nil {
+				return nil, err
+			}
+			// Best dynamic configuration: sweep group counts.
+			bestDLB := math.Inf(1)
+			for g := 1; g <= k; g *= 2 {
+				v, err := w.ExecuteDynamic(n, g, w.Seed+78)
+				if err != nil {
+					return nil, err
+				}
+				if v < bestDLB {
+					bestDLB = v
+				}
+			}
+			tbl.AddRow(wspec.name, n, uni, prop, man, bestDLB, hslbT, uni/hslbT)
+		}
+	}
+	tbl.Note("paper shape: HSLB consistently well balanced; gap vs uniform grows with heterogeneity and scale")
+	return tbl, nil
+}
+
+// F1Scaling reproduces the predicted-vs-actual validation (C1): across a
+// node sweep, the HSLB-predicted total time tracks the executed time.
+func F1Scaling(scale Scale) (*Table, error) {
+	nFrag := 24
+	ns := []int{64, 128, 256, 512}
+	if scale == Full {
+		nFrag = 64
+		ns = []int{128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768}
+	}
+	w := Protein(nFrag, 65536, 5)
+	fits, err := w.FitAll(5, 2048, true)
+	if err != nil {
+		return nil, err
+	}
+	tbl := &Table{
+		ID:     "F1",
+		Title:  "scaling curve: HSLB predicted vs executed monomer time (figure series)",
+		Header: []string{"nodes", "predicted", "actual", "error %", "imbalance"},
+	}
+	for _, n := range ns {
+		if n < w.NumTasks() {
+			continue
+		}
+		p := w.Problem(fits, n)
+		a, err := p.SolveParametric()
+		if err != nil {
+			return nil, err
+		}
+		actual, err := w.ExecuteMonomers(a.Nodes, w.Seed+99)
+		if err != nil {
+			return nil, err
+		}
+		pred := a.Makespan
+		tbl.AddRow(n, pred, actual, math.Abs(pred-actual)/actual*100,
+			stats.Imbalance(w.TrueTimes(a.Nodes)))
+	}
+	tbl.Note("paper: predicted and actual total times 'very close to each other' at all scales")
+	return tbl, nil
+}
+
+// T5Sensitivity reproduces the sample-budget guidance (C5): allocation
+// quality as a function of the number of benchmark points, and the
+// interpolation-vs-extrapolation contrast.
+func T5Sensitivity(scale Scale) (*Table, error) {
+	nFrag, n := 16, 512
+	if scale == Full {
+		nFrag, n = 64, 8192
+	}
+	w := Protein(nFrag, n*4, 6)
+	tbl := &Table{
+		ID:     "T5",
+		Title:  "allocation quality vs benchmark budget (executed monomer time)",
+		Header: []string{"points D", "sample range", "mean R²", "executed", "vs best %"},
+	}
+	type variant struct {
+		d     int
+		maxNs int
+		label string
+	}
+	var variants []variant
+	for _, d := range []int{3, 4, 5, 6, 10} {
+		variants = append(variants, variant{d, n, "interpolate"})
+	}
+	// The extrapolation variant benchmarks only up to 6 nodes per task and
+	// lets the solver extrapolate far beyond the sampled range.
+	variants = append(variants, variant{5, 6, "extrapolate"})
+	best := math.Inf(1)
+	results := make([]float64, len(variants))
+	r2s := make([]float64, len(variants))
+	for i, v := range variants {
+		fits, err := w.FitAll(v.d, v.maxNs, true)
+		if err != nil {
+			return nil, err
+		}
+		sum := 0.0
+		for _, f := range fits {
+			sum += f.R2
+		}
+		r2s[i] = sum / float64(len(fits))
+		p := w.Problem(fits, n)
+		a, err := p.SolveParametric()
+		if err != nil {
+			return nil, err
+		}
+		t, err := w.ExecuteMonomers(a.Nodes, w.Seed+55)
+		if err != nil {
+			return nil, err
+		}
+		results[i] = t
+		if t < best {
+			best = t
+		}
+	}
+	for i, v := range variants {
+		tbl.AddRow(v.d, v.label, r2s[i], results[i], (results[i]/best-1)*100)
+	}
+	tbl.Note("paper: ≥4 points suffice; sampling so predictions interpolate 'is important for accuracy'")
+	return tbl, nil
+}
+
+// T7Crossover reproduces the introduction's regime claim: dynamic load
+// balancing wins with many small tasks; static (HSLB) wins with few large
+// diverse tasks on the same machine.
+func T7Crossover(scale Scale) (*Table, error) {
+	n := 256
+	frags := []int{8, 16, 64, 256}
+	if scale == Full {
+		n = 2048
+		frags = []int{8, 16, 64, 256, 1024}
+	}
+	tbl := &Table{
+		ID:     "T7",
+		Title:  "SLB vs DLB crossover: executed monomer time as task count grows (fixed machine, 5% task-time jitter)",
+		Header: []string{"fragments", "tasks/nodes", "HSLB static", "DLB tuned", "DLB/HSLB"},
+	}
+	for _, f := range frags {
+		w := Protein(f, n*4, 7)
+		// Task times jitter heavily run-to-run (SCF iteration counts vary
+		// with the evolving embedding field) — the regime where dynamic
+		// rebalancing has something to rebalance. With accurate, stable
+		// predictions a well-tuned static plan matches dynamic dispatch
+		// even for many tasks; the paper's SLB/DLB positioning is about
+		// unpredictability times task granularity.
+		w.Machine.NoiseSigma = 0.05
+		k := w.NumTasks()
+		fits, err := w.FitAll(5, n, true)
+		if err != nil {
+			return nil, err
+		}
+		// The static plan — group count, sizes, and assignment — is
+		// chosen entirely from the fitted predictions (no runtime
+		// rebalancing), covering both the one-group-per-task regime and
+		// the tasks ≫ groups regime.
+		hslbT, err := w.ExecuteStaticTuned(n, fits, w.Seed+33)
+		if err != nil {
+			return nil, err
+		}
+		bestDLB := math.Inf(1)
+		for g := 1; g <= k && g <= n; g *= 2 {
+			v, err := w.ExecuteDynamic(n, g, w.Seed+34)
+			if err != nil {
+				return nil, err
+			}
+			if v < bestDLB {
+				bestDLB = v
+			}
+		}
+		tbl.AddRow(f, float64(k)/float64(n), hslbT, bestDLB, bestDLB/hslbT)
+	}
+	tbl.Note("paper intro: 'in the special cases of a few large tasks of diverse size, DLB algorithms are not appropriate'")
+	return tbl, nil
+}

@@ -1,0 +1,256 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/fmo"
+	"repro/internal/gddi"
+	"repro/internal/machine"
+	"repro/internal/perfmodel"
+	"repro/internal/stats"
+)
+
+// Workload bundles an FMO system, its cost model, and everything the
+// experiments need to benchmark, fit, allocate, and execute it.
+type Workload struct {
+	Name    string
+	Mol     *fmo.Molecule
+	Machine *machine.Machine
+	Cost    *fmo.CostModel
+	Seed    uint64
+}
+
+// Protein returns the heterogeneous workload (per-residue fragments).
+func Protein(nFrag, machineNodes int, seed uint64) *Workload {
+	rng := stats.NewRNG(seed)
+	mol := fmo.Polypeptide(nFrag, 1, rng)
+	m := machine.Intrepid()
+	m.Nodes = machineNodes
+	return &Workload{
+		Name: "protein", Mol: mol, Machine: m,
+		Cost: fmo.NewCostModel(mol, m), Seed: seed,
+	}
+}
+
+// Water returns the homogeneous workload (2-water fragments).
+func Water(nWaters, machineNodes int, seed uint64) *Workload {
+	rng := stats.NewRNG(seed)
+	mol := fmo.WaterCluster(nWaters, 2, rng)
+	m := machine.Intrepid()
+	m.Nodes = machineNodes
+	return &Workload{
+		Name: "water", Mol: mol, Machine: m,
+		Cost: fmo.NewCostModel(mol, m), Seed: seed,
+	}
+}
+
+// NumTasks returns the fragment count.
+func (w *Workload) NumTasks() int { return len(w.Mol.Fragments) }
+
+// FitAll runs HSLB steps 1-2 for every fragment: benchmark at `points` node
+// counts — capped per fragment at its useful block count, following the
+// paper's guidance to sample between the minimum feasible and "the greatest
+// number of nodes possible" (beyond the block count extra nodes only idle,
+// and no practitioner benchmarks there) — then fit.
+func (w *Workload) FitAll(points, maxSample int, noise bool) ([]perfmodel.FitResult, error) {
+	fits := make([]perfmodel.FitResult, w.NumTasks())
+	var rng *stats.RNG
+	if noise {
+		rng = stats.NewRNG(w.Seed + 101)
+	}
+	for i := range fits {
+		cap := w.Cost.MaxUsefulNodes(i)
+		if maxSample < cap {
+			cap = maxSample
+		}
+		counts := perfmodel.SuggestSampleNodes(1, cap, points)
+		// Average three repeats per point, as benchmarking practice does,
+		// to keep run-to-run noise out of the fit.
+		samples := w.Cost.GatherMonomerSamples(i, counts, rng)
+		if rng != nil {
+			for rep := 0; rep < 2; rep++ {
+				more := w.Cost.GatherMonomerSamples(i, counts, rng)
+				for s := range samples {
+					samples[s].Time += more[s].Time
+				}
+			}
+			for s := range samples {
+				samples[s].Time /= 3
+			}
+		}
+		fr, err := perfmodel.Fit(samples, perfmodel.FitOptions{Seed: w.Seed + uint64(i)})
+		if err != nil {
+			return nil, err
+		}
+		fits[i] = *fr
+	}
+	return fits, nil
+}
+
+// Problem assembles the allocation problem from fits, capping each task at
+// its useful block count.
+func (w *Workload) Problem(fits []perfmodel.FitResult, totalNodes int) *core.Problem {
+	p := &core.Problem{TotalNodes: totalNodes, Objective: core.MinMax}
+	for i, f := range fits {
+		p.Tasks = append(p.Tasks, core.Task{
+			Name:     w.Mol.Fragments[i].Name,
+			Perf:     f.Params,
+			MaxNodes: w.Cost.MaxUsefulNodes(i),
+		})
+	}
+	return p
+}
+
+// ExecuteMonomers runs the monomer phase (all SCC iterations) with the
+// given group sizes under static one-group-per-fragment assignment and
+// returns the measured monomer time.
+func (w *Workload) ExecuteMonomers(groupSizes []int, execSeed uint64) (float64, error) {
+	assign := make([]int, w.NumTasks())
+	for i := range assign {
+		assign[i] = i
+	}
+	res, err := gddi.RunFMO2(&gddi.FMO2Config{
+		Cost:          w.Cost,
+		GroupSizes:    groupSizes,
+		MonomerPolicy: gddi.StaticAssign,
+		MonomerAssign: assign,
+		RNG:           stats.NewRNG(execSeed),
+	})
+	if err != nil {
+		return 0, err
+	}
+	return res.MonomerTime, nil
+}
+
+// ExecuteStaticLPT runs the monomer phase on `groups` equal groups with a
+// STATIC task→group assignment computed from the fitted predictions (no
+// runtime rebalancing) — HSLB's honest extension when tasks outnumber
+// groups: decisions use only step-2 estimates.
+func (w *Workload) ExecuteStaticLPT(totalNodes, groups int, fits []perfmodel.FitResult, execSeed uint64) (float64, error) {
+	sizes := gddi.UniformGroups(totalNodes, groups)
+	est := make([]gddi.Task, w.NumTasks())
+	for i := range est {
+		params := fits[i].Params
+		est[i] = gddi.Task{ID: i, Time: func(n int, _ *stats.RNG) float64 {
+			return params.Eval(float64(n))
+		}}
+	}
+	assign := gddi.StaticLPTAssign(sizes, est)
+	res, err := gddi.RunFMO2(&gddi.FMO2Config{
+		Cost:          w.Cost,
+		GroupSizes:    sizes,
+		MonomerPolicy: gddi.StaticAssign,
+		MonomerAssign: assign,
+		RNG:           stats.NewRNG(execSeed),
+	})
+	if err != nil {
+		return 0, err
+	}
+	return res.MonomerTime, nil
+}
+
+// StaticTunedPlan selects, purely from the fitted predictions (the static
+// discipline: every decision is made offline), the best of:
+//
+//   - one group per task, sized by the parametric allocation solver
+//     (requires tasks ≤ nodes), and
+//   - g equal groups with a static LPT assignment, for g in a power-of-two
+//     sweep,
+//
+// returning the chosen group sizes and assignment.
+func (w *Workload) StaticTunedPlan(totalNodes int, fits []perfmodel.FitResult) (sizes []int, assign []int, predicted float64, err error) {
+	k := w.NumTasks()
+	est := make([]gddi.Task, k)
+	for i := range est {
+		params := fits[i].Params
+		est[i] = gddi.Task{ID: i, Time: func(n int, _ *stats.RNG) float64 {
+			return params.Eval(float64(n))
+		}}
+	}
+	best := math.Inf(1)
+	consider := func(s []int, a []int) error {
+		pred, err := gddi.Run(&gddi.Spec{GroupSizes: s, Tasks: est, Policy: gddi.StaticAssign, Assign: a})
+		if err != nil {
+			return err
+		}
+		if pred.Makespan < best {
+			best = pred.Makespan
+			sizes, assign, predicted = s, a, pred.Makespan
+		}
+		return nil
+	}
+	if k <= totalNodes {
+		p := w.Problem(fits, totalNodes)
+		alloc, err := p.SolveParametric()
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		ident := make([]int, k)
+		for i := range ident {
+			ident[i] = i
+		}
+		if err := consider(alloc.Nodes, ident); err != nil {
+			return nil, nil, 0, err
+		}
+	}
+	maxG := k
+	if totalNodes < maxG {
+		maxG = totalNodes
+	}
+	for g := 1; g <= maxG; g *= 2 {
+		s := gddi.UniformGroups(totalNodes, g)
+		if err := consider(s, gddi.StaticLPTAssign(s, est)); err != nil {
+			return nil, nil, 0, err
+		}
+	}
+	if sizes == nil {
+		return nil, nil, 0, fmt.Errorf("experiments: no feasible static plan for %d tasks on %d nodes", k, totalNodes)
+	}
+	return sizes, assign, predicted, nil
+}
+
+// ExecuteStaticTuned runs the monomer phase with the StaticTunedPlan.
+func (w *Workload) ExecuteStaticTuned(totalNodes int, fits []perfmodel.FitResult, execSeed uint64) (float64, error) {
+	sizes, assign, _, err := w.StaticTunedPlan(totalNodes, fits)
+	if err != nil {
+		return 0, err
+	}
+	res, err := gddi.RunFMO2(&gddi.FMO2Config{
+		Cost:          w.Cost,
+		GroupSizes:    sizes,
+		MonomerPolicy: gddi.StaticAssign,
+		MonomerAssign: assign,
+		RNG:           stats.NewRNG(execSeed),
+	})
+	if err != nil {
+		return 0, err
+	}
+	return res.MonomerTime, nil
+}
+
+// ExecuteDynamic runs the monomer phase with dynamic dispatch over `groups`
+// equal groups (the DLB comparison path).
+func (w *Workload) ExecuteDynamic(totalNodes, groups int, execSeed uint64) (float64, error) {
+	res, err := gddi.RunFMO2(&gddi.FMO2Config{
+		Cost:          w.Cost,
+		GroupSizes:    gddi.UniformGroups(totalNodes, groups),
+		MonomerPolicy: gddi.DynamicLPT,
+		RNG:           stats.NewRNG(execSeed),
+	})
+	if err != nil {
+		return 0, err
+	}
+	return res.MonomerTime, nil
+}
+
+// TrueTimes returns the noise-free monomer-loop time of every fragment at
+// the given per-fragment allocation.
+func (w *Workload) TrueTimes(nodes []int) []float64 {
+	out := make([]float64, len(nodes))
+	for i, n := range nodes {
+		out[i] = w.Cost.MonomerTotalTime(i, n, nil)
+	}
+	return out
+}

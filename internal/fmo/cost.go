@@ -1,0 +1,203 @@
+package fmo
+
+import (
+	"math"
+
+	"repro/internal/machine"
+	"repro/internal/perfmodel"
+	"repro/internal/stats"
+)
+
+// CostModel produces ground-truth task times for a molecule on a machine.
+// HSLB never sees these functions — it only sees sampled wall-clock times —
+// and the functional form intentionally differs from the fitted
+// a/n + b·nᶜ + d model: block-granularity steps, logarithmic collectives,
+// and optional run-to-run noise give the fit honest residuals.
+type CostModel struct {
+	Mol *Molecule
+	M   *machine.Machine
+
+	// SCFIters is the number of in-fragment SCF cycles per monomer
+	// calculation (default 15).
+	SCFIters int
+	// SCCIters is the number of self-consistent-charge outer iterations
+	// over all monomers (default 10).
+	SCCIters int
+}
+
+// NewCostModel returns a cost model with default iteration counts.
+func NewCostModel(mol *Molecule, m *machine.Machine) *CostModel {
+	return &CostModel{Mol: mol, M: m, SCFIters: 15, SCCIters: 10}
+}
+
+// scfWork returns the total parallelizable flop count of one SCF solve of
+// size nbf: two-electron integrals (~nbf⁴) repeated over SCF cycles with
+// integral screening folded into the constant, plus Fock builds.
+func (c *CostModel) scfWork(nbf int) float64 {
+	n := float64(nbf)
+	return 125 * n * n * n * n * float64(c.SCFIters) / 15.0
+}
+
+// diagWork returns the poorly-parallelizable diagonalization flop count of
+// one SCF solve (~nbf³ per cycle).
+func (c *CostModel) diagWork(nbf int) float64 {
+	n := float64(nbf)
+	return 8 * n * n * n * float64(c.SCFIters) / 15.0
+}
+
+// blocks returns the work-decomposition granularity for an SCF of size nbf:
+// GAMESS distributes integral work by shell *pairs*, so the block count
+// grows quadratically with fragment size; it bounds how many nodes can be
+// used without idling.
+func blocks(nbf int) int {
+	s := nbf / 4 // shells
+	b := s * s
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// granularity returns the slowdown factor ≥ 1 from distributing `b` work
+// blocks over n nodes. GAMESS self-schedules shell-pair blocks within a
+// group, so the penalty is the tail effect of the last blocks (≈ half a
+// block per node of extra critical path), growing into pure idling once
+// there are more nodes than blocks.
+func granularity(b, n int) float64 {
+	if n < 1 {
+		n = 1
+	}
+	if n <= b {
+		return 1 + float64(n-1)/(2*float64(b))
+	}
+	// n > b: only b nodes have work; the rest idle.
+	return float64(n)/float64(b) + 0.5
+}
+
+// monomerOnce returns the noise-free time of one monomer SCF of fragment i
+// on n nodes, for a single SCC iteration.
+func (c *CostModel) monomerOnce(i, n int) float64 {
+	f := &c.Mol.Fragments[i]
+	b := blocks(f.NBasis)
+	// Parallel integral work, with block-granularity steps.
+	t := c.M.ComputeTime(c.scfWork(f.NBasis), n) * granularity(b, n)
+	// Diagonalization: runs on one node (threaded) — the serial floor.
+	t += c.M.ComputeTime(c.diagWork(f.NBasis), 1)
+	// Per-SCF-cycle collectives over the group. GDDI distributes the Fock
+	// and density matrices, so the per-stage payload shrinks with the
+	// group size (that is the point of the distributed data interface).
+	bytes := 8 * float64(f.NBasis) * float64(f.NBasis) / float64(maxInt(n, 1))
+	t += float64(c.SCFIters) * c.M.CollectiveTime(bytes, n)
+	return t
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MonomerTime returns the wall-clock time of fragment i's monomer SCF on n
+// nodes for one SCC iteration, with machine noise when rng is non-nil.
+func (c *CostModel) MonomerTime(i, n int, rng *stats.RNG) float64 {
+	t := c.monomerOnce(i, n)
+	if rng != nil {
+		t *= c.M.Noise(rng)
+	}
+	return t
+}
+
+// MonomerTotalTime returns the full SCC-loop monomer cost of fragment i on
+// n nodes (all outer iterations), the quantity the paper's per-fragment
+// performance functions describe.
+func (c *CostModel) MonomerTotalTime(i, n int, rng *stats.RNG) float64 {
+	t := 0.0
+	for it := 0; it < c.SCCIters; it++ {
+		t += c.MonomerTime(i, n, rng)
+	}
+	return t
+}
+
+// DimerTime returns the wall-clock time of a dimer task on n nodes.
+func (c *CostModel) DimerTime(d Dimer, n int, rng *stats.RNG) float64 {
+	fi, fj := &c.Mol.Fragments[d.I], &c.Mol.Fragments[d.J]
+	var t float64
+	switch d.Kind {
+	case SCFDimer:
+		nbf := fi.NBasis + fj.NBasis
+		b := blocks(nbf)
+		t = c.M.ComputeTime(c.scfWork(nbf), n) * granularity(b, n)
+		t += c.M.ComputeTime(c.diagWork(nbf), 1)
+		bytes := 8 * float64(nbf) * float64(nbf) / float64(maxInt(n, 1))
+		t += float64(c.SCFIters) * c.M.CollectiveTime(bytes, n)
+	default:
+		// ES dimer: one Coulomb-field contraction, O(nbf_i · nbf_j),
+		// cheap and perfectly parallel.
+		work := 40 * float64(fi.NBasis) * float64(fj.NBasis)
+		t = c.M.ComputeTime(work, n) + c.M.CollectiveTime(8*float64(fi.NBasis), n)
+	}
+	if rng != nil {
+		t *= c.M.Noise(rng)
+	}
+	return t
+}
+
+// GatherMonomerSamples benchmarks fragment i at the given node counts —
+// HSLB step 1 ("gather data") — returning noisy wall-clock samples of the
+// full SCC-loop monomer cost.
+func (c *CostModel) GatherMonomerSamples(i int, nodeCounts []int, rng *stats.RNG) []perfmodel.Sample {
+	out := make([]perfmodel.Sample, 0, len(nodeCounts))
+	for _, n := range nodeCounts {
+		out = append(out, perfmodel.Sample{
+			Nodes: float64(n),
+			Time:  c.MonomerTotalTime(i, n, rng),
+		})
+	}
+	return out
+}
+
+// FitMonomer runs HSLB step 2 for fragment i: benchmark at `counts` node
+// counts and fit the performance model.
+func (c *CostModel) FitMonomer(i int, counts []int, rng *stats.RNG, seed uint64) (*perfmodel.FitResult, error) {
+	samples := c.GatherMonomerSamples(i, counts, rng)
+	return perfmodel.Fit(samples, perfmodel.FitOptions{Seed: seed})
+}
+
+// MaxUsefulNodes returns a reasonable per-fragment allocation cap: beyond
+// the block count extra nodes only idle.
+func (c *CostModel) MaxUsefulNodes(i int) int {
+	return blocks(c.Mol.Fragments[i].NBasis)
+}
+
+// TotalSCFDimerWork returns the summed parallel work of all SCF dimers, a
+// quick size diagnostic used by examples and tests.
+func (c *CostModel) TotalSCFDimerWork(dimers []Dimer) float64 {
+	w := 0.0
+	for _, d := range dimers {
+		if d.Kind == SCFDimer {
+			nbf := c.Mol.Fragments[d.I].NBasis + c.Mol.Fragments[d.J].NBasis
+			w += c.scfWork(nbf)
+		}
+	}
+	return w
+}
+
+// RelativeSpread reports max/min of the noise-free single-node monomer
+// times — the task-size heterogeneity that motivates HSLB.
+func (c *CostModel) RelativeSpread() float64 {
+	mn, mx := math.Inf(1), 0.0
+	for i := range c.Mol.Fragments {
+		t := c.monomerOnce(i, 1)
+		if t < mn {
+			mn = t
+		}
+		if t > mx {
+			mx = t
+		}
+	}
+	if mn == 0 {
+		return math.Inf(1)
+	}
+	return mx / mn
+}

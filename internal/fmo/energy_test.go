@@ -1,0 +1,110 @@
+package fmo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/machine"
+	"repro/internal/stats"
+)
+
+func TestMonomerEnergyDeterministicNegative(t *testing.T) {
+	mol := Polypeptide(16, 1, stats.NewRNG(1))
+	cm := NewCostModel(mol, machine.Small(32))
+	for i := range mol.Fragments {
+		e1 := cm.MonomerEnergy(i)
+		e2 := cm.MonomerEnergy(i)
+		if e1 != e2 {
+			t.Fatalf("fragment %d energy not deterministic", i)
+		}
+		if e1 >= 0 {
+			t.Fatalf("fragment %d energy %v not negative", i, e1)
+		}
+	}
+}
+
+func TestEnergyExtensive(t *testing.T) {
+	// Energy magnitude grows with system size (extensivity).
+	rng := stats.NewRNG(2)
+	small := NewCostModel(WaterCluster(16, 2, rng), machine.Small(8))
+	large := NewCostModel(WaterCluster(64, 2, rng), machine.Small(8))
+	eS := small.TotalEnergy(EnumerateDimers(small.Mol, 7))
+	eL := large.TotalEnergy(EnumerateDimers(large.Mol, 7))
+	if !(eL < eS && eS < 0) {
+		t.Fatalf("extensivity violated: E(16) = %v, E(64) = %v", eS, eL)
+	}
+	ratio := eL / eS
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Fatalf("E(64)/E(16) = %v, want ≈4", ratio)
+	}
+}
+
+func TestDecomposeEnergyConsistent(t *testing.T) {
+	rng := stats.NewRNG(3)
+	mol := Polypeptide(24, 1, rng)
+	cm := NewCostModel(mol, machine.Small(16))
+	dimers := EnumerateDimers(mol, 7)
+	rep := cm.DecomposeEnergy(dimers)
+	if math.Abs(rep.Total-cm.TotalEnergy(dimers)) > 1e-9*math.Abs(rep.Total) {
+		t.Fatalf("decomposition total %v != assembly %v", rep.Total, cm.TotalEnergy(dimers))
+	}
+	if rep.SCFDimers+rep.ESDimers != len(dimers) {
+		t.Fatalf("dimer counts %d+%d != %d", rep.SCFDimers, rep.ESDimers, len(dimers))
+	}
+	if rep.String() == "" {
+		t.Fatal("empty report string")
+	}
+	// Interaction energies are small corrections relative to monomers.
+	if math.Abs(rep.PairSCF)+math.Abs(rep.PairES) > 0.05*math.Abs(rep.Monomer) {
+		t.Fatalf("pair terms too large: %v / %v vs monomer %v", rep.PairSCF, rep.PairES, rep.Monomer)
+	}
+}
+
+func TestPairInteractionDecaysWithDistance(t *testing.T) {
+	rng := stats.NewRNG(4)
+	mol := Polypeptide(32, 1, rng)
+	cm := NewCostModel(mol, machine.Small(16))
+	near := cm.PairInteraction(Dimer{I: 0, J: 1, Kind: SCFDimer})
+	far := cm.PairInteraction(Dimer{I: 0, J: 31, Kind: ESDimer})
+	if math.Abs(far) >= math.Abs(near) {
+		t.Fatalf("far pair |%v| not weaker than near pair |%v|", far, near)
+	}
+}
+
+// Property: the assembled energy is invariant under any permutation of the
+// dimer completion order — the scheduler-correctness invariant.
+func TestEnergyScheduleInvarianceProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		mol := Polypeptide(6+rng.Intn(10), 1, rng)
+		cm := NewCostModel(mol, machine.Small(16))
+		dimers := EnumerateDimers(mol, 7)
+		order := rng.Perm(len(dimers))
+		diff := cm.VerifyScheduleEnergy(dimers, order)
+		return math.Abs(diff) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyScheduleEnergyCatchesLostTasks(t *testing.T) {
+	rng := stats.NewRNG(5)
+	mol := Polypeptide(8, 1, rng)
+	cm := NewCostModel(mol, machine.Small(8))
+	dimers := EnumerateDimers(mol, 7)
+	// Duplicate a task (and implicitly lose another).
+	order := make([]int, len(dimers))
+	for i := range order {
+		order[i] = i
+	}
+	order[1] = order[0]
+	if d := cm.VerifyScheduleEnergy(dimers, order); !math.IsInf(d, 1) {
+		t.Fatalf("duplicated task not detected: diff %v", d)
+	}
+	// Wrong length.
+	if d := cm.VerifyScheduleEnergy(dimers, order[:3]); !math.IsInf(d, 1) {
+		t.Fatalf("truncated order not detected: diff %v", d)
+	}
+}

@@ -1,0 +1,249 @@
+package fmo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/machine"
+	"repro/internal/perfmodel"
+	"repro/internal/stats"
+)
+
+func TestWaterClusterStructure(t *testing.T) {
+	rng := stats.NewRNG(1)
+	m := WaterCluster(64, 2, rng)
+	if len(m.Fragments) != 32 {
+		t.Fatalf("fragments = %d, want 32", len(m.Fragments))
+	}
+	if m.TotalAtoms() != 192 {
+		t.Fatalf("atoms = %d, want 192", m.TotalAtoms())
+	}
+	if m.TotalBasis() != 64*25 {
+		t.Fatalf("basis = %d, want %d", m.TotalBasis(), 64*25)
+	}
+	// Uneven split.
+	m2 := WaterCluster(7, 2, rng)
+	if len(m2.Fragments) != 4 || m2.TotalAtoms() != 21 {
+		t.Fatalf("uneven split: %d fragments, %d atoms", len(m2.Fragments), m2.TotalAtoms())
+	}
+}
+
+func TestPolypeptideStructure(t *testing.T) {
+	rng := stats.NewRNG(2)
+	m := Polypeptide(64, 1, rng)
+	if len(m.Fragments) != 64 {
+		t.Fatalf("fragments = %d", len(m.Fragments))
+	}
+	for i := range m.Fragments {
+		f := &m.Fragments[i]
+		if f.Atoms < 7 || f.Atoms > 24 || f.NBasis < 35 || f.NBasis > 130 {
+			t.Fatalf("fragment %d out of residue range: %+v", i, f)
+		}
+	}
+	// Two residues per fragment halves the count.
+	m2 := Polypeptide(64, 2, rng)
+	if len(m2.Fragments) != 32 {
+		t.Fatalf("2-per-frag fragments = %d", len(m2.Fragments))
+	}
+}
+
+func TestPolypeptideHeterogeneity(t *testing.T) {
+	rng := stats.NewRNG(3)
+	mol := Polypeptide(128, 1, rng)
+	cm := NewCostModel(mol, machine.Small(1024))
+	if s := cm.RelativeSpread(); s < 5 {
+		t.Fatalf("polypeptide spread %v too homogeneous for the paper's motivation", s)
+	}
+	water := WaterCluster(128, 1, rng)
+	cw := NewCostModel(water, machine.Small(1024))
+	if s := cw.RelativeSpread(); s > 1.01 {
+		t.Fatalf("water cluster spread %v should be ~1", s)
+	}
+}
+
+func TestDimerClassification(t *testing.T) {
+	rng := stats.NewRNG(4)
+	m := Polypeptide(32, 1, rng)
+	dimers := EnumerateDimers(m, 7)
+	want := 32 * 31 / 2
+	if len(dimers) != want {
+		t.Fatalf("dimers = %d, want %d", len(dimers), want)
+	}
+	scf, es := 0, 0
+	for _, d := range dimers {
+		if d.I >= d.J {
+			t.Fatalf("unordered dimer %+v", d)
+		}
+		if d.Kind == SCFDimer {
+			scf++
+		} else {
+			es++
+		}
+	}
+	if scf == 0 || es == 0 {
+		t.Fatalf("degenerate classification: %d scf, %d es (chain should have both)", scf, es)
+	}
+	// Chain neighbours must be SCF dimers (3.1 Å apart at most a few Å).
+	near := 0
+	for _, d := range dimers {
+		if d.Kind == SCFDimer && d.J == d.I+1 {
+			near++
+		}
+	}
+	if near < 25 {
+		t.Fatalf("only %d/31 chain-neighbour SCF dimers", near)
+	}
+}
+
+func TestMonomerTimeDecreasesThenFloors(t *testing.T) {
+	rng := stats.NewRNG(5)
+	mol := Polypeptide(16, 1, rng)
+	cm := NewCostModel(mol, machine.Small(4096))
+	t1 := cm.MonomerTime(0, 1, nil)
+	t4 := cm.MonomerTime(0, 4, nil)
+	t16 := cm.MonomerTime(0, 16, nil)
+	if !(t1 > t4 && t4 > t16) {
+		t.Fatalf("times not decreasing: %v %v %v", t1, t4, t16)
+	}
+	// Speedup must be sublinear (serial floor + granularity).
+	if t1/t16 > 16 {
+		t.Fatalf("superlinear speedup: %v", t1/t16)
+	}
+	// The serial floor bounds scaling: huge allocations stop helping.
+	t1k := cm.MonomerTime(0, 1024, nil)
+	t4k := cm.MonomerTime(0, 4096, nil)
+	if t4k < 0.5*t1k {
+		t.Fatalf("still scaling at 4096 nodes: %v vs %v", t4k, t1k)
+	}
+}
+
+func TestSCFDimerCostlierThanES(t *testing.T) {
+	rng := stats.NewRNG(6)
+	mol := Polypeptide(16, 1, rng)
+	cm := NewCostModel(mol, machine.Small(64))
+	scf := cm.DimerTime(Dimer{I: 0, J: 1, Kind: SCFDimer}, 4, nil)
+	es := cm.DimerTime(Dimer{I: 0, J: 1, Kind: ESDimer}, 4, nil)
+	if scf < 100*es {
+		t.Fatalf("SCF dimer (%v) not ≫ ES dimer (%v)", scf, es)
+	}
+}
+
+func TestMonomerTotalTimeIsSCCSum(t *testing.T) {
+	rng := stats.NewRNG(7)
+	mol := WaterCluster(8, 1, rng)
+	cm := NewCostModel(mol, machine.Small(16))
+	one := cm.MonomerTime(0, 2, nil)
+	total := cm.MonomerTotalTime(0, 2, nil)
+	if math.Abs(total-float64(cm.SCCIters)*one) > 1e-9*total {
+		t.Fatalf("total %v != %d × %v", total, cm.SCCIters, one)
+	}
+}
+
+func TestNoiseReproducibility(t *testing.T) {
+	rng1 := stats.NewRNG(42)
+	rng2 := stats.NewRNG(42)
+	mol := Polypeptide(8, 1, stats.NewRNG(9))
+	m := machine.Intrepid()
+	m.Nodes = 64
+	cm := NewCostModel(mol, m)
+	for i := 0; i < 8; i++ {
+		a := cm.MonomerTime(i, 2, rng1)
+		b := cm.MonomerTime(i, 2, rng2)
+		if a != b {
+			t.Fatalf("noise not reproducible at fragment %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestGatherAndFit(t *testing.T) {
+	// End-to-end steps 1-2: sampled times from the simulator fit well even
+	// though the ground truth is not in the fitted model family.
+	rng := stats.NewRNG(10)
+	mol := Polypeptide(24, 1, rng)
+	cm := NewCostModel(mol, machine.Small(2048))
+	counts := perfmodel.SuggestSampleNodes(1, 256, 5)
+	fit, err := cm.FitMonomer(3, counts, nil, 1) // noise-free gather
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.R2 < 0.995 {
+		t.Fatalf("R² = %v; model family should capture simulator curves", fit.R2)
+	}
+	// Interpolation inside the sampled range.
+	for _, n := range []int{2, 8, 48, 200} {
+		truth := cm.MonomerTotalTime(3, n, nil)
+		pred := fit.Params.Eval(float64(n))
+		if math.Abs(pred-truth) > 0.25*truth {
+			t.Fatalf("interpolation at n=%d: pred %v vs truth %v", n, pred, truth)
+		}
+	}
+}
+
+func TestGranularity(t *testing.T) {
+	if g := granularity(10, 1); g != 1 {
+		t.Fatalf("granularity(10,1) = %v", g)
+	}
+	// Self-scheduling tail: half a block of extra critical path per node.
+	if g := granularity(10, 7); math.Abs(g-1.3) > 1e-12 {
+		t.Fatalf("granularity(10,7) = %v, want 1.3", g)
+	}
+	// More nodes than blocks: idling dominates (n/b + tail).
+	if g := granularity(4, 8); math.Abs(g-2.5) > 1e-12 {
+		t.Fatalf("granularity(4,8) = %v, want 2.5", g)
+	}
+	// Monotone non-decreasing in n, continuous at n = b.
+	prev := 0.0
+	for n := 1; n <= 30; n++ {
+		g := granularity(10, n)
+		if g < prev-1e-12 {
+			t.Fatalf("granularity not monotone at n=%d", n)
+		}
+		prev = g
+	}
+}
+
+func TestMaxUsefulNodes(t *testing.T) {
+	rng := stats.NewRNG(11)
+	mol := Polypeptide(4, 1, rng)
+	cm := NewCostModel(mol, machine.Small(64))
+	for i := range mol.Fragments {
+		if cm.MaxUsefulNodes(i) != blocks(mol.Fragments[i].NBasis) {
+			t.Fatal("MaxUsefulNodes mismatch")
+		}
+	}
+}
+
+// Property: monomer times are positive everywhere; small fragments may turn
+// communication-dominated (the paper's increasing b·nᶜ term), so strict
+// monotonicity is not required — but a few nodes must always beat one node
+// before the comm term takes over.
+func TestMonomerScalingProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		mol := Polypeptide(4+rng.Intn(8), 1, rng)
+		cm := NewCostModel(mol, machine.Small(512))
+		i := rng.Intn(len(mol.Fragments))
+		limit := cm.MaxUsefulNodes(i)
+		for n := 1; n <= limit && n <= 64; n *= 2 {
+			if cm.MonomerTime(i, n, nil) <= 0 {
+				return false
+			}
+		}
+		// Speedup must exist in the strong-scaling regime.
+		return cm.MonomerTime(i, 2, nil) < cm.MonomerTime(i, 1, nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a := Polypeptide(32, 1, stats.NewRNG(5))
+	b := Polypeptide(32, 1, stats.NewRNG(5))
+	for i := range a.Fragments {
+		if a.Fragments[i] != b.Fragments[i] {
+			t.Fatal("generation not deterministic")
+		}
+	}
+}

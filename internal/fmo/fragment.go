@@ -1,0 +1,218 @@
+// Package fmo is the application substrate: a simulator of the fragment
+// molecular orbital (FMO) method as implemented in GAMESS, the quantum
+// chemistry code the paper load-balances.
+//
+// FMO decomposes a molecule into fragments. The FMO2 energy is assembled
+// from fragment ("monomer") SCF calculations iterated to self-consistent
+// charge (SCC), plus fragment-pair ("dimer") calculations: nearby pairs get
+// a full SCF dimer, distant pairs the cheap electrostatic (ES)
+// approximation. Task times span orders of magnitude with fragment size
+// while the number of expensive tasks is small compared to the number of
+// nodes — precisely the "few large tasks of diverse size" regime where the
+// paper argues static load balancing is the right tool.
+//
+// The simulator provides:
+//
+//   - molecule generators (water clusters and polypeptides — the classic
+//     FMO benchmark systems, homogeneous and heterogeneous respectively);
+//   - a ground-truth cost model per task on n nodes of a BG/P-like machine
+//     (package machine), deliberately NOT of the same functional family the
+//     HSLB fit assumes, so that fitting has honest residuals (block
+//     granularity steps, logarithmic collectives, run-to-run noise);
+//   - the FMO2 task graph (monomer SCC iterations, SCF and ES dimers) that
+//     package gddi executes on simulated node groups.
+package fmo
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Point is a 3D coordinate in Ångström.
+type Point struct{ X, Y, Z float64 }
+
+// Dist returns the Euclidean distance between two points.
+func (p Point) Dist(q Point) float64 {
+	dx, dy, dz := p.X-q.X, p.Y-q.Y, p.Z-q.Z
+	return math.Sqrt(dx*dx + dy*dy + dz*dz)
+}
+
+// Fragment is one FMO fragment.
+type Fragment struct {
+	Name   string
+	Atoms  int
+	NBasis int // basis functions (sets the computational weight)
+	Center Point
+}
+
+// Molecule is a fragmented system.
+type Molecule struct {
+	Name      string
+	Fragments []Fragment
+}
+
+// TotalAtoms returns the atom count of the whole system.
+func (m *Molecule) TotalAtoms() int {
+	n := 0
+	for i := range m.Fragments {
+		n += m.Fragments[i].Atoms
+	}
+	return n
+}
+
+// TotalBasis returns the basis-set size of the whole system.
+func (m *Molecule) TotalBasis() int {
+	n := 0
+	for i := range m.Fragments {
+		n += m.Fragments[i].NBasis
+	}
+	return n
+}
+
+// WaterCluster generates an (H₂O)ₙ cluster fragmented with `perFragment`
+// water molecules per fragment — the homogeneous benchmark system. Basis:
+// 6-31G* — 25 functions per water.
+func WaterCluster(waters, perFragment int, rng *stats.RNG) *Molecule {
+	if perFragment < 1 {
+		perFragment = 1
+	}
+	nFrag := (waters + perFragment - 1) / perFragment
+	m := &Molecule{Name: fmt.Sprintf("(H2O)%d/%d-per-frag", waters, perFragment)}
+	// Liquid water density → roughly one molecule per 3.1 Å cube; place
+	// fragment centers uniformly in the corresponding ball.
+	radius := 3.1 * math.Cbrt(float64(waters)) / 1.6
+	left := waters
+	for i := 0; i < nFrag; i++ {
+		w := perFragment
+		if w > left {
+			w = left
+		}
+		left -= w
+		m.Fragments = append(m.Fragments, Fragment{
+			Name:   fmt.Sprintf("w%d", i),
+			Atoms:  3 * w,
+			NBasis: 25 * w,
+			Center: randomInBall(radius, rng),
+		})
+	}
+	return m
+}
+
+// residue describes an amino-acid residue class for the polypeptide
+// generator: name, heavy+H atom count, basis functions (6-31G*).
+type residue struct {
+	name  string
+	atoms int
+	nbf   int
+}
+
+// A representative spread of the 20 amino acids, from glycine to
+// tryptophan; the ~4× size range is what makes protein FMO tasks so
+// heterogeneous.
+var residueTable = []residue{
+	{"GLY", 7, 35}, {"ALA", 10, 50}, {"SER", 11, 55}, {"CYS", 11, 58},
+	{"THR", 14, 70}, {"VAL", 16, 80}, {"PRO", 14, 72}, {"LEU", 19, 95},
+	{"ILE", 19, 95}, {"ASN", 14, 74}, {"GLN", 17, 89}, {"ASP", 12, 66},
+	{"GLU", 15, 81}, {"MET", 17, 92}, {"LYS", 22, 108}, {"HIS", 17, 93},
+	{"PHE", 20, 105}, {"ARG", 24, 122}, {"TYR", 21, 112}, {"TRP", 24, 130},
+}
+
+// Polypeptide generates an n-residue chain fragmented with `perFragment`
+// residues per fragment (FMO practice: 1 or 2) — the heterogeneous
+// benchmark system the paper's introduction motivates.
+func Polypeptide(nResidues, perFragment int, rng *stats.RNG) *Molecule {
+	if perFragment < 1 {
+		perFragment = 1
+	}
+	m := &Molecule{Name: fmt.Sprintf("peptide-%d/%d-per-frag", nResidues, perFragment)}
+	// Cα positions along a loose helix: 1.5 Å rise, 100° turn per residue.
+	pos := make([]Point, nResidues)
+	for i := range pos {
+		angle := float64(i) * 100 * math.Pi / 180
+		pos[i] = Point{
+			X: 2.3 * math.Cos(angle),
+			Y: 2.3 * math.Sin(angle),
+			Z: 1.5 * float64(i),
+		}
+	}
+	for i := 0; i < nResidues; i += perFragment {
+		atoms, nbf := 0, 0
+		var c Point
+		cnt := 0
+		for j := i; j < i+perFragment && j < nResidues; j++ {
+			r := residueTable[rng.Intn(len(residueTable))]
+			atoms += r.atoms
+			nbf += r.nbf
+			c.X += pos[j].X
+			c.Y += pos[j].Y
+			c.Z += pos[j].Z
+			cnt++
+		}
+		c.X /= float64(cnt)
+		c.Y /= float64(cnt)
+		c.Z /= float64(cnt)
+		m.Fragments = append(m.Fragments, Fragment{
+			Name:   fmt.Sprintf("res%d", i/perFragment),
+			Atoms:  atoms,
+			NBasis: nbf,
+			Center: c,
+		})
+	}
+	return m
+}
+
+func randomInBall(radius float64, rng *stats.RNG) Point {
+	for {
+		p := Point{
+			X: rng.Range(-radius, radius),
+			Y: rng.Range(-radius, radius),
+			Z: rng.Range(-radius, radius),
+		}
+		if p.Dist(Point{}) <= radius {
+			return p
+		}
+	}
+}
+
+// DimerKind distinguishes full SCF dimers from electrostatic-approximation
+// dimers.
+type DimerKind int
+
+// Dimer kinds.
+const (
+	SCFDimer DimerKind = iota
+	ESDimer
+)
+
+func (k DimerKind) String() string {
+	if k == SCFDimer {
+		return "scf"
+	}
+	return "es"
+}
+
+// Dimer is a fragment pair task.
+type Dimer struct {
+	I, J int
+	Kind DimerKind
+}
+
+// EnumerateDimers classifies all fragment pairs by the FMO distance
+// criterion: pairs with centers within cutoff Å become SCF dimers, the rest
+// ES dimers. Typical FMO practice uses a relative cutoff; a plain distance
+// is sufficient for load-balancing purposes.
+func EnumerateDimers(m *Molecule, cutoff float64) []Dimer {
+	var out []Dimer
+	for i := 0; i < len(m.Fragments); i++ {
+		for j := i + 1; j < len(m.Fragments); j++ {
+			kind := ESDimer
+			if m.Fragments[i].Center.Dist(m.Fragments[j].Center) <= cutoff {
+				kind = SCFDimer
+			}
+			out = append(out, Dimer{I: i, J: j, Kind: kind})
+		}
+	}
+	return out
+}

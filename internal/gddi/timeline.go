@@ -1,0 +1,57 @@
+package gddi
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Timeline renders a Result as an ASCII Gantt chart: one line per group,
+// time flowing rightward, each task drawn with a repeating letter. It is a
+// debugging aid for schedule inspection; width is the chart's character
+// budget per line.
+func Timeline(res *Result, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	if res.Makespan <= 0 {
+		return "(empty schedule)\n"
+	}
+	groups := len(res.GroupBusy)
+	perGroup := make([][]int, groups)
+	for ti := range res.TaskGroup {
+		g := res.TaskGroup[ti]
+		perGroup[g] = append(perGroup[g], ti)
+	}
+	scale := float64(width) / res.Makespan
+	glyph := func(ti int) byte {
+		return byte('A' + ti%26)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "makespan %.4g, %d groups, %d tasks (1 char ≈ %.3g)\n",
+		res.Makespan, groups, len(res.TaskGroup), res.Makespan/float64(width))
+	for g := 0; g < groups; g++ {
+		sort.Slice(perGroup[g], func(a, b int) bool {
+			return res.TaskStart[perGroup[g][a]] < res.TaskStart[perGroup[g][b]]
+		})
+		line := make([]byte, width)
+		for i := range line {
+			line[i] = '.'
+		}
+		for _, ti := range perGroup[g] {
+			lo := int(res.TaskStart[ti] * scale)
+			hi := int(res.TaskEnd[ti] * scale)
+			if hi >= width {
+				hi = width - 1
+			}
+			if hi < lo {
+				hi = lo
+			}
+			for i := lo; i <= hi && i < width; i++ {
+				line[i] = glyph(ti)
+			}
+		}
+		fmt.Fprintf(&sb, "g%-3d |%s|\n", g, line)
+	}
+	return sb.String()
+}

@@ -1,0 +1,60 @@
+package gddi
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTimelineRendering(t *testing.T) {
+	res, err := Run(&Spec{
+		GroupSizes: []int{1, 1},
+		Tasks: []Task{
+			constTask(0, 2), constTask(1, 1), constTask(2, 1),
+		},
+		Policy: DynamicFIFO,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Timeline(res, 40)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // header + 2 groups
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "2 groups, 3 tasks") {
+		t.Fatalf("header: %s", lines[0])
+	}
+	// Task A (duration 2) fills group 0's whole row.
+	if !strings.Contains(lines[1], "AAAA") {
+		t.Fatalf("group 0 row: %s", lines[1])
+	}
+	// Group 1 runs B then C with no idle gap.
+	if !strings.Contains(lines[2], "B") || !strings.Contains(lines[2], "C") {
+		t.Fatalf("group 1 row: %s", lines[2])
+	}
+	if strings.Contains(strings.Split(lines[2], "|")[1], "B.C") {
+		t.Fatalf("idle gap between back-to-back tasks: %s", lines[2])
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	res := &Result{}
+	if out := Timeline(res, 40); !strings.Contains(out, "empty") {
+		t.Fatalf("empty schedule rendering: %q", out)
+	}
+}
+
+func TestTimelineNarrowWidthClamped(t *testing.T) {
+	res, err := Run(&Spec{
+		GroupSizes: []int{1},
+		Tasks:      []Task{constTask(0, 1)},
+		Policy:     DynamicFIFO,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Timeline(res, 1) // clamped to a sane minimum
+	if !strings.Contains(out, "A") {
+		t.Fatalf("rendering: %q", out)
+	}
+}

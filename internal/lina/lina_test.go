@@ -1,0 +1,297 @@
+package lina
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func vecAlmostEq(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !almostEq(a[i], b[i], tol) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 2, 5)
+	m.Add(1, 2, 1)
+	if m.At(0, 0) != 1 || m.At(1, 2) != 6 {
+		t.Fatalf("element access broken: %v", m)
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged FromRows did not panic")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.T()
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("transpose shape %dx%d", tr.Rows, tr.Cols)
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	y := m.MulVec([]float64{1, 1})
+	if !vecAlmostEq(y, []float64{3, 7}, 1e-12) {
+		t.Fatalf("MulVec = %v", y)
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := a.Mul(b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if !vecAlmostEq(c.Data, want.Data, 1e-12) {
+		t.Fatalf("Mul = %v", c)
+	}
+}
+
+func TestIdentityMul(t *testing.T) {
+	a := FromRows([][]float64{{2, -1, 0}, {1, 3, 5}, {0, 0, 1}})
+	if got := Identity(3).Mul(a); !vecAlmostEq(got.Data, a.Data, 1e-12) {
+		t.Fatal("I*A != A")
+	}
+	if got := a.Mul(Identity(3)); !vecAlmostEq(got.Data, a.Data, 1e-12) {
+		t.Fatal("A*I != A")
+	}
+}
+
+func TestDotNormAXPY(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if d := Dot(a, b); d != 32 {
+		t.Fatalf("Dot = %v", d)
+	}
+	if n := Norm2([]float64{3, 4}); n != 5 {
+		t.Fatalf("Norm2 = %v", n)
+	}
+	if n := NormInf([]float64{1, -7, 3}); n != 7 {
+		t.Fatalf("NormInf = %v", n)
+	}
+	y := []float64{1, 1, 1}
+	AXPY(2, a, y)
+	if !vecAlmostEq(y, []float64{3, 5, 7}, 1e-12) {
+		t.Fatalf("AXPY = %v", y)
+	}
+	Scale(0.5, y)
+	if !vecAlmostEq(y, []float64{1.5, 2.5, 3.5}, 1e-12) {
+		t.Fatalf("Scale = %v", y)
+	}
+}
+
+func TestLUSolveKnown(t *testing.T) {
+	a := FromRows([][]float64{{2, 1, 1}, {4, -6, 0}, {-2, 7, 2}})
+	b := []float64{5, -2, 9}
+	x, err := SolveSquare(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecAlmostEq(x, []float64{1, 1, 2}, 1e-10) {
+		t.Fatalf("x = %v, want [1 1 2]", x)
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := SolveSquare(a, []float64{1, 2}); err != ErrSingular {
+		t.Fatalf("want ErrSingular, got %v", err)
+	}
+}
+
+func TestLUDet(t *testing.T) {
+	a := FromRows([][]float64{{3, 8}, {4, 6}})
+	f, err := FactorLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := f.Det(); !almostEq(d, -14, 1e-10) {
+		t.Fatalf("Det = %v, want -14", d)
+	}
+}
+
+// Property: solving a random well-conditioned system reproduces b.
+func TestLUSolveProperty(t *testing.T) {
+	f := func(seed uint64, nn uint8) bool {
+		n := int(nn%8) + 1
+		r := stats.NewRNG(seed)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, r.Range(-5, 5))
+			}
+			a.Add(i, i, 10) // diagonal dominance => nonsingular
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.Range(-10, 10)
+		}
+		x, err := SolveSquare(a, b)
+		if err != nil {
+			return false
+		}
+		res := a.MulVec(x)
+		for i := range res {
+			if !almostEq(res[i], b[i], 1e-8) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeastSquaresExact(t *testing.T) {
+	// Square nonsingular system: least squares == exact solve.
+	a := FromRows([][]float64{{1, 2}, {3, 5}})
+	x, err := LeastSquares(a, []float64{5, 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecAlmostEq(x, []float64{1, 2}, 1e-10) {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestLeastSquaresOverdetermined(t *testing.T) {
+	// Fit y = 2 + 3t with an exact linear model: residual must be ~0.
+	ts := []float64{0, 1, 2, 3, 4}
+	a := NewMatrix(len(ts), 2)
+	b := make([]float64, len(ts))
+	for i, tv := range ts {
+		a.Set(i, 0, 1)
+		a.Set(i, 1, tv)
+		b[i] = 2 + 3*tv
+	}
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecAlmostEq(x, []float64{2, 3}, 1e-10) {
+		t.Fatalf("x = %v, want [2 3]", x)
+	}
+}
+
+func TestLeastSquaresResidualOrthogonality(t *testing.T) {
+	// Normal equations: Aᵀ(Ax - b) = 0 at the least-squares solution.
+	r := stats.NewRNG(99)
+	m, n := 12, 4
+	a := NewMatrix(m, n)
+	b := make([]float64, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, r.Range(-3, 3))
+		}
+		b[i] = r.Range(-3, 3)
+	}
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := a.MulVec(x)
+	for i := range res {
+		res[i] -= b[i]
+	}
+	atr := a.T().MulVec(res)
+	if NormInf(atr) > 1e-8 {
+		t.Fatalf("normal equations violated: Aᵀr = %v", atr)
+	}
+}
+
+func TestLeastSquaresRankDeficient(t *testing.T) {
+	a := FromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	if _, err := LeastSquares(a, []float64{1, 2, 3}); err != ErrSingular {
+		t.Fatalf("want ErrSingular, got %v", err)
+	}
+}
+
+func TestCholeskyKnown(t *testing.T) {
+	a := FromRows([][]float64{{4, 12, -16}, {12, 37, -43}, {-16, -43, 98}})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FromRows([][]float64{{2, 0, 0}, {6, 1, 0}, {-8, 5, 3}})
+	if !vecAlmostEq(l.Data, want.Data, 1e-10) {
+		t.Fatalf("L = %v", l)
+	}
+	x := SolveCholesky(l, []float64{1, 2, 3})
+	res := a.MulVec(x)
+	if !vecAlmostEq(res, []float64{1, 2, 3}, 1e-8) {
+		t.Fatalf("Cholesky solve residual: %v", res)
+	}
+}
+
+func TestCholeskyNotPD(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 1}}) // indefinite
+	if _, err := Cholesky(a); err != ErrSingular {
+		t.Fatalf("want ErrSingular, got %v", err)
+	}
+}
+
+// Property: Cholesky of AᵀA + I solves consistently with LU.
+func TestCholeskyVsLUProperty(t *testing.T) {
+	f := func(seed uint64, nn uint8) bool {
+		n := int(nn%6) + 1
+		r := stats.NewRNG(seed)
+		g := NewMatrix(n, n)
+		for i := range g.Data {
+			g.Data[i] = r.Range(-2, 2)
+		}
+		spd := g.T().Mul(g)
+		for i := 0; i < n; i++ {
+			spd.Add(i, i, 1)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.Range(-5, 5)
+		}
+		l, err := Cholesky(spd)
+		if err != nil {
+			return false
+		}
+		x1 := SolveCholesky(l, b)
+		x2, err := SolveSquare(spd, b)
+		if err != nil {
+			return false
+		}
+		return vecAlmostEq(x1, x2, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

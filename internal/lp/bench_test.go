@@ -1,0 +1,24 @@
+package lp
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func benchLP(b *testing.B, n, m int) {
+	b.Helper()
+	rng := stats.NewRNG(1)
+	p := randomLP(rng, n, m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := p.Solve()
+		if err != nil || sol.Status != Optimal {
+			b.Fatalf("status %v err %v", sol.Status, err)
+		}
+	}
+}
+
+func BenchmarkSimplex10x10(b *testing.B)   { benchLP(b, 10, 10) }
+func BenchmarkSimplex50x50(b *testing.B)   { benchLP(b, 50, 50) }
+func BenchmarkSimplex100x100(b *testing.B) { benchLP(b, 100, 100) }

@@ -1,0 +1,170 @@
+package lp
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// The bounded-variable simplex handles upper bounds implicitly (no explicit
+// rows). These tests exercise its specific code paths: bound flips,
+// nonbasic-at-upper optima, and the performance this buys on binary-heavy
+// problems.
+
+func TestAllAtUpper(t *testing.T) {
+	// max x+y+z with x≤2, y≤3, z≤4 and no rows: pure bound flips.
+	p := NewProblem()
+	x := p.AddVariable(0, 2, -1, "x")
+	y := p.AddVariable(0, 3, -1, "y")
+	z := p.AddVariable(0, 4, -1, "z")
+	sol := solveOK(t, p)
+	if sol.X[x] != 2 || sol.X[y] != 3 || sol.X[z] != 4 {
+		t.Fatalf("x = %v", sol.X)
+	}
+	if math.Abs(sol.Obj+9) > 1e-9 {
+		t.Fatalf("obj = %v", sol.Obj)
+	}
+}
+
+func TestMixAtUpperAndBasic(t *testing.T) {
+	// max 3x + 2y s.t. x + y ≤ 5, x ≤ 3, y ≤ 4 → x=3 (upper), y=2 (basic).
+	p := NewProblem()
+	x := p.AddVariable(0, 3, -3, "x")
+	y := p.AddVariable(0, 4, -2, "y")
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, LE, 5, "")
+	sol := solveOK(t, p)
+	if math.Abs(sol.X[x]-3) > 1e-9 || math.Abs(sol.X[y]-2) > 1e-9 {
+		t.Fatalf("x = %v", sol.X)
+	}
+}
+
+func TestUpperBoundedWithGE(t *testing.T) {
+	// min x + 4y s.t. x + y ≥ 6, x ≤ 4 → x=4 at upper, y=2.
+	p := NewProblem()
+	x := p.AddVariable(0, 4, 1, "x")
+	y := p.AddVariable(0, Inf, 4, "y")
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, GE, 6, "")
+	sol := solveOK(t, p)
+	if math.Abs(sol.X[x]-4) > 1e-8 || math.Abs(sol.X[y]-2) > 1e-8 {
+		t.Fatalf("x = %v", sol.X)
+	}
+	if math.Abs(sol.Obj-12) > 1e-8 {
+		t.Fatalf("obj = %v", sol.Obj)
+	}
+}
+
+func TestNegativeBoundedRange(t *testing.T) {
+	// Variable confined to a negative range: -7 ≤ x ≤ -3, max x → -3.
+	p := NewProblem()
+	x := p.AddVariable(-7, -3, -1, "x")
+	sol := solveOK(t, p)
+	if math.Abs(sol.X[x]+3) > 1e-9 {
+		t.Fatalf("x = %v", sol.X[x])
+	}
+	p.SetCost(x, 1)
+	sol = solveOK(t, p)
+	if math.Abs(sol.X[x]+7) > 1e-9 {
+		t.Fatalf("x = %v", sol.X[x])
+	}
+}
+
+func TestDualsWithActiveUpperBound(t *testing.T) {
+	// min -3x - 2y s.t. x + y ≤ 5 (row dual), x ≤ 3 active upper bound.
+	// Row binds with y basic: y's reduced cost 0 → dual = -2; x's reduced
+	// cost -3 + 2 = -1 ≤ 0, consistent with x at its upper bound.
+	p := NewProblem()
+	x := p.AddVariable(0, 3, -3, "x")
+	y := p.AddVariable(0, 10, -2, "y")
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, LE, 5, "")
+	sol := solveOK(t, p)
+	if math.Abs(sol.Dual[0]+2) > 1e-8 {
+		t.Fatalf("dual = %v, want -2", sol.Dual[0])
+	}
+}
+
+func TestKnapsackRelaxationManyColumns(t *testing.T) {
+	// 2000 bounded [0,1] columns with a single knapsack row: the implicit
+	// bound handling must keep this fast (explicit bound rows would build
+	// a 2001-row dense tableau).
+	rng := stats.NewRNG(3)
+	p := NewProblem()
+	terms := make([]Term, 0, 2000)
+	for j := 0; j < 2000; j++ {
+		v := p.AddVariable(0, 1, -rng.Range(0.1, 10), "")
+		terms = append(terms, Term{v, rng.Range(0.1, 5)})
+	}
+	p.AddConstraint(terms, LE, 500, "cap")
+	start := time.Now()
+	sol := solveOK(t, p)
+	elapsed := time.Since(start)
+	if p.MaxViolation(sol.X) > 1e-6 {
+		t.Fatalf("violation %v", p.MaxViolation(sol.X))
+	}
+	// LP knapsack: at most one fractional variable.
+	frac := 0
+	for _, v := range sol.X {
+		if v > 1e-9 && v < 1-1e-9 {
+			frac++
+		}
+	}
+	if frac > 1 {
+		t.Fatalf("%d fractional variables in an LP knapsack, want ≤ 1", frac)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("2000-column knapsack took %v", elapsed)
+	}
+}
+
+func TestBoundFlipChain(t *testing.T) {
+	// A chain where optimality requires flipping several variables to
+	// their upper bounds without them ever entering the basis.
+	p := NewProblem()
+	var vs []int
+	terms := make([]Term, 0, 10)
+	for j := 0; j < 10; j++ {
+		v := p.AddVariable(0, 1, -float64(j+1), "")
+		vs = append(vs, v)
+		terms = append(terms, Term{v, 1})
+	}
+	p.AddConstraint(terms, LE, 7, "")
+	sol := solveOK(t, p)
+	// Greedy: the 7 most valuable variables at 1, the rest at 0.
+	for j, v := range vs {
+		want := 0.0
+		if j >= 3 {
+			want = 1
+		}
+		if math.Abs(sol.X[v]-want) > 1e-8 {
+			t.Fatalf("x[%d] = %v, want %v (x=%v)", j, sol.X[v], want, sol.X)
+		}
+	}
+}
+
+func TestEqualityWithBoundedVars(t *testing.T) {
+	// x + y = 4 with x ≤ 1.5: x at upper, y = 2.5 (min y).
+	p := NewProblem()
+	x := p.AddVariable(0, 1.5, 0, "x")
+	y := p.AddVariable(0, 10, 1, "y")
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, EQ, 4, "")
+	sol := solveOK(t, p)
+	if math.Abs(sol.X[x]-1.5) > 1e-8 || math.Abs(sol.X[y]-2.5) > 1e-8 {
+		t.Fatalf("x = %v", sol.X)
+	}
+}
+
+func TestInfeasibleDueToUpperBounds(t *testing.T) {
+	// Σ x_i ≥ 10 with all x ≤ 1 and only 5 variables: infeasible.
+	p := NewProblem()
+	terms := make([]Term, 0, 5)
+	for j := 0; j < 5; j++ {
+		v := p.AddVariable(0, 1, 0, "")
+		terms = append(terms, Term{v, 1})
+	}
+	p.AddConstraint(terms, GE, 10, "")
+	sol, err := p.Solve()
+	if err != nil || sol.Status != Infeasible {
+		t.Fatalf("status = %v err = %v", sol.Status, err)
+	}
+}

@@ -1,0 +1,222 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs in general form:
+//
+//	minimize    cᵀx
+//	subject to  aᵢᵀx {≤,=,≥} bᵢ
+//	            loⱼ ≤ xⱼ ≤ hiⱼ   (bounds may be infinite)
+//
+// The solver is exactly what the HSLB optimization stack needs: robust on the
+// small/medium problems produced by outer approximation and branch-and-bound
+// (up to a few thousand variables), deterministic, and dependency-free. It is
+// the stand-in for CLP, which the paper's MINOTAUR solver uses for its LP
+// relaxations.
+//
+// Internally the problem is reduced to standard computational form
+// (min cᵀx, Ax = b, x ≥ 0) and solved with a dense tableau simplex using
+// Dantzig pricing with an automatic switch to Bland's rule to escape
+// degenerate cycling.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense is the relational operator of a constraint row.
+type Sense int
+
+// Constraint senses.
+const (
+	LE Sense = iota // aᵀx ≤ b
+	GE              // aᵀx ≥ b
+	EQ              // aᵀx = b
+)
+
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	}
+	return "?"
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+	IterLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration limit"
+	}
+	return "unknown"
+}
+
+// ErrBadModel reports a structurally invalid problem (e.g. lo > hi).
+var ErrBadModel = errors.New("lp: invalid model")
+
+// Inf is a convenience for unbounded variable bounds.
+var Inf = math.Inf(1)
+
+// Term is one coefficient of a constraint row.
+type Term struct {
+	Var  int
+	Coef float64
+}
+
+// Constraint is one row of the problem.
+type Constraint struct {
+	Terms []Term
+	Sense Sense
+	RHS   float64
+	Name  string
+}
+
+// Problem is a linear program under construction. The zero value is an empty
+// minimization problem ready for use.
+type Problem struct {
+	costs []float64
+	lo    []float64
+	hi    []float64
+	names []string
+	rows  []Constraint
+
+	// MaxIter bounds simplex iterations per phase; 0 means automatic
+	// (scales with problem size).
+	MaxIter int
+}
+
+// NewProblem returns an empty problem.
+func NewProblem() *Problem { return &Problem{} }
+
+// AddVariable adds a variable with bounds [lo, hi] and objective coefficient
+// cost, returning its index. Use -lp.Inf / lp.Inf for free bounds.
+func (p *Problem) AddVariable(lo, hi, cost float64, name string) int {
+	p.costs = append(p.costs, cost)
+	p.lo = append(p.lo, lo)
+	p.hi = append(p.hi, hi)
+	p.names = append(p.names, name)
+	return len(p.costs) - 1
+}
+
+// SetCost overwrites the objective coefficient of variable v.
+func (p *Problem) SetCost(v int, cost float64) { p.costs[v] = cost }
+
+// Cost returns the objective coefficient of variable v.
+func (p *Problem) Cost(v int) float64 { return p.costs[v] }
+
+// SetBounds overwrites the bounds of variable v.
+func (p *Problem) SetBounds(v int, lo, hi float64) { p.lo[v], p.hi[v] = lo, hi }
+
+// Bounds returns the bounds of variable v.
+func (p *Problem) Bounds(v int) (lo, hi float64) { return p.lo[v], p.hi[v] }
+
+// NumVariables returns the number of variables added so far.
+func (p *Problem) NumVariables() int { return len(p.costs) }
+
+// NumConstraints returns the number of rows added so far.
+func (p *Problem) NumConstraints() int { return len(p.rows) }
+
+// AddConstraint adds the row Σ terms {sense} rhs and returns its index.
+func (p *Problem) AddConstraint(terms []Term, sense Sense, rhs float64, name string) int {
+	for _, t := range terms {
+		if t.Var < 0 || t.Var >= len(p.costs) {
+			panic(fmt.Sprintf("lp: constraint references unknown variable %d", t.Var))
+		}
+	}
+	p.rows = append(p.rows, Constraint{Terms: append([]Term(nil), terms...), Sense: sense, RHS: rhs, Name: name})
+	return len(p.rows) - 1
+}
+
+// Clone returns a deep copy of the problem.
+func (p *Problem) Clone() *Problem {
+	c := &Problem{
+		costs:   append([]float64(nil), p.costs...),
+		lo:      append([]float64(nil), p.lo...),
+		hi:      append([]float64(nil), p.hi...),
+		names:   append([]string(nil), p.names...),
+		rows:    make([]Constraint, len(p.rows)),
+		MaxIter: p.MaxIter,
+	}
+	for i, r := range p.rows {
+		c.rows[i] = Constraint{Terms: append([]Term(nil), r.Terms...), Sense: r.Sense, RHS: r.RHS, Name: r.Name}
+	}
+	return c
+}
+
+// Solution is the result of a solve.
+type Solution struct {
+	Status     Status
+	X          []float64 // values of the original variables (valid when Optimal)
+	Obj        float64   // objective value (valid when Optimal)
+	Dual       []float64 // one multiplier per constraint (valid when Optimal)
+	Iterations int
+}
+
+// Value evaluates the row's left-hand side at x.
+func (c *Constraint) Value(x []float64) float64 {
+	s := 0.0
+	for _, t := range c.Terms {
+		s += t.Coef * x[t.Var]
+	}
+	return s
+}
+
+// Violation returns how far x is from satisfying row c (0 when satisfied).
+func (c *Constraint) Violation(x []float64) float64 {
+	v := c.Value(x)
+	switch c.Sense {
+	case LE:
+		return math.Max(0, v-c.RHS)
+	case GE:
+		return math.Max(0, c.RHS-v)
+	default:
+		return math.Abs(v - c.RHS)
+	}
+}
+
+// MaxViolation returns the largest constraint or bound violation of x.
+func (p *Problem) MaxViolation(x []float64) float64 {
+	worst := 0.0
+	for i := range p.rows {
+		if v := p.rows[i].Violation(x); v > worst {
+			worst = v
+		}
+	}
+	for j := range p.lo {
+		if v := p.lo[j] - x[j]; v > worst {
+			worst = v
+		}
+		if v := x[j] - p.hi[j]; v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// Objective evaluates cᵀx.
+func (p *Problem) Objective(x []float64) float64 {
+	s := 0.0
+	for j, c := range p.costs {
+		s += c * x[j]
+	}
+	return s
+}

@@ -1,0 +1,32 @@
+package lp
+
+import (
+	"repro/internal/stats"
+	"testing"
+)
+
+func BenchmarkWideMaster(b *testing.B) {
+	// BenchmarkWideMaster covers the shape of the outer-approximation master
+	// LPs: ~80 rows, 3200 bounded binary columns.
+	rng := stats.NewRNG(9)
+	p := NewProblem()
+	nCols := 3200
+	cols := make([]int, nCols)
+	for j := range cols {
+		cols[j] = p.AddVariable(0, 1, rng.Range(-5, 5), "")
+	}
+	for i := 0; i < 80; i++ {
+		terms := make([]Term, 0, 40)
+		for k := 0; k < 40; k++ {
+			terms = append(terms, Term{cols[rng.Intn(nCols)], rng.Range(-3, 3)})
+		}
+		p.AddConstraint(terms, LE, rng.Range(5, 50), "")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := p.Solve()
+		if err != nil || sol.Status != Optimal {
+			b.Fatalf("%v %v", sol.Status, err)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package lp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+// Regression guard: outer-approximation master LPs (many near-parallel LE
+// cuts bounding an epigraph variable, plus shifted variable lower bounds)
+// once triggered a wrong "infeasible" — the incrementally tracked phase-1
+// objective drifted above the feasibility tolerance even though every
+// artificial variable had been driven to zero. The verdict now uses the
+// exact artificial residual; these instances keep it honest.
+func TestPhase1DriftOnOAMasters(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		p := NewProblem()
+		// Epigraph variable T and a few "allocation" variables with
+		// shifted boxes, like a branch-and-bound child node.
+		tv := p.AddVariable(0, 1e4, 1, "T")
+		k := 3 + rng.Intn(3)
+		vars := make([]int, k)
+		budget := make([]Term, 0, k)
+		total := 0.0
+		for j := 0; j < k; j++ {
+			lo := float64(1 + rng.Intn(5))
+			hi := lo + float64(1+rng.Intn(12))
+			vars[j] = p.AddVariable(lo, hi, 0, "n")
+			budget = append(budget, Term{vars[j], 1})
+			total += hi
+		}
+		p.AddConstraint(budget, LE, total*rng.Range(0.7, 1.0), "budget")
+		// Tangent-style cuts: T ≥ w/x linearized at many points —
+		// w/x0 − w/x0²·(x−x0) ≤ T for x0 across each variable's box.
+		for j := 0; j < k; j++ {
+			w := rng.Range(50, 500)
+			lo, hi := p.Bounds(vars[j])
+			for i := 0; i < 12; i++ {
+				x0 := lo + (hi-lo)*float64(i)/11
+				if x0 < 1 {
+					x0 = 1
+				}
+				grad := -w / (x0 * x0)
+				// w/x0 + grad·(x − x0) − T ≤ 0.
+				p.AddConstraint([]Term{{vars[j], grad}, {tv, -1}}, LE,
+					-(w/x0)+grad*x0, "cut")
+			}
+		}
+		sol, err := p.Solve()
+		if err != nil {
+			return false
+		}
+		// Feasible by construction: every box point with T large enough
+		// satisfies all rows (budget RHS ≥ Σ lo by construction when the
+		// shrink factor keeps it above; verify and skip the rare
+		// genuinely-infeasible draw).
+		sumLo := 0.0
+		for j := 0; j < k; j++ {
+			lo, _ := p.Bounds(vars[j])
+			sumLo += lo
+		}
+		if rhsOf(p, 0) < sumLo {
+			return true // budget genuinely infeasible; nothing to test
+		}
+		if sol.Status != Optimal {
+			return false
+		}
+		return p.MaxViolation(sol.X) < 1e-6 && !math.IsNaN(sol.Obj)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// rhsOf returns constraint i's right-hand side (test helper).
+func rhsOf(p *Problem, i int) float64 { return p.rows[i].RHS }

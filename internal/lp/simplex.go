@@ -1,0 +1,648 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+const (
+	costEps  = 1e-9 // reduced-cost optimality tolerance
+	pivotEps = 1e-9 // minimum acceptable pivot magnitude
+	feasEps  = 1e-7 // phase-1 feasibility tolerance
+)
+
+// varMap records how an original variable was rewritten in standard form.
+type varMap struct {
+	kind  int     // 0: x = lo + u, 1: x = hi - u, 2: x = u⁺ - u⁻, 3: fixed
+	col   int     // primary standard column (u or u⁺)
+	col2  int     // u⁻ for kind 2
+	shift float64 // lo (kind 0), hi (kind 1), fixed value (kind 3)
+}
+
+// standard is the problem in bounded computational form:
+// min cᵀu + c0, A u = b, 0 ≤ u ≤ ub (ub may be +Inf).
+//
+// Two-sided variable bounds become column upper bounds handled implicitly
+// by the bounded-variable simplex — they cost nothing, unlike explicit
+// rows. This matters: the HSLB master MILPs carry thousands of binaries.
+type standard struct {
+	a  [][]float64
+	b  []float64
+	c  []float64
+	ub []float64
+	c0 float64
+
+	vmaps []varMap
+	// rowOf[i] is the standard row holding original constraint i;
+	// rowSign[i] maps the standard dual back to the original sense.
+	rowOf   []int
+	rowSign []float64
+	// unitCol[r] is a column that started as the identity on row r (its
+	// slack or artificial), used to read B⁻¹ for dual extraction.
+	unitCol []int
+	nReal   int // columns that are not artificial
+}
+
+// standardize rewrites p into bounded standard form. It returns Infeasible
+// immediately for contradictory bounds.
+func standardize(p *Problem) (*standard, Status) {
+	s := &standard{}
+	n := len(p.costs)
+	s.vmaps = make([]varMap, n)
+
+	// Map variables.
+	for j := 0; j < n; j++ {
+		lo, hi := p.lo[j], p.hi[j]
+		switch {
+		case lo > hi:
+			return nil, Infeasible
+		case lo == hi && !math.IsInf(lo, 0):
+			s.vmaps[j] = varMap{kind: 3, shift: lo}
+			s.c0 += p.costs[j] * lo
+		case !math.IsInf(lo, -1):
+			u := hi - lo // +Inf when hi is +Inf
+			col := s.addCol(p.costs[j], u)
+			s.vmaps[j] = varMap{kind: 0, col: col, shift: lo}
+			s.c0 += p.costs[j] * lo
+		case !math.IsInf(hi, 1): // lo = -inf, hi finite
+			col := s.addCol(-p.costs[j], math.Inf(1))
+			s.vmaps[j] = varMap{kind: 1, col: col, shift: hi}
+			s.c0 += p.costs[j] * hi
+		default: // free
+			cp := s.addCol(p.costs[j], math.Inf(1))
+			cm := s.addCol(-p.costs[j], math.Inf(1))
+			s.vmaps[j] = varMap{kind: 2, col: cp, col2: cm}
+		}
+	}
+
+	// Constraint rows. Each becomes an equality with optional slack.
+	s.rowOf = make([]int, len(p.rows))
+	s.rowSign = make([]float64, len(p.rows))
+	addRow := func(coefs map[int]float64, rhs float64, slack bool) int {
+		row := make([]float64, len(s.c))
+		for col, v := range coefs {
+			row[col] = v
+		}
+		if slack {
+			sc := s.addCol(0, math.Inf(1))
+			row = append(row, make([]float64, len(s.c)-len(row))...)
+			row[sc] = 1
+		}
+		s.a = append(s.a, row)
+		s.b = append(s.b, rhs)
+		return len(s.a) - 1
+	}
+
+	for i := range p.rows {
+		r := &p.rows[i]
+		coefs := make(map[int]float64)
+		rhs := r.RHS
+		for _, t := range r.Terms {
+			vm := s.vmaps[t.Var]
+			switch vm.kind {
+			case 0:
+				coefs[vm.col] += t.Coef
+				rhs -= t.Coef * vm.shift
+			case 1:
+				coefs[vm.col] -= t.Coef
+				rhs -= t.Coef * vm.shift
+			case 2:
+				coefs[vm.col] += t.Coef
+				coefs[vm.col2] -= t.Coef
+			case 3:
+				rhs -= t.Coef * vm.shift
+			}
+		}
+		sign := 1.0
+		sense := r.Sense
+		if sense == GE { // negate into ≤
+			for c := range coefs {
+				coefs[c] = -coefs[c]
+			}
+			rhs = -rhs
+			sign = -1
+			sense = LE
+		}
+		s.rowOf[i] = addRow(coefs, rhs, sense == LE)
+		s.rowSign[i] = sign
+	}
+
+	// Make b ≥ 0 (flips dual sign of affected rows).
+	for r := range s.a {
+		if s.b[r] < 0 {
+			s.b[r] = -s.b[r]
+			for c := range s.a[r] {
+				s.a[r][c] = -s.a[r][c]
+			}
+			for i, ro := range s.rowOf {
+				if ro == r {
+					s.rowSign[i] = -s.rowSign[i]
+				}
+			}
+		}
+	}
+
+	// Pad rows to full width (slack columns added after a row was created).
+	for r := range s.a {
+		if len(s.a[r]) < len(s.c) {
+			s.a[r] = append(s.a[r], make([]float64, len(s.c)-len(s.a[r]))...)
+		}
+	}
+	s.nReal = len(s.c)
+	return s, Optimal
+}
+
+func (s *standard) addCol(cost, upper float64) int {
+	s.c = append(s.c, cost)
+	s.ub = append(s.ub, upper)
+	for r := range s.a {
+		s.a[r] = append(s.a[r], 0)
+	}
+	return len(s.c) - 1
+}
+
+// isSlack reports whether standard column j can serve as an initial basic
+// column: zero cost, unbounded above, and not an artificial.
+func (s *standard) isSlack(j int) bool {
+	return s.c[j] == 0 && j < s.nReal && math.IsInf(s.ub[j], 1)
+}
+
+// Nonbasic variable positions.
+const (
+	atLower int8 = iota
+	atUpper
+)
+
+// debugPhase1 is a test hook invoked when phase 1 concludes infeasible.
+var debugPhase1 func(t *tableau, std *standard, artStart int)
+
+// Phase1Diag summarizes a phase-1 infeasibility conclusion (testing aid).
+type Phase1Diag struct {
+	Obj          float64 // residual Σ artificials
+	Iters        int
+	PositiveArts int
+	WorstDLower  float64 // most negative reduced cost among atLower nonbasics
+	WorstDUpper  float64 // most positive reduced cost among atUpper nonbasics
+}
+
+// SetPhase1Debug installs a callback fired when a solve concludes
+// infeasible in phase 1 (nil disables). Testing aid.
+func SetPhase1Debug(f func(Phase1Diag)) {
+	if f == nil {
+		debugPhase1 = nil
+		return
+	}
+	debugPhase1 = func(t *tableau, std *standard, artStart int) {
+		d := Phase1Diag{Obj: t.obj, Iters: t.iters}
+		for i, bc := range t.basis {
+			if bc >= artStart && t.b[i] > 1e-9 {
+				d.PositiveArts++
+			}
+		}
+		for j := range t.d {
+			if t.inBase[j] || t.banned[j] {
+				continue
+			}
+			if t.status[j] == atLower && t.d[j] < d.WorstDLower {
+				d.WorstDLower = t.d[j]
+			}
+			if t.status[j] == atUpper && t.d[j] > d.WorstDUpper {
+				d.WorstDUpper = t.d[j]
+			}
+		}
+		f(d)
+	}
+}
+
+// tableau is the dense working state of the bounded-variable simplex.
+type tableau struct {
+	a      [][]float64 // m x n, kept as B⁻¹A
+	b      []float64   // m, current values of the basic variables
+	d      []float64   // n, reduced costs for the current phase
+	ub     []float64   // n, column upper bounds
+	basis  []int       // m, basic column per row
+	inBase []bool      // n
+	status []int8      // n, bound position of nonbasic columns
+	banned []bool      // columns excluded from entering (artificials)
+	obj    float64     // current phase objective value
+	iters  int
+}
+
+// run iterates until optimality, unboundedness, or the iteration budget is
+// exhausted.
+func (t *tableau) run(maxIter int) Status {
+	m, n := len(t.a), len(t.d)
+	stall := 0
+	// Engage Bland's rule quickly once the objective stops moving:
+	// degenerate plateaus are common on the branch-and-bound children of
+	// binary-heavy masters, and Dantzig pricing can walk them for a very
+	// long time.
+	blandAfter := m + 64
+	for t.iters < maxIter {
+		t.iters++
+		bland := stall > blandAfter
+
+		// Entering column: nonbasic whose reduced cost improves in its
+		// feasible movement direction.
+		e, dir := -1, 1.0
+		if bland {
+			for j := 0; j < n; j++ {
+				if t.inBase[j] || t.banned[j] {
+					continue
+				}
+				if t.status[j] == atLower && t.d[j] < -costEps {
+					e, dir = j, 1
+					break
+				}
+				if t.status[j] == atUpper && t.d[j] > costEps {
+					e, dir = j, -1
+					break
+				}
+			}
+		} else {
+			best := costEps
+			for j := 0; j < n; j++ {
+				if t.inBase[j] || t.banned[j] {
+					continue
+				}
+				if t.status[j] == atLower && -t.d[j] > best {
+					best, e, dir = -t.d[j], j, 1
+				} else if t.status[j] == atUpper && t.d[j] > best {
+					best, e, dir = t.d[j], j, -1
+				}
+			}
+		}
+		if e < 0 {
+			return Optimal
+		}
+
+		// Ratio test: how far can x_e move in direction dir?
+		tMax := t.ub[e] // own bound flip distance (lower↔upper)
+		r, rKind := -1, atLower
+		limit := tMax
+		for i := 0; i < m; i++ {
+			rate := dir * t.a[i][e] // d(x_B(i))/d(t) = -rate
+			if rate > pivotEps {
+				// Basic variable decreases towards 0.
+				l := t.b[i] / rate
+				if l < limit-1e-12 || (l < limit+1e-12 && (r < 0 || t.basis[i] < t.basis[r])) {
+					limit, r, rKind = l, i, atLower
+				}
+			} else if rate < -pivotEps {
+				ubB := t.ub[t.basis[i]]
+				if math.IsInf(ubB, 1) {
+					continue
+				}
+				// Basic variable increases towards its upper bound.
+				l := (ubB - t.b[i]) / -rate
+				if l < limit-1e-12 || (l < limit+1e-12 && (r < 0 || t.basis[i] < t.basis[r])) {
+					limit, r, rKind = l, i, atUpper
+				}
+			}
+		}
+		if math.IsInf(limit, 1) {
+			return Unbounded
+		}
+		if limit < 0 {
+			limit = 0
+		}
+
+		// Progress is judged relative to the objective scale; absolute
+		// epsilons let 1e-13-sized zigzags reset the stall counter
+		// forever.
+		improved := t.d[e]*dir*limit < -1e-9*(1+math.Abs(t.obj))
+		// Move the entering variable by dir·limit.
+		if limit > 0 {
+			for i := 0; i < m; i++ {
+				t.b[i] -= t.a[i][e] * dir * limit
+			}
+			t.obj += t.d[e] * dir * limit
+		}
+
+		if r < 0 {
+			// Pure bound flip: no basis change.
+			if t.status[e] == atLower {
+				t.status[e] = atUpper
+			} else {
+				t.status[e] = atLower
+			}
+		} else {
+			// Basis change: leaving variable settles at one of its
+			// bounds; entering becomes basic with its new value.
+			leave := t.basis[r]
+			t.inBase[leave] = false
+			t.status[leave] = rKind
+			// Snap the leaving variable's row value exactly.
+			newVal := dir * limit
+			if t.status[e] == atUpper {
+				newVal += t.ub[e]
+			}
+			t.basis[r] = e
+			t.inBase[e] = true
+			t.b[r] = newVal
+
+			// Row reduction.
+			pr := t.a[r]
+			inv := 1 / pr[e]
+			for j := range pr {
+				pr[j] *= inv
+			}
+			for i := 0; i < m; i++ {
+				if i == r {
+					continue
+				}
+				f := t.a[i][e]
+				if f == 0 {
+					continue
+				}
+				ri := t.a[i]
+				for j := range ri {
+					ri[j] -= f * pr[j]
+				}
+				ri[e] = 0
+			}
+			f := t.d[e]
+			if f != 0 {
+				for j := range t.d {
+					t.d[j] -= f * pr[j]
+				}
+				t.d[e] = 0
+			}
+		}
+		// Numerical hygiene: clamp tiny negative basic values.
+		for i := 0; i < m; i++ {
+			if t.b[i] < 0 && t.b[i] > -1e-11 {
+				t.b[i] = 0
+			}
+		}
+		if improved {
+			stall = 0
+		} else {
+			stall++
+		}
+	}
+	return IterLimit
+}
+
+// setCosts installs a cost vector and recomputes reduced costs and the
+// objective for the current basis/bound configuration.
+func (t *tableau) setCosts(c []float64) {
+	copy(t.d, c)
+	t.obj = 0
+	for i, bcol := range t.basis {
+		cb := c[bcol]
+		if cb == 0 {
+			continue
+		}
+		t.obj += cb * t.b[i]
+		row := t.a[i]
+		for j := range t.d {
+			t.d[j] -= cb * row[j]
+		}
+	}
+	for _, bcol := range t.basis {
+		t.d[bcol] = 0
+	}
+	// Nonbasic variables parked at their upper bound contribute directly.
+	for j := range t.d {
+		if !t.inBase[j] && t.status[j] == atUpper {
+			t.obj += c[j] * t.ub[j]
+		}
+	}
+}
+
+// Solve solves the problem and returns the solution. The error is non-nil
+// only for structurally invalid models; infeasibility and unboundedness are
+// reported through Solution.Status.
+func (p *Problem) Solve() (*Solution, error) {
+	for j := range p.lo {
+		if math.IsNaN(p.lo[j]) || math.IsNaN(p.hi[j]) {
+			return nil, fmt.Errorf("%w: NaN bound on variable %d", ErrBadModel, j)
+		}
+	}
+	std, st := standardize(p)
+	if st == Infeasible {
+		return &Solution{Status: Infeasible}, nil
+	}
+
+	m, n := len(std.a), len(std.c)
+	maxIter := p.MaxIter
+	if maxIter == 0 {
+		// Basis changes scale with rows, bound flips with columns; this
+		// budget is an order of magnitude above what healthy solves use.
+		maxIter = 200*(m+25) + 20*n
+	}
+
+	t := &tableau{
+		a:     std.a,
+		b:     append([]float64(nil), std.b...),
+		ub:    std.ub,
+		basis: make([]int, m),
+	}
+
+	// Initial basis: a slack column that is exactly the identity on the
+	// row, else an artificial. All structural columns start at lower.
+	std.unitCol = make([]int, m)
+	used := make([]bool, n)
+	for i := range t.a {
+		t.basis[i] = -1
+		for j := 0; j < n; j++ {
+			if used[j] || !std.isSlack(j) || t.a[i][j] != 1 {
+				continue
+			}
+			unique := true
+			for k := range t.a {
+				if k != i && t.a[k][j] != 0 {
+					unique = false
+					break
+				}
+			}
+			if unique {
+				t.basis[i] = j
+				std.unitCol[i] = j
+				used[j] = true
+				break
+			}
+		}
+	}
+	artStart := n
+	for i := range t.a {
+		if t.basis[i] >= 0 {
+			continue
+		}
+		// Append the artificial column manually: std.addCol would also
+		// push a zero onto every row, duplicating the column we add here.
+		col := len(std.c)
+		std.c = append(std.c, 0)
+		std.ub = append(std.ub, math.Inf(1))
+		for r := range t.a {
+			v := 0.0
+			if r == i {
+				v = 1
+			}
+			t.a[r] = append(t.a[r], v)
+		}
+		t.basis[i] = col
+		std.unitCol[i] = col
+	}
+	n = len(std.c)
+	t.ub = std.ub
+	t.banned = make([]bool, n)
+	t.d = make([]float64, n)
+	t.status = make([]int8, n)
+	t.inBase = make([]bool, n)
+	for _, bc := range t.basis {
+		t.inBase[bc] = true
+	}
+
+	totalIters := 0
+
+	// Phase 1: minimize the sum of artificials.
+	if artStart < n {
+		phase1 := make([]float64, n)
+		for j := artStart; j < n; j++ {
+			phase1[j] = 1
+		}
+		t.setCosts(phase1)
+		st := t.run(maxIter)
+		totalIters += t.iters
+		if st == IterLimit {
+			return &Solution{Status: IterLimit, Iterations: totalIters}, nil
+		}
+		// The incrementally tracked objective drifts over long runs;
+		// judge feasibility on the exact residual: artificials have unit
+		// cost and infinite upper bounds, so the phase-1 objective is
+		// precisely the sum of basic artificial values.
+		resid := 0.0
+		for i, bc := range t.basis {
+			if bc >= artStart && t.b[i] > 0 {
+				resid += t.b[i]
+			}
+		}
+		if st == Unbounded || resid > feasEps {
+			if debugPhase1 != nil {
+				debugPhase1(t, std, artStart)
+			}
+			return &Solution{Status: Infeasible, Iterations: totalIters}, nil
+		}
+		// Drive artificials out of the basis where possible. Basic
+		// artificial values are numerical noise at this point.
+		for i := range t.basis {
+			if t.basis[i] < artStart {
+				continue
+			}
+			t.b[i] = 0
+			for j := 0; j < artStart; j++ {
+				if t.inBase[j] {
+					continue
+				}
+				if math.Abs(t.a[i][j]) > 1e-7 {
+					t.pivotOutArtificial(i, j)
+					break
+				}
+			}
+			// If no pivot was found the row is redundant; the artificial
+			// stays basic at value 0, which is harmless.
+		}
+		for j := artStart; j < n; j++ {
+			t.banned[j] = true
+		}
+	}
+
+	// Phase 2: original costs.
+	t.iters = 0
+	t.setCosts(std.c)
+	st2 := t.run(maxIter)
+	totalIters += t.iters
+	switch st2 {
+	case Unbounded:
+		return &Solution{Status: Unbounded, Iterations: totalIters}, nil
+	case IterLimit:
+		return &Solution{Status: IterLimit, Iterations: totalIters}, nil
+	}
+
+	// Recover standard-form values.
+	u := make([]float64, n)
+	for j := 0; j < n; j++ {
+		if !t.inBase[j] && t.status[j] == atUpper {
+			u[j] = t.ub[j]
+		}
+	}
+	for i, bcol := range t.basis {
+		u[bcol] = t.b[i]
+	}
+	// Map back to original variables.
+	x := make([]float64, len(p.costs))
+	for j, vm := range std.vmaps {
+		switch vm.kind {
+		case 0:
+			x[j] = vm.shift + u[vm.col]
+		case 1:
+			x[j] = vm.shift - u[vm.col]
+		case 2:
+			x[j] = u[vm.col] - u[vm.col2]
+		case 3:
+			x[j] = vm.shift
+		}
+	}
+	// Duals: y_r = c_unit − d_unit for the identity column of each row
+	// (slack and artificial costs are 0 in phase 2, so y_r = −d).
+	dual := make([]float64, len(p.rows))
+	for i := range p.rows {
+		r := std.rowOf[i]
+		if r < 0 {
+			continue
+		}
+		dual[i] = std.rowSign[i] * -t.d[std.unitCol[r]]
+	}
+	return &Solution{
+		Status:     Optimal,
+		X:          x,
+		Obj:        p.Objective(x),
+		Dual:       dual,
+		Iterations: totalIters,
+	}, nil
+}
+
+// pivotOutArtificial swaps a zero-valued basic artificial in row r for
+// structural column j (entering at value 0; feasibility is unaffected).
+func (t *tableau) pivotOutArtificial(r, j int) {
+	leave := t.basis[r]
+	t.inBase[leave] = false
+	t.status[leave] = atLower
+	t.basis[r] = j
+	t.inBase[j] = true
+	// j enters at its current bound value; b[r] stays the artificial's
+	// (zeroed) value plus the bound offset of j.
+	if t.status[j] == atUpper {
+		t.b[r] = t.ub[j]
+	} else {
+		t.b[r] = 0
+	}
+	pr := t.a[r]
+	inv := 1 / pr[j]
+	for k := range pr {
+		pr[k] *= inv
+	}
+	for i := range t.a {
+		if i == r {
+			continue
+		}
+		f := t.a[i][j]
+		if f == 0 {
+			continue
+		}
+		ri := t.a[i]
+		for k := range ri {
+			ri[k] -= f * pr[k]
+		}
+		ri[j] = 0
+	}
+	f := t.d[j]
+	if f != 0 {
+		for k := range t.d {
+			t.d[k] -= f * pr[k]
+		}
+		t.d[j] = 0
+	}
+}

@@ -1,0 +1,111 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// VerifyKKT checks that (sol.X, sol.Dual) is an optimality certificate for
+// the problem: primal feasibility, dual feasibility (sign conditions per
+// row sense), stationarity (reduced costs consistent with each variable's
+// position in its box), and complementary slackness on rows. For linear
+// programs these conditions are necessary and sufficient, so a nil return
+// certifies optimality independently of how the solution was produced.
+//
+// tol is the absolute feasibility/stationarity tolerance (e.g. 1e-6).
+func VerifyKKT(p *Problem, sol *Solution, tol float64) error {
+	if sol.Status != Optimal {
+		return fmt.Errorf("lp: cannot verify non-optimal status %v", sol.Status)
+	}
+	if len(sol.X) != p.NumVariables() || len(sol.Dual) != p.NumConstraints() {
+		return fmt.Errorf("lp: certificate dimensions mismatch")
+	}
+	// Scale-aware tolerance.
+	scale := 1.0
+	for j := range sol.X {
+		if a := math.Abs(sol.X[j]); a > scale {
+			scale = a
+		}
+	}
+	eps := tol * scale
+
+	// Primal feasibility.
+	if v := p.MaxViolation(sol.X); v > eps {
+		return fmt.Errorf("lp: primal violation %g", v)
+	}
+	// Dual sign conditions and complementary slackness on rows:
+	// convention (see Solve): for minimization, GE rows have Dual ≥ 0,
+	// LE rows Dual ≤ 0, EQ rows free; a nonzero dual requires the row
+	// to be active.
+	for i := range p.rows {
+		c := &p.rows[i]
+		y := sol.Dual[i]
+		switch c.Sense {
+		case GE:
+			if y < -eps {
+				return fmt.Errorf("lp: row %d (GE) has negative dual %g", i, y)
+			}
+		case LE:
+			if y > eps {
+				return fmt.Errorf("lp: row %d (LE) has positive dual %g", i, y)
+			}
+		}
+		if math.Abs(y) > eps {
+			gap := c.Value(sol.X) - c.RHS
+			rowScale := math.Abs(c.RHS) + 1
+			if math.Abs(gap) > tol*rowScale*10 {
+				return fmt.Errorf("lp: row %d has dual %g but slack %g", i, y, gap)
+			}
+		}
+	}
+	// Stationarity: reduced cost r_j = c_j − Σ_i y_i a_ij must be ≥ 0 when
+	// x_j sits at its lower bound, ≤ 0 at its upper bound, ≈ 0 when
+	// strictly between.
+	red := make([]float64, p.NumVariables())
+	for j := range red {
+		red[j] = p.costs[j]
+	}
+	for i := range p.rows {
+		y := sol.Dual[i]
+		if y == 0 {
+			continue
+		}
+		for _, t := range p.rows[i].Terms {
+			red[t.Var] -= y * t.Coef
+		}
+	}
+	// Reduced-cost tolerance scales with the costs/duals involved.
+	cscale := 1.0
+	for j := range p.costs {
+		if a := math.Abs(p.costs[j]); a > cscale {
+			cscale = a
+		}
+	}
+	for i := range sol.Dual {
+		if a := math.Abs(sol.Dual[i]); a > cscale {
+			cscale = a
+		}
+	}
+	ceps := tol * cscale * 10
+	for j := range red {
+		lo, hi := p.lo[j], p.hi[j]
+		atLo := sol.X[j] <= lo+eps
+		atHi := sol.X[j] >= hi-eps
+		switch {
+		case atLo && atHi: // fixed
+		case atLo:
+			if red[j] < -ceps {
+				return fmt.Errorf("lp: var %d at lower bound with reduced cost %g", j, red[j])
+			}
+		case atHi:
+			if red[j] > ceps {
+				return fmt.Errorf("lp: var %d at upper bound with reduced cost %g", j, red[j])
+			}
+		default:
+			if math.Abs(red[j]) > ceps {
+				return fmt.Errorf("lp: interior var %d has reduced cost %g", j, red[j])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package lp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestVerifyKKTAcceptsOptimal(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable(0, Inf, -3, "x")
+	y := p.AddVariable(0, Inf, -5, "y")
+	p.AddConstraint([]Term{{x, 1}}, LE, 4, "")
+	p.AddConstraint([]Term{{y, 2}}, LE, 12, "")
+	p.AddConstraint([]Term{{x, 3}, {y, 2}}, LE, 18, "")
+	sol := solveOK(t, p)
+	if err := VerifyKKT(p, sol, 1e-7); err != nil {
+		t.Fatalf("optimal solution rejected: %v", err)
+	}
+}
+
+func TestVerifyKKTRejectsDoctored(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable(0, 10, -1, "x")
+	p.AddConstraint([]Term{{x, 1}}, LE, 6, "")
+	sol := solveOK(t, p)
+
+	// Infeasible primal.
+	bad := *sol
+	bad.X = []float64{9}
+	if err := VerifyKKT(p, &bad, 1e-7); err == nil {
+		t.Fatal("infeasible point certified")
+	}
+	// Suboptimal interior point (stationarity violated).
+	bad2 := *sol
+	bad2.X = []float64{3}
+	bad2.Dual = []float64{0}
+	if err := VerifyKKT(p, &bad2, 1e-7); err == nil {
+		t.Fatal("suboptimal interior point certified")
+	}
+	// Wrong-signed dual on a LE row.
+	bad3 := *sol
+	bad3.Dual = []float64{2}
+	if err := VerifyKKT(p, &bad3, 1e-7); err == nil {
+		t.Fatal("positive LE dual certified")
+	}
+	// Nonzero dual on an inactive row (complementary slackness).
+	p2 := NewProblem()
+	z := p2.AddVariable(0, 1, 1, "z")
+	p2.AddConstraint([]Term{{z, 1}}, LE, 5, "") // inactive at z=0
+	sol2 := solveOK(t, p2)
+	bad4 := *sol2
+	bad4.Dual = []float64{-3}
+	if err := VerifyKKT(p2, &bad4, 1e-7); err == nil {
+		t.Fatal("nonzero dual on slack row certified")
+	}
+	// Non-optimal status.
+	bad5 := *sol
+	bad5.Status = Infeasible
+	if err := VerifyKKT(p, &bad5, 1e-7); err == nil {
+		t.Fatal("non-optimal status certified")
+	}
+}
+
+// Property: every solution the simplex returns as optimal carries a valid
+// KKT certificate.
+func TestVerifyKKTProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		p := randomLP(rng, 2+rng.Intn(5), 1+rng.Intn(5))
+		sol, err := p.Solve()
+		if err != nil || sol.Status != Optimal {
+			return false
+		}
+		return VerifyKKT(p, sol, 1e-6) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}

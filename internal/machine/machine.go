@@ -1,0 +1,117 @@
+// Package machine models the parallel machine the simulations run on — a
+// Blue Gene/P-like system, standing in for Intrepid (ALCF), the platform of
+// the paper's experiments: 40,960 quad-core nodes, with the application run
+// as 1 MPI task × 4 threads per node so that the node is the allocation
+// unit (exactly the paper's choice: "nodes were used to represent the
+// physical computing unit in our algorithm").
+//
+// The model is deliberately simple — per-node compute rate, a latency/
+// bandwidth communication term, and deterministic run-to-run noise — because
+// HSLB only observes per-task wall-clock times; what matters is that those
+// times scale the way real machines make them scale.
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Machine describes the simulated system.
+type Machine struct {
+	// Name for reports.
+	Name string
+	// Nodes is the total node count (Intrepid: 40960).
+	Nodes int
+	// CoresPerNode (Intrepid BG/P: 4).
+	CoresPerNode int
+	// Speed scales all compute times (1.0 = BG/P-like baseline; >1 is a
+	// faster machine).
+	Speed float64
+	// LatencySec is the per-message latency of the interconnect.
+	LatencySec float64
+	// BandwidthBytesPerSec is the per-link bandwidth.
+	BandwidthBytesPerSec float64
+	// NoiseSigma is the lognormal sigma of run-to-run variability of task
+	// times (OS jitter, network contention). 0 disables noise.
+	NoiseSigma float64
+}
+
+// Intrepid returns the machine model for the paper's platform.
+func Intrepid() *Machine {
+	return &Machine{
+		Name:                 "Intrepid (IBM Blue Gene/P)",
+		Nodes:                40960,
+		CoresPerNode:         4,
+		Speed:                1.0,
+		LatencySec:           3.5e-6,
+		BandwidthBytesPerSec: 425e6, // per-link 3D torus
+		NoiseSigma:           0.015,
+	}
+}
+
+// Small returns a small test machine with no noise.
+func Small(nodes int) *Machine {
+	return &Machine{
+		Name:                 fmt.Sprintf("test-%d", nodes),
+		Nodes:                nodes,
+		CoresPerNode:         4,
+		Speed:                1.0,
+		LatencySec:           1e-6,
+		BandwidthBytesPerSec: 1e9,
+	}
+}
+
+// Cores returns the total core count.
+func (m *Machine) Cores() int { return m.Nodes * m.CoresPerNode }
+
+// Validate reports configuration problems.
+func (m *Machine) Validate() error {
+	if m.Nodes < 1 {
+		return fmt.Errorf("machine: need at least one node, have %d", m.Nodes)
+	}
+	if m.CoresPerNode < 1 {
+		return fmt.Errorf("machine: need at least one core per node, have %d", m.CoresPerNode)
+	}
+	if m.Speed <= 0 {
+		return fmt.Errorf("machine: non-positive speed %g", m.Speed)
+	}
+	if m.LatencySec < 0 || m.BandwidthBytesPerSec <= 0 {
+		return fmt.Errorf("machine: invalid network parameters")
+	}
+	if m.NoiseSigma < 0 {
+		return fmt.Errorf("machine: negative noise sigma")
+	}
+	return nil
+}
+
+// ComputeTime returns the wall-clock seconds for `flops` of perfectly
+// parallel work on n nodes.
+func (m *Machine) ComputeTime(flops float64, n int) float64 {
+	// BG/P-like nominal rate: 3.4 GF/core sustained fraction folded into
+	// Speed; use 1e9 flop/s·core as the unit scale.
+	rate := 1e9 * m.Speed * float64(m.CoresPerNode) * float64(n)
+	return flops / rate
+}
+
+// CommTime returns the wall-clock seconds to move `bytes` across the
+// interconnect in `messages` messages (α-β model).
+func (m *Machine) CommTime(bytes float64, messages float64) float64 {
+	return messages*m.LatencySec + bytes/m.BandwidthBytesPerSec
+}
+
+// CollectiveTime approximates a tree-based collective over n nodes moving
+// `bytes` per stage: log₂(n) latency-bound stages.
+func (m *Machine) CollectiveTime(bytes float64, n int) float64 {
+	stages := 0.0
+	for v := 1; v < n; v <<= 1 {
+		stages++
+	}
+	return stages * (m.LatencySec + bytes/m.BandwidthBytesPerSec)
+}
+
+// Noise returns a multiplicative run-to-run noise factor (expectation 1)
+// drawn from rng; exactly 1 when the machine is noise-free.
+func (m *Machine) Noise(rng *stats.RNG) float64 {
+	return rng.LogNormFactor(m.NoiseSigma)
+}

@@ -1,0 +1,97 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestIntrepidShape(t *testing.T) {
+	m := Intrepid()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Nodes != 40960 || m.CoresPerNode != 4 {
+		t.Fatalf("Intrepid dimensions wrong: %d nodes × %d cores", m.Nodes, m.CoresPerNode)
+	}
+	if m.Cores() != 163840 {
+		t.Fatalf("Cores = %d", m.Cores())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []func(*Machine){
+		func(m *Machine) { m.Nodes = 0 },
+		func(m *Machine) { m.CoresPerNode = 0 },
+		func(m *Machine) { m.Speed = 0 },
+		func(m *Machine) { m.BandwidthBytesPerSec = 0 },
+		func(m *Machine) { m.NoiseSigma = -1 },
+	}
+	for i, mutate := range cases {
+		m := Small(8)
+		mutate(m)
+		if err := m.Validate(); err == nil {
+			t.Fatalf("case %d: invalid machine accepted", i)
+		}
+	}
+}
+
+func TestComputeTimeScales(t *testing.T) {
+	m := Small(1024)
+	t1 := m.ComputeTime(1e12, 1)
+	t2 := m.ComputeTime(1e12, 2)
+	if math.Abs(t1/t2-2) > 1e-9 {
+		t.Fatalf("compute time not inversely proportional to nodes: %v vs %v", t1, t2)
+	}
+	fast := Small(1024)
+	fast.Speed = 2
+	if math.Abs(m.ComputeTime(1e12, 4)/fast.ComputeTime(1e12, 4)-2) > 1e-9 {
+		t.Fatal("speed factor not applied")
+	}
+}
+
+func TestCommTime(t *testing.T) {
+	m := Small(64)
+	// Pure latency.
+	if got := m.CommTime(0, 10); math.Abs(got-10*m.LatencySec) > 1e-15 {
+		t.Fatalf("latency term = %v", got)
+	}
+	// Pure bandwidth.
+	if got := m.CommTime(1e9, 0); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("bandwidth term = %v", got)
+	}
+}
+
+func TestCollectiveTimeLog(t *testing.T) {
+	m := Small(64)
+	t64 := m.CollectiveTime(0, 64)
+	t2 := m.CollectiveTime(0, 2)
+	if math.Abs(t64/t2-6) > 1e-9 { // log2(64)=6 vs log2(2)=1
+		t.Fatalf("collective stages: %v vs %v", t64, t2)
+	}
+	if m.CollectiveTime(0, 1) != 0 {
+		t.Fatal("single-node collective should cost nothing")
+	}
+}
+
+func TestNoise(t *testing.T) {
+	quiet := Small(8) // NoiseSigma = 0
+	rng := stats.NewRNG(1)
+	if f := quiet.Noise(rng); f != 1 {
+		t.Fatalf("noise-free machine returned factor %v", f)
+	}
+	noisy := Intrepid()
+	sum := 0.0
+	n := 50000
+	for i := 0; i < n; i++ {
+		f := noisy.Noise(rng)
+		if f <= 0 {
+			t.Fatalf("non-positive noise factor %v", f)
+		}
+		sum += f
+	}
+	if mean := sum / float64(n); math.Abs(mean-1) > 0.01 {
+		t.Fatalf("noise mean %v, want ~1", mean)
+	}
+}

@@ -1,0 +1,92 @@
+package milp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/lp"
+	"repro/internal/stats"
+)
+
+// hardInstance builds an equality-knapsack MILP that forces substantial
+// branching.
+func hardInstance(n int, seed uint64) (*lp.Problem, []int) {
+	rng := stats.NewRNG(seed)
+	p := lp.NewProblem()
+	ints := make([]int, n)
+	terms := make([]lp.Term, n)
+	for j := 0; j < n; j++ {
+		ints[j] = p.AddVariable(0, 1, -rng.Range(1, 10), "")
+		terms[j] = lp.Term{Var: ints[j], Coef: float64(2*j + 3)}
+	}
+	p.AddConstraint(terms, lp.LE, float64(n*n)/2.5, "")
+	return p, ints
+}
+
+func TestTimeLimitStopsSearch(t *testing.T) {
+	p, ints := hardInstance(40, 1)
+	res := Solve(p, ints, nil, Options{TimeLimit: time.Microsecond})
+	if res.Status != NodeLimit && res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	// A microsecond cannot finish a 40-variable knapsack that requires
+	// any branching at all; expect the limit to have fired (unless the LP
+	// relaxation happened to be integral).
+	if res.Status == NodeLimit && res.Nodes > 5 {
+		t.Fatalf("time limit fired late: %d nodes", res.Nodes)
+	}
+}
+
+func TestTimeLimitZeroMeansUnlimited(t *testing.T) {
+	p, ints := hardInstance(12, 2)
+	res := Solve(p, ints, nil, Options{})
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+}
+
+func TestNodeLimitReportsBound(t *testing.T) {
+	p, ints := hardInstance(40, 3)
+	res := Solve(p, ints, nil, Options{MaxNodes: 3})
+	if res.Status == Optimal {
+		return // solved at the root; nothing to check
+	}
+	if res.Status != NodeLimit {
+		t.Fatalf("status = %v", res.Status)
+	}
+	// The reported bound must be a valid lower bound: continue the solve
+	// to optimality and compare.
+	full := Solve(p, ints, nil, Options{})
+	if full.Status != Optimal {
+		t.Fatalf("full solve status = %v", full.Status)
+	}
+	if res.BestBound > full.Obj+1e-6 {
+		t.Fatalf("limit-time bound %v exceeds true optimum %v", res.BestBound, full.Obj)
+	}
+}
+
+func TestGapTolEarlyStop(t *testing.T) {
+	p, ints := hardInstance(24, 4)
+	tight := Solve(p, ints, nil, Options{})
+	loose := Solve(p, ints, nil, Options{GapTol: 0.2})
+	if tight.Status != Optimal || loose.Status != Optimal {
+		t.Fatalf("status: %v / %v", tight.Status, loose.Status)
+	}
+	// The loose solve's answer is within 20% of optimal and never better.
+	if loose.Obj < tight.Obj-1e-9 {
+		t.Fatalf("loose gap found a better objective: %v < %v", loose.Obj, tight.Obj)
+	}
+	if loose.Obj > tight.Obj+0.2*(1+absF(tight.Obj)) {
+		t.Fatalf("loose solve exceeded its gap: %v vs %v", loose.Obj, tight.Obj)
+	}
+	if loose.Nodes > tight.Nodes {
+		t.Fatalf("loose gap explored more nodes (%d > %d)", loose.Nodes, tight.Nodes)
+	}
+}
+
+func absF(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,323 @@
+package milp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lp"
+	"repro/internal/stats"
+)
+
+func TestKnapsack(t *testing.T) {
+	// max 10a + 13b + 7c s.t. 3a + 4b + 2c ≤ 6, binaries.
+	// Best: a + c (val 17, wt 5)? b + c = 20, wt 6 ✓ → optimum 20.
+	p := lp.NewProblem()
+	a := p.AddVariable(0, 1, -10, "a")
+	b := p.AddVariable(0, 1, -13, "b")
+	c := p.AddVariable(0, 1, -7, "c")
+	p.AddConstraint([]lp.Term{{Var: a, Coef: 3}, {Var: b, Coef: 4}, {Var: c, Coef: 2}}, lp.LE, 6, "cap")
+	res := Solve(p, []int{a, b, c}, nil, Options{})
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if math.Abs(res.Obj+20) > 1e-6 {
+		t.Fatalf("obj = %v, want -20 (x=%v)", res.Obj, res.X)
+	}
+	if math.Abs(res.X[b]-1) > 1e-6 || math.Abs(res.X[c]-1) > 1e-6 || math.Abs(res.X[a]) > 1e-6 {
+		t.Fatalf("x = %v", res.X)
+	}
+}
+
+func TestIntegerRounding(t *testing.T) {
+	// min -x s.t. 2x ≤ 7, x integer in [0, 10] → x = 3 (LP gives 3.5).
+	p := lp.NewProblem()
+	x := p.AddVariable(0, 10, -1, "x")
+	p.AddConstraint([]lp.Term{{Var: x, Coef: 2}}, lp.LE, 7, "")
+	res := Solve(p, []int{x}, nil, Options{})
+	if res.Status != Optimal || math.Abs(res.X[x]-3) > 1e-6 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestMixedIntegerContinuous(t *testing.T) {
+	// min -y - 0.1x, y integer. x ≤ 3.7 continuous, y ≤ x (so y ≤ 3).
+	p := lp.NewProblem()
+	x := p.AddVariable(0, 3.7, -0.1, "x")
+	y := p.AddVariable(0, 10, -1, "y")
+	p.AddConstraint([]lp.Term{{Var: y, Coef: 1}, {Var: x, Coef: -1}}, lp.LE, 0, "")
+	res := Solve(p, []int{y}, nil, Options{})
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if math.Abs(res.X[y]-3) > 1e-6 || math.Abs(res.X[x]-3.7) > 1e-6 {
+		t.Fatalf("x = %v", res.X)
+	}
+}
+
+func TestInfeasibleMILP(t *testing.T) {
+	// 2x = 3 with x integer is infeasible.
+	p := lp.NewProblem()
+	x := p.AddVariable(0, 10, 1, "x")
+	p.AddConstraint([]lp.Term{{Var: x, Coef: 2}}, lp.EQ, 3, "")
+	res := Solve(p, []int{x}, nil, Options{})
+	if res.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", res.Status)
+	}
+}
+
+func TestUnboundedMILP(t *testing.T) {
+	p := lp.NewProblem()
+	p.AddVariable(0, lp.Inf, -1, "x")
+	res := Solve(p, []int{}, nil, Options{})
+	if res.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", res.Status)
+	}
+}
+
+func TestPureLPPassThrough(t *testing.T) {
+	p := lp.NewProblem()
+	x := p.AddVariable(0, 5, -1, "x")
+	res := Solve(p, nil, nil, Options{})
+	if res.Status != Optimal || math.Abs(res.X[x]-5) > 1e-9 {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.Nodes != 1 {
+		t.Fatalf("nodes = %d, want 1", res.Nodes)
+	}
+}
+
+func TestSOS1Branching(t *testing.T) {
+	// Choose exactly one of 5 allocation levels (Σz=1) to maximize value
+	// with a capacity constraint that excludes the largest.
+	p := lp.NewProblem()
+	levels := []float64{1, 2, 4, 8, 16}
+	values := []float64{1, 3, 6, 10, 100}
+	var zs []int
+	terms := make([]lp.Term, 0, 5)
+	capTerms := make([]lp.Term, 0, 5)
+	for i := range levels {
+		z := p.AddVariable(0, 1, -values[i], "")
+		zs = append(zs, z)
+		terms = append(terms, lp.Term{Var: z, Coef: 1})
+		capTerms = append(capTerms, lp.Term{Var: z, Coef: levels[i]})
+	}
+	p.AddConstraint(terms, lp.EQ, 1, "one")
+	p.AddConstraint(capTerms, lp.LE, 10, "cap")
+	sos := []SOS1{{Vars: zs, Weights: levels}}
+
+	res := Solve(p, zs, sos, Options{})
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	// Level 16 violates the capacity; best admissible is level 8 (value 10).
+	if math.Abs(res.Obj+10) > 1e-6 {
+		t.Fatalf("obj = %v, want -10", res.Obj)
+	}
+	if math.Abs(res.X[zs[3]]-1) > 1e-6 {
+		t.Fatalf("x = %v", res.X)
+	}
+}
+
+func TestSOSVsBinaryBranchingAgree(t *testing.T) {
+	// Same optimum with and without SOS branching; typically fewer nodes
+	// with SOS on sets with many members.
+	rng := stats.NewRNG(17)
+	for trial := 0; trial < 10; trial++ {
+		nLevels := 20 + rng.Intn(30)
+		p := lp.NewProblem()
+		var zs []int
+		one := make([]lp.Term, 0, nLevels)
+		cap := make([]lp.Term, 0, nLevels)
+		weights := make([]float64, nLevels)
+		for i := 0; i < nLevels; i++ {
+			weights[i] = float64(i + 1)
+			z := p.AddVariable(0, 1, -rng.Range(0, 50), "")
+			zs = append(zs, z)
+			one = append(one, lp.Term{Var: z, Coef: 1})
+			cap = append(cap, lp.Term{Var: z, Coef: weights[i]})
+		}
+		p.AddConstraint(one, lp.EQ, 1, "")
+		p.AddConstraint(cap, lp.LE, float64(nLevels)*0.6, "")
+		sos := []SOS1{{Vars: zs, Weights: weights}}
+
+		withSOS := Solve(p, zs, sos, Options{})
+		without := Solve(p, zs, sos, Options{DisableSOSBranching: true})
+		if withSOS.Status != Optimal || without.Status != Optimal {
+			t.Fatalf("status: %v / %v", withSOS.Status, without.Status)
+		}
+		if math.Abs(withSOS.Obj-without.Obj) > 1e-6 {
+			t.Fatalf("objectives differ: %v vs %v", withSOS.Obj, without.Obj)
+		}
+	}
+}
+
+func TestLazyCuts(t *testing.T) {
+	// min -x - y, integers in [0,10], lazy enforces x + y ≤ 7.
+	p := lp.NewProblem()
+	x := p.AddVariable(0, 10, -1, "x")
+	y := p.AddVariable(0, 10, -1, "y")
+	calls := 0
+	lazy := func(v []float64) []LazyCut {
+		calls++
+		if v[x]+v[y] > 7+1e-6 {
+			return []LazyCut{{
+				Terms: []lp.Term{{Var: x, Coef: 1}, {Var: y, Coef: 1}},
+				Sense: lp.LE, RHS: 7,
+			}}
+		}
+		return nil
+	}
+	res := Solve(p, []int{x, y}, nil, Options{Lazy: lazy})
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if math.Abs(res.Obj+7) > 1e-6 {
+		t.Fatalf("obj = %v, want -7", res.Obj)
+	}
+	if calls == 0 || res.Cuts == 0 {
+		t.Fatalf("lazy callback unused (calls=%d cuts=%d)", calls, res.Cuts)
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	// An awkward equality forces branching; a node limit of 1 must stop.
+	p := lp.NewProblem()
+	var ints []int
+	terms := make([]lp.Term, 0, 10)
+	for i := 0; i < 10; i++ {
+		v := p.AddVariable(0, 1, -float64(i%3+1), "")
+		ints = append(ints, v)
+		terms = append(terms, lp.Term{Var: v, Coef: float64(2*i + 1)})
+	}
+	p.AddConstraint(terms, lp.LE, 31.5, "")
+	res := Solve(p, ints, nil, Options{MaxNodes: 1})
+	if res.Status != NodeLimit && res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+}
+
+// bruteForceMILP enumerates all integer assignments (all variables integer,
+// small boxes) and returns the best objective.
+func bruteForceMILP(p *lp.Problem, ints []int, sos []SOS1) (float64, bool) {
+	n := p.NumVariables()
+	x := make([]float64, n)
+	best, found := math.Inf(1), false
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			for _, s := range sos {
+				nz := 0
+				for _, v := range s.Vars {
+					if x[v] != 0 {
+						nz++
+					}
+				}
+				if nz > 1 {
+					return
+				}
+			}
+			if p.MaxViolation(x) < 1e-7 {
+				if o := p.Objective(x); o < best {
+					best, found = o, true
+				}
+			}
+			return
+		}
+		lo, hi := p.Bounds(k)
+		for v := math.Ceil(lo); v <= hi+1e-9; v++ {
+			x[k] = v
+			rec(k + 1)
+		}
+	}
+	rec(0)
+	return best, found
+}
+
+// Property: branch-and-bound matches exhaustive enumeration on random small
+// all-integer problems.
+func TestAgainstBruteForceProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := 2 + rng.Intn(4)
+		p := lp.NewProblem()
+		ints := make([]int, n)
+		for j := 0; j < n; j++ {
+			ints[j] = p.AddVariable(0, float64(1+rng.Intn(4)), rng.Range(-5, 5), "")
+		}
+		// Random feasible-by-zero constraints (rhs ≥ 0 for LE keeps x=0
+		// feasible, so the instance always has an optimum).
+		mrows := 1 + rng.Intn(3)
+		for i := 0; i < mrows; i++ {
+			terms := make([]lp.Term, n)
+			for j := 0; j < n; j++ {
+				terms[j] = lp.Term{Var: j, Coef: rng.Range(-2, 4)}
+			}
+			p.AddConstraint(terms, lp.LE, rng.Range(0, 8), "")
+		}
+		res := Solve(p, ints, nil, Options{})
+		if res.Status != Optimal {
+			return false
+		}
+		want, ok := bruteForceMILP(p, ints, nil)
+		if !ok {
+			return false
+		}
+		return math.Abs(res.Obj-want) < 1e-6*(1+math.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with SOS1 sets, brute force still agrees.
+func TestSOSAgainstBruteForceProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		k := 3 + rng.Intn(4)
+		p := lp.NewProblem()
+		zs := make([]int, k)
+		one := make([]lp.Term, k)
+		wts := make([]float64, k)
+		for i := 0; i < k; i++ {
+			zs[i] = p.AddVariable(0, 1, rng.Range(-10, 2), "")
+			one[i] = lp.Term{Var: zs[i], Coef: 1}
+			wts[i] = float64(i + 1)
+		}
+		p.AddConstraint(one, lp.EQ, 1, "")
+		// A random knapsack row over the set.
+		row := make([]lp.Term, k)
+		for i := 0; i < k; i++ {
+			row[i] = lp.Term{Var: zs[i], Coef: rng.Range(0, 5)}
+		}
+		p.AddConstraint(row, lp.LE, rng.Range(1, 6), "")
+		sos := []SOS1{{Vars: zs, Weights: wts}}
+		res := Solve(p, zs, sos, Options{})
+		want, ok := bruteForceMILP(p, zs, sos)
+		if !ok {
+			// Every member may violate the knapsack row; then the MILP
+			// must agree it is infeasible.
+			return res.Status == Infeasible
+		}
+		if res.Status != Optimal {
+			return false
+		}
+		return math.Abs(res.Obj-want) < 1e-6*(1+math.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundReporting(t *testing.T) {
+	p := lp.NewProblem()
+	x := p.AddVariable(0, 10, -1, "x")
+	p.AddConstraint([]lp.Term{{Var: x, Coef: 2}}, lp.LE, 7, "")
+	res := Solve(p, []int{x}, nil, Options{})
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if res.BestBound != res.Obj {
+		t.Fatalf("best bound %v != obj %v at optimality", res.BestBound, res.Obj)
+	}
+}

@@ -1,0 +1,31 @@
+package minlp
+
+import (
+	"testing"
+)
+
+// BenchmarkAllocationMINLP solves the paper-style min-max allocation MINLP
+// (4 tasks, 4096 nodes) end to end.
+func BenchmarkAllocationMINLP(b *testing.B) {
+	w := []float64{9000, 4500, 32000, 14000}
+	for i := 0; i < b.N; i++ {
+		m, _, _ := minMaxModel(w, 4096)
+		res := Solve(m, Options{})
+		if res.Status != Optimal {
+			b.Fatalf("status %v", res.Status)
+		}
+	}
+}
+
+// BenchmarkAllocationMINLPNoSOSWarmup is the ablated variant without the
+// initial Kelley relaxation.
+func BenchmarkAllocationMINLPNoWarmStart(b *testing.B) {
+	w := []float64{9000, 4500, 32000, 14000}
+	for i := 0; i < b.N; i++ {
+		m, _, _ := minMaxModel(w, 4096)
+		res := Solve(m, Options{SkipNLPRelaxation: true})
+		if res.Status != Optimal {
+			b.Fatalf("status %v", res.Status)
+		}
+	}
+}

@@ -1,0 +1,334 @@
+// Package minlp implements the LP/NLP-based branch-and-bound algorithm for
+// convex mixed-integer nonlinear programs — the algorithm the paper uses
+// (via MINOTAUR) to solve the HSLB node-allocation problems.
+//
+// The method, following Quesada & Grossmann (and Fletcher & Leyffer's outer
+// approximation, which the paper cites):
+//
+//  1. Solve the continuous NLP relaxation. Its solution provides the first
+//     linearization points; infeasibility or the bound it produces can end
+//     the search immediately.
+//  2. Build a master MILP from the linear part of the model plus
+//     outer-approximation cuts at the relaxation solution.
+//  3. Run a single branch-and-bound tree over the master (package milp).
+//     Whenever the tree finds an integer-feasible LP point, a lazy callback
+//     checks the true nonlinear constraints: violated constraints are
+//     linearized at that point (a valid global cut that separates it, by
+//     convexity) and the node is re-solved; points satisfying every
+//     constraint become incumbents.
+//
+// Because the fitted HSLB performance functions are convex (coefficients
+// a, b, d ≥ 0 and exponent c ≥ 1 — the paper: "the positivity of the
+// coefficients implies that the nonlinear functions are convex"), every cut
+// is valid and the returned solution is globally optimal, which is the
+// guarantee the paper's abstract highlights.
+package minlp
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/lp"
+	"repro/internal/milp"
+	"repro/internal/model"
+	"repro/internal/nlp"
+)
+
+// lazyDebug enables tracing of the OA lazy callback (tests flip it).
+var lazyDebug = false
+
+// Status reports the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+	Limit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case Limit:
+		return "limit"
+	}
+	return "unknown"
+}
+
+// Options tunes the solver. Zero values select defaults.
+type Options struct {
+	// FeasTol is the nonlinear feasibility tolerance for accepting
+	// incumbents (default 1e-6).
+	FeasTol float64
+	// MaxNodes bounds the branch-and-bound tree (default 200000).
+	MaxNodes int
+	// DisableSOSBranching forwards the ablation knob to the MILP tree.
+	DisableSOSBranching bool
+	// CutAtFractional adds OA cuts at fractional node solutions too.
+	CutAtFractional bool
+	// SkipNLPRelaxation skips step 1 (the initial Kelley solve); the
+	// master then starts from the pure linear relaxation. Used by the
+	// solver ablation benchmarks.
+	SkipNLPRelaxation bool
+	// GridCuts seeds the master with linearizations of every nonlinear
+	// constraint at a geometric grid of points across its variable box
+	// (default 8; negative disables). A tight initial master keeps the
+	// branch-and-bound tree small on the flat objective plateaus typical
+	// of allocation problems.
+	GridCuts int
+	// GapTol is the relative optimality gap of the master tree
+	// (default 1e-7).
+	GapTol float64
+	// TimeLimit bounds the wall-clock time of the master tree search
+	// (0 = unlimited); on expiry the best incumbent is returned with
+	// status Limit.
+	TimeLimit time.Duration
+	// DebugLPCheck forwards to the MILP tree (testing hook).
+	DebugLPCheck func(p *lp.Problem, sol *lp.Solution)
+}
+
+// Result is the outcome of a solve.
+type Result struct {
+	Status Status
+	X      []float64
+	Obj    float64
+	// RelaxObj is the continuous relaxation optimum (a global lower
+	// bound); NaN when the relaxation was skipped.
+	RelaxObj float64
+	Nodes    int
+	LPSolves int
+	OACuts   int
+}
+
+// Solve minimizes the model. The model's nonlinear constraints must be
+// convex; see the package comment.
+func Solve(m *model.Model, opts Options) *Result {
+	if opts.FeasTol == 0 {
+		opts.FeasTol = 1e-6
+	}
+	if opts.GridCuts == 0 {
+		opts.GridCuts = 8
+	}
+	if opts.GapTol == 0 {
+		opts.GapTol = 1e-7
+	}
+	res := &Result{RelaxObj: math.NaN()}
+	if err := m.Validate(); err != nil {
+		res.Status = Infeasible
+		return res
+	}
+
+	master := m.LPRelaxation()
+
+	// Seed the master with grid linearizations: for each nonlinear
+	// constraint, sweep each of its variables over a geometric grid of its
+	// box (others at the box midpoint) and cut there.
+	if opts.GridCuts > 0 {
+		// Coordinates of linearization points are kept small in
+		// magnitude: the cut right-hand side Σ∇g·x̄ − g(x̄) suffers
+		// catastrophic cancellation when x̄ holds huge components (e.g.
+		// a makespan variable bounded by 1e12), which would perturb the
+		// cut into cutting off feasible points.
+		const magCap = 1e8
+		nvars := m.NumVars()
+		for k := range m.Nonlinear() {
+			g := m.Nonlinear()[k].G
+			vars := g.Vars()
+			base := make([]float64, nvars)
+			for _, v := range vars {
+				vi := m.Var(v)
+				base[v] = clampMag(boundedBase(vi.Lo, vi.Hi), magCap)
+			}
+			for _, v := range vars {
+				vi := m.Var(v)
+				lo, hi := vi.Lo, vi.Hi
+				if math.IsInf(lo, -1) || math.IsInf(hi, 1) || hi-lo < 1e-12 {
+					continue
+				}
+				lo, hi = math.Max(lo, -magCap), math.Min(hi, magCap)
+				if hi <= lo {
+					continue
+				}
+				denom := float64(opts.GridCuts - 1)
+				if denom < 1 {
+					denom = 1
+				}
+				for i := 0; i < opts.GridCuts; i++ {
+					f := float64(i) / denom
+					pt := append([]float64(nil), base...)
+					if lo > 0 {
+						pt[v] = lo * math.Pow(hi/lo, f) // geometric
+					} else {
+						pt[v] = lo + (hi-lo)*f // linear
+					}
+					if !finiteAt(g, pt) {
+						continue
+					}
+					m.LinearizeAt(master, k, pt)
+				}
+			}
+		}
+	}
+
+	// Step 1: continuous relaxation via Kelley's method. Its cut points
+	// warm-start the master with the same linearizations.
+	if !opts.SkipNLPRelaxation {
+		relax := nlp.SolveConvex(m.Clone(), nlp.ConvexOptions{Tol: opts.FeasTol / 10})
+		res.LPSolves += relax.Iters
+		switch relax.Status {
+		case nlp.ConvexInfeasible:
+			res.Status = Infeasible
+			return res
+		case nlp.ConvexUnbounded:
+			res.Status = Unbounded
+			return res
+		case nlp.ConvexIterLimit:
+			// Keep going with whatever cuts we got; the master remains a
+			// relaxation either way.
+		default:
+			res.RelaxObj = relax.Obj
+		}
+		for _, pt := range relax.CutPoints {
+			for k := range m.Nonlinear() {
+				m.LinearizeAt(master, k, pt)
+			}
+		}
+		if relax.X != nil {
+			for k := range m.Nonlinear() {
+				m.LinearizeAt(master, k, relax.X)
+			}
+		}
+	}
+
+	// Step 3: single-tree branch and bound with OA lazy cuts. Cuts are
+	// deduplicated by (constraint, quantized linearization point): repeat
+	// candidates sharing coordinates would otherwise flood the master
+	// with identical rows.
+	seen := make(map[cutKey]bool)
+	lazy := func(x []float64) []milp.LazyCut {
+		var cuts []milp.LazyCut
+		for k := range m.Nonlinear() {
+			g := m.Nonlinear()[k].G
+			v := g.Value(x)
+			if v <= opts.FeasTol {
+				continue
+			}
+			key := makeCutKey(k, g.Vars(), x)
+			if seen[key] {
+				if lazyDebug {
+					fmt.Printf("lazy SKIP k=%d viol=%g x=%v\n", k, v, x)
+				}
+				continue
+			}
+			seen[key] = true
+			terms, rhs := m.LinearCutAt(k, x)
+			cuts = append(cuts, milp.LazyCut{Terms: terms, Sense: lp.LE, RHS: rhs, Name: "oa"})
+		}
+		if lazyDebug {
+			fmt.Printf("lazy: x=%v -> %d cuts\n", x, len(cuts))
+		}
+		return cuts
+	}
+
+	sos := make([]milp.SOS1, 0, len(m.SOS()))
+	for _, s := range m.SOS() {
+		sos = append(sos, milp.SOS1{Vars: s.Vars, Weights: s.Weights})
+	}
+
+	mres := milp.Solve(master, m.IntegerVars(), sos, milp.Options{
+		MaxNodes:            opts.MaxNodes,
+		GapTol:              opts.GapTol,
+		TimeLimit:           opts.TimeLimit,
+		DisableSOSBranching: opts.DisableSOSBranching,
+		CutAtFractional:     opts.CutAtFractional,
+		Lazy:                lazy,
+		DebugLPCheck:        opts.DebugLPCheck,
+	})
+	res.Nodes = mres.Nodes
+	res.LPSolves += mres.LPSolves
+	res.OACuts = mres.Cuts
+	switch mres.Status {
+	case milp.Optimal:
+		res.Status = Optimal
+		res.X = mres.X
+		res.Obj = m.EvalObjective(mres.X)
+	case milp.Infeasible:
+		res.Status = Infeasible
+	case milp.Unbounded:
+		res.Status = Unbounded
+	default:
+		res.Status = Limit
+		if mres.X != nil {
+			res.X = mres.X
+			res.Obj = m.EvalObjective(mres.X)
+		}
+	}
+	return res
+}
+
+// cutKey identifies a linearization by constraint index and quantized point.
+type cutKey struct {
+	k    int
+	hash uint64
+}
+
+func makeCutKey(k int, vars []int, x []float64) cutKey {
+	// FNV-style hash over the coordinates rounded to 1e-6.
+	h := uint64(1469598103934665603)
+	for _, v := range vars {
+		q := int64(math.Round(x[v] * 1e6))
+		for i := 0; i < 8; i++ {
+			h ^= uint64(q >> (8 * i) & 0xff)
+			h *= 1099511628211
+		}
+	}
+	return cutKey{k: k, hash: h}
+}
+
+// boundedBase returns a representative point of [lo, hi], preferring the
+// smallest-magnitude finite bound (numerically safest for cut RHS).
+func boundedBase(lo, hi float64) float64 {
+	switch {
+	case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+		return 0
+	case math.IsInf(lo, -1):
+		return hi
+	default:
+		return lo
+	}
+}
+
+// clampMag limits |v| to cap.
+func clampMag(v, cap float64) float64 {
+	if v > cap {
+		return cap
+	}
+	if v < -cap {
+		return -cap
+	}
+	return v
+}
+
+// finiteAt reports whether g and its gradient are finite at x.
+func finiteAt(g model.Smooth, x []float64) bool {
+	if v := g.Value(x); math.IsNaN(v) || math.IsInf(v, 0) {
+		return false
+	}
+	for _, d := range g.Grad(x) {
+		if math.IsNaN(d) || math.IsInf(d, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// SetLazyDebug toggles tracing of the lazy OA callback (testing aid).
+func SetLazyDebug(on bool) { lazyDebug = on }

@@ -1,0 +1,269 @@
+package minlp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lp"
+	"repro/internal/model"
+	"repro/internal/stats"
+)
+
+// minMaxModel builds the paper's allocation MINLP:
+//
+//	min T  s.t.  T ≥ wᵢ/nᵢ,  Σnᵢ ≤ N,  nᵢ ∈ {1..N} integer.
+//
+// Returns the model and the variable ids (T, n...).
+func minMaxModel(w []float64, n int) (*model.Model, int, []int) {
+	m := model.New()
+	tv := m.AddVar(0, 1e12, model.Continuous, "T")
+	m.SetObjective([]model.Term{{Var: tv, Coef: 1}}, 0)
+	ids := make([]int, len(w))
+	capTerms := make([]model.Term, 0, len(w))
+	for i := range w {
+		wi := w[i]
+		v := m.AddVar(1, float64(n), model.Integer, "n")
+		ids[i] = v
+		m.AddNonlinear(&model.FuncSmooth{
+			Over: []int{v, tv},
+			F:    func(x []float64) float64 { return wi/x[v] - x[tv] },
+			DF:   func(x []float64) []float64 { return []float64{-wi / (x[v] * x[v]), -1} },
+		}, "t")
+		capTerms = append(capTerms, model.Term{Var: v, Coef: 1})
+	}
+	m.AddLinear(capTerms, lp.LE, float64(n), "cap")
+	return m, tv, ids
+}
+
+// bruteMinMax enumerates all allocations of N nodes to len(w) tasks with
+// nᵢ ≥ 1 and returns the optimal makespan.
+func bruteMinMax(w []float64, n int) float64 {
+	k := len(w)
+	best := math.Inf(1)
+	alloc := make([]int, k)
+	var rec func(i, left int)
+	rec = func(i, left int) {
+		if i == k-1 {
+			alloc[i] = left
+			worst := 0.0
+			for j, wj := range w {
+				if t := wj / float64(alloc[j]); t > worst {
+					worst = t
+				}
+			}
+			if worst < best {
+				best = worst
+			}
+			return
+		}
+		for v := 1; v <= left-(k-1-i); v++ {
+			alloc[i] = v
+			rec(i+1, left-v)
+		}
+	}
+	if k == 0 || n < k {
+		return best
+	}
+	rec(0, n)
+	return best
+}
+
+func TestMinMaxSmall(t *testing.T) {
+	w := []float64{4, 1}
+	m, _, ids := minMaxModel(w, 3)
+	res := Solve(m, Options{})
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	// n = (2, 1): max(2, 1) = 2 is the integer optimum.
+	if math.Abs(res.Obj-2) > 1e-5 {
+		t.Fatalf("obj = %v, want 2 (x=%v)", res.Obj, res.X)
+	}
+	if math.Abs(res.X[ids[0]]-2) > 1e-6 || math.Abs(res.X[ids[1]]-1) > 1e-6 {
+		t.Fatalf("alloc = (%v, %v)", res.X[ids[0]], res.X[ids[1]])
+	}
+	// Relaxation bound must be ≤ integer optimum.
+	if !math.IsNaN(res.RelaxObj) && res.RelaxObj > res.Obj+1e-6 {
+		t.Fatalf("relaxation bound %v exceeds optimum %v", res.RelaxObj, res.Obj)
+	}
+}
+
+func TestCircleInteger(t *testing.T) {
+	// min -x-y s.t. x²+y² ≤ 25, x,y integer in [0,5] → (3,4)/(4,3), obj -7.
+	m := model.New()
+	x := m.AddVar(0, 5, model.Integer, "x")
+	y := m.AddVar(0, 5, model.Integer, "y")
+	m.SetObjective([]model.Term{{Var: x, Coef: -1}, {Var: y, Coef: -1}}, 0)
+	m.AddNonlinear(&model.FuncSmooth{
+		Over: []int{x, y},
+		F:    func(v []float64) float64 { return v[x]*v[x] + v[y]*v[y] - 25 },
+		DF:   func(v []float64) []float64 { return []float64{2 * v[x], 2 * v[y]} },
+	}, "circle")
+	res := Solve(m, Options{})
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if math.Abs(res.Obj+7) > 1e-6 {
+		t.Fatalf("obj = %v, want -7 (x=%v)", res.Obj, res.X)
+	}
+	if m.NonlinViolation(res.X) > 1e-6 {
+		t.Fatalf("infeasible solution %v", res.X)
+	}
+}
+
+func TestInfeasibleNonlinear(t *testing.T) {
+	m := model.New()
+	x := m.AddVar(0, 5, model.Integer, "x")
+	m.SetObjective([]model.Term{{Var: x, Coef: 1}}, 0)
+	m.AddNonlinear(&model.FuncSmooth{
+		Over: []int{x},
+		F:    func(v []float64) float64 { return v[x]*v[x] + 1 },
+		DF:   func(v []float64) []float64 { return []float64{2 * v[x]} },
+	}, "")
+	res := Solve(m, Options{})
+	if res.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", res.Status)
+	}
+}
+
+func TestInfeasibleLinear(t *testing.T) {
+	m := model.New()
+	x := m.AddVar(0, 5, model.Integer, "x")
+	m.SetObjective([]model.Term{{Var: x, Coef: 1}}, 0)
+	m.AddLinear([]model.Term{{Var: x, Coef: 1}}, lp.GE, 9, "")
+	res := Solve(m, Options{})
+	if res.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", res.Status)
+	}
+}
+
+func TestPureMILPPassThrough(t *testing.T) {
+	m := model.New()
+	x := m.AddVar(0, 10, model.Integer, "x")
+	m.SetObjective([]model.Term{{Var: x, Coef: -1}}, 0)
+	m.AddLinear([]model.Term{{Var: x, Coef: 2}}, lp.LE, 7, "")
+	res := Solve(m, Options{})
+	if res.Status != Optimal || math.Abs(res.X[x]-3) > 1e-6 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestSOSAllocationSet(t *testing.T) {
+	// n must come from the sweet-spot set {2, 4, 8, 16}: z binaries with
+	// Σz=1 and n = Σ z·level, minimizing 100/n + n/10 (trade-off with
+	// integer optimum at n=16: 6.25+1.6=7.85 vs n=8: 12.5+0.8=13.3...
+	// wait: 100/16+1.6 = 7.85; continuous opt ~ n=31.6; so largest level
+	// wins).
+	m := model.New()
+	levels := []float64{2, 4, 8, 16}
+	n := m.AddVar(2, 16, model.Continuous, "n")
+	tv := m.AddVar(0, 1e9, model.Continuous, "T")
+	m.SetObjective([]model.Term{{Var: tv, Coef: 1}}, 0)
+	var zs []int
+	one := make([]model.Term, 0, len(levels))
+	link := []model.Term{{Var: n, Coef: -1}}
+	for _, lv := range levels {
+		z := m.AddBinary("z")
+		zs = append(zs, z)
+		one = append(one, model.Term{Var: z, Coef: 1})
+		link = append(link, model.Term{Var: z, Coef: lv})
+	}
+	m.AddLinear(one, lp.EQ, 1, "pick")
+	m.AddLinear(link, lp.EQ, 0, "n=level")
+	m.AddSOS1(zs, levels, "levels")
+	m.AddNonlinear(&model.FuncSmooth{
+		Over: []int{n, tv},
+		F:    func(x []float64) float64 { return 100/x[n] + x[n]/10 - x[tv] },
+		DF:   func(x []float64) []float64 { return []float64{-100/(x[n]*x[n]) + 0.1, -1} },
+	}, "perf")
+	res := Solve(m, Options{})
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if math.Abs(res.X[n]-16) > 1e-6 {
+		t.Fatalf("n = %v, want 16", res.X[n])
+	}
+	if math.Abs(res.Obj-(100.0/16+1.6)) > 1e-4 {
+		t.Fatalf("obj = %v", res.Obj)
+	}
+}
+
+func TestAblationsAgree(t *testing.T) {
+	w := []float64{9, 5, 2, 1}
+	base, _, _ := minMaxModel(w, 12)
+	ref := Solve(base.Clone(), Options{})
+	if ref.Status != Optimal {
+		t.Fatalf("ref status = %v", ref.Status)
+	}
+	variants := []Options{
+		{DisableSOSBranching: true},
+		{SkipNLPRelaxation: true},
+		{CutAtFractional: true},
+		{SkipNLPRelaxation: true, CutAtFractional: true},
+	}
+	for i, o := range variants {
+		r := Solve(base.Clone(), o)
+		if r.Status != Optimal {
+			t.Fatalf("variant %d status = %v", i, r.Status)
+		}
+		if math.Abs(r.Obj-ref.Obj) > 1e-5 {
+			t.Fatalf("variant %d obj %v != ref %v", i, r.Obj, ref.Obj)
+		}
+	}
+}
+
+// Property: LP/NLP-based branch and bound matches brute-force enumeration on
+// random min-max allocation instances (the paper's core problem).
+func TestMinMaxAgainstBruteForceProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		k := 2 + rng.Intn(3)
+		n := k + rng.Intn(10)
+		w := make([]float64, k)
+		for i := range w {
+			w[i] = rng.Range(0.5, 20)
+		}
+		m, _, _ := minMaxModel(w, n)
+		res := Solve(m, Options{})
+		if res.Status != Optimal {
+			return false
+		}
+		want := bruteMinMax(w, n)
+		return math.Abs(res.Obj-want) < 1e-5*(1+want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the relaxation bound never exceeds the integer optimum.
+func TestRelaxationBoundProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		k := 2 + rng.Intn(3)
+		n := k + rng.Intn(8)
+		w := make([]float64, k)
+		for i := range w {
+			w[i] = rng.Range(0.5, 10)
+		}
+		m, _, _ := minMaxModel(w, n)
+		res := Solve(m, Options{})
+		if res.Status != Optimal {
+			return false
+		}
+		return math.IsNaN(res.RelaxObj) || res.RelaxObj <= res.Obj+1e-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejected(t *testing.T) {
+	m := model.New()
+	m.AddVar(5, 2, model.Continuous, "bad")
+	res := Solve(m, Options{})
+	if res.Status != Infeasible {
+		t.Fatalf("status = %v", res.Status)
+	}
+}

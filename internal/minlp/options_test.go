@@ -1,0 +1,98 @@
+package minlp
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/lp"
+	"repro/internal/model"
+)
+
+func TestGridCutsDisabled(t *testing.T) {
+	w := []float64{7, 3, 1}
+	m, _, _ := minMaxModel(w, 9)
+	withGrid := Solve(m.Clone(), Options{})
+	noGrid := Solve(m.Clone(), Options{GridCuts: -1})
+	if withGrid.Status != Optimal || noGrid.Status != Optimal {
+		t.Fatalf("status: %v / %v", withGrid.Status, noGrid.Status)
+	}
+	if math.Abs(withGrid.Obj-noGrid.Obj) > 1e-5*(1+withGrid.Obj) {
+		t.Fatalf("grid cuts changed the optimum: %v vs %v", withGrid.Obj, noGrid.Obj)
+	}
+}
+
+func TestTimeLimitPassthrough(t *testing.T) {
+	// A big enough instance that a microsecond budget cannot finish.
+	w := make([]float64, 8)
+	for i := range w {
+		w[i] = float64(i*i + 1)
+	}
+	m, _, _ := minMaxModel(w, 4000)
+	res := Solve(m, Options{TimeLimit: time.Microsecond, SkipNLPRelaxation: true, GridCuts: -1})
+	if res.Status == Optimal {
+		t.Skip("instance solved within the budget; nothing to assert")
+	}
+	if res.Status != Limit {
+		t.Fatalf("status = %v, want limit", res.Status)
+	}
+}
+
+func TestGapTolerancePassthrough(t *testing.T) {
+	w := []float64{11, 7, 5, 2}
+	m, _, _ := minMaxModel(w, 25)
+	tight := Solve(m.Clone(), Options{})
+	loose := Solve(m.Clone(), Options{GapTol: 0.25})
+	if tight.Status != Optimal || loose.Status != Optimal {
+		t.Fatalf("status: %v / %v", tight.Status, loose.Status)
+	}
+	if loose.Obj < tight.Obj-1e-9 {
+		t.Fatalf("loose gap beat the optimum: %v < %v", loose.Obj, tight.Obj)
+	}
+	if loose.Obj > tight.Obj*1.25+1e-9 {
+		t.Fatalf("loose solve exceeded its gap: %v vs %v", loose.Obj, tight.Obj)
+	}
+}
+
+func TestCutDeduplication(t *testing.T) {
+	// Force repeated candidate points: a model whose master revisits the
+	// same integer assignment; the dedupe keeps OACuts bounded by
+	// (constraints × distinct points).
+	w := []float64{5, 5, 5}
+	m, _, _ := minMaxModel(w, 9)
+	res := Solve(m, Options{SkipNLPRelaxation: true, GridCuts: -1})
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if res.OACuts > 60 {
+		t.Fatalf("%d OA cuts on a 3-task toy problem; dedupe broken?", res.OACuts)
+	}
+}
+
+func TestNonSmoothBoundaryGridCuts(t *testing.T) {
+	// Nonlinear constraint whose function blows up at the variable's
+	// lower bound edge (1/x as x→0): finiteAt must skip bad grid points
+	// and the solve still succeed.
+	m := model.New()
+	x := m.AddVar(0, 10, model.Integer, "x") // lower bound 0: 1/x undefined there
+	tv := m.AddVar(0, 1e6, model.Continuous, "T")
+	m.SetObjective([]model.Term{{Var: tv, Coef: 1}}, 0)
+	m.AddNonlinear(&model.FuncSmooth{
+		Over: []int{x, tv},
+		F: func(v []float64) float64 {
+			return 9/v[x] - v[tv]
+		},
+		DF: func(v []float64) []float64 {
+			return []float64{-9 / (v[x] * v[x]), -1}
+		},
+	}, "blowup")
+	m.AddLinear([]model.Term{{Var: x, Coef: 1}}, lp.GE, 1, "x>=1")
+	m.AddLinear([]model.Term{{Var: x, Coef: 1}}, lp.LE, 3, "x<=3")
+	res := Solve(m, Options{})
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if math.Abs(res.Obj-3) > 1e-4 { // x=3 → T=3
+		t.Fatalf("obj = %v, want 3", res.Obj)
+	}
+}

@@ -1,0 +1,383 @@
+// Package model provides a small algebraic modelling layer for mixed-integer
+// nonlinear programs (MINLPs) of the kind the HSLB algorithm formulates:
+// a linear objective, linear constraints, smooth convex nonlinear
+// constraints g(x) ≤ 0, integrality restrictions, and special ordered sets.
+//
+// It plays the role AMPL plays in the paper: the load-balancing models of
+// Table I are written against this API and handed to the solvers in
+// internal/milp and internal/minlp.
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/lp"
+)
+
+// VarType distinguishes continuous from integer decision variables.
+type VarType int
+
+// Variable kinds.
+const (
+	Continuous VarType = iota
+	Integer
+)
+
+func (v VarType) String() string {
+	if v == Integer {
+		return "integer"
+	}
+	return "continuous"
+}
+
+// VarInfo describes one decision variable.
+type VarInfo struct {
+	Name string
+	Type VarType
+	Lo   float64
+	Hi   float64
+}
+
+// Term is a coefficient on a variable in a linear expression.
+type Term struct {
+	Var  int
+	Coef float64
+}
+
+// LinConstraint is Σ coefᵢ·xᵢ {sense} rhs.
+type LinConstraint struct {
+	Name  string
+	Terms []Term
+	Sense lp.Sense
+	RHS   float64
+}
+
+// Smooth is a smooth scalar function of the model variables with an
+// available gradient. The solvers in this repository assume Smooth
+// constraint functions are convex; see CheckConvexSampled for a testing aid.
+type Smooth interface {
+	// Vars returns the ids of the variables the function depends on.
+	Vars() []int
+	// Value evaluates the function at the full variable vector x.
+	Value(x []float64) float64
+	// Grad returns the partial derivatives with respect to Vars(), in
+	// the same order.
+	Grad(x []float64) []float64
+}
+
+// NonlinConstraint is G(x) ≤ 0 for smooth convex G.
+type NonlinConstraint struct {
+	Name string
+	G    Smooth
+}
+
+// SOS1 is a special ordered set of type 1: at most one member variable may
+// be nonzero. Weights order the members for branching; they must be strictly
+// increasing to identify the set direction (the classical convention).
+type SOS1 struct {
+	Name    string
+	Vars    []int
+	Weights []float64
+}
+
+// Model is a MINLP under construction. The objective is minimization of a
+// linear expression (use a bound variable plus constraints for nonlinear
+// objectives, exactly as the paper's min-max formulation does).
+type Model struct {
+	vars      []VarInfo
+	objective []Term
+	objConst  float64
+	linear    []LinConstraint
+	nonlinear []NonlinConstraint
+	sos       []SOS1
+}
+
+// New returns an empty model.
+func New() *Model { return &Model{} }
+
+// AddVar adds a variable and returns its id.
+func (m *Model) AddVar(lo, hi float64, typ VarType, name string) int {
+	m.vars = append(m.vars, VarInfo{Name: name, Type: typ, Lo: lo, Hi: hi})
+	return len(m.vars) - 1
+}
+
+// AddBinary adds a {0,1} variable.
+func (m *Model) AddBinary(name string) int {
+	return m.AddVar(0, 1, Integer, name)
+}
+
+// NumVars returns the number of variables.
+func (m *Model) NumVars() int { return len(m.vars) }
+
+// Var returns the descriptor of variable id.
+func (m *Model) Var(id int) VarInfo { return m.vars[id] }
+
+// SetBounds tightens or relaxes the bounds of a variable.
+func (m *Model) SetBounds(id int, lo, hi float64) {
+	m.vars[id].Lo, m.vars[id].Hi = lo, hi
+}
+
+// SetObjective sets the linear objective Σ terms + c to minimize.
+func (m *Model) SetObjective(terms []Term, c float64) {
+	m.objective = append([]Term(nil), terms...)
+	m.objConst = c
+}
+
+// Objective returns the objective terms and constant.
+func (m *Model) Objective() ([]Term, float64) { return m.objective, m.objConst }
+
+// AddLinear adds a linear constraint and returns its index.
+func (m *Model) AddLinear(terms []Term, sense lp.Sense, rhs float64, name string) int {
+	for _, t := range terms {
+		m.checkVar(t.Var)
+	}
+	m.linear = append(m.linear, LinConstraint{Name: name, Terms: append([]Term(nil), terms...), Sense: sense, RHS: rhs})
+	return len(m.linear) - 1
+}
+
+// AddNonlinear adds the constraint g(x) ≤ 0 and returns its index.
+func (m *Model) AddNonlinear(g Smooth, name string) int {
+	for _, v := range g.Vars() {
+		m.checkVar(v)
+	}
+	m.nonlinear = append(m.nonlinear, NonlinConstraint{Name: name, G: g})
+	return len(m.nonlinear) - 1
+}
+
+// AddSOS1 declares a special ordered set of type 1 over vars. When weights
+// is nil, 1..len(vars) is used.
+func (m *Model) AddSOS1(vars []int, weights []float64, name string) int {
+	for _, v := range vars {
+		m.checkVar(v)
+	}
+	if weights == nil {
+		weights = make([]float64, len(vars))
+		for i := range weights {
+			weights[i] = float64(i + 1)
+		}
+	}
+	if len(weights) != len(vars) {
+		panic("model: SOS1 weights length mismatch")
+	}
+	m.sos = append(m.sos, SOS1{Name: name, Vars: append([]int(nil), vars...), Weights: append([]float64(nil), weights...)})
+	return len(m.sos) - 1
+}
+
+func (m *Model) checkVar(id int) {
+	if id < 0 || id >= len(m.vars) {
+		panic(fmt.Sprintf("model: unknown variable id %d", id))
+	}
+}
+
+// Linear returns the linear constraints (shared storage; treat as read-only).
+func (m *Model) Linear() []LinConstraint { return m.linear }
+
+// Nonlinear returns the nonlinear constraints (shared storage; read-only).
+func (m *Model) Nonlinear() []NonlinConstraint { return m.nonlinear }
+
+// SOS returns the SOS1 declarations (shared storage; read-only).
+func (m *Model) SOS() []SOS1 { return m.sos }
+
+// IntegerVars returns the ids of all integer variables.
+func (m *Model) IntegerVars() []int {
+	var ids []int
+	for i, v := range m.vars {
+		if v.Type == Integer {
+			ids = append(ids, i)
+		}
+	}
+	return ids
+}
+
+// EvalObjective computes the objective value at x.
+func (m *Model) EvalObjective(x []float64) float64 {
+	s := m.objConst
+	for _, t := range m.objective {
+		s += t.Coef * x[t.Var]
+	}
+	return s
+}
+
+// LinViolation returns the largest violation over linear constraints and
+// variable bounds at x.
+func (m *Model) LinViolation(x []float64) float64 {
+	worst := 0.0
+	for i := range m.linear {
+		c := &m.linear[i]
+		v := 0.0
+		for _, t := range c.Terms {
+			v += t.Coef * x[t.Var]
+		}
+		var viol float64
+		switch c.Sense {
+		case lp.LE:
+			viol = v - c.RHS
+		case lp.GE:
+			viol = c.RHS - v
+		default:
+			viol = math.Abs(v - c.RHS)
+		}
+		if viol > worst {
+			worst = viol
+		}
+	}
+	for j, vi := range m.vars {
+		if v := vi.Lo - x[j]; v > worst {
+			worst = v
+		}
+		if v := x[j] - vi.Hi; v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// NonlinViolation returns the largest g(x) over nonlinear constraints
+// (≤ 0 means feasible).
+func (m *Model) NonlinViolation(x []float64) float64 {
+	worst := 0.0
+	for i := range m.nonlinear {
+		if v := m.nonlinear[i].G.Value(x); v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// IntViolation returns the largest distance of an integer variable from the
+// nearest integer at x.
+func (m *Model) IntViolation(x []float64) float64 {
+	worst := 0.0
+	for i, v := range m.vars {
+		if v.Type != Integer {
+			continue
+		}
+		if d := math.Abs(x[i] - math.Round(x[i])); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// SOSViolation returns the number of extra nonzero members (beyond one) in
+// the worst SOS1 set at x.
+func (m *Model) SOSViolation(x []float64, tol float64) int {
+	worst := 0
+	for i := range m.sos {
+		nz := 0
+		for _, v := range m.sos[i].Vars {
+			if math.Abs(x[v]) > tol {
+				nz++
+			}
+		}
+		if nz-1 > worst {
+			worst = nz - 1
+		}
+	}
+	return worst
+}
+
+// IsFeasible reports whether x satisfies every constraint class within tol.
+func (m *Model) IsFeasible(x []float64, tol float64) bool {
+	return m.LinViolation(x) <= tol &&
+		m.NonlinViolation(x) <= tol &&
+		m.IntViolation(x) <= tol &&
+		m.SOSViolation(x, tol) == 0
+}
+
+// LPRelaxation builds the continuous linear relaxation of the model:
+// integrality is dropped and nonlinear constraints are omitted (callers add
+// linearization cuts). Variable ids map one-to-one.
+func (m *Model) LPRelaxation() *lp.Problem {
+	p := lp.NewProblem()
+	for _, v := range m.vars {
+		p.AddVariable(v.Lo, v.Hi, 0, v.Name)
+	}
+	for _, t := range m.objective {
+		p.SetCost(t.Var, p.Cost(t.Var)+t.Coef)
+	}
+	for i := range m.linear {
+		c := &m.linear[i]
+		terms := make([]lp.Term, len(c.Terms))
+		for j, t := range c.Terms {
+			terms[j] = lp.Term{Var: t.Var, Coef: t.Coef}
+		}
+		p.AddConstraint(terms, c.Sense, c.RHS, c.Name)
+	}
+	return p
+}
+
+// LinearCutAt returns the coefficients of the first-order (outer
+// approximation) cut of nonlinear constraint k at point x:
+//
+//	g(x̄) + ∇g(x̄)ᵀ(x − x̄) ≤ 0   ⇔   Σ terms ≤ rhs.
+//
+// For convex g this is a globally valid relaxation cut, and it separates x̄
+// itself whenever g(x̄) > 0.
+func (m *Model) LinearCutAt(k int, x []float64) (terms []lp.Term, rhs float64) {
+	g := m.nonlinear[k].G
+	val := g.Value(x)
+	grad := g.Grad(x)
+	vars := g.Vars()
+	terms = make([]lp.Term, 0, len(vars))
+	rhs = -val
+	for i, v := range vars {
+		terms = append(terms, lp.Term{Var: v, Coef: grad[i]})
+		rhs += grad[i] * x[v]
+	}
+	return terms, rhs
+}
+
+// LinearizeAt adds the outer-approximation cut of nonlinear constraint k at
+// x to p and returns the new row index. See LinearCutAt.
+func (m *Model) LinearizeAt(p *lp.Problem, k int, x []float64) int {
+	terms, rhs := m.LinearCutAt(k, x)
+	return p.AddConstraint(terms, lp.LE, rhs, fmt.Sprintf("oa[%s]", m.nonlinear[k].Name))
+}
+
+// Clone returns a deep copy of the model. Smooth functions are shared (they
+// are immutable by convention).
+func (m *Model) Clone() *Model {
+	c := &Model{
+		vars:      append([]VarInfo(nil), m.vars...),
+		objective: append([]Term(nil), m.objective...),
+		objConst:  m.objConst,
+		linear:    make([]LinConstraint, len(m.linear)),
+		nonlinear: append([]NonlinConstraint(nil), m.nonlinear...),
+		sos:       make([]SOS1, len(m.sos)),
+	}
+	for i, l := range m.linear {
+		c.linear[i] = LinConstraint{Name: l.Name, Terms: append([]Term(nil), l.Terms...), Sense: l.Sense, RHS: l.RHS}
+	}
+	for i, s := range m.sos {
+		c.sos[i] = SOS1{Name: s.Name, Vars: append([]int(nil), s.Vars...), Weights: append([]float64(nil), s.Weights...)}
+	}
+	return c
+}
+
+// Validate reports structural problems with the model (reversed bounds,
+// non-integral bounds on integer variables are allowed but tightened by
+// solvers, objective referencing unknown variables is impossible by
+// construction).
+func (m *Model) Validate() error {
+	for i, v := range m.vars {
+		if math.IsNaN(v.Lo) || math.IsNaN(v.Hi) {
+			return fmt.Errorf("model: variable %d (%s) has NaN bound", i, v.Name)
+		}
+		if v.Lo > v.Hi {
+			return fmt.Errorf("model: variable %d (%s) has lo %g > hi %g", i, v.Name, v.Lo, v.Hi)
+		}
+		if v.Type == Integer && (math.IsInf(v.Lo, 0) || math.IsInf(v.Hi, 0)) {
+			return fmt.Errorf("model: integer variable %d (%s) must have finite bounds", i, v.Name)
+		}
+	}
+	for _, s := range m.sos {
+		for i := 1; i < len(s.Weights); i++ {
+			if s.Weights[i] <= s.Weights[i-1] {
+				return fmt.Errorf("model: SOS1 %q weights not strictly increasing", s.Name)
+			}
+		}
+	}
+	return nil
+}

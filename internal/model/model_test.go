@@ -1,0 +1,220 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/lp"
+	"repro/internal/stats"
+)
+
+// quadratic returns the Smooth g(x) = x_v² - cap (convex).
+func quadratic(v int, cap float64) Smooth {
+	return &FuncSmooth{
+		Over: []int{v},
+		F:    func(x []float64) float64 { return x[v]*x[v] - cap },
+		DF:   func(x []float64) []float64 { return []float64{2 * x[v]} },
+	}
+}
+
+func TestAddAndQuery(t *testing.T) {
+	m := New()
+	x := m.AddVar(0, 10, Continuous, "x")
+	z := m.AddBinary("z")
+	if m.NumVars() != 2 {
+		t.Fatalf("NumVars = %d", m.NumVars())
+	}
+	if vi := m.Var(z); vi.Type != Integer || vi.Lo != 0 || vi.Hi != 1 {
+		t.Fatalf("binary descriptor: %+v", vi)
+	}
+	m.SetObjective([]Term{{x, 1}}, 2)
+	if got := m.EvalObjective([]float64{3, 0}); got != 5 {
+		t.Fatalf("EvalObjective = %v", got)
+	}
+	m.AddLinear([]Term{{x, 1}, {z, 5}}, lp.LE, 8, "c0")
+	if len(m.Linear()) != 1 {
+		t.Fatal("missing linear constraint")
+	}
+	ids := m.IntegerVars()
+	if len(ids) != 1 || ids[0] != z {
+		t.Fatalf("IntegerVars = %v", ids)
+	}
+}
+
+func TestViolations(t *testing.T) {
+	m := New()
+	x := m.AddVar(0, 10, Continuous, "x")
+	y := m.AddVar(0, 10, Integer, "y")
+	m.AddLinear([]Term{{x, 1}, {y, 1}}, lp.LE, 5, "")
+	m.AddNonlinear(quadratic(x, 4), "xsq")
+
+	pt := []float64{3, 3}
+	if v := m.LinViolation(pt); math.Abs(v-1) > 1e-12 {
+		t.Fatalf("LinViolation = %v, want 1", v)
+	}
+	if v := m.NonlinViolation(pt); math.Abs(v-5) > 1e-12 {
+		t.Fatalf("NonlinViolation = %v, want 5", v)
+	}
+	if v := m.IntViolation([]float64{1.2, 2.5}); math.Abs(v-0.5) > 1e-12 {
+		t.Fatalf("IntViolation = %v, want 0.5", v)
+	}
+	if !m.IsFeasible([]float64{1, 2}, 1e-9) {
+		t.Fatal("feasible point rejected")
+	}
+	if m.IsFeasible([]float64{3, 3}, 1e-9) {
+		t.Fatal("infeasible point accepted")
+	}
+}
+
+func TestBoundViolation(t *testing.T) {
+	m := New()
+	m.AddVar(2, 5, Continuous, "x")
+	if v := m.LinViolation([]float64{1}); math.Abs(v-1) > 1e-12 {
+		t.Fatalf("lower-bound violation = %v", v)
+	}
+	if v := m.LinViolation([]float64{7}); math.Abs(v-2) > 1e-12 {
+		t.Fatalf("upper-bound violation = %v", v)
+	}
+}
+
+func TestSOSViolation(t *testing.T) {
+	m := New()
+	a := m.AddBinary("a")
+	b := m.AddBinary("b")
+	c := m.AddBinary("c")
+	m.AddSOS1([]int{a, b, c}, nil, "s")
+	if v := m.SOSViolation([]float64{1, 0, 0}, 1e-6); v != 0 {
+		t.Fatalf("SOSViolation = %d", v)
+	}
+	if v := m.SOSViolation([]float64{1, 1, 1}, 1e-6); v != 2 {
+		t.Fatalf("SOSViolation = %d", v)
+	}
+}
+
+func TestLPRelaxation(t *testing.T) {
+	m := New()
+	x := m.AddVar(0, 4, Integer, "x")
+	y := m.AddVar(0, 4, Continuous, "y")
+	m.SetObjective([]Term{{x, -1}, {y, -1}}, 0)
+	m.AddLinear([]Term{{x, 2}, {y, 1}}, lp.LE, 7, "")
+	p := m.LPRelaxation()
+	sol, err := p.Solve()
+	if err != nil || sol.Status != lp.Optimal {
+		t.Fatalf("relaxation solve: %v %v", sol, err)
+	}
+	// Relaxation optimum: x as large as possible given 2x + y ≤ 7,
+	// both ≤ 4 → x=1.5, y=4 (obj -5.5).
+	if math.Abs(sol.Obj+5.5) > 1e-8 {
+		t.Fatalf("relaxation obj = %v, want -5.5", sol.Obj)
+	}
+}
+
+func TestLinearizeAtCutsOffInfeasiblePoint(t *testing.T) {
+	m := New()
+	x := m.AddVar(-10, 10, Continuous, "x")
+	m.SetObjective([]Term{{x, -1}}, 0) // max x
+	k := m.AddNonlinear(quadratic(x, 4), "xsq")
+	p := m.LPRelaxation()
+	// Without cuts the LP pushes x to 10.
+	sol, _ := p.Solve()
+	if sol.X[x] != 10 {
+		t.Fatalf("pre-cut x = %v", sol.X[x])
+	}
+	// Add the OA cut at the infeasible point x=10: g=96, g'=20:
+	// 96 + 20(x-10) ≤ 0 → x ≤ 5.2.
+	m.LinearizeAt(p, k, sol.X)
+	sol, _ = p.Solve()
+	if math.Abs(sol.X[x]-5.2) > 1e-8 {
+		t.Fatalf("post-cut x = %v, want 5.2", sol.X[x])
+	}
+	// Iterating converges towards the true optimum x = 2.
+	for i := 0; i < 40; i++ {
+		m.LinearizeAt(p, k, sol.X)
+		sol, _ = p.Solve()
+	}
+	if math.Abs(sol.X[x]-2) > 1e-3 {
+		t.Fatalf("OA iteration x = %v, want ≈2", sol.X[x])
+	}
+}
+
+func TestValidate(t *testing.T) {
+	m := New()
+	m.AddVar(0, 10, Continuous, "ok")
+	if err := m.Validate(); err != nil {
+		t.Fatalf("valid model rejected: %v", err)
+	}
+	bad := m.Clone()
+	bad.SetBounds(0, 5, 2)
+	if err := bad.Validate(); err == nil {
+		t.Fatal("reversed bounds accepted")
+	}
+	inf := New()
+	inf.AddVar(0, math.Inf(1), Integer, "n")
+	if err := inf.Validate(); err == nil {
+		t.Fatal("unbounded integer accepted")
+	}
+	s := New()
+	a := s.AddBinary("a")
+	b := s.AddBinary("b")
+	s.AddSOS1([]int{a, b}, []float64{2, 1}, "bad")
+	if err := s.Validate(); err == nil {
+		t.Fatal("non-increasing SOS weights accepted")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := New()
+	x := m.AddVar(0, 1, Continuous, "x")
+	m.AddLinear([]Term{{x, 1}}, lp.LE, 1, "")
+	m.AddSOS1([]int{x}, nil, "")
+	c := m.Clone()
+	c.SetBounds(x, 0, 99)
+	c.Linear()[0].Terms[0].Coef = 42
+	c.SOS()[0].Vars[0] = 0
+	if m.Var(x).Hi != 1 || m.Linear()[0].Terms[0].Coef != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestNumGradSmooth(t *testing.T) {
+	g := &NumGradSmooth{
+		Over: []int{0, 1},
+		F:    func(x []float64) float64 { return x[0]*x[0] + 3*x[1] },
+	}
+	grad := g.Grad([]float64{2, 5})
+	if math.Abs(grad[0]-4) > 1e-4 || math.Abs(grad[1]-3) > 1e-4 {
+		t.Fatalf("numeric grad = %v", grad)
+	}
+}
+
+func TestCheckConvexSampled(t *testing.T) {
+	rng := stats.NewRNG(5)
+	convex := quadratic(0, 0)
+	if !CheckConvexSampled(convex, []float64{-5}, []float64{5}, 200, 1e-9, rng) {
+		t.Fatal("x² flagged non-convex")
+	}
+	concave := &FuncSmooth{
+		Over: []int{0},
+		F:    func(x []float64) float64 { return -x[0] * x[0] },
+		DF:   func(x []float64) []float64 { return []float64{-2 * x[0]} },
+	}
+	if CheckConvexSampled(concave, []float64{-5}, []float64{5}, 200, 1e-9, rng) {
+		t.Fatal("-x² passed convexity check")
+	}
+}
+
+func TestCheckGradSampled(t *testing.T) {
+	rng := stats.NewRNG(6)
+	good := quadratic(0, 1)
+	if d := CheckGradSampled(good, []float64{-3}, []float64{3}, 50, rng); d > 1e-4 {
+		t.Fatalf("analytic grad discrepancy %v", d)
+	}
+	bad := &FuncSmooth{
+		Over: []int{0},
+		F:    func(x []float64) float64 { return x[0] * x[0] },
+		DF:   func(x []float64) []float64 { return []float64{1} }, // wrong
+	}
+	if d := CheckGradSampled(bad, []float64{1}, []float64{3}, 50, rng); d < 0.5 {
+		t.Fatalf("wrong grad not detected (d=%v)", d)
+	}
+}

@@ -1,0 +1,114 @@
+package model
+
+import "repro/internal/stats"
+
+// FuncSmooth adapts plain closures to the Smooth interface.
+type FuncSmooth struct {
+	Over []int // variable ids
+	F    func(x []float64) float64
+	DF   func(x []float64) []float64 // partials w.r.t. Over, same order
+}
+
+// Vars implements Smooth.
+func (f *FuncSmooth) Vars() []int { return f.Over }
+
+// Value implements Smooth.
+func (f *FuncSmooth) Value(x []float64) float64 { return f.F(x) }
+
+// Grad implements Smooth.
+func (f *FuncSmooth) Grad(x []float64) []float64 { return f.DF(x) }
+
+// NumGradSmooth wraps a value-only function with central-difference
+// gradients. It is intended for tests and prototyping; production models
+// should provide analytic gradients.
+type NumGradSmooth struct {
+	Over []int
+	F    func(x []float64) float64
+	H    float64 // step; 0 means 1e-6
+}
+
+// Vars implements Smooth.
+func (f *NumGradSmooth) Vars() []int { return f.Over }
+
+// Value implements Smooth.
+func (f *NumGradSmooth) Value(x []float64) float64 { return f.F(x) }
+
+// Grad implements Smooth via central differences.
+func (f *NumGradSmooth) Grad(x []float64) []float64 {
+	h := f.H
+	if h == 0 {
+		h = 1e-6
+	}
+	g := make([]float64, len(f.Over))
+	xx := append([]float64(nil), x...)
+	for i, v := range f.Over {
+		orig := xx[v]
+		xx[v] = orig + h
+		fp := f.F(xx)
+		xx[v] = orig - h
+		fm := f.F(xx)
+		xx[v] = orig
+		g[i] = (fp - fm) / (2 * h)
+	}
+	return g
+}
+
+// CheckConvexSampled probes convexity of g over the box [lo, hi] (indexed by
+// g.Vars()) by testing the midpoint inequality on n random segment pairs.
+// It returns false at the first violation beyond tol. This is a testing aid,
+// not a proof.
+func CheckConvexSampled(g Smooth, lo, hi []float64, n int, tol float64, rng *stats.RNG) bool {
+	vars := g.Vars()
+	dim := 0
+	for _, v := range vars {
+		if v+1 > dim {
+			dim = v + 1
+		}
+	}
+	x := make([]float64, dim)
+	y := make([]float64, dim)
+	mid := make([]float64, dim)
+	for it := 0; it < n; it++ {
+		for i, v := range vars {
+			x[v] = rng.Range(lo[i], hi[i])
+			y[v] = rng.Range(lo[i], hi[i])
+			mid[v] = (x[v] + y[v]) / 2
+		}
+		if g.Value(mid) > (g.Value(x)+g.Value(y))/2+tol {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckGradSampled verifies g.Grad against central differences at n random
+// points of the box [lo, hi]; it returns the maximum absolute discrepancy.
+func CheckGradSampled(g Smooth, lo, hi []float64, n int, rng *stats.RNG) float64 {
+	vars := g.Vars()
+	dim := 0
+	for _, v := range vars {
+		if v+1 > dim {
+			dim = v + 1
+		}
+	}
+	num := &NumGradSmooth{Over: vars, F: g.Value}
+	x := make([]float64, dim)
+	worst := 0.0
+	for it := 0; it < n; it++ {
+		for i, v := range vars {
+			x[v] = rng.Range(lo[i], hi[i])
+		}
+		ga := g.Grad(x)
+		gn := num.Grad(x)
+		for i := range ga {
+			d := ga[i] - gn[i]
+			if d < 0 {
+				d = -d
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}

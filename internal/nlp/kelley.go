@@ -1,0 +1,147 @@
+package nlp
+
+import (
+	"math"
+
+	"repro/internal/lp"
+	"repro/internal/model"
+)
+
+// ConvexStatus reports the outcome of a convex NLP solve.
+type ConvexStatus int
+
+// Convex solve outcomes.
+const (
+	ConvexOptimal ConvexStatus = iota
+	ConvexInfeasible
+	ConvexUnbounded
+	ConvexIterLimit
+)
+
+func (s ConvexStatus) String() string {
+	switch s {
+	case ConvexOptimal:
+		return "optimal"
+	case ConvexInfeasible:
+		return "infeasible"
+	case ConvexUnbounded:
+		return "unbounded"
+	case ConvexIterLimit:
+		return "iteration limit"
+	}
+	return "unknown"
+}
+
+// ConvexResult is the solution of the continuous relaxation.
+type ConvexResult struct {
+	Status ConvexStatus
+	X      []float64
+	Obj    float64
+	// Cuts is the number of linearization cuts generated; the caller
+	// (outer approximation) reuses CutPoints to warm-start its master.
+	Cuts      int
+	CutPoints [][]float64
+	Iters     int
+}
+
+// ConvexOptions tunes SolveConvex. Zero values select defaults.
+type ConvexOptions struct {
+	MaxIter int     // default 400
+	Tol     float64 // nonlinear feasibility tolerance, default 1e-7
+}
+
+// SolveConvex minimizes the model's linear objective over its linear
+// constraints, bounds, and convex nonlinear constraints, ignoring
+// integrality — i.e. it solves the continuous relaxation via Kelley's
+// cutting-plane method: repeatedly solve the LP relaxation, add first-order
+// cuts at the solution for violated nonlinear constraints, and stop when the
+// solution is nonlinear-feasible.
+//
+// For convex constraint functions every cut is valid, the LP objective is a
+// monotone lower bound, and the method converges to the global optimum of
+// the relaxation — exactly the property the paper's solver relies on.
+func SolveConvex(m *model.Model, opts ConvexOptions) *ConvexResult {
+	if opts.MaxIter == 0 {
+		opts.MaxIter = 400
+	}
+	if opts.Tol == 0 {
+		opts.Tol = 1e-7
+	}
+	p := m.LPRelaxation()
+	res := &ConvexResult{}
+	nl := m.Nonlinear()
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		res.Iters = iter + 1
+		sol, err := p.Solve()
+		if err != nil {
+			res.Status = ConvexInfeasible
+			return res
+		}
+		switch sol.Status {
+		case lp.Infeasible:
+			res.Status = ConvexInfeasible
+			return res
+		case lp.Unbounded:
+			// The LP relaxation is unbounded. If there are nonlinear
+			// constraints they might bound the problem, but without a
+			// finite point to cut at we cannot proceed; treat as
+			// unbounded (our models always have bounded variables, so
+			// this is defensive).
+			res.Status = ConvexUnbounded
+			return res
+		case lp.IterLimit:
+			res.Status = ConvexIterLimit
+			return res
+		}
+		worst, worstViol := -1, opts.Tol
+		for k := range nl {
+			if v := nl[k].G.Value(sol.X); v > worstViol {
+				worst, worstViol = k, v
+			}
+		}
+		if worst < 0 {
+			res.Status = ConvexOptimal
+			res.X = sol.X
+			res.Obj = m.EvalObjective(sol.X)
+			return res
+		}
+		// Cut every violated constraint at this point (not only the
+		// worst): fewer LP resolves in practice.
+		added := false
+		for k := range nl {
+			if nl[k].G.Value(sol.X) > opts.Tol {
+				m.LinearizeAt(p, k, sol.X)
+				added = true
+			}
+		}
+		if !added {
+			res.Status = ConvexOptimal
+			res.X = sol.X
+			res.Obj = m.EvalObjective(sol.X)
+			return res
+		}
+		res.Cuts++
+		res.CutPoints = append(res.CutPoints, append([]float64(nil), sol.X...))
+	}
+	res.Status = ConvexIterLimit
+	return res
+}
+
+// ProjectedObjLowerBound returns a quick lower bound on the model objective
+// from variable bounds alone (used by tests and sanity checks).
+func ProjectedObjLowerBound(m *model.Model) float64 {
+	terms, c := m.Objective()
+	lb := c
+	for _, t := range terms {
+		v := m.Var(t.Var)
+		if t.Coef >= 0 {
+			lb += t.Coef * v.Lo
+		} else {
+			lb += t.Coef * v.Hi
+		}
+	}
+	if math.IsNaN(lb) {
+		return math.Inf(-1)
+	}
+	return lb
+}

@@ -1,0 +1,246 @@
+// Package nlp provides the two nonlinear solvers the HSLB stack needs:
+//
+//   - box-constrained nonlinear least squares via a projected
+//     Levenberg–Marquardt method with multistart (the paper's step 2, fitting
+//     the performance-model coefficients), and
+//   - a convex NLP solver via Kelley's cutting-plane method layered on the
+//     LP simplex (the stand-in for filterSQP in MINOTAUR's LP/NLP-based
+//     branch-and-bound, used to solve continuous relaxations).
+package nlp
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/lina"
+	"repro/internal/stats"
+)
+
+// ErrNoProgress is returned when Levenberg–Marquardt cannot reduce the sum
+// of squares from the given start (e.g. the residual function returned NaN).
+var ErrNoProgress = errors.New("nlp: no progress possible from start point")
+
+// LSQProblem describes a box-constrained nonlinear least-squares problem:
+// minimize ||Residuals(θ)||² subject to Lo ≤ θ ≤ Hi.
+type LSQProblem struct {
+	// Residuals evaluates the residual vector at θ. Its length must be
+	// constant and at least len(θ).
+	Residuals func(theta []float64) []float64
+	// Jacobian optionally evaluates J[i][j] = ∂r_i/∂θ_j. When nil,
+	// forward differences are used.
+	Jacobian func(theta []float64) [][]float64
+	Lo, Hi   []float64
+}
+
+// LSQOptions tunes the solver. Zero values select sensible defaults.
+type LSQOptions struct {
+	MaxIter   int     // default 200
+	TolRel    float64 // relative SSE improvement tolerance, default 1e-12
+	InitialMu float64 // initial damping, default 1e-3
+}
+
+// LSQResult reports a least-squares fit.
+type LSQResult struct {
+	Theta      []float64
+	SSE        float64
+	Iterations int
+	Converged  bool
+}
+
+func (p *LSQProblem) project(theta []float64) {
+	for i := range theta {
+		if theta[i] < p.Lo[i] {
+			theta[i] = p.Lo[i]
+		}
+		if theta[i] > p.Hi[i] {
+			theta[i] = p.Hi[i]
+		}
+	}
+}
+
+func (p *LSQProblem) sse(theta []float64) float64 {
+	r := p.Residuals(theta)
+	s := 0.0
+	for _, v := range r {
+		s += v * v
+	}
+	return s
+}
+
+func (p *LSQProblem) jacobian(theta []float64, r0 []float64) [][]float64 {
+	if p.Jacobian != nil {
+		return p.Jacobian(theta)
+	}
+	n := len(theta)
+	jac := make([][]float64, len(r0))
+	for i := range jac {
+		jac[i] = make([]float64, n)
+	}
+	th := append([]float64(nil), theta...)
+	for j := 0; j < n; j++ {
+		h := 1e-7 * (1 + math.Abs(theta[j]))
+		// Step inward if the forward step leaves the box.
+		if th[j]+h > p.Hi[j] {
+			h = -h
+		}
+		orig := th[j]
+		th[j] = orig + h
+		r1 := p.Residuals(th)
+		th[j] = orig
+		for i := range r1 {
+			jac[i][j] = (r1[i] - r0[i]) / h
+		}
+	}
+	return jac
+}
+
+// Solve runs projected Levenberg–Marquardt from start (clamped to the box).
+func (p *LSQProblem) Solve(start []float64, opts LSQOptions) (*LSQResult, error) {
+	if opts.MaxIter == 0 {
+		opts.MaxIter = 200
+	}
+	if opts.TolRel == 0 {
+		opts.TolRel = 1e-12
+	}
+	if opts.InitialMu == 0 {
+		opts.InitialMu = 1e-3
+	}
+	n := len(start)
+	if len(p.Lo) != n || len(p.Hi) != n {
+		return nil, errors.New("nlp: bound length mismatch")
+	}
+	theta := append([]float64(nil), start...)
+	p.project(theta)
+
+	// Note: fewer residuals than parameters is allowed — the
+	// Levenberg–Marquardt damping keeps the normal equations positive
+	// definite, and the method converges to one interpolating solution
+	// (multistart explores several).
+	r := p.Residuals(theta)
+	if len(r) == 0 {
+		return nil, errors.New("nlp: empty residual vector")
+	}
+	sse := 0.0
+	for _, v := range r {
+		sse += v * v
+	}
+	if math.IsNaN(sse) || math.IsInf(sse, 0) {
+		return nil, ErrNoProgress
+	}
+
+	mu := opts.InitialMu
+	res := &LSQResult{Theta: theta, SSE: sse}
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		res.Iterations = iter + 1
+		jac := p.jacobian(theta, r)
+		// Normal equations: (JᵀJ + μ·diag(JᵀJ)) δ = -Jᵀr.
+		jtj := lina.NewMatrix(n, n)
+		jtr := make([]float64, n)
+		for i := range jac {
+			row := jac[i]
+			for a := 0; a < n; a++ {
+				if row[a] == 0 {
+					continue
+				}
+				jtr[a] += row[a] * r[i]
+				for b := a; b < n; b++ {
+					jtj.Add(a, b, row[a]*row[b])
+				}
+			}
+		}
+		for a := 1; a < n; a++ {
+			for b := 0; b < a; b++ {
+				jtj.Set(a, b, jtj.At(b, a))
+			}
+		}
+		improved := false
+		for tries := 0; tries < 25; tries++ {
+			aug := jtj.Clone()
+			for a := 0; a < n; a++ {
+				d := jtj.At(a, a)
+				if d == 0 {
+					d = 1
+				}
+				aug.Add(a, a, mu*d)
+			}
+			rhs := make([]float64, n)
+			for a := range rhs {
+				rhs[a] = -jtr[a]
+			}
+			l, err := lina.Cholesky(aug)
+			if err != nil {
+				mu *= 10
+				continue
+			}
+			delta := lina.SolveCholesky(l, rhs)
+			cand := make([]float64, n)
+			for a := range cand {
+				cand[a] = theta[a] + delta[a]
+			}
+			p.project(cand)
+			candSSE := p.sse(cand)
+			if !math.IsNaN(candSSE) && candSSE < sse {
+				rel := (sse - candSSE) / (sse + 1e-300)
+				theta, sse = cand, candSSE
+				r = p.Residuals(theta)
+				mu = math.Max(mu/3, 1e-12)
+				improved = true
+				if rel < opts.TolRel {
+					res.Converged = true
+				}
+				break
+			}
+			mu *= 10
+		}
+		res.Theta, res.SSE = theta, sse
+		if !improved {
+			// Local stationarity (or boundary): call it converged when
+			// the projected gradient is small.
+			res.Converged = true
+			break
+		}
+		if res.Converged {
+			break
+		}
+	}
+	return res, nil
+}
+
+// SolveMultistart runs Solve from several random starting points inside the
+// box (plus the provided start when non-nil) and returns the best result.
+// The paper notes that different starts reach different local optima with
+// similar objective quality; multistart makes the fit robust to that.
+func (p *LSQProblem) SolveMultistart(start []float64, k int, rng *stats.RNG, opts LSQOptions) (*LSQResult, error) {
+	var best *LSQResult
+	try := func(s []float64) {
+		r, err := p.Solve(s, opts)
+		if err != nil {
+			return
+		}
+		if best == nil || r.SSE < best.SSE {
+			best = r
+		}
+	}
+	if start != nil {
+		try(start)
+	}
+	n := len(p.Lo)
+	for i := 0; i < k; i++ {
+		s := make([]float64, n)
+		for j := range s {
+			lo, hi := p.Lo[j], p.Hi[j]
+			if math.IsInf(hi, 1) {
+				hi = math.Max(lo, 1) * 100
+			}
+			if math.IsInf(lo, -1) {
+				lo = -hi
+			}
+			s[j] = rng.Range(lo, hi)
+		}
+		try(s)
+	}
+	if best == nil {
+		return nil, ErrNoProgress
+	}
+	return best, nil
+}

@@ -1,0 +1,57 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzFit feeds arbitrary sample tuples to the fitter: it must either
+// reject them with an error or return valid, finite parameters — never
+// panic, never emit NaN curves.
+func FuzzFit(f *testing.F) {
+	f.Add(float64(1), 100.0, 4.0, 30.0, 16.0, 10.0)
+	f.Add(float64(2), 50.0, 2.0, 50.0, 2.0, 50.0) // duplicate node counts
+	f.Add(float64(0), 1.0, 4.0, -3.0, 16.0, 10.0) // invalid entries
+	f.Add(math.Inf(1), 1.0, 4.0, 3.0, 16.0, 10.0)
+	f.Fuzz(func(t *testing.T, n1, t1, n2, t2, n3, t3 float64) {
+		samples := []Sample{{n1, t1}, {n2, t2}, {n3, t3}}
+		res, err := Fit(samples, FitOptions{Starts: 3, Seed: 1})
+		if err != nil {
+			return // rejected: fine
+		}
+		if !res.Params.Valid() {
+			t.Fatalf("accepted fit with invalid params %+v from %v", res.Params, samples)
+		}
+		for _, n := range []float64{1, 7, 100} {
+			if v := res.Params.Eval(n); math.IsNaN(v) || v < 0 {
+				t.Fatalf("prediction %v at n=%v from %+v", v, n, res.Params)
+			}
+		}
+	})
+}
+
+// FuzzMinNodesFor checks the inverse function against direct evaluation
+// for arbitrary parameters and targets.
+func FuzzMinNodesFor(f *testing.F) {
+	f.Add(100.0, 0.01, 1.2, 2.0, 10.0)
+	f.Add(0.0, 0.0, 1.0, 0.0, 1.0)
+	f.Fuzz(func(t *testing.T, a, b, c, d, target float64) {
+		if a < 0 || b < 0 || c < 1 || c > 3 || d < 0 ||
+			math.IsNaN(a+b+c+d+target) || math.IsInf(a+b+c+d+target, 0) ||
+			a > 1e12 || b > 1e6 || d > 1e12 {
+			return
+		}
+		p := Params{A: a, B: b, C: c, D: d}
+		n, ok := p.MinNodesFor(target, 10000)
+		if !ok {
+			return
+		}
+		if n < 1 || n > 10000 {
+			t.Fatalf("n = %d out of range", n)
+		}
+		if p.Eval(float64(n)) > target {
+			t.Fatalf("MinNodesFor returned n=%d with T=%v > target %v (params %+v)",
+				n, p.Eval(float64(n)), target, p)
+		}
+	})
+}

@@ -1,0 +1,257 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+	"repro/internal/stats"
+)
+
+func TestEvalKnown(t *testing.T) {
+	p := Params{A: 100, B: 0.01, C: 1, D: 2}
+	// T(10) = 10 + 0.1 + 2 = 12.1
+	if got := p.Eval(10); math.Abs(got-12.1) > 1e-12 {
+		t.Fatalf("Eval(10) = %v", got)
+	}
+}
+
+func TestDerivMatchesNumeric(t *testing.T) {
+	ps := []Params{
+		{A: 50, B: 0.02, C: 1.3, D: 1},
+		{A: 1000, B: 0, C: 1, D: 5},
+		{A: 0, B: 0.5, C: 2, D: 0},
+	}
+	for _, p := range ps {
+		for _, n := range []float64{1, 3, 17, 250} {
+			h := 1e-6 * n
+			num := (p.Eval(n+h) - p.Eval(n-h)) / (2 * h)
+			if math.Abs(p.Deriv(n)-num) > 1e-4*(1+math.Abs(num)) {
+				t.Fatalf("Deriv mismatch for %v at n=%v: %v vs %v", p, n, p.Deriv(n), num)
+			}
+		}
+	}
+}
+
+func TestConvexFlag(t *testing.T) {
+	if !(Params{A: 1, B: 0, C: 0.2, D: 0}).Convex() {
+		t.Fatal("b=0 should be convex")
+	}
+	if !(Params{A: 1, B: 1, C: 1.5, D: 0}).Convex() {
+		t.Fatal("c≥1 should be convex")
+	}
+	if (Params{A: 1, B: 1, C: 0.5, D: 0}).Convex() {
+		t.Fatal("c<1 with b>0 flagged convex")
+	}
+}
+
+func TestConstraintSmoothGradient(t *testing.T) {
+	p := Params{A: 120, B: 0.03, C: 1.2, D: 4}
+	g := p.Constraint(0, 1)
+	rng := stats.NewRNG(1)
+	if d := model.CheckGradSampled(g, []float64{2, 0}, []float64{500, 100}, 100, rng); d > 1e-3 {
+		t.Fatalf("analytic gradient off by %v", d)
+	}
+}
+
+func TestConstraintConvexity(t *testing.T) {
+	p := Params{A: 120, B: 0.03, C: 1.4, D: 4}
+	g := p.Constraint(0, 1)
+	rng := stats.NewRNG(2)
+	if !model.CheckConvexSampled(g, []float64{1, 0}, []float64{1000, 100}, 300, 1e-7, rng) {
+		t.Fatal("convex params produced non-convex constraint")
+	}
+}
+
+func TestArgMin(t *testing.T) {
+	p := Params{A: 100, B: 0.01, C: 1, D: 0}
+	// a/n² = b → n = sqrt(100/0.01) = 100.
+	if am := p.ArgMin(); math.Abs(am-100) > 1e-9 {
+		t.Fatalf("ArgMin = %v, want 100", am)
+	}
+	if am := (Params{A: 5, B: 0, C: 1, D: 1}).ArgMin(); !math.IsInf(am, 1) {
+		t.Fatalf("ArgMin without overhead = %v, want +Inf", am)
+	}
+}
+
+func TestMinNodesFor(t *testing.T) {
+	p := Params{A: 100, B: 0, C: 1, D: 2}
+	// T(n) = 100/n + 2 ≤ 12 → n ≥ 10.
+	n, ok := p.MinNodesFor(12, 1000)
+	if !ok || n != 10 {
+		t.Fatalf("MinNodesFor = %d, %v; want 10", n, ok)
+	}
+	// Unachievable target (below the serial floor).
+	if _, ok := p.MinNodesFor(1.5, 1000000); ok {
+		t.Fatal("achieved target below serial floor")
+	}
+	// Range too small.
+	if _, ok := p.MinNodesFor(12, 5); ok {
+		t.Fatal("achieved target beyond nMax")
+	}
+}
+
+// Property: MinNodesFor returns the boundary: T(n) ≤ t and T(n-1) > t.
+func TestMinNodesForBoundaryProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		p := Params{A: rng.Range(10, 5000), B: rng.Range(0, 0.01), C: rng.Range(1, 2), D: rng.Range(0, 5)}
+		target := p.Eval(float64(1+rng.Intn(500))) * rng.Range(0.9, 1.5)
+		n, ok := p.MinNodesFor(target, 100000)
+		if !ok {
+			// Verify no small n would do (sample a few).
+			for _, cand := range []int{1, 2, 5, 17, 99, 1234, 99999} {
+				if p.Eval(float64(cand)) <= target {
+					return false
+				}
+			}
+			return true
+		}
+		if p.Eval(float64(n)) > target {
+			return false
+		}
+		return n == 1 || p.Eval(float64(n-1)) > target
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitRecoversKnownCurve(t *testing.T) {
+	truth := Params{A: 5000, B: 0.002, C: 1.2, D: 3}
+	var samples []Sample
+	for _, n := range []float64{8, 32, 128, 512, 2048} {
+		samples = append(samples, Sample{Nodes: n, Time: truth.Eval(n)})
+	}
+	res, err := Fit(samples, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.R2 < 0.9999 {
+		t.Fatalf("R² = %v for noiseless data (params %v)", res.R2, res.Params)
+	}
+	// Predictions should interpolate accurately even if individual
+	// parameters trade off (the paper observed exactly this: different
+	// local optima, same quality).
+	for _, n := range []float64{16, 64, 256, 1024} {
+		want := truth.Eval(n)
+		got := res.Params.Eval(n)
+		if math.Abs(got-want) > 0.02*want {
+			t.Fatalf("interpolation at n=%v: got %v want %v", n, got, want)
+		}
+	}
+}
+
+func TestFitNoisyDataR2(t *testing.T) {
+	truth := Params{A: 20000, B: 0.001, C: 1.1, D: 8}
+	rng := stats.NewRNG(7)
+	var samples []Sample
+	for _, n := range []float64{16, 64, 256, 1024, 4096} {
+		// 2% multiplicative noise, as a real benchmark would show.
+		samples = append(samples, Sample{Nodes: n, Time: truth.Eval(n) * rng.LogNormFactor(0.02)})
+	}
+	res, err := Fit(samples, FitOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.R2 < 0.99 {
+		t.Fatalf("R² = %v, want ≈1 (the paper: 'R² was very close to 1')", res.R2)
+	}
+	if !res.Params.Valid() || !res.Params.Convex() {
+		t.Fatalf("fit returned invalid/non-convex params %v", res.Params)
+	}
+}
+
+func TestFitPureAmdahl(t *testing.T) {
+	// b = 0 curve: fit must cope with the unidentifiable exponent.
+	truth := Params{A: 900, B: 0, C: 1, D: 1}
+	var samples []Sample
+	for _, n := range []float64{1, 4, 16, 64, 256} {
+		samples = append(samples, Sample{Nodes: n, Time: truth.Eval(n)})
+	}
+	res, err := Fit(samples, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []float64{2, 8, 32, 128} {
+		if math.Abs(res.Params.Eval(n)-truth.Eval(n)) > 0.05*truth.Eval(n) {
+			t.Fatalf("b=0 fit poor at n=%v: %v vs %v", n, res.Params.Eval(n), truth.Eval(n))
+		}
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, FitOptions{}); err == nil {
+		t.Fatal("empty samples accepted")
+	}
+	if _, err := Fit([]Sample{{Nodes: 4, Time: 1}, {Nodes: 4, Time: 1.1}}, FitOptions{}); err == nil {
+		t.Fatal("single distinct node count accepted")
+	}
+	if _, err := Fit([]Sample{{Nodes: 0, Time: 1}, {Nodes: 4, Time: 1}}, FitOptions{}); err == nil {
+		t.Fatal("invalid node count accepted")
+	}
+	if _, err := Fit([]Sample{{Nodes: 2, Time: -1}, {Nodes: 4, Time: 1}}, FitOptions{}); err == nil {
+		t.Fatal("negative time accepted")
+	}
+}
+
+func TestFitNonConvexOption(t *testing.T) {
+	// With CMin < 1 the fitter may return c < 1; Convex() must report it.
+	truth := Params{A: 100, B: 2, C: 0.3, D: 0}
+	var samples []Sample
+	for _, n := range []float64{1, 2, 4, 8, 16, 32, 64} {
+		samples = append(samples, Sample{Nodes: n, Time: truth.Eval(n)})
+	}
+	res, err := Fit(samples, FitOptions{CMin: 0.05, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.R2 < 0.999 {
+		t.Fatalf("unconstrained fit R² = %v", res.R2)
+	}
+}
+
+func TestSuggestSampleNodes(t *testing.T) {
+	ns := SuggestSampleNodes(16, 2048, 5)
+	if len(ns) != 5 {
+		t.Fatalf("got %v", ns)
+	}
+	if ns[0] != 16 || ns[len(ns)-1] != 2048 {
+		t.Fatalf("endpoints wrong: %v (paper: minimum and maximum must be sampled)", ns)
+	}
+	for i := 1; i < len(ns); i++ {
+		if ns[i] <= ns[i-1] {
+			t.Fatalf("not increasing: %v", ns)
+		}
+	}
+	// Degenerate ranges.
+	if ns := SuggestSampleNodes(8, 8, 4); len(ns) == 0 || ns[0] != 8 {
+		t.Fatalf("degenerate range: %v", ns)
+	}
+}
+
+// Property: fitted predictions are non-negative across the sampled range.
+func TestFitNonNegativeProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		truth := Params{A: rng.Range(100, 10000), B: rng.Range(0, 0.01), C: rng.Range(1, 1.8), D: rng.Range(0, 10)}
+		var samples []Sample
+		for _, n := range []float64{4, 16, 64, 256, 1024} {
+			samples = append(samples, Sample{Nodes: n, Time: truth.Eval(n) * rng.LogNormFactor(0.03)})
+		}
+		res, err := Fit(samples, FitOptions{Seed: seed})
+		if err != nil {
+			return false
+		}
+		for _, n := range []float64{1, 10, 100, 1000, 10000} {
+			if res.Params.Eval(n) < 0 {
+				return false
+			}
+		}
+		return res.Params.Valid()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,244 @@
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/nlp"
+	"repro/internal/stats"
+)
+
+// Family identifies a performance-model functional form. The paper settles
+// on the four-parameter HSLB form; the alternatives here implement the
+// model-choice discussion of its performance-model section (simpler Amdahl
+// variants for components that need fewer degrees of freedom — recall that
+// on Intrepid b and c were "almost equal to zero").
+type Family int
+
+// Model families.
+const (
+	// FamilyHSLB is T(n) = a/n + b·nᶜ + d (the paper's model).
+	FamilyHSLB Family = iota
+	// FamilyAmdahl is T(n) = a/n + d (pure Amdahl).
+	FamilyAmdahl
+	// FamilyPower is T(n) = a/nᶜ + d (power-law scaling, sublinear when
+	// c < 1 — the common fit for codes with serialized phases).
+	FamilyPower
+)
+
+func (f Family) String() string {
+	switch f {
+	case FamilyHSLB:
+		return "hslb"
+	case FamilyAmdahl:
+		return "amdahl"
+	case FamilyPower:
+		return "power"
+	}
+	return "unknown"
+}
+
+// NumParams returns the number of free coefficients of the family.
+func (f Family) NumParams() int {
+	switch f {
+	case FamilyHSLB:
+		return 4
+	case FamilyAmdahl:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// FitFamily fits the requested family to the samples. The result always
+// uses the Params representation (unused coefficients zero; FamilyPower
+// stores its exponent by scaling: T = a·n⁻ᶜ + d is encoded with B = 0 and
+// a pseudo-A — see below).
+//
+// Because Params canonically represents a/n + b·nᶜ + d, FamilyPower is
+// returned as a PowerParams instead.
+func FitFamily(f Family, samples []Sample, opts FitOptions) (*FamilyFit, error) {
+	switch f {
+	case FamilyHSLB:
+		r, err := Fit(samples, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &FamilyFit{Family: f, HSLB: r.Params, SSE: r.SSE, R2: r.R2, N: len(samples)}, nil
+	case FamilyAmdahl:
+		return fitAmdahl(samples, opts)
+	case FamilyPower:
+		return fitPower(samples, opts)
+	default:
+		return nil, fmt.Errorf("perfmodel: unknown family %v", f)
+	}
+}
+
+// PowerParams is the a/nᶜ + d form.
+type PowerParams struct {
+	A float64 `json:"a"`
+	C float64 `json:"c"`
+	D float64 `json:"d"`
+}
+
+// Eval returns T(n).
+func (p PowerParams) Eval(n float64) float64 { return p.A/math.Pow(n, p.C) + p.D }
+
+// FamilyFit is a fitted model of any family.
+type FamilyFit struct {
+	Family Family      `json:"family"`
+	HSLB   Params      `json:"hslb,omitempty"`  // FamilyHSLB / FamilyAmdahl
+	Power  PowerParams `json:"power,omitempty"` // FamilyPower
+	SSE    float64     `json:"sse"`
+	R2     float64     `json:"r2"`
+	N      int         `json:"n"`
+}
+
+// Eval returns the fitted prediction at n.
+func (ff *FamilyFit) Eval(n float64) float64 {
+	if ff.Family == FamilyPower {
+		return ff.Power.Eval(n)
+	}
+	return ff.HSLB.Eval(n)
+}
+
+// AICc returns the small-sample corrected Akaike information criterion of
+// the fit under a Gaussian error model (lower is better). When the sample
+// count is too small for the correction (n ≤ k+1) it returns +Inf,
+// penalizing overparameterized fits outright.
+func (ff *FamilyFit) AICc() float64 {
+	n := float64(ff.N)
+	k := float64(ff.Family.NumParams())
+	if n <= k+1 {
+		return math.Inf(1)
+	}
+	sse := ff.SSE
+	if sse < 1e-300 {
+		sse = 1e-300
+	}
+	aic := n*math.Log(sse/n) + 2*k
+	return aic + 2*k*(k+1)/(n-k-1)
+}
+
+func fitAmdahl(samples []Sample, opts FitOptions) (*FamilyFit, error) {
+	if err := validateSamples(samples); err != nil {
+		return nil, err
+	}
+	maxT, maxN := sampleScales(samples)
+	prob := &nlp.LSQProblem{
+		Residuals: func(th []float64) []float64 {
+			r := make([]float64, len(samples))
+			for i, s := range samples {
+				r[i] = th[0]/s.Nodes + th[1] - s.Time
+			}
+			return r
+		},
+		Lo: []float64{0, 0},
+		Hi: []float64{maxT * maxN * 10, maxT * 2},
+	}
+	rng := stats.NewRNG(opts.Seed + 0x51ed)
+	starts := opts.Starts
+	if starts == 0 {
+		starts = 8
+	}
+	res, err := prob.SolveMultistart([]float64{samples[0].Time * samples[0].Nodes, 0}, starts, rng, nlp.LSQOptions{MaxIter: 200})
+	if err != nil {
+		return nil, err
+	}
+	p := Params{A: res.Theta[0], C: 1, D: res.Theta[1]}
+	return &FamilyFit{
+		Family: FamilyAmdahl, HSLB: p, SSE: res.SSE,
+		R2: r2Of(samples, p.Eval), N: len(samples),
+	}, nil
+}
+
+func fitPower(samples []Sample, opts FitOptions) (*FamilyFit, error) {
+	if err := validateSamples(samples); err != nil {
+		return nil, err
+	}
+	maxT, maxN := sampleScales(samples)
+	prob := &nlp.LSQProblem{
+		Residuals: func(th []float64) []float64 {
+			r := make([]float64, len(samples))
+			for i, s := range samples {
+				r[i] = th[0]/math.Pow(s.Nodes, th[1]) + th[2] - s.Time
+			}
+			return r
+		},
+		Lo: []float64{0, 0.05, 0},
+		Hi: []float64{maxT * maxN * 10, 2, maxT * 2},
+	}
+	rng := stats.NewRNG(opts.Seed + 0x9dc5)
+	starts := opts.Starts
+	if starts == 0 {
+		starts = 10
+	}
+	res, err := prob.SolveMultistart([]float64{samples[0].Time * samples[0].Nodes, 1, 0}, starts, rng, nlp.LSQOptions{MaxIter: 250})
+	if err != nil {
+		return nil, err
+	}
+	pp := PowerParams{A: res.Theta[0], C: res.Theta[1], D: res.Theta[2]}
+	return &FamilyFit{
+		Family: FamilyPower, Power: pp, SSE: res.SSE,
+		R2: r2Of(samples, pp.Eval), N: len(samples),
+	}, nil
+}
+
+// SelectModel fits every family and returns them sorted by AICc, best
+// first — the automated version of "choosing an appropriate performance
+// model is a crucial step".
+func SelectModel(samples []Sample, opts FitOptions) ([]*FamilyFit, error) {
+	fams := []Family{FamilyHSLB, FamilyAmdahl, FamilyPower}
+	fits := make([]*FamilyFit, 0, len(fams))
+	for _, f := range fams {
+		ff, err := FitFamily(f, samples, opts)
+		if err != nil {
+			return nil, err
+		}
+		fits = append(fits, ff)
+	}
+	// Insertion sort by AICc (3 elements).
+	for i := 1; i < len(fits); i++ {
+		for j := i; j > 0 && fits[j].AICc() < fits[j-1].AICc(); j-- {
+			fits[j], fits[j-1] = fits[j-1], fits[j]
+		}
+	}
+	return fits, nil
+}
+
+// r2Of computes R² of a prediction function against the samples.
+func r2Of(samples []Sample, eval func(float64) float64) float64 {
+	obs := make([]float64, len(samples))
+	pred := make([]float64, len(samples))
+	for i, s := range samples {
+		obs[i] = s.Time
+		pred[i] = eval(s.Nodes)
+	}
+	return stats.RSquared(obs, pred)
+}
+
+func validateSamples(samples []Sample) error {
+	distinct := map[float64]bool{}
+	for _, s := range samples {
+		if s.Nodes < 1 || s.Time < 0 || math.IsNaN(s.Time) {
+			return fmt.Errorf("perfmodel: invalid sample (n=%g, t=%g)", s.Nodes, s.Time)
+		}
+		distinct[s.Nodes] = true
+	}
+	if len(distinct) < 2 {
+		return ErrTooFewSamples
+	}
+	return nil
+}
+
+func sampleScales(samples []Sample) (maxT, maxN float64) {
+	for _, s := range samples {
+		if s.Time > maxT {
+			maxT = s.Time
+		}
+		if s.Nodes > maxN {
+			maxN = s.Nodes
+		}
+	}
+	return maxT, maxN
+}

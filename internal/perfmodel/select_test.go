@@ -1,0 +1,133 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func samplesFrom(eval func(float64) float64, ns []float64, noise float64, seed uint64) []Sample {
+	rng := stats.NewRNG(seed)
+	out := make([]Sample, len(ns))
+	for i, n := range ns {
+		out[i] = Sample{Nodes: n, Time: eval(n) * rng.LogNormFactor(noise)}
+	}
+	return out
+}
+
+var selGrid = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+func TestFitFamilyAmdahl(t *testing.T) {
+	truth := Params{A: 1200, C: 1, D: 7}
+	ff, err := FitFamily(FamilyAmdahl, samplesFrom(truth.Eval, selGrid, 0, 1), FitOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ff.R2 < 0.9999 {
+		t.Fatalf("R² = %v", ff.R2)
+	}
+	if math.Abs(ff.HSLB.A-1200) > 15 || math.Abs(ff.HSLB.D-7) > 0.5 {
+		t.Fatalf("params = %+v", ff.HSLB)
+	}
+}
+
+func TestFitFamilyPower(t *testing.T) {
+	truth := PowerParams{A: 900, C: 0.7, D: 3}
+	ff, err := FitFamily(FamilyPower, samplesFrom(truth.Eval, selGrid, 0, 2), FitOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ff.R2 < 0.9999 {
+		t.Fatalf("R² = %v (fit %+v)", ff.R2, ff.Power)
+	}
+	if math.Abs(ff.Power.C-0.7) > 0.05 {
+		t.Fatalf("exponent = %v, want ≈0.7", ff.Power.C)
+	}
+}
+
+func TestFitFamilyHSLBWrapper(t *testing.T) {
+	truth := Params{A: 5000, B: 0.002, C: 1.2, D: 3}
+	ff, err := FitFamily(FamilyHSLB, samplesFrom(truth.Eval, selGrid, 0, 3), FitOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ff.Family != FamilyHSLB || ff.R2 < 0.999 {
+		t.Fatalf("fit = %+v", ff)
+	}
+}
+
+func TestFamilyFitEvalDispatch(t *testing.T) {
+	ff := &FamilyFit{Family: FamilyPower, Power: PowerParams{A: 100, C: 1, D: 1}}
+	if v := ff.Eval(10); math.Abs(v-11) > 1e-12 {
+		t.Fatalf("power Eval = %v", v)
+	}
+	ff2 := &FamilyFit{Family: FamilyAmdahl, HSLB: Params{A: 100, C: 1, D: 1}}
+	if v := ff2.Eval(10); math.Abs(v-11) > 1e-12 {
+		t.Fatalf("amdahl Eval = %v", v)
+	}
+}
+
+func TestSelectModelPrefersSimpleWhenTrue(t *testing.T) {
+	// Amdahl ground truth with few, slightly noisy points: AICc must not
+	// pick the 4-parameter model.
+	truth := Params{A: 2000, C: 1, D: 5}
+	samples := samplesFrom(truth.Eval, []float64{1, 4, 16, 64, 256}, 0.01, 4)
+	fits, err := SelectModel(samples, FitOptions{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fits[0].Family == FamilyHSLB {
+		t.Fatalf("AICc picked the 4-parameter model over simpler ones: %v", fits[0].Family)
+	}
+	// All families must rank with finite-or-worse criteria in order.
+	for i := 1; i < len(fits); i++ {
+		if fits[i].AICc() < fits[i-1].AICc() {
+			t.Fatal("SelectModel not sorted by AICc")
+		}
+	}
+}
+
+func TestSelectModelPicksPowerForSublinear(t *testing.T) {
+	truth := PowerParams{A: 800, C: 0.55, D: 2}
+	samples := samplesFrom(truth.Eval, selGrid, 0.005, 5)
+	fits, err := SelectModel(samples, FitOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The HSLB family (with its c ≥ 1 convexity constraint) cannot express
+	// a/n^0.55; power must win.
+	if fits[0].Family != FamilyPower {
+		t.Fatalf("best family = %v, want power (AICcs: %v %v %v)",
+			fits[0].Family, fits[0].AICc(), fits[1].AICc(), fits[2].AICc())
+	}
+}
+
+func TestAICcPenalizesTinySamples(t *testing.T) {
+	ff := &FamilyFit{Family: FamilyHSLB, SSE: 1, N: 4} // n ≤ k+1
+	if !math.IsInf(ff.AICc(), 1) {
+		t.Fatalf("AICc = %v, want +Inf for n ≤ k+1", ff.AICc())
+	}
+}
+
+func TestFitFamilyErrors(t *testing.T) {
+	if _, err := FitFamily(FamilyAmdahl, nil, FitOptions{}); err == nil {
+		t.Fatal("empty samples accepted")
+	}
+	if _, err := FitFamily(FamilyPower, []Sample{{Nodes: 2, Time: 1}}, FitOptions{}); err == nil {
+		t.Fatal("single point accepted")
+	}
+	if _, err := FitFamily(Family(99), samplesFrom(func(float64) float64 { return 1 }, selGrid, 0, 6), FitOptions{}); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}
+
+func TestFamilyStrings(t *testing.T) {
+	if FamilyHSLB.String() != "hslb" || FamilyAmdahl.String() != "amdahl" ||
+		FamilyPower.String() != "power" || Family(9).String() != "unknown" {
+		t.Fatal("Family.String broken")
+	}
+	if FamilyHSLB.NumParams() != 4 || FamilyAmdahl.NumParams() != 2 || FamilyPower.NumParams() != 3 {
+		t.Fatal("NumParams broken")
+	}
+}

@@ -1,0 +1,167 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 for fewer than two
+// elements.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the minimum of xs. It panics on an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs. It panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It panics on an empty slice.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// RSquared returns the coefficient of determination of predictions pred
+// against observations obs. A perfect fit returns 1. If the observations
+// have zero variance, it returns 1 when the predictions match exactly and
+// -inf otherwise.
+func RSquared(obs, pred []float64) float64 {
+	if len(obs) != len(pred) {
+		panic("stats: RSquared length mismatch")
+	}
+	if len(obs) == 0 {
+		return 1
+	}
+	mean := Mean(obs)
+	ssRes, ssTot := 0.0, 0.0
+	for i := range obs {
+		r := obs[i] - pred[i]
+		ssRes += r * r
+		d := obs[i] - mean
+		ssTot += d * d
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return math.Inf(-1)
+	}
+	return 1 - ssRes/ssTot
+}
+
+// Imbalance returns the load-imbalance ratio max/mean of xs, the standard
+// metric for how far a schedule is from perfectly balanced (1 is perfect).
+// It panics on an empty slice and returns +Inf when the mean is zero but the
+// max is not.
+func Imbalance(xs []float64) float64 {
+	mx := Max(xs)
+	mean := Mean(xs)
+	if mean == 0 {
+		if mx == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return mx / mean
+}
+
+// ArgMax returns the index of the maximum element of xs, breaking ties in
+// favour of the lowest index. It panics on an empty slice.
+func ArgMax(xs []float64) int {
+	if len(xs) == 0 {
+		panic("stats: ArgMax of empty slice")
+	}
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// ArgMin returns the index of the minimum element of xs, breaking ties in
+// favour of the lowest index. It panics on an empty slice.
+func ArgMin(xs []float64) int {
+	if len(xs) == 0 {
+		panic("stats: ArgMin of empty slice")
+	}
+	best := 0
+	for i, x := range xs {
+		if x < xs[best] {
+			best = i
+		}
+	}
+	return best
+}

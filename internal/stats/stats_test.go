@@ -1,0 +1,270 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical values", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGFloat64Mean(t *testing.T) {
+	r := NewRNG(11)
+	n := 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean %v too far from 0.5", mean)
+	}
+}
+
+func TestRNGNorm(t *testing.T) {
+	r := NewRNG(13)
+	n := 200000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Norm(3, 2)
+	}
+	if m := Mean(xs); math.Abs(m-3) > 0.05 {
+		t.Fatalf("normal mean %v too far from 3", m)
+	}
+	if s := StdDev(xs); math.Abs(s-2) > 0.05 {
+		t.Fatalf("normal stddev %v too far from 2", s)
+	}
+}
+
+func TestRNGIntn(t *testing.T) {
+	r := NewRNG(17)
+	counts := make([]int, 10)
+	for i := 0; i < 10000; i++ {
+		counts[r.Intn(10)]++
+	}
+	for v, c := range counts {
+		if c < 800 || c > 1200 {
+			t.Fatalf("Intn(10) value %d count %d far from uniform", v, c)
+		}
+	}
+}
+
+func TestRNGIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestLogNormFactor(t *testing.T) {
+	r := NewRNG(19)
+	if f := r.LogNormFactor(0); f != 1 {
+		t.Fatalf("LogNormFactor(0) = %v, want 1", f)
+	}
+	n := 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		f := r.LogNormFactor(0.1)
+		if f <= 0 {
+			t.Fatalf("non-positive noise factor %v", f)
+		}
+		sum += f
+	}
+	if mean := sum / float64(n); math.Abs(mean-1) > 0.01 {
+		t.Fatalf("LogNormFactor mean %v, want ~1", mean)
+	}
+}
+
+func TestPerm(t *testing.T) {
+	r := NewRNG(23)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := NewRNG(29)
+	a := r.Split()
+	b := r.Split()
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("split streams start identically")
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("Mean = %v, want 5", m)
+	}
+	if v := Variance(xs); v != 4 {
+		t.Fatalf("Variance = %v, want 4", v)
+	}
+	if s := StdDev(xs); s != 2 {
+		t.Fatalf("StdDev = %v, want 2", s)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if m := Mean(nil); m != 0 {
+		t.Fatalf("Mean(nil) = %v, want 0", m)
+	}
+	if v := Variance([]float64{3}); v != 0 {
+		t.Fatalf("Variance singleton = %v, want 0", v)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 4, 1, 5}
+	if m := Min(xs); m != -1 {
+		t.Fatalf("Min = %v", m)
+	}
+	if m := Max(xs); m != 5 {
+		t.Fatalf("Max = %v", m)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestRSquaredPerfect(t *testing.T) {
+	obs := []float64{1, 2, 3, 4}
+	if r2 := RSquared(obs, obs); r2 != 1 {
+		t.Fatalf("R^2 of perfect fit = %v", r2)
+	}
+}
+
+func TestRSquaredMeanModel(t *testing.T) {
+	obs := []float64{1, 2, 3, 4}
+	pred := []float64{2.5, 2.5, 2.5, 2.5}
+	if r2 := RSquared(obs, pred); math.Abs(r2) > 1e-12 {
+		t.Fatalf("R^2 of mean model = %v, want 0", r2)
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	if im := Imbalance([]float64{1, 1, 1, 1}); im != 1 {
+		t.Fatalf("Imbalance uniform = %v", im)
+	}
+	if im := Imbalance([]float64{2, 0}); im != 2 {
+		t.Fatalf("Imbalance = %v, want 2", im)
+	}
+	if im := Imbalance([]float64{0, 0}); im != 1 {
+		t.Fatalf("Imbalance zeros = %v, want 1", im)
+	}
+}
+
+func TestArgMinMax(t *testing.T) {
+	xs := []float64{3, 7, 7, 1, 1}
+	if i := ArgMax(xs); i != 1 {
+		t.Fatalf("ArgMax = %d, want 1 (first of ties)", i)
+	}
+	if i := ArgMin(xs); i != 3 {
+		t.Fatalf("ArgMin = %d, want 3 (first of ties)", i)
+	}
+}
+
+// Property: quantile is monotone in q and bounded by min/max.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		if n == 0 {
+			return true
+		}
+		r := NewRNG(seed)
+		xs := make([]float64, int(n))
+		for i := range xs {
+			xs[i] = r.Range(-100, 100)
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(xs, q)
+			if v < prev-1e-9 || v < Min(xs)-1e-9 || v > Max(xs)+1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: R^2 never exceeds 1.
+func TestRSquaredBoundedProperty(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		m := int(n%20) + 2
+		r := NewRNG(seed)
+		obs := make([]float64, m)
+		pred := make([]float64, m)
+		for i := range obs {
+			obs[i] = r.Range(0, 10)
+			pred[i] = r.Range(0, 10)
+		}
+		return RSquared(obs, pred) <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: imbalance is >= 1 for non-negative loads with positive mean.
+func TestImbalanceAtLeastOneProperty(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		m := int(n%20) + 1
+		r := NewRNG(seed)
+		xs := make([]float64, m)
+		for i := range xs {
+			xs[i] = r.Range(0.001, 10)
+		}
+		return Imbalance(xs) >= 1-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

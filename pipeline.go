@@ -1,0 +1,208 @@
+package hslb
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/perfmodel"
+	"repro/internal/stats"
+)
+
+// BenchmarkFunc times one run of task `task` on `nodes` nodes and returns
+// wall-clock seconds. Implementations wrap either a simulator (packages fmo
+// and gddi) or real measurements read from logs.
+type BenchmarkFunc func(task, nodes int) float64
+
+// ExecuteFunc optionally runs the final allocation end-to-end and returns
+// the measured total time (step 4); when nil the pipeline reports
+// predictions only.
+type ExecuteFunc func(nodes []int) float64
+
+// PipelineConfig drives RunPipeline.
+type PipelineConfig struct {
+	// TaskNames labels the tasks; its length fixes the task count.
+	TaskNames []string
+	// Benchmark provides step-1 measurements.
+	Benchmark BenchmarkFunc
+	// Execute, when non-nil, performs step 4 for the chosen allocation.
+	Execute ExecuteFunc
+	// TotalNodes is the allocation budget N.
+	TotalNodes int
+	// SampleCounts are the node counts benchmarked per task; nil selects
+	// the paper's recommendation via SuggestSampleNodes with SamplePoints
+	// points (≥ 4 advised).
+	SampleCounts []int
+	// SamplePoints sizes the default sample set (default 5).
+	SamplePoints int
+	// MaxSampleNodes caps benchmark node counts (default TotalNodes).
+	MaxSampleNodes int
+	// MinNodes / MaxNodes / Allowed are optional per-task allocation
+	// restrictions (each nil or of length len(TaskNames)).
+	MinNodes []int
+	MaxNodes []int
+	Allowed  [][]int
+	// Objective defaults to MinMax, the paper's choice.
+	Objective Objective
+	// UseParametric selects the specialized solver instead of the MINLP
+	// route.
+	UseParametric bool
+	Solver        SolverOptions
+	Fit           FitOptions
+	// Seed drives the deterministic parts of fitting.
+	Seed uint64
+}
+
+// PipelineResult carries every artifact of the four steps.
+type PipelineResult struct {
+	// Samples[t] are the benchmark observations of task t (step 1).
+	Samples [][]Sample
+	// Fits[t] is the fitted performance function of task t (step 2).
+	Fits []FitResult
+	// Problem is the assembled allocation instance.
+	Problem *Problem
+	// Allocation is the chosen assignment with predicted times (step 3).
+	Allocation *Allocation
+	// Executed is the measured total time of step 4 (NaN when skipped).
+	Executed float64
+	// PredictionError is |Executed − predicted|/Executed (NaN when
+	// step 4 was skipped).
+	PredictionError float64
+}
+
+// RunPipeline performs the full HSLB procedure.
+func RunPipeline(cfg *PipelineConfig) (*PipelineResult, error) {
+	k := len(cfg.TaskNames)
+	if k == 0 {
+		return nil, errors.New("hslb: no tasks")
+	}
+	if cfg.Benchmark == nil {
+		return nil, errors.New("hslb: PipelineConfig.Benchmark is required")
+	}
+	if cfg.TotalNodes < k {
+		return nil, fmt.Errorf("hslb: %d nodes cannot host %d tasks", cfg.TotalNodes, k)
+	}
+	for name, s := range map[string]int{
+		"MinNodes": len(cfg.MinNodes), "MaxNodes": len(cfg.MaxNodes), "Allowed": len(cfg.Allowed),
+	} {
+		if s != 0 && s != k {
+			return nil, fmt.Errorf("hslb: %s has length %d, want %d", name, s, k)
+		}
+	}
+
+	res := &PipelineResult{Executed: math.NaN(), PredictionError: math.NaN()}
+
+	// Step 1: gather.
+	counts := cfg.SampleCounts
+	if counts == nil {
+		points := cfg.SamplePoints
+		if points == 0 {
+			points = 5
+		}
+		maxN := cfg.MaxSampleNodes
+		if maxN == 0 || maxN > cfg.TotalNodes {
+			maxN = cfg.TotalNodes
+		}
+		counts = perfmodel.SuggestSampleNodes(1, maxN, points)
+	}
+	res.Samples = make([][]Sample, k)
+	for t := 0; t < k; t++ {
+		for _, n := range counts {
+			lo := 1
+			if cfg.MinNodes != nil && cfg.MinNodes[t] > lo {
+				lo = cfg.MinNodes[t]
+			}
+			nn := n
+			if nn < lo {
+				nn = lo
+			}
+			res.Samples[t] = append(res.Samples[t], Sample{
+				Nodes: float64(nn),
+				Time:  cfg.Benchmark(t, nn),
+			})
+		}
+	}
+
+	// Step 2: fit. Per-task fits are independent pure computations, so
+	// they run in parallel (the multistart seeds stay per-task, keeping
+	// the result bit-identical to a sequential run).
+	res.Fits = make([]FitResult, k)
+	fitOpts := cfg.Fit
+	if fitOpts.Seed == 0 {
+		fitOpts.Seed = cfg.Seed + 1
+	}
+	fitErrs := make([]error, k)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for t := 0; t < k; t++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(t int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			opts := fitOpts
+			opts.Seed = fitOpts.Seed + uint64(t)*0x9e3779b9
+			fr, err := perfmodel.Fit(res.Samples[t], opts)
+			if err != nil {
+				fitErrs[t] = err
+				return
+			}
+			res.Fits[t] = *fr
+		}(t)
+	}
+	wg.Wait()
+	for t, err := range fitErrs {
+		if err != nil {
+			return nil, fmt.Errorf("hslb: fitting task %q: %w", cfg.TaskNames[t], err)
+		}
+	}
+
+	// Step 3: solve.
+	prob := &core.Problem{TotalNodes: cfg.TotalNodes, Objective: cfg.Objective}
+	for t := 0; t < k; t++ {
+		task := core.Task{Name: cfg.TaskNames[t], Perf: res.Fits[t].Params}
+		if cfg.MinNodes != nil {
+			task.MinNodes = cfg.MinNodes[t]
+		}
+		if cfg.MaxNodes != nil {
+			task.MaxNodes = cfg.MaxNodes[t]
+		}
+		if cfg.Allowed != nil {
+			task.Allowed = cfg.Allowed[t]
+		}
+		prob.Tasks = append(prob.Tasks, task)
+	}
+	res.Problem = prob
+	var alloc *Allocation
+	var err error
+	if cfg.UseParametric {
+		alloc, err = prob.SolveParametric()
+	} else {
+		alloc, err = Solve(prob, cfg.Solver)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("hslb: solving allocation: %w", err)
+	}
+	res.Allocation = alloc
+
+	// Step 4: execute.
+	if cfg.Execute != nil {
+		res.Executed = cfg.Execute(alloc.Nodes)
+		if res.Executed > 0 {
+			res.PredictionError = math.Abs(res.Executed-alloc.Makespan) / res.Executed
+		}
+	}
+	return res, nil
+}
+
+// GatherWithRNG adapts a noisy simulator benchmark into a BenchmarkFunc
+// with a deterministic noise stream.
+func GatherWithRNG(seed uint64, f func(task, nodes int, rng *stats.RNG) float64) BenchmarkFunc {
+	rng := stats.NewRNG(seed)
+	return func(task, nodes int) float64 {
+		return f(task, nodes, rng)
+	}
+}

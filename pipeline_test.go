@@ -1,0 +1,207 @@
+package hslb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+// Failure injection: the pipeline must reject corrupt benchmark data with a
+// clear error instead of producing a bogus allocation.
+
+func TestPipelineRejectsNaNBenchmark(t *testing.T) {
+	_, err := RunPipeline(&PipelineConfig{
+		TaskNames:  []string{"a", "b"},
+		TotalNodes: 64,
+		Benchmark: func(task, nodes int) float64 {
+			if task == 1 && nodes > 4 {
+				return math.NaN()
+			}
+			return 100 / float64(nodes)
+		},
+	})
+	if err == nil {
+		t.Fatal("NaN benchmark data accepted")
+	}
+}
+
+func TestPipelineRejectsNegativeBenchmark(t *testing.T) {
+	_, err := RunPipeline(&PipelineConfig{
+		TaskNames:  []string{"a", "b"},
+		TotalNodes: 64,
+		Benchmark:  func(task, nodes int) float64 { return -1 },
+	})
+	if err == nil {
+		t.Fatal("negative benchmark data accepted")
+	}
+}
+
+func TestPipelineInfeasibleAllowedSets(t *testing.T) {
+	truth := []Params{{A: 100, C: 1, D: 1}, {A: 100, C: 1, D: 1}}
+	_, err := RunPipeline(&PipelineConfig{
+		TaskNames:  []string{"a", "b"},
+		TotalNodes: 16,
+		Benchmark: func(task, nodes int) float64 {
+			return truth[task].Eval(float64(nodes))
+		},
+		Allowed: [][]int{{64, 128}, {2, 4}}, // a's set exceeds the budget
+	})
+	if err == nil {
+		t.Fatal("infeasible allowed set accepted")
+	}
+}
+
+func TestPipelineSingleTask(t *testing.T) {
+	truth := Params{A: 1000, B: 0.01, C: 1, D: 5}
+	res, err := RunPipeline(&PipelineConfig{
+		TaskNames:  []string{"only"},
+		TotalNodes: 256,
+		Benchmark: func(task, nodes int) float64 {
+			return truth.Eval(float64(nodes))
+		},
+		Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One task: all useful nodes go to it, capped near the curve minimum.
+	if res.Allocation.Nodes[0] < 1 || res.Allocation.Nodes[0] > 256 {
+		t.Fatalf("allocation = %v", res.Allocation.Nodes)
+	}
+}
+
+func TestPipelineExplicitSampleCounts(t *testing.T) {
+	counts := map[int]bool{}
+	truth := Params{A: 500, C: 1, D: 2}
+	_, err := RunPipeline(&PipelineConfig{
+		TaskNames:    []string{"a"},
+		TotalNodes:   64,
+		SampleCounts: []int{2, 8, 32, 64},
+		Benchmark: func(task, nodes int) float64 {
+			counts[nodes] = true
+			return truth.Eval(float64(nodes))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []int{2, 8, 32, 64} {
+		if !counts[want] {
+			t.Fatalf("node count %d not benchmarked (got %v)", want, counts)
+		}
+	}
+	if counts[1] {
+		t.Fatal("default counts used despite explicit SampleCounts")
+	}
+}
+
+func TestPipelineMinNodesLiftsSamples(t *testing.T) {
+	truth := Params{A: 500, C: 1, D: 2}
+	minSeen := 1 << 30
+	_, err := RunPipeline(&PipelineConfig{
+		TaskNames:  []string{"a"},
+		TotalNodes: 64,
+		MinNodes:   []int{8},
+		Benchmark: func(task, nodes int) float64 {
+			if nodes < minSeen {
+				minSeen = nodes
+			}
+			return truth.Eval(float64(nodes))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if minSeen < 8 {
+		t.Fatalf("benchmarked below the memory floor: %d", minSeen)
+	}
+}
+
+// Property: on random noiseless truth curves the pipeline's allocation is
+// feasible and never worse than uniform.
+func TestPipelineBeatsUniformProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		k := 2 + rng.Intn(5)
+		truth := make([]Params, k)
+		names := make([]string, k)
+		for i := range truth {
+			truth[i] = Params{
+				A: rng.Range(100, 50000),
+				B: rng.Range(0, 1e-3),
+				C: 1 + rng.Float64()*0.5,
+				D: rng.Range(0, 10),
+			}
+			names[i] = "t"
+		}
+		res, err := RunPipeline(&PipelineConfig{
+			TaskNames:  names,
+			TotalNodes: k * (8 + rng.Intn(200)),
+			Benchmark: func(task, nodes int) float64 {
+				return truth[task].Eval(float64(nodes))
+			},
+			UseParametric: true,
+			Seed:          seed,
+		})
+		if err != nil {
+			return false
+		}
+		if !res.Problem.Feasible(res.Allocation.Nodes) {
+			return false
+		}
+		uni := Uniform(res.Problem)
+		return res.Allocation.Makespan <= uni.Makespan*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: predicted makespan tracks the true one within a modest factor
+// even under benchmark noise. Deterministic seeds: the bound is a
+// statistical one, and rare adversarial curves can exceed a tight band.
+func TestPipelinePredictionProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		k := 2 + rng.Intn(4)
+		truth := make([]Params, k)
+		names := make([]string, k)
+		for i := range truth {
+			truth[i] = Params{
+				A: rng.Range(1000, 30000), B: rng.Range(0, 5e-4),
+				C: 1 + rng.Float64()*0.3, D: rng.Range(0.5, 8),
+			}
+			names[i] = "t"
+		}
+		noise := stats.NewRNG(seed + 1)
+		res, err := RunPipeline(&PipelineConfig{
+			TaskNames:  names,
+			TotalNodes: 1024,
+			Benchmark: func(task, nodes int) float64 {
+				return truth[task].Eval(float64(nodes)) * noise.LogNormFactor(0.02)
+			},
+			UseParametric: true,
+			Seed:          seed,
+		})
+		if err != nil {
+			return false
+		}
+		trueMax := 0.0
+		for i, n := range res.Allocation.Nodes {
+			if v := truth[i].Eval(float64(n)); v > trueMax {
+				trueMax = v
+			}
+		}
+		ratio := res.Allocation.Makespan / trueMax
+		return ratio > 0.6 && ratio < 1.6
+	}
+	if err := quick.Check(f, &quick.Config{
+		MaxCount: 40,
+		Rand:     rand.New(rand.NewSource(20120101)),
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

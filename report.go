@@ -1,0 +1,87 @@
+package hslb
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Report is the JSON-serializable summary of a pipeline run, suitable for
+// the CLI tools and for archiving alongside experiment outputs.
+type Report struct {
+	TaskNames []string    `json:"taskNames"`
+	Fits      []FitResult `json:"fits"`
+	Nodes     []int       `json:"nodes"`
+	Predicted []float64   `json:"predicted"`
+	Makespan  float64     `json:"makespan"`
+	Imbalance float64     `json:"imbalance"`
+	Executed  *float64    `json:"executed,omitempty"`
+}
+
+// NewReport assembles a Report from a pipeline result.
+func NewReport(names []string, r *PipelineResult) *Report {
+	rep := &Report{
+		TaskNames: append([]string(nil), names...),
+		Fits:      append([]FitResult(nil), r.Fits...),
+		Nodes:     append([]int(nil), r.Allocation.Nodes...),
+		Predicted: append([]float64(nil), r.Allocation.Times...),
+		Makespan:  r.Allocation.Makespan,
+		Imbalance: r.Allocation.Imbalance,
+	}
+	if !math.IsNaN(r.Executed) {
+		v := r.Executed
+		rep.Executed = &v
+	}
+	return rep
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteTable writes the report as an aligned text table in the style of the
+// paper's Table III.
+func (r *Report) WriteTable(w io.Writer) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %10s %14s %8s\n", "component", "# nodes", "time, sec", "R²")
+	for i, name := range r.TaskNames {
+		fmt.Fprintf(&sb, "%-12s %10d %14.3f %8.4f\n", name, r.Nodes[i], r.Predicted[i], r.Fits[i].R2)
+	}
+	fmt.Fprintf(&sb, "%-12s %10s %14.3f\n", "total", "", r.Makespan)
+	if r.Executed != nil {
+		fmt.Fprintf(&sb, "%-12s %10s %14.3f\n", "executed", "", *r.Executed)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// ParseReport reads a JSON report.
+func ParseReport(rd io.Reader) (*Report, error) {
+	var r Report
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("hslb: parsing report: %w", err)
+	}
+	if len(r.Nodes) != len(r.TaskNames) || len(r.Predicted) != len(r.TaskNames) {
+		return nil, fmt.Errorf("hslb: report arrays disagree on task count")
+	}
+	return &r, nil
+}
+
+// SortedByTime returns task indices ordered by descending predicted time
+// (largest first), for "what dominates the run" summaries.
+func (r *Report) SortedByTime() []int {
+	idx := make([]int, len(r.Predicted))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return r.Predicted[idx[a]] > r.Predicted[idx[b]]
+	})
+	return idx
+}
