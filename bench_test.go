@@ -7,9 +7,11 @@ package hslb
 // in EXPERIMENTS.md.
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/stats"
 )
 
 func benchTable(b *testing.B, run func(experiments.Scale) (*experiments.Table, error)) {
@@ -67,6 +69,120 @@ func BenchmarkT7Crossover(b *testing.B) { benchTable(b, experiments.T7Crossover)
 // BenchmarkT8Families regenerates T8: the performance-model family
 // ablation (HSLB form vs Amdahl vs power law, AICc-selected).
 func BenchmarkT8Families(b *testing.B) { benchTable(b, experiments.T8Families) }
+
+// benchTruth is a fit-heavy synthetic workload: enough tasks and multistart
+// work that the pipeline's parallel stages dominate the run.
+func benchTruth() []Params {
+	rng := stats.NewRNG(7)
+	truth := make([]Params, 16)
+	for i := range truth {
+		truth[i] = Params{
+			A: rng.Range(500, 64000), B: rng.Range(0, 1e-3),
+			C: 1 + rng.Float64()*0.3, D: rng.Range(0, 12),
+		}
+	}
+	return truth
+}
+
+// benchPipelineAt runs the paired serial-vs-parallel pipeline benchmark.
+// The two variants use the same seed, so their allocations must be
+// bit-identical — the benchmark asserts it, making the speedup comparison
+// `go test -bench 'PipelineFit(Serial|Parallel4)'` an apples-to-apples
+// measurement (the ratio demonstrates the speedup on a multi-core host;
+// on a single CPU the variants tie).
+func benchPipelineAt(b *testing.B, parallelism int) {
+	truth := benchTruth()
+	names := make([]string, len(truth))
+	for i := range names {
+		names[i] = "t"
+	}
+	cfg := func(par int) *PipelineConfig {
+		return &PipelineConfig{
+			TaskNames:  names,
+			TotalNodes: 4096,
+			Benchmark: func(task, nodes int) float64 {
+				return truth[task].Eval(float64(nodes))
+			},
+			UseParametric: true,
+			Fit:           FitOptions{Starts: 24},
+			Seed:          1,
+			Parallelism:   par,
+		}
+	}
+	ref, err := RunPipeline(cfg(-1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := RunPipeline(cfg(parallelism))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if math.Float64bits(res.Allocation.Makespan) != math.Float64bits(ref.Allocation.Makespan) {
+			b.Fatalf("parallelism %d changed the optimum: %v vs %v",
+				parallelism, res.Allocation.Makespan, ref.Allocation.Makespan)
+		}
+	}
+}
+
+// BenchmarkPipelineFitSerial is the serial baseline of the pair.
+func BenchmarkPipelineFitSerial(b *testing.B) { benchPipelineAt(b, -1) }
+
+// BenchmarkPipelineFitParallel4 is the 4-worker variant of the pair.
+func BenchmarkPipelineFitParallel4(b *testing.B) { benchPipelineAt(b, 4) }
+
+// benchSolverProblem builds an allocation MINLP whose tasks are restricted
+// to sweet-spot sets — the structure whose branch-and-bound tree gives the
+// speculative LP workers something to prefetch.
+func benchSolverProblem() *Problem {
+	rng := stats.NewRNG(44)
+	p := &Problem{TotalNodes: 2048, Objective: MinMax}
+	for t := 0; t < 4; t++ {
+		set := make([]int, 0, 60)
+		n := 1 + rng.Intn(3)
+		for len(set) < 60 && n < p.TotalNodes {
+			set = append(set, n)
+			n += 1 + rng.Intn(23)
+		}
+		p.Tasks = append(p.Tasks, Task{
+			Name: "t",
+			Perf: Params{
+				A: rng.Range(1e3, 5e4), B: rng.Range(0, 1e-3),
+				C: 1 + rng.Float64()*0.4, D: rng.Range(0, 10),
+			},
+			Allowed: set,
+		})
+	}
+	return p
+}
+
+// benchSolveAt runs the paired serial-vs-parallel MINLP benchmark; like the
+// pipeline pair, it asserts the optimum is bit-identical across variants.
+func benchSolveAt(b *testing.B, parallelism int) {
+	p := benchSolverProblem()
+	ref, err := Solve(p, SolverOptions{Parallelism: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := Solve(p, SolverOptions{Parallelism: parallelism})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if math.Float64bits(a.Makespan) != math.Float64bits(ref.Makespan) {
+			b.Fatalf("parallelism %d changed the optimum: %v vs %v",
+				parallelism, a.Makespan, ref.Makespan)
+		}
+	}
+}
+
+// BenchmarkSolveMINLPSerial is the serial baseline of the solver pair.
+func BenchmarkSolveMINLPSerial(b *testing.B) { benchSolveAt(b, -1) }
+
+// BenchmarkSolveMINLPParallel4 is the 4-worker variant of the solver pair.
+func BenchmarkSolveMINLPParallel4(b *testing.B) { benchSolveAt(b, 4) }
 
 // BenchmarkPipeline measures the full four-step pipeline on a synthetic
 // 8-task workload (the library's hot path).

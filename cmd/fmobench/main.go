@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	fmobench [-scale quick|full] [-only T3] [-list]
+//	fmobench [-scale quick|full] [-only T3] [-list] [-parallel N]
 //
 // Quick scale keeps every experiment laptop-instant; full scale runs the
 // paper's node counts (tens of seconds).
@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -41,7 +42,14 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. T3,F1); empty runs all")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	csvDir := flag.String("csv", "", "also write each table as <dir>/<id>.csv")
+	parallel := flag.Int("parallel", 0, "experiment worker pool bound: 0 = one worker per CPU, negative = serial; every table is bit-identical for any setting")
+	maxprocs := flag.Int("maxprocs", 0, "cap GOMAXPROCS (0 keeps the runtime default)")
 	flag.Parse()
+
+	if *maxprocs > 0 {
+		runtime.GOMAXPROCS(*maxprocs)
+	}
+	experiments.SetParallelism(*parallel)
 
 	if *list {
 		for _, r := range runners {

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden table files")
+
+// goldenIDs are the quick-scale tables pinned by golden files: fast to
+// produce and free of wall-clock columns, so their text is fully
+// deterministic.
+var goldenIDs = []string{"T2", "F1", "T4b"}
+
+func renderTable(t *testing.T, id string) string {
+	t.Helper()
+	for _, r := range runners {
+		if r.id == id {
+			tbl, err := r.run(experiments.Quick)
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			return tbl.String()
+		}
+	}
+	t.Fatalf("unknown table id %q", id)
+	return ""
+}
+
+// TestTablesGolden pins the quick-scale text of the deterministic tables.
+// Regenerate with `go test ./cmd/fmobench -run TestTablesGolden -update`
+// after an intended change to the experiments or their formatting.
+func TestTablesGolden(t *testing.T) {
+	experiments.SetParallelism(0)
+	for _, id := range goldenIDs {
+		got := renderTable(t, id)
+		path := filepath.Join("testdata", id+".golden")
+		if *update {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run with -update to create)", id, err)
+		}
+		if got != string(want) {
+			t.Errorf("%s output drifted from %s:\n--- got ---\n%s--- want ---\n%s", id, path, got, want)
+		}
+	}
+}
+
+// TestTablesParallelInvariant verifies the -parallel flag's contract end to
+// end: the rendered table text is byte-identical whether the experiment
+// sweeps run serially or on a 4-worker pool.
+func TestTablesParallelInvariant(t *testing.T) {
+	defer experiments.SetParallelism(0)
+	for _, id := range goldenIDs {
+		experiments.SetParallelism(-1)
+		serial := renderTable(t, id)
+		experiments.SetParallelism(4)
+		parallel := renderTable(t, id)
+		if serial != parallel {
+			t.Errorf("%s: table text differs between -parallel -1 and -parallel 4:\n--- serial ---\n%s--- parallel ---\n%s", id, serial, parallel)
+		}
+	}
+}

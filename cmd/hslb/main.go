@@ -107,6 +107,7 @@ func cmdFit(args []string) error {
 	out := fs.String("out", "-", "fit JSON (default stdout)")
 	starts := fs.Int("starts", 12, "multistart count")
 	seed := fs.Uint64("seed", 1, "multistart seed")
+	parallel := fs.Int("parallel", 0, "multistart worker pool bound: 0 = one worker per CPU, negative = serial; the fit is bit-identical for any setting")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -116,7 +117,7 @@ func cmdFit(args []string) error {
 	if err := readJSON(*in, &doc); err != nil {
 		return err
 	}
-	res, err := perfmodel.Fit(doc.Samples, perfmodel.FitOptions{Starts: *starts, Seed: *seed})
+	res, err := perfmodel.Fit(doc.Samples, perfmodel.FitOptions{Starts: *starts, Seed: *seed, Parallelism: *parallel})
 	if err != nil {
 		return err
 	}
@@ -140,6 +141,7 @@ func cmdSolve(args []string) error {
 	objective := fs.String("objective", "min-max", "min-max, max-min, or min-sum")
 	solver := fs.String("solver", "minlp", "minlp (the paper's route) or parametric")
 	useAll := fs.Bool("use-all", false, "require Σ n = N")
+	parallel := fs.Int("parallel", 0, "minlp worker pool bound: 0 = one worker per CPU, negative = serial; the allocation is bit-identical for any setting")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -173,7 +175,7 @@ func cmdSolve(args []string) error {
 	var err error
 	switch *solver {
 	case "minlp":
-		alloc, err = hslb.Solve(p, hslb.SolverOptions{})
+		alloc, err = hslb.Solve(p, hslb.SolverOptions{Parallelism: *parallel})
 	case "parametric":
 		alloc, err = p.SolveParametric()
 	default:
@@ -331,6 +333,7 @@ func cmdDemo(args []string) error {
 	k := fs.Int("tasks", 8, "task count")
 	n := fs.Int("nodes", 1024, "node budget")
 	seed := fs.Uint64("seed", 1, "workload seed")
+	parallel := fs.Int("parallel", 0, "pipeline worker pool bound: 0 = one worker per CPU, negative = serial; the run is bit-identical for any setting")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -358,8 +361,9 @@ func cmdDemo(args []string) error {
 			}
 			return worst
 		},
-		TotalNodes: *n,
-		Seed:       *seed,
+		TotalNodes:  *n,
+		Seed:        *seed,
+		Parallelism: *parallel,
 	})
 	if err != nil {
 		return err

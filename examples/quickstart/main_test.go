@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden output file")
+
+// TestQuickstartGolden pins the example's full stdout: the quickstart is
+// the repository's front door, so any drift in its numbers or formatting
+// should be a conscious choice. Regenerate with -update.
+func TestQuickstartGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and runs the example binary")
+	}
+	exe := filepath.Join(t.TempDir(), "quickstart")
+	if runtime.GOOS == "windows" {
+		exe += ".exe"
+	}
+	build := exec.Command("go", "build", "-o", exe, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	var got bytes.Buffer
+	run := exec.Command(exe)
+	run.Stdout = &got
+	run.Stderr = &got
+	if err := run.Run(); err != nil {
+		t.Fatalf("quickstart: %v\n%s", err, got.String())
+	}
+
+	path := filepath.Join("testdata", "quickstart.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Errorf("quickstart output drifted from %s:\n--- got ---\n%s--- want ---\n%s", path, got.String(), want)
+	}
+}

@@ -22,6 +22,14 @@ type SolverOptions struct {
 	CutAtFractional bool
 	// MaxNodes bounds the branch-and-bound tree.
 	MaxNodes int
+	// Parallelism bounds the solver's worker pools (speculative node-LP
+	// evaluation and OA feasibility checks): 0 uses one worker per CPU,
+	// negative forces serial. The returned allocation and all solver
+	// statistics are bit-identical for every setting.
+	Parallelism int
+	// DebugLPCheck, when non-nil, is invoked after every node LP solve of
+	// the branch-and-bound tree (testing hook, e.g. lp.VerifyKKT).
+	DebugLPCheck func(p *lp.Problem, sol *lp.Solution)
 }
 
 // ErrObjectiveUnsupported is returned by SolveMINLP for max-min, whose
@@ -129,6 +137,8 @@ func (p *Problem) SolveMINLP(opts SolverOptions) (*Allocation, error) {
 		SkipNLPRelaxation:   opts.SkipNLPRelaxation,
 		CutAtFractional:     opts.CutAtFractional,
 		MaxNodes:            opts.MaxNodes,
+		Parallelism:         opts.Parallelism,
+		DebugLPCheck:        opts.DebugLPCheck,
 	})
 	if res.Status != minlp.Optimal {
 		return nil, fmt.Errorf("core: MINLP solve ended with status %v", res.Status)

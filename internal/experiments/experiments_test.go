@@ -8,7 +8,11 @@ import (
 
 func parseCell(t *testing.T, tbl *Table, row, col int) float64 {
 	t.Helper()
-	v, err := strconv.ParseFloat(tbl.Rows[row][col], 64)
+	// Time-limited runs report lower bounds as "≥N" (e.g. T4's binary
+	// ablation on a slow or race-instrumented host); the bound still
+	// satisfies every ≥-shaped claim the tests make.
+	cell := strings.TrimPrefix(tbl.Rows[row][col], "≥")
+	v, err := strconv.ParseFloat(cell, 64)
 	if err != nil {
 		t.Fatalf("%s row %d col %d: %q not a number", tbl.ID, row, col, tbl.Rows[row][col])
 	}

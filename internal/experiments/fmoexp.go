@@ -22,15 +22,21 @@ func T1FitQuality(scale Scale) (*Table, error) {
 		Title:  "fit quality vs number of benchmark points (protein workload, 2%-noise samples)",
 		Header: []string{"points D", "mean R²", "min R²", "median interp err %", "max interp err %"},
 	}
-	for _, d := range []int{3, 4, 5, 6, 8} {
-		fits, err := w.FitAll(d, maxSample, true)
+	// Each row re-benchmarks with its own noise stream (FitAll seeds a fresh
+	// RNG per call), so the rows are independent and run on the worker pool.
+	ds := []int{3, 4, 5, 6, 8}
+	type t1row struct {
+		r2s  []float64
+		errs []float64
+	}
+	rows, err := mapRows(len(ds), func(di int) (t1row, error) {
+		fits, err := w.FitAll(ds[di], maxSample, true)
 		if err != nil {
-			return nil, err
+			return t1row{}, err
 		}
-		r2s := make([]float64, len(fits))
-		var errs []float64
+		row := t1row{r2s: make([]float64, len(fits))}
 		for i, f := range fits {
-			r2s[i] = f.R2
+			row.r2s[i] = f.R2
 			// Interpolation probes at off-grid node counts inside each
 			// fragment's sampled range.
 			cap := w.Cost.MaxUsefulNodes(i)
@@ -43,11 +49,17 @@ func T1FitQuality(scale Scale) (*Table, error) {
 				}
 				truth := w.Cost.MonomerTotalTime(i, n, nil)
 				pred := f.Params.Eval(float64(n))
-				errs = append(errs, math.Abs(pred-truth)/truth*100)
+				row.errs = append(row.errs, math.Abs(pred-truth)/truth*100)
 			}
 		}
-		tbl.AddRow(d, stats.Mean(r2s), stats.Min(r2s),
-			stats.Quantile(errs, 0.5), stats.Max(errs))
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for di, row := range rows {
+		tbl.AddRow(ds[di], stats.Mean(row.r2s), stats.Min(row.r2s),
+			stats.Quantile(row.errs, 0.5), stats.Max(row.errs))
 	}
 	tbl.Note("paper: 'four points were enough to build well-fitted scaling curves'; R² 'very close to 1'")
 	return tbl, nil
@@ -72,7 +84,10 @@ func T2Objectives(scale Scale) (*Table, error) {
 		Title:  "objective comparison: resulting makespan of each objective's allocation",
 		Header: []string{"nodes", "min-max", "max-min", "min-sum", "min-sum / min-max"},
 	}
-	for _, n := range ns {
+	// Rows only read the shared fits and solve fresh problems, so they run
+	// on the worker pool.
+	rows, err := mapRows(len(ns), func(ni int) ([]float64, error) {
+		n := ns[ni]
 		row := make([]float64, 3)
 		for i, obj := range []core.Objective{core.MinMax, core.MaxMin, core.MinSum} {
 			p := w.Problem(fits, n)
@@ -84,7 +99,13 @@ func T2Objectives(scale Scale) (*Table, error) {
 			// Judge every objective by the true executed makespan.
 			row[i] = stats.Max(w.TrueTimes(a.Nodes))
 		}
-		tbl.AddRow(n, row[0], row[1], row[2], row[2]/row[0])
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ni, row := range rows {
+		tbl.AddRow(ns[ni], row[0], row[1], row[2], row[2]/row[0])
 	}
 	tbl.Note("paper: min-max slightly better than max-min; min-sum 'performs much worse'")
 	return tbl, nil
@@ -117,57 +138,82 @@ func T3Baselines(scale Scale) (*Table, error) {
 		Header: []string{"workload", "nodes", "uniform", "proportional", "manual",
 			"dlb-tuned", "HSLB", "speedup"},
 	}
-	for _, wspec := range wls {
+	// Every (workload, node-count) cell builds its own workload from fixed
+	// seeds, so the grid flattens into independent rows for the worker pool;
+	// rows are appended in grid order afterwards.
+	type cell struct {
+		wi, n int
+	}
+	var grid []cell
+	for wi := range wls {
 		for _, n := range ns {
-			w := wspec.mk(n * 2)
-			k := w.NumTasks()
-			if n < k {
-				continue
-			}
-			fits, err := w.FitAll(5, n, true)
-			if err != nil {
-				return nil, err
-			}
-			p := w.Problem(fits, n)
-
-			exec := func(a *core.Allocation) (float64, error) {
-				nodes := append([]int(nil), a.Nodes...)
-				// Idle leftover nodes stay idle (as the paper's layouts do).
-				return w.ExecuteMonomers(nodes, w.Seed+77)
-			}
-			uni, err := exec(core.Uniform(p))
-			if err != nil {
-				return nil, err
-			}
-			prop, err := exec(core.Proportional(p))
-			if err != nil {
-				return nil, err
-			}
-			man, err := exec(core.ManualMimic(p, 8))
-			if err != nil {
-				return nil, err
-			}
-			hslbAlloc, err := p.SolveParametric()
-			if err != nil {
-				return nil, err
-			}
-			hslbT, err := exec(hslbAlloc)
-			if err != nil {
-				return nil, err
-			}
-			// Best dynamic configuration: sweep group counts.
-			bestDLB := math.Inf(1)
-			for g := 1; g <= k; g *= 2 {
-				v, err := w.ExecuteDynamic(n, g, w.Seed+78)
-				if err != nil {
-					return nil, err
-				}
-				if v < bestDLB {
-					bestDLB = v
-				}
-			}
-			tbl.AddRow(wspec.name, n, uni, prop, man, bestDLB, hslbT, uni/hslbT)
+			grid = append(grid, cell{wi, n})
 		}
+	}
+	type t3row struct {
+		skip                           bool
+		uni, prop, man, bestDLB, hslbT float64
+	}
+	rows, err := mapRows(len(grid), func(gi int) (t3row, error) {
+		wspec, n := wls[grid[gi].wi], grid[gi].n
+		w := wspec.mk(n * 2)
+		k := w.NumTasks()
+		if n < k {
+			return t3row{skip: true}, nil
+		}
+		fits, err := w.FitAll(5, n, true)
+		if err != nil {
+			return t3row{}, err
+		}
+		p := w.Problem(fits, n)
+
+		exec := func(a *core.Allocation) (float64, error) {
+			nodes := append([]int(nil), a.Nodes...)
+			// Idle leftover nodes stay idle (as the paper's layouts do).
+			return w.ExecuteMonomers(nodes, w.Seed+77)
+		}
+		uni, err := exec(core.Uniform(p))
+		if err != nil {
+			return t3row{}, err
+		}
+		prop, err := exec(core.Proportional(p))
+		if err != nil {
+			return t3row{}, err
+		}
+		man, err := exec(core.ManualMimic(p, 8))
+		if err != nil {
+			return t3row{}, err
+		}
+		hslbAlloc, err := p.SolveParametric()
+		if err != nil {
+			return t3row{}, err
+		}
+		hslbT, err := exec(hslbAlloc)
+		if err != nil {
+			return t3row{}, err
+		}
+		// Best dynamic configuration: sweep group counts.
+		bestDLB := math.Inf(1)
+		for g := 1; g <= k; g *= 2 {
+			v, err := w.ExecuteDynamic(n, g, w.Seed+78)
+			if err != nil {
+				return t3row{}, err
+			}
+			if v < bestDLB {
+				bestDLB = v
+			}
+		}
+		return t3row{uni: uni, prop: prop, man: man, bestDLB: bestDLB, hslbT: hslbT}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for gi, r := range rows {
+		if r.skip {
+			continue
+		}
+		tbl.AddRow(wls[grid[gi].wi].name, grid[gi].n,
+			r.uni, r.prop, r.man, r.bestDLB, r.hslbT, r.uni/r.hslbT)
 	}
 	tbl.Note("paper shape: HSLB consistently well balanced; gap vs uniform grows with heterogeneity and scale")
 	return tbl, nil
@@ -192,22 +238,36 @@ func F1Scaling(scale Scale) (*Table, error) {
 		Title:  "scaling curve: HSLB predicted vs executed monomer time (figure series)",
 		Header: []string{"nodes", "predicted", "actual", "error %", "imbalance"},
 	}
+	// Rows share the fits read-only and execute with per-row RNGs, so the
+	// sweep runs on the worker pool.
+	var sweep []int
 	for _, n := range ns {
-		if n < w.NumTasks() {
-			continue
+		if n >= w.NumTasks() {
+			sweep = append(sweep, n)
 		}
-		p := w.Problem(fits, n)
+	}
+	type f1row struct {
+		pred, actual, imbalance float64
+	}
+	rows, err := mapRows(len(sweep), func(ni int) (f1row, error) {
+		p := w.Problem(fits, sweep[ni])
 		a, err := p.SolveParametric()
 		if err != nil {
-			return nil, err
+			return f1row{}, err
 		}
 		actual, err := w.ExecuteMonomers(a.Nodes, w.Seed+99)
 		if err != nil {
-			return nil, err
+			return f1row{}, err
 		}
-		pred := a.Makespan
-		tbl.AddRow(n, pred, actual, math.Abs(pred-actual)/actual*100,
-			stats.Imbalance(w.TrueTimes(a.Nodes)))
+		return f1row{pred: a.Makespan, actual: actual,
+			imbalance: stats.Imbalance(w.TrueTimes(a.Nodes))}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ni, r := range rows {
+		tbl.AddRow(sweep[ni], r.pred, r.actual,
+			math.Abs(r.pred-r.actual)/r.actual*100, r.imbalance)
 	}
 	tbl.Note("paper: predicted and actual total times 'very close to each other' at all scales")
 	return tbl, nil
@@ -239,31 +299,43 @@ func T5Sensitivity(scale Scale) (*Table, error) {
 	// The extrapolation variant benchmarks only up to 6 nodes per task and
 	// lets the solver extrapolate far beyond the sampled range.
 	variants = append(variants, variant{5, 6, "extrapolate"})
-	best := math.Inf(1)
-	results := make([]float64, len(variants))
-	r2s := make([]float64, len(variants))
-	for i, v := range variants {
+	// Variants are independent (fresh noise stream per FitAll call, per-call
+	// execution RNGs), so they run on the worker pool.
+	type t5row struct {
+		r2, executed float64
+	}
+	rows, err := mapRows(len(variants), func(i int) (t5row, error) {
+		v := variants[i]
 		fits, err := w.FitAll(v.d, v.maxNs, true)
 		if err != nil {
-			return nil, err
+			return t5row{}, err
 		}
 		sum := 0.0
 		for _, f := range fits {
 			sum += f.R2
 		}
-		r2s[i] = sum / float64(len(fits))
 		p := w.Problem(fits, n)
 		a, err := p.SolveParametric()
 		if err != nil {
-			return nil, err
+			return t5row{}, err
 		}
 		t, err := w.ExecuteMonomers(a.Nodes, w.Seed+55)
 		if err != nil {
-			return nil, err
+			return t5row{}, err
 		}
-		results[i] = t
-		if t < best {
-			best = t
+		return t5row{r2: sum / float64(len(fits)), executed: t}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	best := math.Inf(1)
+	results := make([]float64, len(variants))
+	r2s := make([]float64, len(variants))
+	for i, r := range rows {
+		r2s[i] = r.r2
+		results[i] = r.executed
+		if r.executed < best {
+			best = r.executed
 		}
 	}
 	for i, v := range variants {
@@ -288,8 +360,14 @@ func T7Crossover(scale Scale) (*Table, error) {
 		Title:  "SLB vs DLB crossover: executed monomer time as task count grows (fixed machine, 5% task-time jitter)",
 		Header: []string{"fragments", "tasks/nodes", "HSLB static", "DLB tuned", "DLB/HSLB"},
 	}
-	for _, f := range frags {
-		w := Protein(f, n*4, 7)
+	// Each fragment count builds its own workload from fixed seeds, so the
+	// rows run on the worker pool and are appended in sweep order.
+	type t7row struct {
+		k              int
+		hslbT, bestDLB float64
+	}
+	rows, err := mapRows(len(frags), func(fi int) (t7row, error) {
+		w := Protein(frags[fi], n*4, 7)
 		// Task times jitter heavily run-to-run (SCF iteration counts vary
 		// with the evolving embedding field) — the regime where dynamic
 		// rebalancing has something to rebalance. With accurate, stable
@@ -300,7 +378,7 @@ func T7Crossover(scale Scale) (*Table, error) {
 		k := w.NumTasks()
 		fits, err := w.FitAll(5, n, true)
 		if err != nil {
-			return nil, err
+			return t7row{}, err
 		}
 		// The static plan — group count, sizes, and assignment — is
 		// chosen entirely from the fitted predictions (no runtime
@@ -308,19 +386,25 @@ func T7Crossover(scale Scale) (*Table, error) {
 		// the tasks ≫ groups regime.
 		hslbT, err := w.ExecuteStaticTuned(n, fits, w.Seed+33)
 		if err != nil {
-			return nil, err
+			return t7row{}, err
 		}
 		bestDLB := math.Inf(1)
 		for g := 1; g <= k && g <= n; g *= 2 {
 			v, err := w.ExecuteDynamic(n, g, w.Seed+34)
 			if err != nil {
-				return nil, err
+				return t7row{}, err
 			}
 			if v < bestDLB {
 				bestDLB = v
 			}
 		}
-		tbl.AddRow(f, float64(k)/float64(n), hslbT, bestDLB, bestDLB/hslbT)
+		return t7row{k: k, hslbT: hslbT, bestDLB: bestDLB}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for fi, r := range rows {
+		tbl.AddRow(frags[fi], float64(r.k)/float64(n), r.hslbT, r.bestDLB, r.bestDLB/r.hslbT)
 	}
 	tbl.Note("paper intro: 'in the special cases of a few large tasks of diverse size, DLB algorithms are not appropriate'")
 	return tbl, nil

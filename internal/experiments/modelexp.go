@@ -28,17 +28,28 @@ func T8Families(scale Scale) (*Table, error) {
 	}
 	frags := make([]fragFit, w.NumTasks())
 	for i := range frags {
+		// Serial: the fragments share one noise stream.
 		cap := w.Cost.MaxUsefulNodes(i)
 		if cap > n {
 			cap = n
 		}
 		counts := perfmodel.SuggestSampleNodes(1, cap, 5)
 		frags[i].samples = w.Cost.GatherMonomerSamples(i, counts, rng)
+	}
+	// Model selection only reads the gathered samples with per-fragment
+	// seeds, so it runs on the worker pool.
+	wins, err := mapRows(len(frags), func(i int) (perfmodel.Family, error) {
 		sel, err := perfmodel.SelectModel(frags[i].samples, perfmodel.FitOptions{Seed: w.Seed + uint64(i)})
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		frags[i].aiccWin = sel[0].Family
+		return sel[0].Family, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range frags {
+		frags[i].aiccWin = wins[i]
 	}
 
 	tbl := &Table{
@@ -99,16 +110,22 @@ func T8Families(scale Scale) (*Table, error) {
 		return &famResult{meanR2: sumR2 / float64(w.NumTasks()), picked: picked, executed: exec}, nil
 	}
 
+	// Families only read the shared samples (fits use fixed per-fragment
+	// seeds, executions per-call RNGs), so they run on the worker pool.
 	fams := []perfmodel.Family{perfmodel.FamilyHSLB, perfmodel.FamilyAmdahl, perfmodel.FamilyPower}
-	results := make([]*famResult, len(fams))
-	best := math.Inf(1)
-	for i, fam := range fams {
-		r, err := run(fam)
+	results, err := mapRows(len(fams), func(i int) (*famResult, error) {
+		r, err := run(fams[i])
 		if err != nil {
 			return nil, err
 		}
-		r.name = fam.String()
-		results[i] = r
+		r.name = fams[i].String()
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	best := math.Inf(1)
+	for _, r := range results {
 		if r.executed < best {
 			best = r.executed
 		}

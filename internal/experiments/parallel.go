@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"sync/atomic"
+
+	"repro/internal/par"
+)
+
+// parKnob is the package-wide parallelism setting for the experiment
+// runners (atomic so tests and benchmarks on different goroutines can read
+// it safely). 0 = one worker per CPU, negative = serial.
+var parKnob atomic.Int64
+
+// SetParallelism sets the worker-pool bound used by the experiment runners
+// (cmd/fmobench's -parallel flag lands here). Every table is bit-identical
+// for any setting: each row derives its randomness from fixed seeds, rows
+// are computed as independent items, and results are merged in row order.
+// Timing columns (the ms columns of T4/T4b) are the one exception — those
+// runners always execute their timed solves serially so the measurements
+// stay honest.
+func SetParallelism(n int) { parKnob.Store(int64(n)) }
+
+// Parallelism returns the current setting (see SetParallelism).
+func Parallelism() int { return int(parKnob.Load()) }
+
+// mapRows evaluates fn over [0, n) on the package worker pool and returns
+// the results in row order; the first error (by row index) aborts the
+// table. Row functions must be self-contained: fixed seeds, no shared
+// mutable state.
+func mapRows[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	return par.MapErr(Parallelism(), n, fn)
+}

@@ -55,12 +55,14 @@ func (w *Workload) NumTasks() int { return len(w.Mol.Fragments) }
 // number of nodes possible" (beyond the block count extra nodes only idle,
 // and no practitioner benchmarks there) — then fit.
 func (w *Workload) FitAll(points, maxSample int, noise bool) ([]perfmodel.FitResult, error) {
-	fits := make([]perfmodel.FitResult, w.NumTasks())
+	// Gathering stays serial: the noisy benchmarks share one noise stream,
+	// and drawing from it out of order would change the recorded samples.
 	var rng *stats.RNG
 	if noise {
 		rng = stats.NewRNG(w.Seed + 101)
 	}
-	for i := range fits {
+	allSamples := make([][]perfmodel.Sample, w.NumTasks())
+	for i := range allSamples {
 		cap := w.Cost.MaxUsefulNodes(i)
 		if maxSample < cap {
 			cap = maxSample
@@ -80,13 +82,20 @@ func (w *Workload) FitAll(points, maxSample int, noise bool) ([]perfmodel.FitRes
 				samples[s].Time /= 3
 			}
 		}
-		fr, err := perfmodel.Fit(samples, perfmodel.FitOptions{Seed: w.Seed + uint64(i)})
-		if err != nil {
-			return nil, err
-		}
-		fits[i] = *fr
+		allSamples[i] = samples
 	}
-	return fits, nil
+	// The fits are independent pure computations with per-fragment seeds, so
+	// they run on the worker pool; results land in fragment order either way.
+	return mapRows(len(allSamples), func(i int) (perfmodel.FitResult, error) {
+		fr, err := perfmodel.Fit(allSamples[i], perfmodel.FitOptions{
+			Seed:        w.Seed + uint64(i),
+			Parallelism: -1, // the per-fragment loop already fills the pool
+		})
+		if err != nil {
+			return perfmodel.FitResult{}, err
+		}
+		return *fr, nil
+	})
 }
 
 // Problem assembles the allocation problem from fits, capping each task at

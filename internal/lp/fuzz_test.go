@@ -1,0 +1,79 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+// decodeLP deterministically builds a small LP from fuzz bytes: up to six
+// box-bounded variables (occasionally unbounded above) and up to six rows
+// with int8-scaled coefficients. The decoder accepts any byte string, so
+// the fuzzer explores infeasible, unbounded, degenerate, and empty
+// instances alike.
+func decodeLP(data []byte) *Problem {
+	next := func() byte {
+		if len(data) == 0 {
+			return 0
+		}
+		b := data[0]
+		data = data[1:]
+		return b
+	}
+	p := NewProblem()
+	nv := 1 + int(next())%6
+	nc := int(next()) % 7
+	for i := 0; i < nv; i++ {
+		hi := float64(next() % 32)
+		if next()%8 == 0 {
+			hi = Inf
+		}
+		p.AddVariable(0, hi, float64(int8(next())), "")
+	}
+	for c := 0; c < nc; c++ {
+		var terms []Term
+		for v := 0; v < nv; v++ {
+			if coef := float64(int8(next())); coef != 0 {
+				terms = append(terms, Term{Var: v, Coef: coef})
+			}
+		}
+		sense := Sense(next() % 3)
+		rhs := float64(int8(next()))
+		if len(terms) > 0 {
+			p.AddConstraint(terms, sense, rhs, "")
+		}
+	}
+	return p
+}
+
+// FuzzSimplex feeds arbitrary small standard-form instances to the simplex
+// solver: it must never panic, and any claimed optimum must be a finite
+// point that satisfies the variable boxes and rows to tolerance.
+func FuzzSimplex(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{2, 1, 5, 1, 10, 5, 1, 3, 7, 0, 4})
+	f.Add([]byte{5, 6, 0, 0, 255, 31, 1, 128, 9, 2, 100, 200, 50, 25, 12, 6, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := decodeLP(data)
+		sol, err := p.Solve()
+		if err != nil || sol.Status != Optimal {
+			return // rejecting is fine; claiming optimality is what we audit
+		}
+		if len(sol.X) != p.NumVariables() {
+			t.Fatalf("len(X) = %d, want %d", len(sol.X), p.NumVariables())
+		}
+		if math.IsNaN(sol.Obj) || math.IsInf(sol.Obj, 0) {
+			t.Fatalf("optimal status with objective %v", sol.Obj)
+		}
+		for i, x := range sol.X {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				t.Fatalf("X[%d] = %v", i, x)
+			}
+		}
+		// A claimed optimum must at least be a KKT point; the decoder only
+		// emits coefficients of magnitude ≤ 127, so a modest absolute
+		// tolerance is meaningful.
+		if err := VerifyKKT(p, sol, 1e-6); err != nil {
+			t.Fatalf("optimal solution fails certificate: %v (X=%v)", err, sol.X)
+		}
+	})
+}

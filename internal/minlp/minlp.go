@@ -33,6 +33,7 @@ import (
 	"repro/internal/milp"
 	"repro/internal/model"
 	"repro/internal/nlp"
+	"repro/internal/par"
 )
 
 // lazyDebug enables tracing of the OA lazy callback (tests flip it).
@@ -93,6 +94,13 @@ type Options struct {
 	TimeLimit time.Duration
 	// DebugLPCheck forwards to the MILP tree (testing hook).
 	DebugLPCheck func(p *lp.Problem, sol *lp.Solution)
+	// Parallelism forwards to the MILP tree's speculative LP pool and
+	// bounds the worker pool that evaluates the nonlinear constraints in
+	// the OA feasibility callback. Results are bit-identical for every
+	// setting (the callback merges per-constraint verdicts in constraint
+	// order; the tree keeps its serial incumbent authority). 0 uses one
+	// worker per CPU, negative forces serial.
+	Parallelism int
 }
 
 // Result is the outcome of a solve.
@@ -212,25 +220,47 @@ func Solve(m *model.Model, opts Options) *Result {
 	// deduplicated by (constraint, quantized linearization point): repeat
 	// candidates sharing coordinates would otherwise flood the master
 	// with identical rows.
+	//
+	// The per-constraint feasibility checks (and the gradients of the
+	// violated ones) are independent pure evaluations, so they run on the
+	// shared worker pool; the verdicts are merged in constraint order and
+	// the `seen` dedup map stays on the authority's goroutine, keeping the
+	// emitted cut sequence bit-identical to a serial run.
 	seen := make(map[cutKey]bool)
+	type verdict struct {
+		violation float64
+		key       cutKey
+		terms     []lp.Term
+		rhs       float64
+	}
 	lazy := func(x []float64) []milp.LazyCut {
-		var cuts []milp.LazyCut
-		for k := range m.Nonlinear() {
-			g := m.Nonlinear()[k].G
+		nl := m.Nonlinear()
+		workers := opts.Parallelism
+		if len(nl) < 8 {
+			workers = -1 // not worth the goroutine round-trip
+		}
+		verdicts := par.Map(workers, len(nl), func(k int) verdict {
+			g := nl[k].G
 			v := g.Value(x)
 			if v <= opts.FeasTol {
+				return verdict{violation: v}
+			}
+			terms, rhs := m.LinearCutAt(k, x)
+			return verdict{violation: v, key: makeCutKey(k, g.Vars(), x), terms: terms, rhs: rhs}
+		})
+		var cuts []milp.LazyCut
+		for k, vd := range verdicts {
+			if vd.violation <= opts.FeasTol {
 				continue
 			}
-			key := makeCutKey(k, g.Vars(), x)
-			if seen[key] {
+			if seen[vd.key] {
 				if lazyDebug {
-					fmt.Printf("lazy SKIP k=%d viol=%g x=%v\n", k, v, x)
+					fmt.Printf("lazy SKIP k=%d viol=%g x=%v\n", k, vd.violation, x)
 				}
 				continue
 			}
-			seen[key] = true
-			terms, rhs := m.LinearCutAt(k, x)
-			cuts = append(cuts, milp.LazyCut{Terms: terms, Sense: lp.LE, RHS: rhs, Name: "oa"})
+			seen[vd.key] = true
+			cuts = append(cuts, milp.LazyCut{Terms: vd.terms, Sense: lp.LE, RHS: vd.rhs, Name: "oa"})
 		}
 		if lazyDebug {
 			fmt.Printf("lazy: x=%v -> %d cuts\n", x, len(cuts))
@@ -251,6 +281,7 @@ func Solve(m *model.Model, opts Options) *Result {
 		CutAtFractional:     opts.CutAtFractional,
 		Lazy:                lazy,
 		DebugLPCheck:        opts.DebugLPCheck,
+		Parallelism:         opts.Parallelism,
 	})
 	res.Nodes = mres.Nodes
 	res.LPSolves += mres.LPSolves

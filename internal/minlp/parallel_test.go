@@ -1,0 +1,88 @@
+package minlp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/lp"
+	"repro/internal/stats"
+)
+
+// sameResult requires bit-identical results — the determinism contract of
+// Options.Parallelism — including the tree statistics.
+func sameResult(t *testing.T, seed int, serial, parallel *Result) {
+	t.Helper()
+	if serial.Status != parallel.Status {
+		t.Fatalf("seed %d: status %v (serial) vs %v (parallel)", seed, serial.Status, parallel.Status)
+	}
+	if math.Float64bits(serial.Obj) != math.Float64bits(parallel.Obj) {
+		t.Fatalf("seed %d: obj %v (serial) vs %v (parallel)", seed, serial.Obj, parallel.Obj)
+	}
+	if serial.Nodes != parallel.Nodes || serial.LPSolves != parallel.LPSolves || serial.OACuts != parallel.OACuts {
+		t.Fatalf("seed %d: stats (%d,%d,%d) (serial) vs (%d,%d,%d) (parallel)", seed,
+			serial.Nodes, serial.LPSolves, serial.OACuts,
+			parallel.Nodes, parallel.LPSolves, parallel.OACuts)
+	}
+	if len(serial.X) != len(parallel.X) {
+		t.Fatalf("seed %d: len(X) %d (serial) vs %d (parallel)", seed, len(serial.X), len(parallel.X))
+	}
+	for i := range serial.X {
+		if math.Float64bits(serial.X[i]) != math.Float64bits(parallel.X[i]) {
+			t.Fatalf("seed %d: X[%d] = %v (serial) vs %v (parallel)", seed, i, serial.X[i], parallel.X[i])
+		}
+	}
+}
+
+// TestParallelMatchesSerialProperty solves a population of random paper-style
+// allocation MINLPs serially and in parallel and requires bit-identical
+// results — objective, allocation, and tree statistics — plus a valid KKT
+// certificate for every node LP, and agreement with brute-force enumeration.
+func TestParallelMatchesSerialProperty(t *testing.T) {
+	instances := 1000
+	if testing.Short() {
+		instances = 60
+	}
+	for seed := 0; seed < instances; seed++ {
+		rng := stats.NewRNG(uint64(seed) + 1)
+		k := 2 + rng.Intn(3)
+		w := make([]float64, k)
+		for i := range w {
+			w[i] = rng.Range(0.5, 10)
+		}
+		n := k + rng.Intn(7)
+		m, _, ids := minMaxModel(w, n)
+		// VerifyKKT's tolerance is absolute, and OA cut rows mix unit
+		// coefficients with gradients of w/n curves over a huge makespan
+		// box, so residuals of ~1e-4 are tiny relative to the row scale.
+		kkt := func(p *lp.Problem, sol *lp.Solution) {
+			if sol.Status != lp.Optimal {
+				return
+			}
+			if err := lp.VerifyKKT(p, sol, 1e-3); err != nil {
+				t.Fatalf("seed %d: node LP certificate: %v", seed, err)
+			}
+		}
+		serial := Solve(m.Clone(), Options{Parallelism: -1, DebugLPCheck: kkt})
+		if serial.Status != Optimal {
+			t.Fatalf("seed %d: serial status %v", seed, serial.Status)
+		}
+		if want := bruteMinMax(w, n); math.Abs(serial.Obj-want) > 1e-4*want {
+			t.Fatalf("seed %d: obj %v, brute force %v (w=%v n=%d)", seed, serial.Obj, want, w, n)
+		}
+		for _, workers := range []int{2, 4} {
+			sameResult(t, seed, serial, Solve(m.Clone(), Options{Parallelism: workers, DebugLPCheck: kkt}))
+		}
+		// The allocation itself must be integral and within budget.
+		total := 0
+		for _, id := range ids {
+			v := serial.X[id]
+			if math.Abs(v-math.Round(v)) > 1e-6 {
+				t.Fatalf("seed %d: fractional allocation %v", seed, v)
+			}
+			total += int(math.Round(v))
+		}
+		if total > n {
+			t.Fatalf("seed %d: allocation uses %d of %d nodes", seed, total, n)
+		}
+	}
+}

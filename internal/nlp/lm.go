@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"repro/internal/lina"
+	"repro/internal/par"
 	"repro/internal/stats"
 )
 
@@ -37,6 +38,12 @@ type LSQOptions struct {
 	MaxIter   int     // default 200
 	TolRel    float64 // relative SSE improvement tolerance, default 1e-12
 	InitialMu float64 // initial damping, default 1e-3
+	// Parallelism bounds the worker count of SolveMultistart: 0 uses one
+	// worker per CPU, negative forces serial. The result is bit-identical
+	// for every setting (start points are drawn before any solve runs, and
+	// the best result is selected in start order), but parallel runs
+	// require Residuals/Jacobian to be safe for concurrent calls.
+	Parallelism int
 }
 
 // LSQResult reports a least-squares fit.
@@ -210,19 +217,17 @@ func (p *LSQProblem) Solve(start []float64, opts LSQOptions) (*LSQResult, error)
 // box (plus the provided start when non-nil) and returns the best result.
 // The paper notes that different starts reach different local optima with
 // similar objective quality; multistart makes the fit robust to that.
+//
+// The starts are independent, so they run on the opts.Parallelism-bounded
+// worker pool. All random start points are drawn from rng up front (the
+// same stream a serial loop would consume, since solving never touches
+// rng), and the winner is the lowest-SSE result with ties broken by start
+// order — so the outcome is bit-identical to the serial loop for any
+// worker count.
 func (p *LSQProblem) SolveMultistart(start []float64, k int, rng *stats.RNG, opts LSQOptions) (*LSQResult, error) {
-	var best *LSQResult
-	try := func(s []float64) {
-		r, err := p.Solve(s, opts)
-		if err != nil {
-			return
-		}
-		if best == nil || r.SSE < best.SSE {
-			best = r
-		}
-	}
+	starts := make([][]float64, 0, k+1)
 	if start != nil {
-		try(start)
+		starts = append(starts, start)
 	}
 	n := len(p.Lo)
 	for i := 0; i < k; i++ {
@@ -237,7 +242,23 @@ func (p *LSQProblem) SolveMultistart(start []float64, k int, rng *stats.RNG, opt
 			}
 			s[j] = rng.Range(lo, hi)
 		}
-		try(s)
+		starts = append(starts, s)
+	}
+	results := par.Map(opts.Parallelism, len(starts), func(i int) *LSQResult {
+		r, err := p.Solve(starts[i], opts)
+		if err != nil {
+			return nil
+		}
+		return r
+	})
+	var best *LSQResult
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		if best == nil || r.SSE < best.SSE {
+			best = r
+		}
 	}
 	if best == nil {
 		return nil, ErrNoProgress

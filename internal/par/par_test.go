@@ -1,0 +1,151 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(4); got != 4 {
+		t.Fatalf("Workers(4) = %d", got)
+	}
+	if got := Workers(-1); got != 1 {
+		t.Fatalf("Workers(-1) = %d", got)
+	}
+	if got := Workers(0); got < 1 {
+		t.Fatalf("Workers(0) = %d", got)
+	}
+}
+
+// TestMapDeterministic is the package's core contract: the result of Map is
+// identical for every worker count, including the serial path.
+func TestMapDeterministic(t *testing.T) {
+	const n = 500
+	fn := func(i int) float64 {
+		// A per-index deterministic stream: no shared state.
+		rng := stats.NewRNG(uint64(i) + 1)
+		s := 0.0
+		for k := 0; k < 100; k++ {
+			s += rng.Float64()
+		}
+		return s
+	}
+	want := Map(-1, n, fn) // serial reference
+	for _, w := range []int{1, 2, 3, 7, 16, 0} {
+		got := Map(w, n, fn)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: out[%d] = %v, want %v", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestForEachRunsAll(t *testing.T) {
+	for _, w := range []int{1, 3, 8} {
+		var count atomic.Int64
+		seen := make([]bool, 137)
+		ForEach(w, len(seen), func(i int) {
+			seen[i] = true
+			count.Add(1)
+		})
+		if int(count.Load()) != len(seen) {
+			t.Fatalf("workers=%d: ran %d items, want %d", w, count.Load(), len(seen))
+		}
+		for i, ok := range seen {
+			if !ok {
+				t.Fatalf("workers=%d: item %d not run", w, i)
+			}
+		}
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	ForEach(4, 0, func(int) { t.Fatal("must not run") })
+	if out := Map(4, 0, func(int) int { return 1 }); len(out) != 0 {
+		t.Fatalf("Map over 0 items returned %v", out)
+	}
+}
+
+// TestMapErrLowestIndex checks the serial-equivalent error selection: the
+// reported error belongs to the lowest failing index, not the first to
+// finish.
+func TestMapErrLowestIndex(t *testing.T) {
+	wantErr := errors.New("boom-3")
+	for _, w := range []int{1, 4} {
+		_, err := MapErr(w, 10, func(i int) (int, error) {
+			if i == 7 {
+				return 0, errors.New("boom-7")
+			}
+			if i == 3 {
+				return 0, wantErr
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "boom-3" {
+			t.Fatalf("workers=%d: err = %v, want boom-3", w, err)
+		}
+	}
+}
+
+// TestPanicPropagates: a panic inside an item must surface on the caller's
+// goroutine with the index attached, for every worker count.
+func TestPanicPropagates(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic did not propagate", w)
+				}
+				msg := fmt.Sprint(r)
+				if !strings.Contains(msg, "kapow") {
+					t.Fatalf("workers=%d: panic message %q lost the cause", w, msg)
+				}
+			}()
+			ForEach(w, 8, func(i int) {
+				if i == 5 {
+					panic("kapow")
+				}
+			})
+		}()
+	}
+}
+
+func TestSplitSeeds(t *testing.T) {
+	seeds := SplitSeeds(42, 4)
+	want := []uint64{42, 42 + 0x9e3779b9, 42 + 2*0x9e3779b9, 42 + 3*0x9e3779b9}
+	for i := range want {
+		if seeds[i] != want[i] {
+			t.Fatalf("seeds[%d] = %d, want %d", i, seeds[i], want[i])
+		}
+	}
+}
+
+// BenchmarkMapSerial / BenchmarkMapParallel pair up to report the pool's
+// raw speedup on a CPU-bound workload (run with -cpu to vary cores).
+func benchWork(i int) float64 {
+	rng := stats.NewRNG(uint64(i) + 1)
+	s := 0.0
+	for k := 0; k < 20000; k++ {
+		s += rng.Float64()
+	}
+	return s
+}
+
+func BenchmarkMapSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Map(-1, 64, benchWork)
+	}
+}
+
+func BenchmarkMapParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Map(0, 64, benchWork)
+	}
+}

@@ -30,6 +30,38 @@ func FuzzFit(f *testing.F) {
 	})
 }
 
+// FuzzFitVector extends FuzzFit to sample vectors of arbitrary length,
+// decoded from raw fuzz bytes: empty sets, single points, long runs of
+// duplicates, and wild magnitudes must all be rejected cleanly or fitted
+// to valid finite parameters.
+func FuzzFitVector(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 100, 4, 30, 16, 10, 64, 3})
+	f.Add([]byte{255, 255, 0, 0, 7, 7, 7, 7, 7, 7, 7, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var samples []Sample
+		for i := 0; i+1 < len(data); i += 2 {
+			n := float64(data[i])
+			if data[i]%16 == 0 {
+				n = math.Pow(2, float64(data[i])/8) // huge node counts
+			}
+			samples = append(samples, Sample{Nodes: n, Time: float64(int8(data[i+1]))})
+		}
+		res, err := Fit(samples, FitOptions{Starts: 3, Seed: 1})
+		if err != nil {
+			return // rejected: fine
+		}
+		if !res.Params.Valid() {
+			t.Fatalf("accepted fit with invalid params %+v from %v", res.Params, samples)
+		}
+		for _, n := range []float64{1, 7, 100, 1e6} {
+			if v := res.Params.Eval(n); math.IsNaN(v) || v < 0 {
+				t.Fatalf("prediction %v at n=%v from %+v", v, n, res.Params)
+			}
+		}
+	})
+}
+
 // FuzzMinNodesFor checks the inverse function against direct evaluation
 // for arbitrary parameters and targets.
 func FuzzMinNodesFor(f *testing.F) {

@@ -153,6 +153,12 @@ type FitOptions struct {
 	Starts int
 	// Seed drives the deterministic multistart sampling.
 	Seed uint64
+	// Parallelism bounds the multistart worker pool: 0 uses one worker per
+	// CPU, negative forces serial. The fitted result is bit-identical for
+	// every setting (see nlp.LSQOptions.Parallelism). Callers that already
+	// fit many tasks in parallel should pass -1 to avoid oversubscribing
+	// the machine.
+	Parallelism int
 }
 
 // FitResult is a fitted performance function with quality diagnostics.
@@ -216,7 +222,7 @@ func Fit(samples []Sample, opts FitOptions) (*FitResult, error) {
 	// Heuristic start: all time scalable at the smallest sample.
 	start := []float64{samples[0].Time * samples[0].Nodes, 0, math.Max(1, opts.CMin), 0}
 	rng := stats.NewRNG(opts.Seed + 0x9e3779b9)
-	res, err := prob.SolveMultistart(start, opts.Starts, rng, nlp.LSQOptions{MaxIter: 300})
+	res, err := prob.SolveMultistart(start, opts.Starts, rng, nlp.LSQOptions{MaxIter: 300, Parallelism: opts.Parallelism})
 	if err != nil {
 		return nil, err
 	}

@@ -141,7 +141,7 @@ func fitAmdahl(samples []Sample, opts FitOptions) (*FamilyFit, error) {
 	if starts == 0 {
 		starts = 8
 	}
-	res, err := prob.SolveMultistart([]float64{samples[0].Time * samples[0].Nodes, 0}, starts, rng, nlp.LSQOptions{MaxIter: 200})
+	res, err := prob.SolveMultistart([]float64{samples[0].Time * samples[0].Nodes, 0}, starts, rng, nlp.LSQOptions{MaxIter: 200, Parallelism: opts.Parallelism})
 	if err != nil {
 		return nil, err
 	}
@@ -173,7 +173,7 @@ func fitPower(samples []Sample, opts FitOptions) (*FamilyFit, error) {
 	if starts == 0 {
 		starts = 10
 	}
-	res, err := prob.SolveMultistart([]float64{samples[0].Time * samples[0].Nodes, 1, 0}, starts, rng, nlp.LSQOptions{MaxIter: 250})
+	res, err := prob.SolveMultistart([]float64{samples[0].Time * samples[0].Nodes, 1, 0}, starts, rng, nlp.LSQOptions{MaxIter: 250, Parallelism: opts.Parallelism})
 	if err != nil {
 		return nil, err
 	}

@@ -4,10 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
 	"repro/internal/core"
+	"repro/internal/par"
 	"repro/internal/perfmodel"
 	"repro/internal/stats"
 )
@@ -54,6 +53,12 @@ type PipelineConfig struct {
 	Fit           FitOptions
 	// Seed drives the deterministic parts of fitting.
 	Seed uint64
+	// Parallelism bounds the worker pools of the parallel stages (per-task
+	// fitting, and the solver's speculative node evaluation via
+	// Solver.Parallelism when that is unset): 0 uses one worker per CPU,
+	// negative forces serial. Results are bit-identical for every setting;
+	// see DESIGN.md's "Concurrency model".
+	Parallelism int
 }
 
 // PipelineResult carries every artifact of the four steps.
@@ -127,38 +132,31 @@ func RunPipeline(cfg *PipelineConfig) (*PipelineResult, error) {
 	}
 
 	// Step 2: fit. Per-task fits are independent pure computations, so
-	// they run in parallel (the multistart seeds stay per-task, keeping
-	// the result bit-identical to a sequential run).
-	res.Fits = make([]FitResult, k)
+	// they run on the shared worker pool, one seed split per task so the
+	// result is bit-identical to a sequential run.
 	fitOpts := cfg.Fit
 	if fitOpts.Seed == 0 {
 		fitOpts.Seed = cfg.Seed + 1
 	}
-	fitErrs := make([]error, k)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for t := 0; t < k; t++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(t int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			opts := fitOpts
-			opts.Seed = fitOpts.Seed + uint64(t)*0x9e3779b9
-			fr, err := perfmodel.Fit(res.Samples[t], opts)
-			if err != nil {
-				fitErrs[t] = err
-				return
-			}
-			res.Fits[t] = *fr
-		}(t)
+	if fitOpts.Parallelism == 0 {
+		// The outer per-task loop already saturates the machine; keep each
+		// multistart serial unless the caller asked otherwise.
+		fitOpts.Parallelism = -1
 	}
-	wg.Wait()
-	for t, err := range fitErrs {
+	seeds := par.SplitSeeds(fitOpts.Seed, k)
+	fits, err := par.MapErr(cfg.Parallelism, k, func(t int) (FitResult, error) {
+		opts := fitOpts
+		opts.Seed = seeds[t]
+		fr, err := perfmodel.Fit(res.Samples[t], opts)
 		if err != nil {
-			return nil, fmt.Errorf("hslb: fitting task %q: %w", cfg.TaskNames[t], err)
+			return FitResult{}, fmt.Errorf("hslb: fitting task %q: %w", cfg.TaskNames[t], err)
 		}
+		return *fr, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Fits = fits
 
 	// Step 3: solve.
 	prob := &core.Problem{TotalNodes: cfg.TotalNodes, Objective: cfg.Objective}
@@ -177,11 +175,14 @@ func RunPipeline(cfg *PipelineConfig) (*PipelineResult, error) {
 	}
 	res.Problem = prob
 	var alloc *Allocation
-	var err error
 	if cfg.UseParametric {
 		alloc, err = prob.SolveParametric()
 	} else {
-		alloc, err = Solve(prob, cfg.Solver)
+		solverOpts := cfg.Solver
+		if solverOpts.Parallelism == 0 {
+			solverOpts.Parallelism = cfg.Parallelism
+		}
+		alloc, err = Solve(prob, solverOpts)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("hslb: solving allocation: %w", err)
