@@ -23,6 +23,7 @@ func main() {
 	freeOcean := flag.Bool("free-ocean", false, "drop the hard-coded ocean allocation set (1/8° only)")
 	solver := flag.String("solver", "exact", "exact (enumeration) or minlp (the paper's route)")
 	tsync := flag.Float64("tsync", 0, "synchronization tolerance |T_lnd − T_ice| ≤ tsync (exact solver only)")
+	deadline := flag.Duration("deadline", 0, "wall-clock bound for the minlp solve; on expiry cesmlb falls back to the exact enumeration")
 	flag.Parse()
 
 	var cfg *coupled.Config
@@ -44,7 +45,14 @@ func main() {
 	case "exact":
 		res, err = cfg.Solve()
 	case "minlp":
-		res, err = cfg.SolveMINLP(minlp.Options{})
+		res, err = cfg.SolveMINLP(minlp.Options{TimeLimit: *deadline})
+		if err != nil && *deadline > 0 {
+			// The coupled layouts are small enough to enumerate exactly, so
+			// a deadline-limited MINLP degrades to the exact route rather
+			// than failing the run.
+			fmt.Fprintln(os.Stderr, "cesmlb: minlp hit the deadline, falling back to exact enumeration:", err)
+			res, err = cfg.Solve()
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "cesmlb: unknown solver %q\n", *solver)
 		os.Exit(2)

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -44,12 +45,18 @@ func main() {
 	csvDir := flag.String("csv", "", "also write each table as <dir>/<id>.csv")
 	parallel := flag.Int("parallel", 0, "experiment worker pool bound: 0 = one worker per CPU, negative = serial; every table is bit-identical for any setting")
 	maxprocs := flag.Int("maxprocs", 0, "cap GOMAXPROCS (0 keeps the runtime default)")
+	timeout := flag.Duration("timeout", 0, "wall-clock bound for the whole run; experiments still in flight when it expires abort with a context error")
 	flag.Parse()
 
 	if *maxprocs > 0 {
 		runtime.GOMAXPROCS(*maxprocs)
 	}
 	experiments.SetParallelism(*parallel)
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		experiments.SetContext(ctx)
+	}
 
 	if *list {
 		for _, r := range runners {
@@ -74,6 +81,7 @@ func main() {
 		}
 	}
 	start := time.Now()
+	var failed []string
 	for _, r := range runners {
 		if len(want) > 0 && !want[r.id] {
 			continue
@@ -81,8 +89,12 @@ func main() {
 		t0 := time.Now()
 		tbl, err := r.run(scale)
 		if err != nil {
+			// One failed (or timed-out) experiment should not discard the
+			// tables already produced; finish the sweep and report at the
+			// end.
 			fmt.Fprintf(os.Stderr, "fmobench: %s failed: %v\n", r.id, err)
-			os.Exit(1)
+			failed = append(failed, r.id)
+			continue
 		}
 		fmt.Println(tbl)
 		fmt.Printf("(%s took %v)\n\n", r.id, time.Since(t0).Round(time.Millisecond))
@@ -99,4 +111,8 @@ func main() {
 		}
 	}
 	fmt.Printf("total: %v (scale %s)\n", time.Since(start).Round(time.Millisecond), scale)
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "fmobench: %d experiment(s) failed: %s\n", len(failed), strings.Join(failed, ", "))
+		os.Exit(1)
+	}
 }

@@ -14,10 +14,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -142,6 +144,7 @@ func cmdSolve(args []string) error {
 	solver := fs.String("solver", "minlp", "minlp (the paper's route) or parametric")
 	useAll := fs.Bool("use-all", false, "require Σ n = N")
 	parallel := fs.Int("parallel", 0, "minlp worker pool bound: 0 = one worker per CPU, negative = serial; the allocation is bit-identical for any setting")
+	deadline := fs.Duration("deadline", 0, "wall-clock bound for the minlp solve (e.g. 30s); on expiry the best incumbent is returned with its optimality gap, falling back to the parametric solver if nothing was found")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -175,7 +178,7 @@ func cmdSolve(args []string) error {
 	var err error
 	switch *solver {
 	case "minlp":
-		alloc, err = hslb.Solve(p, hslb.SolverOptions{Parallelism: *parallel})
+		alloc, err = hslb.Solve(p, hslb.SolverOptions{Parallelism: *parallel, Deadline: *deadline})
 	case "parametric":
 		alloc, err = p.SolveParametric()
 	default:
@@ -194,7 +197,19 @@ func cmdSolve(args []string) error {
 		Makespan   float64 `json:"makespan"`
 		Imbalance  float64 `json:"imbalance"`
 		Used       int     `json:"used"`
-	}{Makespan: alloc.Makespan, Imbalance: alloc.Imbalance, Used: alloc.Used}
+		Bounded    bool    `json:"bounded,omitempty"`
+		BestBound  float64 `json:"bestBound,omitempty"`
+		Gap        float64 `json:"gap,omitempty"`
+	}{Makespan: alloc.Makespan, Imbalance: alloc.Imbalance, Used: alloc.Used,
+		Bounded: alloc.Bounded, BestBound: alloc.BestBound, Gap: alloc.Gap}
+	// An unproven bound is -Inf (gap +Inf), which JSON cannot encode; the
+	// omitted fields plus "bounded": true signal "no proven bound".
+	if math.IsInf(result.BestBound, 0) || math.IsNaN(result.BestBound) {
+		result.BestBound = 0
+	}
+	if math.IsInf(result.Gap, 0) || math.IsNaN(result.Gap) {
+		result.Gap = 0
+	}
 	for i, t := range doc.Tasks {
 		result.Allocation = append(result.Allocation, out1{t.Name, alloc.Nodes[i], alloc.Times[i]})
 	}
@@ -334,6 +349,9 @@ func cmdDemo(args []string) error {
 	n := fs.Int("nodes", 1024, "node budget")
 	seed := fs.Uint64("seed", 1, "workload seed")
 	parallel := fs.Int("parallel", 0, "pipeline worker pool bound: 0 = one worker per CPU, negative = serial; the run is bit-identical for any setting")
+	deadline := fs.Duration("deadline", 0, "wall-clock bound for the solve step; on expiry the pipeline reports the best bounded allocation instead of failing")
+	retries := fs.Int("retries", 2, "extra benchmark attempts per failed gather sample (with -failprob > 0)")
+	failProb := fs.Float64("failprob", 0, "injected per-attempt benchmark failure probability, exercising the fault-tolerant gather path; 0 keeps the infallible benchmark")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -347,11 +365,8 @@ func cmdDemo(args []string) error {
 		}
 		names[i] = fmt.Sprintf("task%d", i)
 	}
-	res, err := hslb.RunPipeline(&hslb.PipelineConfig{
+	cfg := &hslb.PipelineConfig{
 		TaskNames: names,
-		Benchmark: hslb.GatherWithRNG(*seed+1, func(task, nodes int, rng *stats.RNG) float64 {
-			return truth[task].Eval(float64(nodes)) * rng.LogNormFactor(0.02)
-		}),
 		Execute: func(nodes []int) float64 {
 			worst := 0.0
 			for i, nn := range nodes {
@@ -364,9 +379,39 @@ func cmdDemo(args []string) error {
 		TotalNodes:  *n,
 		Seed:        *seed,
 		Parallelism: *parallel,
-	})
+		Solver:      hslb.SolverOptions{Deadline: *deadline},
+	}
+	if *failProb > 0 {
+		// The fault-tolerant path: per-(task,nodes) noise streams, so a
+		// retried sample reproduces the failure-free measurement exactly,
+		// plus deterministic injected failures.
+		plan := stats.FaultPlan{Seed: *seed + 2, FailProb: *failProb}
+		attempts := map[uint64]int{}
+		cfg.GatherRetries = *retries
+		cfg.BenchmarkE = hslb.GatherWithRNGE(*seed+1, func(ctx context.Context, task, nodes int, rng *stats.RNG) (float64, error) {
+			key := stats.Key2(task, nodes)
+			a := attempts[key]
+			attempts[key]++
+			if plan.Fails(key, a) {
+				return 0, stats.ErrInjectedFault
+			}
+			return truth[task].Eval(float64(nodes)) * rng.LogNormFactor(0.02), nil
+		})
+	} else {
+		cfg.Benchmark = hslb.GatherWithRNG(*seed+1, func(task, nodes int, rng *stats.RNG) float64 {
+			return truth[task].Eval(float64(nodes)) * rng.LogNormFactor(0.02)
+		})
+	}
+	res, err := hslb.RunPipeline(cfg)
 	if err != nil {
 		return err
+	}
+	if res.DroppedSamples != nil {
+		total := 0
+		for _, d := range res.DroppedSamples {
+			total += d
+		}
+		fmt.Printf("gather: dropped %d sample(s) after %d retries\n", total, *retries)
 	}
 	rep := hslb.NewReport(names, res)
 	if err := rep.WriteTable(os.Stdout); err != nil {

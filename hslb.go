@@ -34,6 +34,9 @@
 package hslb
 
 import (
+	"context"
+	"errors"
+
 	"repro/internal/core"
 	"repro/internal/perfmodel"
 )
@@ -48,8 +51,12 @@ type (
 	Allocation = core.Allocation
 	// Objective selects min-max (default), max-min, or min-sum.
 	Objective = core.Objective
-	// SolverOptions tunes the MINLP route.
+	// SolverOptions tunes the MINLP route, including the graceful
+	// Deadline and NodeBudget limits.
 	SolverOptions = core.SolverOptions
+	// NoIncumbentError reports a limited solve that found no feasible
+	// point; Solve reacts by falling back to the parametric route.
+	NoIncumbentError = core.NoIncumbentError
 	// Params are the performance-model coefficients a, b, c, d.
 	Params = perfmodel.Params
 	// Sample is one benchmark observation (nodes, seconds).
@@ -83,9 +90,35 @@ func SuggestSampleNodes(minNodes, maxNodes, count int) []int {
 // route, falling back to the specialized parametric solver when the MINLP
 // route does not support the objective (max-min).
 func Solve(p *Problem, opts SolverOptions) (*Allocation, error) {
-	a, err := p.SolveMINLP(opts)
+	return SolveContext(context.Background(), p, opts)
+}
+
+// SolveContext is Solve with cooperative cancellation and graceful limits:
+// when opts.Deadline or opts.NodeBudget stops the branch-and-bound early
+// (or ctx is cancelled mid-solve), the best incumbent is returned with
+// Allocation.Bounded set and the optimality gap reported; if no incumbent
+// exists yet, the specialized parametric solver supplies a feasible
+// allocation instead, carrying the MINLP's proven bound. SolveContext
+// always returns a feasible allocation or an error explaining why none
+// exists — never an unexplained limit error.
+func SolveContext(ctx context.Context, p *Problem, opts SolverOptions) (*Allocation, error) {
+	a, err := p.SolveMINLPContext(ctx, opts)
 	if err == core.ErrObjectiveUnsupported {
-		return p.SolveParametric()
+		return p.SolveParametricContext(ctx)
+	}
+	var noInc *core.NoIncumbentError
+	if errors.As(err, &noInc) {
+		// The limited B&B proved nothing feasible yet. The parametric
+		// route is fast and bounded, so run it even under a cancelled
+		// ctx (detached) to honour the feasible-allocation guarantee.
+		a, perr := p.SolveParametric()
+		if perr != nil {
+			return nil, perr
+		}
+		a.Bounded = true
+		a.BestBound = noInc.BestBound
+		a.Gap = core.RelativeGap(p.ObjectiveValue(a), noInc.BestBound)
+		return a, nil
 	}
 	return a, err
 }

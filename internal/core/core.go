@@ -236,6 +236,15 @@ type Allocation struct {
 	SolverNodes int `json:"solverNodes,omitempty"`
 	LPSolves    int `json:"lpSolves,omitempty"`
 	OACuts      int `json:"oaCuts,omitempty"`
+
+	// Bounded reports that the solve stopped at a deadline, node budget,
+	// or cancellation and this allocation is the best feasible point found
+	// — not a proven optimum. BestBound is the valid lower bound at stop
+	// time and Gap the relative optimality gap (obj − bound)/max(1, |obj|);
+	// both are zero for proven-optimal and heuristic allocations.
+	Bounded   bool    `json:"bounded,omitempty"`
+	BestBound float64 `json:"bestBound,omitempty"`
+	Gap       float64 `json:"gap,omitempty"`
 }
 
 // Evaluate computes the predicted per-task times and summary statistics of
@@ -334,6 +343,21 @@ func (t *Task) snapDown(n, total int) int {
 	}
 	v, _ := t.minCandidate(total)
 	return v
+}
+
+// SnapToFeasible maps an arbitrary node count onto the task's feasible
+// allocation set within the budget: the largest admissible count ≤ n after
+// clamping n to the task's [min, max] range, falling back to the smallest
+// admissible count when n lies below the whole set. ok is false when the
+// task has no admissible allocation at all. The gather step uses this so
+// tasks are only ever benchmarked at node counts the solver could actually
+// allocate.
+func (t *Task) SnapToFeasible(n, total int) (int, bool) {
+	if _, ok := t.minCandidate(total); !ok {
+		return 0, false
+	}
+	lo, hi := t.rangeFor(total)
+	return t.snapDown(clampInt(n, lo, hi), total), true
 }
 
 // Uniform is the GDDI-default baseline: divide the machine evenly (snapping

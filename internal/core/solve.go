@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/lp"
 	"repro/internal/minlp"
@@ -20,8 +22,20 @@ type SolverOptions struct {
 	SkipNLPRelaxation bool
 	// CutAtFractional adds outer-approximation cuts at fractional nodes.
 	CutAtFractional bool
-	// MaxNodes bounds the branch-and-bound tree.
+	// MaxNodes bounds the branch-and-bound tree; exhausting it is a hard
+	// failure (an error), the historical behaviour. Prefer NodeBudget for
+	// graceful degradation.
 	MaxNodes int
+	// Deadline bounds the wall-clock time of the solve (0 = unlimited).
+	// On expiry the solve degrades gracefully: the best incumbent found so
+	// far is returned with Allocation.Bounded set and its optimality gap
+	// reported; when no incumbent exists yet, a *NoIncumbentError is
+	// returned so callers can fall back to the parametric route.
+	Deadline time.Duration
+	// NodeBudget bounds the branch-and-bound tree like MaxNodes but with
+	// the same graceful degradation as Deadline. When both MaxNodes and
+	// NodeBudget are set the smaller wins and degradation applies.
+	NodeBudget int
 	// Parallelism bounds the solver's worker pools (speculative node-LP
 	// evaluation and OA feasibility checks): 0 uses one worker per CPU,
 	// negative forces serial. The returned allocation and all solver
@@ -36,6 +50,19 @@ type SolverOptions struct {
 // constraints S ≤ T_j(n_j) are concave-side and therefore outside the
 // convex outer-approximation framework; use SolveParametric for it.
 var ErrObjectiveUnsupported = errors.New("core: max-min is not convex; use SolveParametric")
+
+// NoIncumbentError reports that a deadline-, budget-, or cancellation-
+// limited MINLP solve stopped before finding any integer-feasible
+// incumbent. BestBound is a valid lower bound on the optimum at stop time
+// (-Inf when nothing was proven). Callers should fall back to a heuristic
+// or the parametric route; hslb.Solve does so automatically.
+type NoIncumbentError struct {
+	BestBound float64
+}
+
+func (e *NoIncumbentError) Error() string {
+	return fmt.Sprintf("core: MINLP solve stopped before any incumbent (best bound %g)", e.BestBound)
+}
 
 // BuildModel constructs the paper's MINLP (Table I structure) for the
 // problem. It returns the model plus the ids of the per-task allocation
@@ -128,21 +155,56 @@ func (p *Problem) BuildModel() (*model.Model, []int, error) {
 // and solve it with LP/NLP-based branch-and-bound. Valid for the convex
 // objectives (min-max and min-sum); globally optimal by convexity.
 func (p *Problem) SolveMINLP(opts SolverOptions) (*Allocation, error) {
+	return p.SolveMINLPContext(context.Background(), opts)
+}
+
+// SolveMINLPContext is SolveMINLP with cooperative cancellation and the
+// graceful-degradation contract of SolverOptions.Deadline/NodeBudget: when
+// the solve is stopped early (ctx cancelled, ctx or Deadline expired, or
+// NodeBudget exhausted) it returns the best incumbent with Bounded, Gap,
+// and BestBound set instead of an error, or a *NoIncumbentError when no
+// integer-feasible point was reached. With no limit firing the result is
+// bit-identical to SolveMINLP.
+func (p *Problem) SolveMINLPContext(ctx context.Context, opts SolverOptions) (*Allocation, error) {
 	m, nVars, err := p.BuildModel()
 	if err != nil {
 		return nil, err
 	}
-	res := minlp.Solve(m, minlp.Options{
+	// NodeBudget and Deadline degrade gracefully; a bare MaxNodes keeps the
+	// historical hard-failure semantics.
+	graceful := opts.Deadline > 0 || opts.NodeBudget > 0
+	maxNodes := opts.MaxNodes
+	if opts.NodeBudget > 0 && (maxNodes == 0 || opts.NodeBudget < maxNodes) {
+		maxNodes = opts.NodeBudget
+	}
+	res := minlp.SolveContext(ctx, m, minlp.Options{
 		DisableSOSBranching: opts.DisableSOSBranching,
 		SkipNLPRelaxation:   opts.SkipNLPRelaxation,
 		CutAtFractional:     opts.CutAtFractional,
-		MaxNodes:            opts.MaxNodes,
+		MaxNodes:            maxNodes,
+		TimeLimit:           opts.Deadline,
 		Parallelism:         opts.Parallelism,
 		DebugLPCheck:        opts.DebugLPCheck,
 	})
+	if res.Status == minlp.Limit && (graceful || ctx.Err() != nil) {
+		if res.X == nil {
+			return nil, &NoIncumbentError{BestBound: res.BestBound}
+		}
+		a := p.allocationFrom(res, nVars)
+		a.Bounded = true
+		a.BestBound = res.BestBound
+		a.Gap = RelativeGap(p.ObjectiveValue(a), res.BestBound)
+		return a, nil
+	}
 	if res.Status != minlp.Optimal {
 		return nil, fmt.Errorf("core: MINLP solve ended with status %v", res.Status)
 	}
+	return p.allocationFrom(res, nVars), nil
+}
+
+// allocationFrom rounds the solver point into an integer allocation and
+// attaches the solver statistics.
+func (p *Problem) allocationFrom(res *minlp.Result, nVars []int) *Allocation {
 	nodes := make([]int, len(p.Tasks))
 	for i, v := range nVars {
 		nodes[i] = int(math.Round(res.X[v]))
@@ -151,7 +213,20 @@ func (p *Problem) SolveMINLP(opts SolverOptions) (*Allocation, error) {
 	a.SolverNodes = res.Nodes
 	a.LPSolves = res.LPSolves
 	a.OACuts = res.OACuts
-	return a, nil
+	return a
+}
+
+// RelativeGap is the standard MIP gap (obj − bound)/max(1, |obj|), clamped
+// to be non-negative and finite-aware: an unproven bound (-Inf) yields +Inf.
+func RelativeGap(obj, bound float64) float64 {
+	if math.IsInf(bound, -1) {
+		return math.Inf(1)
+	}
+	g := (obj - bound) / math.Max(1, math.Abs(obj))
+	if g < 0 || math.IsNaN(g) {
+		return 0
+	}
+	return g
 }
 
 // minNodesAchieving returns the smallest admissible allocation for task i
@@ -236,16 +311,28 @@ func (p *Problem) maxNodesKeeping(i int, target float64) (int, bool) {
 // supports all three objectives and serves as the independent
 // cross-validation of the MINLP route (DESIGN.md, decision 4).
 func (p *Problem) SolveParametric() (*Allocation, error) {
+	return p.SolveParametricContext(context.Background())
+}
+
+// SolveParametricContext is SolveParametric with cooperative cancellation:
+// ctx is checked between bisection iterations (and greedy rounds), and a
+// cancelled run returns ctx.Err(). The route is fast and needs no
+// deadline-degradation machinery; with a live ctx the result is
+// bit-identical to SolveParametric.
+func (p *Problem) SolveParametricContext(ctx context.Context) (*Allocation, error) {
 	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	switch p.Objective {
 	case MinMax:
-		return p.solveMinMaxParametric()
+		return p.solveMinMaxParametric(ctx)
 	case MaxMin:
-		return p.solveMaxMinParametric()
+		return p.solveMaxMinParametric(ctx)
 	default:
-		return p.solveMinSumGreedy()
+		return p.solveMinSumGreedy(ctx)
 	}
 }
 
@@ -257,7 +344,7 @@ func (p *Problem) minAllocation() []int {
 	return nodes
 }
 
-func (p *Problem) solveMinMaxParametric() (*Allocation, error) {
+func (p *Problem) solveMinMaxParametric(ctx context.Context) (*Allocation, error) {
 	// Feasibility check of a makespan target.
 	tryTarget := func(target float64) ([]int, bool) {
 		nodes := make([]int, len(p.Tasks))
@@ -309,6 +396,9 @@ func (p *Problem) solveMinMaxParametric() (*Allocation, error) {
 		lo = hi
 	}
 	for iter := 0; iter < 100 && hi-lo > 1e-12*(1+hi); iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		mid := (lo + hi) / 2
 		if _, ok := tryTarget(mid); ok {
 			hi = mid
@@ -359,7 +449,7 @@ func (p *Problem) polishMinMax(nodes []int) {
 	}
 }
 
-func (p *Problem) solveMaxMinParametric() (*Allocation, error) {
+func (p *Problem) solveMaxMinParametric(ctx context.Context) (*Allocation, error) {
 	minAlloc := p.minAllocation()
 	budget := p.EffectiveBudget()
 	sumMin := 0
@@ -425,6 +515,9 @@ func (p *Problem) solveMaxMinParametric() (*Allocation, error) {
 		return nil, errors.New("core: max-min allocation cannot use all nodes (allowed-set gaps)")
 	}
 	for iter := 0; iter < 100 && hi-lo > 1e-12*(1+hi); iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		mid := (lo + hi) / 2
 		if nodes, ok := tryFloor(mid); ok {
 			lo = mid
@@ -440,13 +533,16 @@ func (p *Problem) solveMaxMinParametric() (*Allocation, error) {
 // For unit-step tasks with convex performance functions the exchange
 // argument makes this exact; with sparse allowed sets it is a (good)
 // heuristic, and the MINLP route remains the exact reference.
-func (p *Problem) solveMinSumGreedy() (*Allocation, error) {
+func (p *Problem) solveMinSumGreedy(ctx context.Context) (*Allocation, error) {
 	nodes := p.minAllocation()
 	used := 0
 	for _, n := range nodes {
 		used += n
 	}
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		bestI, bestUp := -1, 0
 		bestRate := 0.0
 		for i := range p.Tasks {

@@ -1,6 +1,7 @@
 package coupled
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -145,11 +146,20 @@ func (cfg *Config) BuildModel() (*model.Model, map[string]int, error) {
 // SolveMINLP solves the layout model with LP/NLP-based branch-and-bound —
 // the paper's solver route, demonstrated here on the coupled extension.
 func (cfg *Config) SolveMINLP(opts minlp.Options) (*Result, error) {
+	return cfg.SolveMINLPContext(context.Background(), opts)
+}
+
+// SolveMINLPContext is SolveMINLP with cooperative cancellation and
+// deadline support: a cancelled ctx or an expired opts.TimeLimit stops the
+// search with status Limit, reported as an error (the coupled layouts are
+// small; callers fall back to the exact enumeration route, as cmd/cesmlb
+// does).
+func (cfg *Config) SolveMINLPContext(ctx context.Context, opts minlp.Options) (*Result, error) {
 	m, ids, err := cfg.BuildModel()
 	if err != nil {
 		return nil, err
 	}
-	res := minlp.Solve(m, opts)
+	res := minlp.SolveContext(ctx, m, opts)
 	if res.Status != minlp.Optimal {
 		return nil, fmt.Errorf("coupled: MINLP ended with status %v", res.Status)
 	}

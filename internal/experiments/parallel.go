@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"sync/atomic"
 
 	"repro/internal/par"
@@ -23,10 +24,35 @@ func SetParallelism(n int) { parKnob.Store(int64(n)) }
 // Parallelism returns the current setting (see SetParallelism).
 func Parallelism() int { return int(parKnob.Load()) }
 
+// ctxKnob is the package-wide cancellation context for the experiment
+// runners, mirroring the parallelism knob (cmd/fmobench's -timeout flag
+// lands here). Stored atomically for the same cross-goroutine reason.
+var ctxKnob atomic.Value // context.Context
+
+// SetContext installs the context consulted between rows by every runner:
+// once it is cancelled, in-flight tables abort with its error. A nil ctx
+// restores the default (context.Background(), never cancelled). Like
+// SetParallelism this does not change any computed value — a run that
+// finishes before cancellation is bit-identical to an unlimited one.
+func SetContext(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctxKnob.Store(ctx)
+}
+
+// Context returns the current runner context (see SetContext).
+func Context() context.Context {
+	if v := ctxKnob.Load(); v != nil {
+		return v.(context.Context)
+	}
+	return context.Background()
+}
+
 // mapRows evaluates fn over [0, n) on the package worker pool and returns
 // the results in row order; the first error (by row index) aborts the
-// table. Row functions must be self-contained: fixed seeds, no shared
-// mutable state.
+// table, as does cancellation of the package context. Row functions must
+// be self-contained: fixed seeds, no shared mutable state.
 func mapRows[T any](n int, fn func(i int) (T, error)) ([]T, error) {
-	return par.MapErr(Parallelism(), n, fn)
+	return par.MapErrCtx(Context(), Parallelism(), n, fn)
 }

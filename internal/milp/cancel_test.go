@@ -1,0 +1,60 @@
+package milp
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/lp"
+)
+
+func TestCancelBeforeSolve(t *testing.T) {
+	p, ints := hardInstance(20, 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := SolveContext(ctx, p, ints, nil, Options{})
+	if res.Status != NodeLimit {
+		t.Fatalf("status = %v, want NodeLimit", res.Status)
+	}
+	if res.Nodes != 0 {
+		t.Fatalf("explored %d nodes under a pre-cancelled context", res.Nodes)
+	}
+}
+
+func TestCancelMidSolve(t *testing.T) {
+	p, ints := hardInstance(40, 6)
+	ctx, cancel := context.WithCancel(context.Background())
+	lps := 0
+	res := SolveContext(ctx, p, ints, nil, Options{
+		DebugLPCheck: func(*lp.Problem, *lp.Solution) {
+			lps++
+			if lps == 3 {
+				cancel()
+			}
+		},
+	})
+	if res.Status == Optimal {
+		t.Skip("instance solved before the cancellation point")
+	}
+	if res.Status != NodeLimit {
+		t.Fatalf("status = %v, want NodeLimit", res.Status)
+	}
+	// The reported bound must stay a valid lower bound on the optimum
+	// even though cancellation interrupted a node mid-processing.
+	full := Solve(p, ints, nil, Options{})
+	if full.Status != Optimal {
+		t.Fatalf("full solve status = %v", full.Status)
+	}
+	if res.BestBound > full.Obj+1e-6 {
+		t.Fatalf("cancelled-solve bound %v exceeds true optimum %v", res.BestBound, full.Obj)
+	}
+}
+
+func TestCancelNilContextEquivalent(t *testing.T) {
+	// SolveContext with a background context must match Solve bit for bit.
+	p, ints := hardInstance(16, 7)
+	a := Solve(p, ints, nil, Options{})
+	b := SolveContext(context.Background(), p, ints, nil, Options{})
+	if a.Status != b.Status || a.Obj != b.Obj || a.Nodes != b.Nodes || a.LPSolves != b.LPSolves {
+		t.Fatalf("context solve diverged: %+v vs %+v", a, b)
+	}
+}

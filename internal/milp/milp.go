@@ -17,6 +17,7 @@ package milp
 
 import (
 	"container/heap"
+	"context"
 	"math"
 	"sort"
 	"sync"
@@ -144,6 +145,7 @@ func (q *nodeQueue) Pop() interface{} {
 }
 
 type solver struct {
+	ctx  context.Context
 	base *lp.Problem
 	ints []int
 	sos  []SOS1
@@ -308,6 +310,15 @@ func buildNodeLP(base *lp.Problem, node *nodeState, cuts []LazyCut) *lp.Problem 
 // Solve minimizes the LP base subject to integrality of ints, the SOS1
 // declarations, and any lazy cuts produced by opts.Lazy.
 func Solve(base *lp.Problem, ints []int, sos []SOS1, opts Options) *Result {
+	return SolveContext(context.Background(), base, ints, sos, opts)
+}
+
+// SolveContext is Solve with cooperative cancellation: the search checks ctx
+// between nodes and between cut-loop passes, and on cancellation (or ctx
+// deadline expiry) stops exactly as a TimeLimit would — status NodeLimit,
+// best incumbent and remaining best bound reported. A never-cancelled ctx
+// yields a search bit-identical to Solve.
+func SolveContext(ctx context.Context, base *lp.Problem, ints []int, sos []SOS1, opts Options) *Result {
 	if opts.IntTol == 0 {
 		opts.IntTol = 1e-6
 	}
@@ -317,7 +328,7 @@ func Solve(base *lp.Problem, ints []int, sos []SOS1, opts Options) *Result {
 	if opts.MaxNodes == 0 {
 		opts.MaxNodes = 200000
 	}
-	s := &solver{base: base, ints: ints, sos: sos, opts: opts,
+	s := &solver{ctx: ctx, base: base, ints: ints, sos: sos, opts: opts,
 		incObj: math.Inf(1), res: &Result{BestBound: math.Inf(-1)}}
 	if w := par.Workers(opts.Parallelism); w > 1 {
 		s.spec = newSpeculator(w)
@@ -339,7 +350,7 @@ func Solve(base *lp.Problem, ints []int, sos []SOS1, opts Options) *Result {
 
 	start := time.Now()
 	for s.queue.Len() > 0 {
-		if s.res.Nodes >= s.opts.MaxNodes ||
+		if s.res.Nodes >= s.opts.MaxNodes || s.ctx.Err() != nil ||
 			(s.opts.TimeLimit > 0 && time.Since(start) > s.opts.TimeLimit) {
 			s.finish(NodeLimit)
 			return s.res
@@ -413,6 +424,13 @@ func (s *solver) processNode(node *nodeState) {
 	// Cut loop: re-solve the same node while the lazy callback keeps
 	// rejecting its solution.
 	for pass := 0; pass < 200; pass++ {
+		if s.ctx.Err() != nil {
+			// Re-queue the node so finish() still counts its bound when
+			// the main loop stops next iteration with status NodeLimit;
+			// dropping it could overstate BestBound.
+			heap.Push(&s.queue, node)
+			return
+		}
 		p, sol, err := s.nodeLP(node)
 		s.res.LPSolves++
 		if s.opts.DebugLPCheck != nil && err == nil {

@@ -1,0 +1,92 @@
+package minlp
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/lp"
+)
+
+func TestCancelBeforeOA(t *testing.T) {
+	w := []float64{7, 3, 1}
+	m, _, _ := minMaxModel(w, 9)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := SolveContext(ctx, m, Options{})
+	if res.Status != Limit {
+		t.Fatalf("status = %v, want limit", res.Status)
+	}
+	if !math.IsInf(res.BestBound, -1) {
+		t.Fatalf("a solve that never ran proved bound %v", res.BestBound)
+	}
+}
+
+func TestCancelMidOA(t *testing.T) {
+	w := make([]float64, 8)
+	for i := range w {
+		w[i] = float64(i*i + 1)
+	}
+	m, _, _ := minMaxModel(w, 4000)
+	ctx, cancel := context.WithCancel(context.Background())
+	lps := 0
+	res := SolveContext(ctx, m, Options{
+		SkipNLPRelaxation: true, GridCuts: -1,
+		DebugLPCheck: func(*lp.Problem, *lp.Solution) {
+			lps++
+			if lps == 5 {
+				cancel()
+			}
+		},
+	})
+	if res.Status == Optimal {
+		t.Skip("instance solved before the cancellation point")
+	}
+	if res.Status != Limit {
+		t.Fatalf("status = %v, want limit", res.Status)
+	}
+	// Whatever bound the interrupted solve reports must not exceed the
+	// true optimum.
+	full := Solve(m.Clone(), Options{})
+	if full.Status != Optimal {
+		t.Fatalf("full solve status = %v", full.Status)
+	}
+	if res.BestBound > full.Obj+1e-6*(1+full.Obj) {
+		t.Fatalf("cancelled bound %v exceeds optimum %v", res.BestBound, full.Obj)
+	}
+}
+
+func TestDeadlineReportsBestBound(t *testing.T) {
+	w := make([]float64, 8)
+	for i := range w {
+		w[i] = float64(i*i + 1)
+	}
+	m, _, _ := minMaxModel(w, 4000)
+	res := Solve(m.Clone(), Options{TimeLimit: time.Microsecond, SkipNLPRelaxation: true, GridCuts: -1})
+	if res.Status == Optimal {
+		t.Skip("instance solved within the budget")
+	}
+	if res.Status != Limit {
+		t.Fatalf("status = %v, want limit", res.Status)
+	}
+	full := Solve(m.Clone(), Options{})
+	if full.Status != Optimal {
+		t.Fatalf("full solve status = %v", full.Status)
+	}
+	if res.BestBound > full.Obj+1e-6*(1+full.Obj) {
+		t.Fatalf("deadline bound %v exceeds optimum %v", res.BestBound, full.Obj)
+	}
+}
+
+func TestCancelOptimalKeepsBestBound(t *testing.T) {
+	w := []float64{11, 7, 5, 2}
+	m, _, _ := minMaxModel(w, 25)
+	res := SolveContext(context.Background(), m, Options{})
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if res.BestBound != res.Obj {
+		t.Fatalf("optimal solve: BestBound %v != Obj %v", res.BestBound, res.Obj)
+	}
+}

@@ -25,6 +25,7 @@
 package minlp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -111,14 +112,29 @@ type Result struct {
 	// RelaxObj is the continuous relaxation optimum (a global lower
 	// bound); NaN when the relaxation was skipped.
 	RelaxObj float64
-	Nodes    int
-	LPSolves int
-	OACuts   int
+	// BestBound is a valid global lower bound on the optimum at the time
+	// the solve stopped: equal to Obj for Optimal, the tightest of the
+	// remaining tree bounds for Limit, -Inf when nothing was proven.
+	// Callers use it to report the optimality gap of deadline-bounded
+	// solves.
+	BestBound float64
+	Nodes     int
+	LPSolves  int
+	OACuts    int
 }
 
 // Solve minimizes the model. The model's nonlinear constraints must be
 // convex; see the package comment.
 func Solve(m *model.Model, opts Options) *Result {
+	return SolveContext(context.Background(), m, opts)
+}
+
+// SolveContext is Solve with cooperative cancellation: ctx is threaded into
+// the master branch-and-bound tree (see milp.SolveContext), so cancellation
+// or a ctx deadline stops the search like a TimeLimit — status Limit with
+// the best incumbent, if any, in X. A never-cancelled ctx is bit-identical
+// to Solve.
+func SolveContext(ctx context.Context, m *model.Model, opts Options) *Result {
 	if opts.FeasTol == 0 {
 		opts.FeasTol = 1e-6
 	}
@@ -128,9 +144,14 @@ func Solve(m *model.Model, opts Options) *Result {
 	if opts.GapTol == 0 {
 		opts.GapTol = 1e-7
 	}
-	res := &Result{RelaxObj: math.NaN()}
+	res := &Result{RelaxObj: math.NaN(), BestBound: math.Inf(-1)}
 	if err := m.Validate(); err != nil {
 		res.Status = Infeasible
+		return res
+	}
+	if ctx.Err() != nil {
+		// Cancelled before any work: nothing proven, no incumbent.
+		res.Status = Limit
 		return res
 	}
 
@@ -273,7 +294,7 @@ func Solve(m *model.Model, opts Options) *Result {
 		sos = append(sos, milp.SOS1{Vars: s.Vars, Weights: s.Weights})
 	}
 
-	mres := milp.Solve(master, m.IntegerVars(), sos, milp.Options{
+	mres := milp.SolveContext(ctx, master, m.IntegerVars(), sos, milp.Options{
 		MaxNodes:            opts.MaxNodes,
 		GapTol:              opts.GapTol,
 		TimeLimit:           opts.TimeLimit,
@@ -291,8 +312,10 @@ func Solve(m *model.Model, opts Options) *Result {
 		res.Status = Optimal
 		res.X = mres.X
 		res.Obj = m.EvalObjective(mres.X)
+		res.BestBound = res.Obj
 	case milp.Infeasible:
 		res.Status = Infeasible
+		res.BestBound = math.Inf(1)
 	case milp.Unbounded:
 		res.Status = Unbounded
 	default:
@@ -300,6 +323,12 @@ func Solve(m *model.Model, opts Options) *Result {
 		if mres.X != nil {
 			res.X = mres.X
 			res.Obj = m.EvalObjective(mres.X)
+		}
+		// The master tree's bound is valid for the MINLP too (the master
+		// is a relaxation); the Kelley relaxation bound may be tighter.
+		res.BestBound = mres.BestBound
+		if !math.IsNaN(res.RelaxObj) && res.RelaxObj > res.BestBound {
+			res.BestBound = res.RelaxObj
 		}
 	}
 	return res

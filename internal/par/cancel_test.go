@@ -1,0 +1,111 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCancelForEachCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := 0
+	err := ForEachCtx(ctx, 4, 100, func(i int) { ran++ })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 0 {
+		t.Fatalf("%d items ran under a pre-cancelled context", ran)
+	}
+}
+
+func TestCancelForEachCtxSerialStops(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := 0
+	err := ForEachCtx(ctx, -1, 100, func(i int) {
+		ran++
+		if i == 9 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 10 {
+		t.Fatalf("serial path ran %d items after cancelling at item 9", ran)
+	}
+}
+
+func TestCancelForEachCtxParallelStops(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := ForEachCtx(ctx, 4, 10000, func(i int) {
+		if ran.Add(1) == 50 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n >= 10000 {
+		t.Fatalf("all %d items ran despite cancellation", n)
+	}
+}
+
+func TestCancelForEachCtxNoCancelMatchesForEach(t *testing.T) {
+	a := make([]int, 64)
+	b := make([]int, 64)
+	ForEach(3, 64, func(i int) { a[i] = i * i })
+	if err := ForEachCtx(context.Background(), 3, 64, func(i int) { b[i] = i * i }); err != nil {
+		t.Fatalf("uncancelled ForEachCtx returned %v", err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("results diverge at %d", i)
+		}
+	}
+}
+
+func TestCancelMapErrCtxItemErrorWins(t *testing.T) {
+	// An item error must take precedence over the context error, and the
+	// lowest failing index must be the one reported.
+	boom := errors.New("boom")
+	ctx, cancel := context.WithCancel(context.Background())
+	out, err := MapErrCtx(ctx, -1, 10, func(i int) (int, error) {
+		if i == 3 {
+			cancel()
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want item error", err)
+	}
+	if out[2] != 2 {
+		t.Fatalf("completed item lost its result: %v", out)
+	}
+}
+
+func TestCancelMapErrCtxSkippedKeepZero(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	out, err := MapErrCtx(ctx, -1, 10, func(i int) (int, error) {
+		if i == 4 {
+			cancel()
+		}
+		return i + 1, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for i := 0; i <= 4; i++ {
+		if out[i] != i+1 {
+			t.Fatalf("item %d lost its result: %v", i, out)
+		}
+	}
+	for i := 5; i < 10; i++ {
+		if out[i] != 0 {
+			t.Fatalf("skipped item %d has non-zero value %d", i, out[i])
+		}
+	}
+}

@@ -22,6 +22,7 @@
 package par
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -60,15 +61,35 @@ func (c *capturedPanic) String() string {
 // the caller's goroutine in index order, making the serial path identical to
 // a plain loop.
 func ForEach(workers, n int, fn func(i int)) {
+	forEach(context.Background(), workers, n, fn)
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: once ctx is done, no
+// further items are started (items already running complete normally, so fn
+// never observes a torn-down environment) and ctx.Err() is returned. With a
+// background or never-cancelled context the execution — including the serial
+// inline path — is identical to ForEach, preserving the determinism
+// contract.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(i int)) error {
+	return forEach(ctx, workers, n, fn)
+}
+
+func forEach(ctx context.Context, workers, n int, fn func(i int)) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	w := Workers(workers)
 	if w > n {
 		w = n
 	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(i)
 		}
-		return
+		return nil
 	}
 	var (
 		next  atomic.Int64
@@ -90,11 +111,17 @@ func ForEach(workers, n int, fn func(i int)) {
 		}()
 		fn(i)
 	}
+	done := ctx.Done()
 	wg.Add(w)
 	for g := 0; g < w; g++ {
 		go func() {
 			defer wg.Done()
 			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -107,6 +134,7 @@ func ForEach(workers, n int, fn func(i int)) {
 	if first != nil {
 		panic(first.String())
 	}
+	return ctx.Err()
 }
 
 // Map evaluates fn over [0, n) in parallel and returns the results in
@@ -123,9 +151,18 @@ func Map[T any](workers, n int, fn func(i int) T) []T {
 // of the lowest failing index is returned (matching what a serial loop that
 // stops at the first error would report), alongside the full result slice.
 func MapErr[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapErrCtx(context.Background(), workers, n, fn)
+}
+
+// MapErrCtx is MapErr with cooperative cancellation (see ForEachCtx). Item
+// errors take precedence — the lowest failing index is reported, as in
+// MapErr — and ctx.Err() is returned when the run was cut short with no item
+// error. Indices skipped by cancellation keep their zero value in the result
+// slice.
+func MapErrCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	errs := make([]error, n)
-	ForEach(workers, n, func(i int) {
+	cerr := forEach(ctx, workers, n, func(i int) {
 		out[i], errs[i] = fn(i)
 	})
 	for _, err := range errs {
@@ -133,7 +170,7 @@ func MapErr[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 			return out, err
 		}
 	}
-	return out, nil
+	return out, cerr
 }
 
 // seedStep is the golden-ratio increment used throughout the repository to

@@ -1,0 +1,85 @@
+package stats
+
+// Fault injection for the gather step's robustness tests: a FaultPlan
+// decides, deterministically from a seed, which attempts of a keyed
+// operation fail. Keyed derivation (rather than a shared sequential stream)
+// is what makes retry deterministic: the value of a benchmark sample and
+// the verdict of its k-th attempt depend only on (seed, key, attempt), so a
+// run where every failure is eventually retried to success reproduces the
+// failure-free run bit for bit.
+
+// Key2 mixes two integers (e.g. a task index and a node count) into a
+// single 64-bit key for keyed RNG and fault-plan lookups.
+func Key2(a, b int) uint64 {
+	return mix64(uint64(int64(a))*0x9e3779b97f4a7c15 ^ uint64(int64(b)))
+}
+
+// KeyedRNG returns a generator whose stream depends only on (seed, key):
+// call-order independent, so concurrent or retried callers sharing a seed
+// still draw reproducible, statistically independent streams per key.
+func KeyedRNG(seed, key uint64) *RNG {
+	return NewRNG(mix64(seed ^ mix64(key)))
+}
+
+// mix64 is the splitmix64 finalizer, a strong 64-bit mixing permutation.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// FaultPlan is an injectable failure schedule for tests and demos: attempt
+// i (0-based) of the operation identified by key fails iff Fails(key, i).
+// The zero value never fails. A plan is immutable and safe for concurrent
+// use.
+type FaultPlan struct {
+	// Seed selects the failure pattern.
+	Seed uint64
+	// FailProb is the probability that a given (key, attempt) pair fails.
+	FailProb float64
+	// MaxFailures, when positive, caps consecutive failures per key:
+	// attempts ≥ MaxFailures always succeed, guaranteeing that a caller
+	// retrying at least MaxFailures times recovers every operation.
+	MaxFailures int
+}
+
+// Fails reports whether the attempt-th try of operation key fails under the
+// plan. Deterministic in (Seed, key, attempt).
+func (f *FaultPlan) Fails(key uint64, attempt int) bool {
+	if f == nil || f.FailProb <= 0 {
+		return false
+	}
+	if f.MaxFailures > 0 && attempt >= f.MaxFailures {
+		return false
+	}
+	u := mix64(f.Seed ^ mix64(key) ^ mix64(uint64(attempt)+0x6a09e667f3bcc909))
+	return float64(u>>11)/(1<<53) < f.FailProb
+}
+
+// FaultyFunc wraps a pure keyed computation with the plan's failure
+// schedule: each call for a key counts as one attempt, failing attempts
+// return ErrInjectedFault, and successful attempts return eval(key). The
+// returned closure tracks attempt counts per key and is NOT safe for
+// concurrent use (the gather step calls it serially).
+func (f *FaultPlan) FaultyFunc(eval func(key uint64) float64) func(key uint64) (float64, error) {
+	attempts := make(map[uint64]int)
+	return func(key uint64) (float64, error) {
+		a := attempts[key]
+		attempts[key] = a + 1
+		if f.Fails(key, a) {
+			return 0, ErrInjectedFault
+		}
+		return eval(key), nil
+	}
+}
+
+// ErrInjectedFault is the error returned by FaultyFunc on a scheduled
+// failure.
+var ErrInjectedFault = errInjected{}
+
+type errInjected struct{}
+
+func (errInjected) Error() string { return "stats: injected fault" }

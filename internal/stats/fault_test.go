@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFaultPlanDeterministic(t *testing.T) {
+	plan := FaultPlan{Seed: 42, FailProb: 0.5}
+	for key := uint64(0); key < 50; key++ {
+		for a := 0; a < 5; a++ {
+			if plan.Fails(key, a) != plan.Fails(key, a) {
+				t.Fatalf("Fails(%d, %d) is not deterministic", key, a)
+			}
+		}
+	}
+}
+
+func TestFaultPlanZeroNeverFails(t *testing.T) {
+	var plan FaultPlan
+	for key := uint64(0); key < 100; key++ {
+		if plan.Fails(key, 0) {
+			t.Fatalf("zero plan failed key %d", key)
+		}
+	}
+	if (*FaultPlan)(nil).Fails(1, 0) {
+		t.Fatal("nil plan failed")
+	}
+}
+
+func TestFaultPlanMaxFailures(t *testing.T) {
+	plan := FaultPlan{Seed: 7, FailProb: 1, MaxFailures: 3}
+	for key := uint64(0); key < 20; key++ {
+		for a := 0; a < 3; a++ {
+			if !plan.Fails(key, a) {
+				t.Fatalf("attempt %d of key %d should fail (FailProb 1)", a, key)
+			}
+		}
+		if plan.Fails(key, 3) {
+			t.Fatalf("attempt 3 of key %d should succeed (MaxFailures 3)", key)
+		}
+	}
+}
+
+func TestFaultPlanRate(t *testing.T) {
+	plan := FaultPlan{Seed: 11, FailProb: 0.3}
+	fails := 0
+	const n = 20000
+	for key := uint64(0); key < n; key++ {
+		if plan.Fails(key, 0) {
+			fails++
+		}
+	}
+	got := float64(fails) / n
+	if math.Abs(got-0.3) > 0.02 {
+		t.Fatalf("empirical failure rate %.3f, want ≈ 0.30", got)
+	}
+}
+
+func TestFaultyFuncRecovers(t *testing.T) {
+	plan := FaultPlan{Seed: 3, FailProb: 0.8, MaxFailures: 2}
+	eval := func(key uint64) float64 { return float64(key) * 1.5 }
+	f := plan.FaultyFunc(eval)
+	for key := uint64(0); key < 30; key++ {
+		var v float64
+		var err error
+		for a := 0; a < 3; a++ { // MaxFailures=2 ⇒ attempt 2 always succeeds
+			v, err = f(key)
+			if err == nil {
+				break
+			}
+			if err != ErrInjectedFault {
+				t.Fatalf("unexpected error %v", err)
+			}
+		}
+		if err != nil {
+			t.Fatalf("key %d did not recover within MaxFailures retries", key)
+		}
+		if v != eval(key) {
+			t.Fatalf("recovered value %v != eval %v", v, eval(key))
+		}
+	}
+}
+
+func TestKeyedRNGFaultIndependence(t *testing.T) {
+	// Streams for different keys must differ; the same key must reproduce
+	// regardless of draw order.
+	a1 := KeyedRNG(9, Key2(1, 64)).Float64()
+	b := KeyedRNG(9, Key2(2, 64)).Float64()
+	a2 := KeyedRNG(9, Key2(1, 64)).Float64()
+	if a1 != a2 {
+		t.Fatalf("keyed stream not reproducible: %v vs %v", a1, a2)
+	}
+	if a1 == b {
+		t.Fatalf("distinct keys produced identical streams")
+	}
+	if Key2(3, 5) == Key2(5, 3) {
+		t.Fatal("Key2 should not be symmetric in its arguments")
+	}
+}

@@ -1,0 +1,423 @@
+package hslb
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/lp"
+	"repro/internal/stats"
+)
+
+// Regressions for the gather-step feasibility clamp: benchmark node counts
+// must respect the whole feasible set (MinNodes AND MaxNodes AND Allowed),
+// and counts the clamp collapses together are benchmarked once.
+
+func TestPipelineGatherRespectsMaxNodes(t *testing.T) {
+	truth := Params{A: 500, C: 1, D: 2}
+	maxSeen := 0
+	res, err := RunPipeline(&PipelineConfig{
+		TaskNames:  []string{"a", "b"},
+		TotalNodes: 64,
+		MaxNodes:   []int{8, 0}, // task a is capped, task b is free
+		Benchmark: func(task, nodes int) float64 {
+			if task == 0 && nodes > maxSeen {
+				maxSeen = nodes
+			}
+			return truth.Eval(float64(nodes))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxSeen > 8 {
+		t.Fatalf("benchmarked task a above its MaxNodes cap: %d", maxSeen)
+	}
+	if res.Allocation.Nodes[0] > 8 {
+		t.Fatalf("allocated above the cap: %v", res.Allocation.Nodes)
+	}
+}
+
+func TestPipelineGatherRespectsAllowedSets(t *testing.T) {
+	truth := Params{A: 500, C: 1, D: 2}
+	calls := map[int]int{}
+	_, err := RunPipeline(&PipelineConfig{
+		TaskNames:  []string{"a"},
+		TotalNodes: 64,
+		Allowed:    [][]int{{4, 16}},
+		Benchmark: func(task, nodes int) float64 {
+			calls[nodes]++
+			return truth.Eval(float64(nodes))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n, c := range calls {
+		if n != 4 && n != 16 {
+			t.Fatalf("benchmarked %d nodes, outside the allowed set {4, 16}", n)
+		}
+		if c != 1 {
+			t.Fatalf("clamp-induced duplicates not collapsed: %d benchmarked %d times", n, c)
+		}
+	}
+	if len(calls) != 2 {
+		t.Fatalf("expected both allowed counts benchmarked, got %v", calls)
+	}
+}
+
+func TestPipelineGatherDedupesClampedCounts(t *testing.T) {
+	truth := Params{A: 500, C: 1, D: 2}
+	calls := map[int]int{}
+	_, err := RunPipeline(&PipelineConfig{
+		TaskNames:    []string{"a"},
+		TotalNodes:   64,
+		MinNodes:     []int{8},
+		SampleCounts: []int{1, 2, 8, 32, 64}, // 1 and 2 lift to 8
+		Benchmark: func(task, nodes int) float64 {
+			calls[nodes]++
+			return truth.Eval(float64(nodes))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls[8] != 1 {
+		t.Fatalf("lifted counts benchmarked %d times at 8 nodes, want once", calls[8])
+	}
+}
+
+func TestPipelineGatherKeepsExplicitReplicates(t *testing.T) {
+	// Duplicates the caller listed deliberately (replicates of a noisy
+	// measurement) must survive the dedupe.
+	truth := Params{A: 500, C: 1, D: 2}
+	calls := map[int]int{}
+	_, err := RunPipeline(&PipelineConfig{
+		TaskNames:    []string{"a"},
+		TotalNodes:   64,
+		SampleCounts: []int{8, 8, 32, 64},
+		Benchmark: func(task, nodes int) float64 {
+			calls[nodes]++
+			return truth.Eval(float64(nodes))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls[8] != 2 {
+		t.Fatalf("explicit replicate dropped: 8 nodes benchmarked %d times, want 2", calls[8])
+	}
+}
+
+func TestPipelineValidatesSampleConfig(t *testing.T) {
+	bench := func(task, nodes int) float64 { return 1 }
+	cases := []struct {
+		name string
+		cfg  PipelineConfig
+	}{
+		{"negative SamplePoints", PipelineConfig{TaskNames: []string{"a"}, TotalNodes: 8, Benchmark: bench, SamplePoints: -1}},
+		{"negative MaxSampleNodes", PipelineConfig{TaskNames: []string{"a"}, TotalNodes: 8, Benchmark: bench, MaxSampleNodes: -4}},
+		{"negative GatherRetries", PipelineConfig{TaskNames: []string{"a"}, TotalNodes: 8, Benchmark: bench, GatherRetries: -1}},
+		{"no benchmark", PipelineConfig{TaskNames: []string{"a"}, TotalNodes: 8}},
+		{"both benchmarks", PipelineConfig{TaskNames: []string{"a"}, TotalNodes: 8, Benchmark: bench,
+			BenchmarkE: func(ctx context.Context, task, nodes int) (float64, error) { return 1, nil }}},
+	}
+	for _, c := range cases {
+		if _, err := RunPipeline(&c.cfg); err == nil {
+			t.Fatalf("%s: accepted", c.name)
+		}
+	}
+}
+
+// Regression for the step-4 contract: a non-positive or NaN measured time
+// is an error, and PredictionError is NaN exactly when step 4 was skipped.
+
+func TestPipelineExecuteNonPositiveIsError(t *testing.T) {
+	truth := Params{A: 500, C: 1, D: 2}
+	for _, bad := range []float64{0, -3, math.NaN(), math.Inf(1)} {
+		_, err := RunPipeline(&PipelineConfig{
+			TaskNames:  []string{"a"},
+			TotalNodes: 64,
+			Benchmark:  func(task, nodes int) float64 { return truth.Eval(float64(nodes)) },
+			Execute:    func(nodes []int) float64 { return bad },
+		})
+		if err == nil {
+			t.Fatalf("Execute returning %v accepted; PredictionError would be silently meaningless", bad)
+		}
+	}
+}
+
+func TestPipelinePredictionErrorNaNOnlyWhenSkipped(t *testing.T) {
+	truth := Params{A: 500, C: 1, D: 2}
+	cfg := PipelineConfig{
+		TaskNames:  []string{"a"},
+		TotalNodes: 64,
+		Benchmark:  func(task, nodes int) float64 { return truth.Eval(float64(nodes)) },
+	}
+	res, err := RunPipeline(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(res.PredictionError) || !math.IsNaN(res.Executed) {
+		t.Fatalf("skipped step 4 must leave NaN markers, got %v / %v", res.Executed, res.PredictionError)
+	}
+	cfg.Execute = func(nodes []int) float64 { return truth.Eval(float64(nodes[0])) }
+	res, err = RunPipeline(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.PredictionError) || res.PredictionError < 0 {
+		t.Fatalf("executed run must report a finite non-negative error, got %v", res.PredictionError)
+	}
+}
+
+// Fault tolerance: deterministic injected failures plus retries must
+// reproduce the failure-free run bit for bit, and permanent failures must
+// degrade by dropping samples down to the 4-point floor.
+
+func noisyKeyedBench(seed uint64, truth []Params, plan *stats.FaultPlan, attempts map[uint64]int) BenchmarkFuncE {
+	return GatherWithRNGE(seed, func(ctx context.Context, task, nodes int, rng *stats.RNG) (float64, error) {
+		key := stats.Key2(task, nodes)
+		a := attempts[key]
+		attempts[key]++
+		if plan.Fails(key, a) {
+			return 0, stats.ErrInjectedFault
+		}
+		return truth[task].Eval(float64(nodes)) * rng.LogNormFactor(0.05), nil
+	})
+}
+
+func TestPipelineFaultRetryBitIdentical(t *testing.T) {
+	truth := []Params{
+		{A: 1500, B: 0.001, C: 1, D: 2},
+		{A: 9000, B: 0.002, C: 1, D: 5},
+		{A: 32000, B: 0.001, C: 1.1, D: 10},
+	}
+	names := []string{"lnd", "ice", "atm"}
+	run := func(plan *stats.FaultPlan, retries int) *PipelineResult {
+		res, err := RunPipelineContext(context.Background(), &PipelineConfig{
+			TaskNames:     names,
+			TotalNodes:    512,
+			BenchmarkE:    noisyKeyedBench(7, truth, plan, map[uint64]int{}),
+			GatherRetries: retries,
+			Seed:          7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	clean := run(&stats.FaultPlan{}, 0)
+	// Every failure recovers within MaxFailures=2 retries, so the faulty
+	// run must reproduce the clean one exactly.
+	faulty := run(&stats.FaultPlan{Seed: 99, FailProb: 0.6, MaxFailures: 2}, 2)
+	if faulty.DroppedSamples != nil {
+		t.Fatalf("recovered run dropped samples: %v", faulty.DroppedSamples)
+	}
+	for ti := range clean.Samples {
+		if len(clean.Samples[ti]) != len(faulty.Samples[ti]) {
+			t.Fatalf("task %d sample counts differ", ti)
+		}
+		for si := range clean.Samples[ti] {
+			if clean.Samples[ti][si] != faulty.Samples[ti][si] {
+				t.Fatalf("task %d sample %d differs: %v vs %v",
+					ti, si, clean.Samples[ti][si], faulty.Samples[ti][si])
+			}
+		}
+	}
+	if clean.Allocation.Makespan != faulty.Allocation.Makespan {
+		t.Fatalf("makespan differs: %v vs %v", clean.Allocation.Makespan, faulty.Allocation.Makespan)
+	}
+	for i := range clean.Allocation.Nodes {
+		if clean.Allocation.Nodes[i] != faulty.Allocation.Nodes[i] {
+			t.Fatalf("allocation differs at task %d", i)
+		}
+	}
+}
+
+func TestPipelineFaultDropsSamplesGracefully(t *testing.T) {
+	truth := Params{A: 1000, B: 0.01, C: 1, D: 5}
+	failAt := map[int]bool{} // node counts that always fail
+	bench := func(ctx context.Context, task, nodes int) (float64, error) {
+		if failAt[nodes] {
+			return 0, stats.ErrInjectedFault
+		}
+		return truth.Eval(float64(nodes)), nil
+	}
+	cfg := PipelineConfig{
+		TaskNames:     []string{"only"},
+		TotalNodes:    256,
+		SampleCounts:  []int{1, 4, 16, 64, 256},
+		BenchmarkE:    bench,
+		GatherRetries: 1,
+	}
+	// One permanently failing count: 4 samples remain — at the floor, so
+	// the pipeline degrades and records the drop.
+	failAt[16] = true
+	res, err := RunPipeline(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DroppedSamples == nil || res.DroppedSamples[0] != 1 {
+		t.Fatalf("dropped-sample accounting wrong: %v", res.DroppedSamples)
+	}
+	if len(res.Samples[0]) != 4 {
+		t.Fatalf("expected 4 surviving samples, got %d", len(res.Samples[0]))
+	}
+	// Two permanently failing counts: 3 < 4 samples — refuse to fit, with
+	// a typed error naming the task.
+	failAt[64] = true
+	_, err = RunPipeline(&cfg)
+	var insuff *InsufficientSamplesError
+	if !errors.As(err, &insuff) {
+		t.Fatalf("err = %v, want *InsufficientSamplesError", err)
+	}
+	if insuff.Task != "only" || insuff.Got != 3 || insuff.Dropped != 2 {
+		t.Fatalf("error detail wrong: %+v", insuff)
+	}
+}
+
+func TestPipelineFaultRetriesExhaustedWithoutRetries(t *testing.T) {
+	// GatherRetries: 0 with a first-attempt-only failure plan drops the
+	// sample; one retry recovers it.
+	truth := Params{A: 1000, C: 1, D: 5}
+	firstCall := map[int]bool{}
+	bench := func(ctx context.Context, task, nodes int) (float64, error) {
+		if !firstCall[nodes] {
+			firstCall[nodes] = true
+			return 0, stats.ErrInjectedFault
+		}
+		return truth.Eval(float64(nodes)), nil
+	}
+	res, err := RunPipeline(&PipelineConfig{
+		TaskNames:     []string{"a"},
+		TotalNodes:    256,
+		SampleCounts:  []int{1, 4, 16, 64, 256},
+		BenchmarkE:    bench,
+		GatherRetries: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DroppedSamples != nil {
+		t.Fatalf("single retry should have recovered every sample: %v", res.DroppedSamples)
+	}
+	if len(res.Samples[0]) != 5 {
+		t.Fatalf("expected 5 samples, got %d", len(res.Samples[0]))
+	}
+}
+
+// Cancellation: the pipeline aborts promptly in gather/fit, and the solve
+// degrades to a feasible allocation.
+
+func TestPipelineCancelDuringGather(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	_, err := RunPipelineContext(ctx, &PipelineConfig{
+		TaskNames:  []string{"a", "b"},
+		TotalNodes: 64,
+		BenchmarkE: func(ctx context.Context, task, nodes int) (float64, error) {
+			calls++
+			if calls == 3 {
+				cancel()
+			}
+			return 100 / float64(nodes), nil
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls > 4 {
+		t.Fatalf("gather kept benchmarking after cancellation: %d calls", calls)
+	}
+}
+
+func TestPipelineCancelBackoffInterrupted(t *testing.T) {
+	// A cancelled context must cut the retry backoff short instead of
+	// sleeping through it.
+	ctx, cancel := context.WithCancel(context.Background())
+	start := time.Now()
+	_, err := RunPipelineContext(ctx, &PipelineConfig{
+		TaskNames:     []string{"a"},
+		TotalNodes:    64,
+		GatherRetries: 1,
+		GatherBackoff: time.Hour,
+		BenchmarkE: func(ctx context.Context, task, nodes int) (float64, error) {
+			cancel()
+			return 0, stats.ErrInjectedFault
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatal("backoff ignored the cancelled context")
+	}
+}
+
+func TestSolveCancelFallsBackToParametric(t *testing.T) {
+	// A solve that is cancelled before finding any incumbent must still
+	// return a feasible allocation: the parametric fallback, marked
+	// Bounded with an unproven (infinite) gap.
+	p := &Problem{
+		Tasks: []Task{
+			{Name: "a", Perf: Params{A: 1500, B: 0.001, C: 1, D: 2}},
+			{Name: "b", Perf: Params{A: 9000, B: 0.002, C: 1, D: 5}},
+			{Name: "c", Perf: Params{A: 32000, B: 0.001, C: 1.1, D: 10}},
+		},
+		TotalNodes: 4096,
+		Objective:  MinMax,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	a, err := SolveContext(ctx, p, SolverOptions{})
+	if err != nil {
+		t.Fatalf("cancelled solve must degrade, got error: %v", err)
+	}
+	if !p.Feasible(a.Nodes) {
+		t.Fatalf("fallback allocation infeasible: %v", a.Nodes)
+	}
+	if !a.Bounded {
+		t.Fatal("fallback allocation not marked Bounded")
+	}
+	if !math.IsInf(a.Gap, 1) {
+		t.Fatalf("nothing was proven, want infinite gap, got %v", a.Gap)
+	}
+}
+
+func TestSolveDeadlineReturnsIncumbentMidBB(t *testing.T) {
+	// Cancel mid-branch-and-bound via the LP debug hook: whatever the tree
+	// state, the caller receives a feasible allocation.
+	p := &Problem{
+		Tasks: []Task{
+			{Name: "a", Perf: Params{A: 1500, B: 0.001, C: 1, D: 2}},
+			{Name: "b", Perf: Params{A: 9000, B: 0.002, C: 1, D: 5}},
+			{Name: "c", Perf: Params{A: 32000, B: 0.001, C: 1.1, D: 10}},
+			{Name: "d", Perf: Params{A: 14000, B: 0.003, C: 1, D: 8}},
+		},
+		TotalNodes: 4096,
+		Objective:  MinMax,
+	}
+	for _, cancelAt := range []int{1, 2, 5, 10} {
+		ctx, cancel := context.WithCancel(context.Background())
+		lps := 0
+		a, err := SolveContext(ctx, p, SolverOptions{
+			SkipNLPRelaxation: true,
+			DebugLPCheck: func(*lp.Problem, *lp.Solution) {
+				lps++
+				if lps == cancelAt {
+					cancel()
+				}
+			},
+		})
+		cancel()
+		if err != nil {
+			t.Fatalf("cancelAt=%d: %v", cancelAt, err)
+		}
+		if !p.Feasible(a.Nodes) {
+			t.Fatalf("cancelAt=%d: infeasible allocation %v", cancelAt, a.Nodes)
+		}
+	}
+}
