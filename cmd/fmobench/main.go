@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/prof"
 )
 
 var runners = []struct {
@@ -46,8 +47,19 @@ func main() {
 	parallel := flag.Int("parallel", 0, "experiment worker pool bound: 0 = one worker per CPU, negative = serial; every table is bit-identical for any setting")
 	maxprocs := flag.Int("maxprocs", 0, "cap GOMAXPROCS (0 keeps the runtime default)")
 	timeout := flag.Duration("timeout", 0, "wall-clock bound for the whole run; experiments still in flight when it expires abort with a context error")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fmobench: %v\n", err)
+		os.Exit(1)
+	}
+	exit := func(code int) {
+		stopProf()
+		os.Exit(code)
+	}
 	if *maxprocs > 0 {
 		runtime.GOMAXPROCS(*maxprocs)
 	}
@@ -62,7 +74,7 @@ func main() {
 		for _, r := range runners {
 			fmt.Println(r.id)
 		}
-		return
+		exit(0)
 	}
 	var scale experiments.Scale
 	switch *scaleFlag {
@@ -72,7 +84,7 @@ func main() {
 		scale = experiments.Full
 	default:
 		fmt.Fprintf(os.Stderr, "fmobench: unknown scale %q (want quick or full)\n", *scaleFlag)
-		os.Exit(2)
+		exit(2)
 	}
 	want := map[string]bool{}
 	if *only != "" {
@@ -101,18 +113,19 @@ func main() {
 		if *csvDir != "" {
 			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 				fmt.Fprintf(os.Stderr, "fmobench: %v\n", err)
-				os.Exit(1)
+				exit(1)
 			}
 			path := fmt.Sprintf("%s/%s.csv", *csvDir, r.id)
 			if err := os.WriteFile(path, []byte(tbl.CSV()), 0o644); err != nil {
 				fmt.Fprintf(os.Stderr, "fmobench: %v\n", err)
-				os.Exit(1)
+				exit(1)
 			}
 		}
 	}
 	fmt.Printf("total: %v (scale %s)\n", time.Since(start).Round(time.Millisecond), scale)
 	if len(failed) > 0 {
 		fmt.Fprintf(os.Stderr, "fmobench: %d experiment(s) failed: %s\n", len(failed), strings.Join(failed, ", "))
-		os.Exit(1)
+		exit(1)
 	}
+	stopProf()
 }

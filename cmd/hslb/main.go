@@ -27,6 +27,7 @@ import (
 	hslb "repro"
 	"repro/internal/core"
 	"repro/internal/perfmodel"
+	"repro/internal/prof"
 	"repro/internal/stats"
 )
 
@@ -145,9 +146,16 @@ func cmdSolve(args []string) error {
 	useAll := fs.Bool("use-all", false, "require Σ n = N")
 	parallel := fs.Int("parallel", 0, "minlp worker pool bound: 0 = one worker per CPU, negative = serial; the allocation is bit-identical for any setting")
 	deadline := fs.Duration("deadline", 0, "wall-clock bound for the minlp solve (e.g. 30s); on expiry the best incumbent is returned with its optimality gap, falling back to the parametric solver if nothing was found")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 	if *nodes <= 0 {
 		return fmt.Errorf("solve: -nodes is required and positive")
 	}
@@ -175,7 +183,6 @@ func cmdSolve(args []string) error {
 		})
 	}
 	var alloc *core.Allocation
-	var err error
 	switch *solver {
 	case "minlp":
 		alloc, err = hslb.Solve(p, hslb.SolverOptions{Parallelism: *parallel, Deadline: *deadline})

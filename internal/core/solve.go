@@ -17,6 +17,10 @@ type SolverOptions struct {
 	// DisableSOSBranching is the paper's ablation: branch on individual
 	// binaries instead of the allocation special ordered sets.
 	DisableSOSBranching bool
+	// DisableWarmStart solves every LP of the Kelley relaxation and the
+	// branch-and-bound tree from scratch instead of reusing the previous
+	// basis (benchmark ablation; warm starts are on by default).
+	DisableWarmStart bool
 	// SkipNLPRelaxation starts branch-and-bound from the pure linear
 	// relaxation without the initial Kelley solve.
 	SkipNLPRelaxation bool
@@ -179,6 +183,7 @@ func (p *Problem) SolveMINLPContext(ctx context.Context, opts SolverOptions) (*A
 	}
 	res := minlp.SolveContext(ctx, m, minlp.Options{
 		DisableSOSBranching: opts.DisableSOSBranching,
+		DisableWarmStart:    opts.DisableWarmStart,
 		SkipNLPRelaxation:   opts.SkipNLPRelaxation,
 		CutAtFractional:     opts.CutAtFractional,
 		MaxNodes:            maxNodes,

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/lp"
+	"repro/internal/stats"
+)
+
+// Regression: on this instance the warm-started OA master once pivoted on a
+// round-off-level tableau entry (|α| ≈ 3e-8) during a dual reoptimization,
+// irreversibly corrupting the shared tableau; a later node LP reported
+// "optimal" for a point violating two equality rows by 0.5 and the true
+// optimum was pruned. Guarded now by the dual pivot stability threshold and
+// the post-optimal feasibility check in lp.Incremental (warm.go).
+func TestWarmMasterTinyPivotRegression(t *testing.T) {
+	rng := stats.NewRNG(0xfe5aa9cb04bf5a88)
+	p := randomProblem(rng, 3, 24, MinMax, true)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	kkt := func(lpp *lp.Problem, sol *lp.Solution) {
+		if sol.Status != lp.Optimal {
+			return
+		}
+		if err := lp.VerifyKKT(lpp, sol, 1e-6); err != nil {
+			t.Errorf("node LP failed KKT: %v", err)
+		}
+	}
+	a, err := p.SolveMINLP(SolverOptions{DebugLPCheck: kkt})
+	if err != nil {
+		t.Fatalf("minlp: %v", err)
+	}
+	dp, err := p.SolveDP()
+	if err != nil {
+		t.Fatalf("dp: %v", err)
+	}
+	if math.Abs(a.Makespan-dp.Makespan) > 1e-5*(1+dp.Makespan) {
+		t.Errorf("warm MINLP makespan %v, DP oracle %v", a.Makespan, dp.Makespan)
+	}
+}

@@ -99,6 +99,14 @@ func TestT4Shape(t *testing.T) {
 		sosNodes := parseCell(t, tbl, r, 1)
 		binNodes := parseCell(t, tbl, r, 4)
 		if binNodes < 2*sosNodes {
+			if strings.HasPrefix(tbl.Rows[r][4], "≥") {
+				// The binary run hit its time limit, so its node count
+				// is a truncated lower bound: it cannot refute the
+				// ratio claim, only fail to confirm it.
+				t.Logf("row %d: binary run truncated at ≥%v nodes (SOS %v); inconclusive, skipping",
+					r, binNodes, sosNodes)
+				continue
+			}
 			t.Fatalf("row %d: binary branching (%v nodes) not ≫ SOS (%v nodes)",
 				r, binNodes, sosNodes)
 		}

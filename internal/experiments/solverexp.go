@@ -47,14 +47,21 @@ func T4Solver(scale Scale) (*Table, error) {
 			res := minlp.Solve(m, o)
 			return res, float64(time.Since(start).Microseconds()) / 1000, nil
 		}
-		rSOS, msSOS, err := runOne(minlp.Options{})
+		// The ablation varies only the branching strategy; pin both runs
+		// to cold LP solves so warm-start vertex selection cannot reshape
+		// either tree.
+		rSOS, msSOS, err := runOne(minlp.Options{DisableWarmStart: true})
 		if err != nil {
 			return nil, err
 		}
 		if rSOS.Status != minlp.Optimal {
 			return nil, fmt.Errorf("T4: SOS run ended %v on set size %d", rSOS.Status, sz)
 		}
-		rBin, msBin, err := runOne(minlp.Options{DisableSOSBranching: true, TimeLimit: binBudget})
+		rBin, msBin, err := runOne(minlp.Options{
+			DisableSOSBranching: true,
+			DisableWarmStart:    true,
+			TimeLimit:           binBudget,
+		})
 		if err != nil {
 			return nil, err
 		}

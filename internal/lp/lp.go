@@ -169,6 +169,14 @@ type Solution struct {
 	Obj        float64   // objective value (valid when Optimal)
 	Dual       []float64 // one multiplier per constraint (valid when Optimal)
 	Iterations int
+	// Pivots counts basis-changing simplex pivots (bound flips excluded).
+	// It is the hardware-independent work metric used by the warm-start
+	// benchmarks.
+	Pivots int
+	// Basis is a reusable snapshot of the optimal basis, populated only by
+	// Incremental solves (plain Problem.Solve leaves it nil). It can seed a
+	// warm dual-simplex reoptimization via Incremental.SolveFrom.
+	Basis *Basis
 }
 
 // Value evaluates the row's left-hand side at x.

@@ -3,6 +3,7 @@ package lp
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 const (
@@ -20,15 +21,18 @@ type varMap struct {
 }
 
 // standard is the problem in bounded computational form:
-// min cᵀu + c0, A u = b, 0 ≤ u ≤ ub (ub may be +Inf).
+// min cᵀu + c0, A u = b, lb ≤ u ≤ ub (lb finite, ub may be +Inf).
 //
-// Two-sided variable bounds become column upper bounds handled implicitly
-// by the bounded-variable simplex — they cost nothing, unlike explicit
-// rows. This matters: the HSLB master MILPs carry thousands of binaries.
+// A cold standardization always produces lb = 0; warm-start bound updates
+// (Incremental.TightenBound) move lb/ub of individual columns, which the
+// bounded-variable simplex handles implicitly — they cost nothing, unlike
+// explicit rows. This matters: the HSLB master MILPs carry thousands of
+// binaries.
 type standard struct {
 	a  [][]float64
 	b  []float64
 	c  []float64
+	lb []float64
 	ub []float64
 	c0 float64
 
@@ -41,14 +45,71 @@ type standard struct {
 	// slack or artificial), used to read B⁻¹ for dual extraction.
 	unitCol []int
 	nReal   int // columns that are not artificial
+
+	// orig/origB are the pristine (unreduced) constraint matrix and RHS,
+	// captured just before phase 1 when a warm-capable solve was requested.
+	// They are the refactorization source for installing a stored Basis.
+	orig  [][]float64
+	origB []float64
+}
+
+// workspace is the reusable dense-matrix arena for cold solves. Pooling it
+// means branch-and-bound node solves stop reallocating the tableau, the
+// single largest allocation of the solver hot path. The arena only ever
+// backs one solve at a time; persistent (warm) solvers pass ws == nil and
+// allocate normally.
+type workspace struct {
+	arena []float64
+}
+
+var wsPool = sync.Pool{New: func() interface{} { return &workspace{} }}
+
+// matrix carves m rows of length 0 and capacity w each from the arena.
+// Appending within a row stays inside its slot; the rare overflow falls back
+// to the Go allocator, which is safe (just unpooled).
+func (ws *workspace) matrix(m, w int) [][]float64 {
+	if ws == nil {
+		rows := make([][]float64, 0, m)
+		return rows
+	}
+	need := m * w
+	if cap(ws.arena) < need {
+		ws.arena = make([]float64, need)
+	}
+	a := ws.arena[:need]
+	for i := range a {
+		a[i] = 0
+	}
+	rows := make([][]float64, m)
+	for i := range rows {
+		rows[i] = a[i*w : i*w : (i+1)*w]
+	}
+	return rows[:0]
 }
 
 // standardize rewrites p into bounded standard form. It returns Infeasible
-// immediately for contradictory bounds.
-func standardize(p *Problem) (*standard, Status) {
+// immediately for contradictory bounds. ws (optional) provides the row
+// arena. keepFixed retains lo==hi variables as real zero-range columns
+// instead of eliminating them — required by warm-capable solves, where a
+// later TightenBound may relax the fix and the column must still exist for
+// the change to be absorbable.
+func standardize(p *Problem, ws *workspace, keepFixed bool) (*standard, Status) {
 	s := &standard{}
 	n := len(p.costs)
 	s.vmaps = make([]varMap, n)
+
+	// Upper bound on the final column count: one or two structural columns
+	// per variable, one slack per inequality row, one artificial per row.
+	maxCols := 0
+	for j := 0; j < n; j++ {
+		if math.IsInf(p.lo[j], -1) && math.IsInf(p.hi[j], 1) {
+			maxCols += 2
+		} else if keepFixed || p.lo[j] != p.hi[j] || math.IsInf(p.lo[j], 0) {
+			maxCols++
+		}
+	}
+	maxCols += 2 * len(p.rows)
+	rows := ws.matrix(len(p.rows), maxCols)
 
 	// Map variables.
 	for j := 0; j < n; j++ {
@@ -56,7 +117,7 @@ func standardize(p *Problem) (*standard, Status) {
 		switch {
 		case lo > hi:
 			return nil, Infeasible
-		case lo == hi && !math.IsInf(lo, 0):
+		case lo == hi && !math.IsInf(lo, 0) && !keepFixed:
 			s.vmaps[j] = varMap{kind: 3, shift: lo}
 			s.c0 += p.costs[j] * lo
 		case !math.IsInf(lo, -1):
@@ -79,7 +140,15 @@ func standardize(p *Problem) (*standard, Status) {
 	s.rowOf = make([]int, len(p.rows))
 	s.rowSign = make([]float64, len(p.rows))
 	addRow := func(coefs map[int]float64, rhs float64, slack bool) int {
-		row := make([]float64, len(s.c))
+		var row []float64
+		if len(rows) < cap(rows) {
+			rows = rows[:len(rows)+1]
+			row = rows[len(rows)-1][:0]
+		}
+		row = append(row, make([]float64, len(s.c)-len(row))...)
+		for i := range row {
+			row[i] = 0
+		}
 		for col, v := range coefs {
 			row[col] = v
 		}
@@ -154,6 +223,7 @@ func standardize(p *Problem) (*standard, Status) {
 
 func (s *standard) addCol(cost, upper float64) int {
 	s.c = append(s.c, cost)
+	s.lb = append(s.lb, 0)
 	s.ub = append(s.ub, upper)
 	for r := range s.a {
 		s.a[r] = append(s.a[r], 0)
@@ -219,6 +289,7 @@ type tableau struct {
 	a      [][]float64 // m x n, kept as B⁻¹A
 	b      []float64   // m, current values of the basic variables
 	d      []float64   // n, reduced costs for the current phase
+	lb     []float64   // n, column lower bounds (0 after a cold standardize)
 	ub     []float64   // n, column upper bounds
 	basis  []int       // m, basic column per row
 	inBase []bool      // n
@@ -226,10 +297,19 @@ type tableau struct {
 	banned []bool      // columns excluded from entering (artificials)
 	obj    float64     // current phase objective value
 	iters  int
+	pivots int // basis-changing pivots (excludes pure bound flips)
 }
 
-// run iterates until optimality, unboundedness, or the iteration budget is
-// exhausted.
+// nbVal returns the current value of nonbasic column j.
+func (t *tableau) nbVal(j int) float64 {
+	if t.status[j] == atUpper {
+		return t.ub[j]
+	}
+	return t.lb[j]
+}
+
+// run iterates the primal simplex until optimality, unboundedness, or the
+// iteration budget is exhausted.
 func (t *tableau) run(maxIter int) Status {
 	m, n := len(t.a), len(t.d)
 	stall := 0
@@ -277,14 +357,14 @@ func (t *tableau) run(maxIter int) Status {
 		}
 
 		// Ratio test: how far can x_e move in direction dir?
-		tMax := t.ub[e] // own bound flip distance (lower↔upper)
+		tMax := t.ub[e] - t.lb[e] // own bound flip distance (lower↔upper)
 		r, rKind := -1, atLower
 		limit := tMax
 		for i := 0; i < m; i++ {
 			rate := dir * t.a[i][e] // d(x_B(i))/d(t) = -rate
 			if rate > pivotEps {
-				// Basic variable decreases towards 0.
-				l := t.b[i] / rate
+				// Basic variable decreases towards its lower bound.
+				l := (t.b[i] - t.lb[t.basis[i]]) / rate
 				if l < limit-1e-12 || (l < limit+1e-12 && (r < 0 || t.basis[i] < t.basis[r])) {
 					limit, r, rKind = l, i, atLower
 				}
@@ -333,46 +413,18 @@ func (t *tableau) run(maxIter int) Status {
 			t.inBase[leave] = false
 			t.status[leave] = rKind
 			// Snap the leaving variable's row value exactly.
-			newVal := dir * limit
-			if t.status[e] == atUpper {
-				newVal += t.ub[e]
-			}
+			newVal := dir*limit + t.nbVal(e)
 			t.basis[r] = e
 			t.inBase[e] = true
 			t.b[r] = newVal
-
-			// Row reduction.
-			pr := t.a[r]
-			inv := 1 / pr[e]
-			for j := range pr {
-				pr[j] *= inv
-			}
-			for i := 0; i < m; i++ {
-				if i == r {
-					continue
-				}
-				f := t.a[i][e]
-				if f == 0 {
-					continue
-				}
-				ri := t.a[i]
-				for j := range ri {
-					ri[j] -= f * pr[j]
-				}
-				ri[e] = 0
-			}
-			f := t.d[e]
-			if f != 0 {
-				for j := range t.d {
-					t.d[j] -= f * pr[j]
-				}
-				t.d[e] = 0
-			}
+			t.pivot(r, e)
+			t.pivots++
 		}
-		// Numerical hygiene: clamp tiny negative basic values.
+		// Numerical hygiene: clamp tiny bound violations of basic values.
 		for i := 0; i < m; i++ {
-			if t.b[i] < 0 && t.b[i] > -1e-11 {
-				t.b[i] = 0
+			lo := t.lb[t.basis[i]]
+			if t.b[i] < lo && t.b[i] > lo-1e-11 {
+				t.b[i] = lo
 			}
 		}
 		if improved {
@@ -382,6 +434,38 @@ func (t *tableau) run(maxIter int) Status {
 		}
 	}
 	return IterLimit
+}
+
+// pivot performs the row reduction making column e the unit column of row r
+// and keeping the reduced costs consistent. The caller has already updated
+// basis/inBase/status/b.
+func (t *tableau) pivot(r, e int) {
+	pr := t.a[r]
+	inv := 1 / pr[e]
+	for j := range pr {
+		pr[j] *= inv
+	}
+	for i := range t.a {
+		if i == r {
+			continue
+		}
+		f := t.a[i][e]
+		if f == 0 {
+			continue
+		}
+		ri := t.a[i]
+		for j := range ri {
+			ri[j] -= f * pr[j]
+		}
+		ri[e] = 0
+	}
+	f := t.d[e]
+	if f != 0 {
+		for j := range t.d {
+			t.d[j] -= f * pr[j]
+		}
+		t.d[e] = 0
+	}
 }
 
 // setCosts installs a cost vector and recomputes reduced costs and the
@@ -403,10 +487,13 @@ func (t *tableau) setCosts(c []float64) {
 	for _, bcol := range t.basis {
 		t.d[bcol] = 0
 	}
-	// Nonbasic variables parked at their upper bound contribute directly.
+	// Nonbasic variables parked at a nonzero bound contribute directly.
 	for j := range t.d {
-		if !t.inBase[j] && t.status[j] == atUpper {
-			t.obj += c[j] * t.ub[j]
+		if t.inBase[j] {
+			continue
+		}
+		if v := t.nbVal(j); v != 0 {
+			t.obj += c[j] * v
 		}
 	}
 }
@@ -415,14 +502,25 @@ func (t *tableau) setCosts(c []float64) {
 // only for structurally invalid models; infeasibility and unboundedness are
 // reported through Solution.Status.
 func (p *Problem) Solve() (*Solution, error) {
+	ws := wsPool.Get().(*workspace)
+	sol, _, _, err := solveCold(p, ws, nil)
+	wsPool.Put(ws)
+	return sol, err
+}
+
+// solveCold runs the full two-phase primal simplex. ws (optional) backs the
+// dense matrix with a pooled arena — callers that retain std/t (warm
+// solvers) must pass ws == nil. tag, when non-nil, enables the Basis
+// snapshot on optimal solutions.
+func solveCold(p *Problem, ws *workspace, tag *basisTag) (*Solution, *standard, *tableau, error) {
 	for j := range p.lo {
 		if math.IsNaN(p.lo[j]) || math.IsNaN(p.hi[j]) {
-			return nil, fmt.Errorf("%w: NaN bound on variable %d", ErrBadModel, j)
+			return nil, nil, nil, fmt.Errorf("%w: NaN bound on variable %d", ErrBadModel, j)
 		}
 	}
-	std, st := standardize(p)
+	std, st := standardize(p, ws, tag != nil)
 	if st == Infeasible {
-		return &Solution{Status: Infeasible}, nil
+		return &Solution{Status: Infeasible}, nil, nil, nil
 	}
 
 	m, n := len(std.a), len(std.c)
@@ -474,6 +572,7 @@ func (p *Problem) Solve() (*Solution, error) {
 		// push a zero onto every row, duplicating the column we add here.
 		col := len(std.c)
 		std.c = append(std.c, 0)
+		std.lb = append(std.lb, 0)
 		std.ub = append(std.ub, math.Inf(1))
 		for r := range t.a {
 			v := 0.0
@@ -486,6 +585,8 @@ func (p *Problem) Solve() (*Solution, error) {
 		std.unitCol[i] = col
 	}
 	n = len(std.c)
+	std.a = t.a
+	t.lb = std.lb
 	t.ub = std.ub
 	t.banned = make([]bool, n)
 	t.d = make([]float64, n)
@@ -493,6 +594,16 @@ func (p *Problem) Solve() (*Solution, error) {
 	t.inBase = make([]bool, n)
 	for _, bc := range t.basis {
 		t.inBase[bc] = true
+	}
+
+	// Warm-capable solves keep a pristine copy of the (artificial-extended)
+	// system for later basis refactorization.
+	if tag != nil {
+		std.orig = make([][]float64, m)
+		for i := range t.a {
+			std.orig[i] = append([]float64(nil), t.a[i]...)
+		}
+		std.origB = append([]float64(nil), t.b...)
 	}
 
 	totalIters := 0
@@ -507,7 +618,7 @@ func (p *Problem) Solve() (*Solution, error) {
 		st := t.run(maxIter)
 		totalIters += t.iters
 		if st == IterLimit {
-			return &Solution{Status: IterLimit, Iterations: totalIters}, nil
+			return &Solution{Status: IterLimit, Iterations: totalIters, Pivots: t.pivots}, nil, nil, nil
 		}
 		// The incrementally tracked objective drifts over long runs;
 		// judge feasibility on the exact residual: artificials have unit
@@ -523,7 +634,7 @@ func (p *Problem) Solve() (*Solution, error) {
 			if debugPhase1 != nil {
 				debugPhase1(t, std, artStart)
 			}
-			return &Solution{Status: Infeasible, Iterations: totalIters}, nil
+			return &Solution{Status: Infeasible, Iterations: totalIters, Pivots: t.pivots}, nil, nil, nil
 		}
 		// Drive artificials out of the basis where possible. Basic
 		// artificial values are numerical noise at this point.
@@ -556,16 +667,22 @@ func (p *Problem) Solve() (*Solution, error) {
 	totalIters += t.iters
 	switch st2 {
 	case Unbounded:
-		return &Solution{Status: Unbounded, Iterations: totalIters}, nil
+		return &Solution{Status: Unbounded, Iterations: totalIters, Pivots: t.pivots}, nil, nil, nil
 	case IterLimit:
-		return &Solution{Status: IterLimit, Iterations: totalIters}, nil
+		return &Solution{Status: IterLimit, Iterations: totalIters, Pivots: t.pivots}, nil, nil, nil
 	}
 
-	// Recover standard-form values.
+	return extract(p, std, t, totalIters, t.pivots, tag), std, t, nil
+}
+
+// extract recovers the original-variable solution, the row duals, and (when
+// tag is non-nil) a Basis snapshot from an optimal tableau.
+func extract(p *Problem, std *standard, t *tableau, iters, pivots int, tag *basisTag) *Solution {
+	n := len(std.c)
 	u := make([]float64, n)
 	for j := 0; j < n; j++ {
-		if !t.inBase[j] && t.status[j] == atUpper {
-			u[j] = t.ub[j]
+		if !t.inBase[j] {
+			u[j] = t.nbVal(j)
 		}
 	}
 	for i, bcol := range t.basis {
@@ -595,13 +712,23 @@ func (p *Problem) Solve() (*Solution, error) {
 		}
 		dual[i] = std.rowSign[i] * -t.d[std.unitCol[r]]
 	}
-	return &Solution{
+	sol := &Solution{
 		Status:     Optimal,
 		X:          x,
 		Obj:        p.Objective(x),
 		Dual:       dual,
-		Iterations: totalIters,
-	}, nil
+		Iterations: iters,
+		Pivots:     pivots,
+	}
+	if tag != nil {
+		bs := &Basis{tag: tag, cols: make([]int32, len(t.basis)), status: make([]int8, n)}
+		for i, bc := range t.basis {
+			bs.cols[i] = int32(bc)
+		}
+		copy(bs.status, t.status)
+		sol.Basis = bs
+	}
+	return sol
 }
 
 // pivotOutArtificial swaps a zero-valued basic artificial in row r for
@@ -614,35 +741,6 @@ func (t *tableau) pivotOutArtificial(r, j int) {
 	t.inBase[j] = true
 	// j enters at its current bound value; b[r] stays the artificial's
 	// (zeroed) value plus the bound offset of j.
-	if t.status[j] == atUpper {
-		t.b[r] = t.ub[j]
-	} else {
-		t.b[r] = 0
-	}
-	pr := t.a[r]
-	inv := 1 / pr[j]
-	for k := range pr {
-		pr[k] *= inv
-	}
-	for i := range t.a {
-		if i == r {
-			continue
-		}
-		f := t.a[i][j]
-		if f == 0 {
-			continue
-		}
-		ri := t.a[i]
-		for k := range ri {
-			ri[k] -= f * pr[k]
-		}
-		ri[j] = 0
-	}
-	f := t.d[j]
-	if f != 0 {
-		for k := range t.d {
-			t.d[k] -= f * pr[k]
-		}
-		t.d[j] = 0
-	}
+	t.b[r] = t.nbVal(j)
+	t.pivot(r, j)
 }

@@ -1,0 +1,715 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// dualFeasEps is the tolerance on reduced-cost signs when validating an
+// installed basis, and on primal bound violations when picking the dual
+// simplex leaving row.
+const dualFeasEps = 1e-7
+
+// dualPivotEps is the minimum |α| accepted for a dual entering pivot. It is
+// deliberately much stricter than pivotEps: after many warm absorptions an
+// exactly-zero tableau entry carries round-off at the 1e-8 level, and
+// pivoting on such noise amplifies every tableau value by 1/|α| —
+// irreversibly corrupting the shared state the next hundred solves reuse.
+// Rejecting a genuine small pivot is always safe here: with no admissible
+// column runDual reports Infeasible, which reoptimize cold-confirms.
+const dualPivotEps = 1e-7
+
+// refactorEvery bounds the pivots applied to a warm tableau before it is
+// refactorized from the pristine rows to purge accumulated round-off.
+const refactorEvery = 256
+
+// basisTag identifies the Incremental that produced a Basis. A snapshot can
+// only be installed into its own Incremental; foreign snapshots are silently
+// ignored. Within one Incremental every snapshot stays attemptable for the
+// wrapper's whole lifetime — install revalidates against the current
+// pristine rows, so even snapshots predating a cold rebuild are safe.
+type basisTag struct{ _ byte }
+
+// Basis is an opaque snapshot of a simplex basis: the basic column of every
+// row plus the bound status of every nonbasic column. It is exported through
+// Solution.Basis by Incremental solves and consumed by
+// Incremental.SolveFrom. Snapshots are immutable and safe to share across
+// goroutines.
+type Basis struct {
+	tag    *basisTag
+	cols   []int32
+	status []int8
+}
+
+// Incremental wraps a Problem with warm-start state: it keeps the simplex
+// tableau alive between solves and reoptimizes with the dual simplex after
+// bound changes (TightenBound / SetBounds on the wrapped problem) or row
+// additions (AddRow / AddConstraint). Both kinds of change preserve dual
+// feasibility of the incumbent basis, so a reoptimization typically takes a
+// handful of pivots where a cold solve would take hundreds.
+//
+// The cold two-phase solve remains the correctness authority: any change the
+// warm path cannot absorb (new variables, cost changes, bound-class changes
+// such as fixing a previously free variable), any numerical rejection, and
+// every warm Infeasible conclusion falls back to — or is confirmed by — a
+// cold solve.
+//
+// An Incremental is not safe for concurrent use.
+type Incremental struct {
+	p   *Problem
+	std *standard
+	t   *tableau
+	tag *basisTag
+
+	// Applied snapshot of the wrapped problem, used to diff changes.
+	loApplied    []float64
+	hiApplied    []float64
+	costApplied  []float64
+	rowsApplied  int
+	factorPivots int // t.pivots at the last (re)factorization
+
+	valid bool
+}
+
+// NewIncremental wraps p for warm-started solving. The problem is shared,
+// not copied: mutate it through the Incremental helpers or directly (e.g.
+// AddConstraint) and call Solve to absorb the changes. The first Solve is a
+// cold solve.
+func NewIncremental(p *Problem) *Incremental {
+	// One tag per Incremental lifetime, not per rebuild: within a single
+	// Incremental any snapshot may be attempted (install fully validates
+	// against the current pristine rows before committing), so snapshots
+	// must survive rebuilds — a per-rebuild tag would strand every parent
+	// basis held by a deep best-first node queue. The tag only guards
+	// against snapshots produced by a different Incremental.
+	return &Incremental{p: p, tag: &basisTag{}}
+}
+
+// Problem returns the wrapped problem (live, shared).
+func (inc *Incremental) Problem() *Problem { return inc.p }
+
+// TightenBound updates the bounds of variable v. Despite the name it may
+// also relax bounds; either direction preserves dual feasibility and is
+// absorbed warmly as long as the bound class is unchanged (a finite bound
+// stays finite on the same side).
+func (inc *Incremental) TightenBound(v int, lo, hi float64) {
+	inc.p.SetBounds(v, lo, hi)
+}
+
+// AddRow appends the constraint Σ terms {sense} rhs and returns its index.
+// Row additions preserve dual feasibility of the incumbent basis.
+func (inc *Incremental) AddRow(terms []Term, sense Sense, rhs float64, name string) int {
+	return inc.p.AddConstraint(terms, sense, rhs, name)
+}
+
+// Solve reoptimizes after any pending problem mutations, warm-starting from
+// the live basis of the previous solve.
+func (inc *Incremental) Solve() (*Solution, error) { return inc.SolveFrom(nil) }
+
+// SolveFrom reoptimizes like Solve but first installs basis b (typically a
+// parent node's Solution.Basis) when it is compatible with the current
+// standardization. Incompatible or stale snapshots are ignored, never an
+// error.
+func (inc *Incremental) SolveFrom(b *Basis) (*Solution, error) {
+	p := inc.p
+	for j := range p.lo {
+		if math.IsNaN(p.lo[j]) || math.IsNaN(p.hi[j]) {
+			return nil, fmt.Errorf("%w: NaN bound on variable %d", ErrBadModel, j)
+		}
+		// Empty box: report infeasibility without touching the warm state,
+		// so the tableau stays reusable for the next (feasible) sibling.
+		if p.lo[j] > p.hi[j] {
+			return &Solution{Status: Infeasible}, nil
+		}
+	}
+	if !inc.valid {
+		return inc.rebuild()
+	}
+	if !inc.absorb() {
+		return inc.rebuild()
+	}
+	if inc.t.pivots-inc.factorPivots > refactorEvery {
+		if !inc.refactor() {
+			return inc.rebuild()
+		}
+	}
+	if b != nil && b.tag == inc.tag && !inc.liveEquals(b) {
+		// Best effort: rejection keeps the live basis, which is always a
+		// legal warm start.
+		inc.install(b.cols, b.status, true)
+	}
+	return inc.reoptimize()
+}
+
+// rebuild discards all warm state and runs a cold two-phase solve, adopting
+// the resulting tableau when optimal.
+func (inc *Incremental) rebuild() (*Solution, error) {
+	sol, std, t, err := solveCold(inc.p, nil, inc.tag)
+	if err != nil || sol.Status != Optimal {
+		inc.valid = false
+		return sol, err
+	}
+	inc.std, inc.t = std, t
+	inc.valid = true
+	inc.factorPivots = t.pivots
+	inc.snapshotApplied()
+	return sol, nil
+}
+
+func (inc *Incremental) snapshotApplied() {
+	p := inc.p
+	inc.loApplied = append(inc.loApplied[:0], p.lo...)
+	inc.hiApplied = append(inc.hiApplied[:0], p.hi...)
+	inc.costApplied = append(inc.costApplied[:0], p.costs...)
+	inc.rowsApplied = len(p.rows)
+}
+
+// absorb diffs the wrapped problem against the applied snapshot and folds
+// the changes into the live tableau. It reports false when the change is
+// outside the warm-compatible class and a cold rebuild is required.
+func (inc *Incremental) absorb() bool {
+	p := inc.p
+	if len(p.costs) != len(inc.costApplied) {
+		return false // new variables
+	}
+	for j := range p.costs {
+		if p.costs[j] != inc.costApplied[j] {
+			return false // cost changes break dual feasibility
+		}
+	}
+	for j := range p.lo {
+		lo, hi := p.lo[j], p.hi[j]
+		if lo == inc.loApplied[j] && hi == inc.hiApplied[j] {
+			continue
+		}
+		vm := inc.std.vmaps[j]
+		switch vm.kind {
+		case 0: // x = lo0 + u, needs a finite lower bound
+			if math.IsInf(lo, -1) {
+				return false
+			}
+			inc.setColBounds(vm.col, lo-vm.shift, hi-vm.shift)
+		case 1: // x = hi0 - u, needs lo = -inf and a finite upper bound
+			if !math.IsInf(lo, -1) || math.IsInf(hi, 1) {
+				return false
+			}
+			inc.setColBounds(vm.col, vm.shift-hi, math.Inf(1))
+		case 2: // free split: any finite bound changes the mapping
+			if !math.IsInf(lo, -1) || !math.IsInf(hi, 1) {
+				return false
+			}
+		case 3: // fixed: column was eliminated at standardization
+			return false
+		}
+		inc.loApplied[j], inc.hiApplied[j] = lo, hi
+	}
+	for i := inc.rowsApplied; i < len(p.rows); i++ {
+		inc.addRowStd(i)
+	}
+	inc.rowsApplied = len(p.rows)
+	return true
+}
+
+// setColBounds moves standard column col to bounds [lb, ub], shifting the
+// basic values when a nonbasic column is parked at a moved bound.
+func (inc *Incremental) setColBounds(col int, lb, ub float64) {
+	t := inc.t
+	if t.inBase[col] {
+		// The basic value may now violate the new bounds; that is exactly
+		// what the dual simplex repairs.
+		t.lb[col], t.ub[col] = lb, ub
+		return
+	}
+	old := t.nbVal(col)
+	t.lb[col], t.ub[col] = lb, ub
+	if t.status[col] == atUpper && math.IsInf(ub, 1) {
+		t.status[col] = atLower
+	}
+	if nv := t.nbVal(col); nv != old {
+		delta := nv - old
+		for i := range t.a {
+			t.b[i] -= t.a[i][col] * delta
+		}
+		t.obj += t.d[col] * delta
+	}
+}
+
+// addRowStd standardizes constraint i of the wrapped problem and appends it
+// to the live tableau with its fresh slack (LE) or pinned artificial (EQ)
+// basic. Dual feasibility is preserved: the new basic column has zero cost.
+func (inc *Incremental) addRowStd(i int) {
+	p, std, t := inc.p, inc.std, inc.t
+	r := &p.rows[i]
+	coefs := make(map[int]float64)
+	rhs := r.RHS
+	for _, tm := range r.Terms {
+		vm := std.vmaps[tm.Var]
+		switch vm.kind {
+		case 0:
+			coefs[vm.col] += tm.Coef
+			rhs -= tm.Coef * vm.shift
+		case 1:
+			coefs[vm.col] -= tm.Coef
+			rhs -= tm.Coef * vm.shift
+		case 2:
+			coefs[vm.col] += tm.Coef
+			coefs[vm.col2] -= tm.Coef
+		case 3:
+			rhs -= tm.Coef * vm.shift
+		}
+	}
+	sign := 1.0
+	sense := r.Sense
+	if sense == GE {
+		for c := range coefs {
+			coefs[c] = -coefs[c]
+		}
+		rhs = -rhs
+		sign = -1
+		sense = LE
+	}
+
+	// New column: slack for ≤ rows, a [0,0]-pinned artificial for = rows
+	// (it can only leave the basis, never re-enter).
+	newcol := len(std.c)
+	ubNew := math.Inf(1)
+	banned := false
+	if sense == EQ {
+		ubNew = 0
+		banned = true
+	}
+	std.c = append(std.c, 0)
+	std.lb = append(std.lb, 0)
+	std.ub = append(std.ub, ubNew)
+	for k := range t.a {
+		t.a[k] = append(t.a[k], 0)
+	}
+	for k := range std.orig {
+		std.orig[k] = append(std.orig[k], 0)
+	}
+	t.d = append(t.d, 0)
+	t.status = append(t.status, atLower)
+	t.inBase = append(t.inBase, true)
+	t.banned = append(t.banned, banned)
+	t.lb, t.ub = std.lb, std.ub // appends may have reallocated
+	n := len(std.c)
+
+	// Pristine row for future refactorizations.
+	prow := make([]float64, n)
+	for c, v := range coefs {
+		prow[c] = v
+	}
+	prow[newcol] = 1
+	std.orig = append(std.orig, prow)
+	std.origB = append(std.origB, rhs)
+
+	// Value of the new basic column at the current point.
+	val := rhs
+	for k, bc := range t.basis {
+		val -= prow[bc] * t.b[k]
+	}
+	for c := 0; c < n; c++ {
+		if t.inBase[c] || c == newcol {
+			continue
+		}
+		if v := t.nbVal(c); v != 0 {
+			val -= prow[c] * v
+		}
+	}
+
+	// Reduced row: eliminate the basic columns against the tableau rows
+	// (each tableau row is the identity on its own basic column).
+	rrow := append([]float64(nil), prow...)
+	for k, bc := range t.basis {
+		f := rrow[bc]
+		if f == 0 {
+			continue
+		}
+		rowk := t.a[k]
+		for c := range rrow {
+			rrow[c] -= f * rowk[c]
+		}
+		rrow[bc] = 0
+	}
+
+	t.a = append(t.a, rrow)
+	t.b = append(t.b, val)
+	t.basis = append(t.basis, newcol)
+	std.a = t.a
+	std.b = append(std.b, rhs)
+	std.rowOf = append(std.rowOf, len(t.a)-1)
+	std.rowSign = append(std.rowSign, sign)
+	std.unitCol = append(std.unitCol, newcol)
+}
+
+// liveEquals reports whether snapshot b is exactly the live basis.
+func (inc *Incremental) liveEquals(b *Basis) bool {
+	t := inc.t
+	if len(b.cols) != len(t.basis) || len(b.status) != len(t.status) {
+		return false
+	}
+	for i, c := range b.cols {
+		if int(c) != t.basis[i] {
+			return false
+		}
+	}
+	for j, s := range b.status {
+		if !t.inBase[j] && s != t.status[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// install refactorizes the tableau from the pristine rows with the given
+// basis assignment. Rows added after the snapshot keep their own unit
+// column basic; columns added after the snapshot default to atLower. When
+// checkDual is set the reduced costs are validated for dual feasibility
+// before committing; any rejection leaves the live tableau untouched and
+// returns false.
+func (inc *Incremental) install(cols []int32, status []int8, checkDual bool) bool {
+	std, t := inc.std, inc.t
+	m, n := len(t.a), len(std.c)
+	if len(cols) > m {
+		return false
+	}
+	assign := make([]int, m)
+	seen := make([]bool, n)
+	for i, c := range cols {
+		if int(c) >= n || seen[c] {
+			return false
+		}
+		assign[i] = int(c)
+		seen[c] = true
+	}
+	for i := len(cols); i < m; i++ {
+		uc := std.unitCol[i]
+		if seen[uc] {
+			return false
+		}
+		assign[i] = uc
+		seen[uc] = true
+	}
+
+	// Gauss-Jordan on the pristine system with the fixed row↔column
+	// assignment. The elimination order is chosen greedily by pivot
+	// magnitude: the assignment fixes WHICH column each row owns, but a
+	// fixed 0..m-1 order could hit a zero pivot on a perfectly nonsingular
+	// basis (elimination without reordering is not order-free). A
+	// near-singular best pivot rejects the basis.
+	work := make([][]float64, m)
+	for i := range work {
+		work[i] = append(make([]float64, 0, n), std.orig[i]...)
+	}
+	wb := append([]float64(nil), std.origB...)
+	done := make([]bool, m)
+	for step := 0; step < m; step++ {
+		best, bestAbs := -1, pivotEps
+		for r := 0; r < m; r++ {
+			if done[r] {
+				continue
+			}
+			if a := math.Abs(work[r][assign[r]]); a > bestAbs {
+				best, bestAbs = r, a
+			}
+		}
+		if best < 0 {
+			return false
+		}
+		done[best] = true
+		wi := work[best]
+		inv := 1 / wi[assign[best]]
+		for j := range wi {
+			wi[j] *= inv
+		}
+		wi[assign[best]] = 1
+		wb[best] *= inv
+		for k := 0; k < m; k++ {
+			if k == best {
+				continue
+			}
+			f := work[k][assign[best]]
+			if f == 0 {
+				continue
+			}
+			wk := work[k]
+			for j := range wk {
+				wk[j] -= f * wi[j]
+			}
+			wk[assign[best]] = 0
+			wb[k] -= f * wb[best]
+		}
+	}
+
+	inBase := make([]bool, n)
+	for _, c := range assign {
+		inBase[c] = true
+	}
+	newStatus := make([]int8, n)
+	copy(newStatus, status) // columns beyond the snapshot default atLower
+	for j := 0; j < n; j++ {
+		if !inBase[j] && newStatus[j] == atUpper && math.IsInf(std.ub[j], 1) {
+			newStatus[j] = atLower
+		}
+	}
+
+	// b = B⁻¹(b₀ − N·x_N): subtract nonbasic columns parked at ≠ 0.
+	for j := 0; j < n; j++ {
+		if inBase[j] {
+			continue
+		}
+		v := std.lb[j]
+		if newStatus[j] == atUpper {
+			v = std.ub[j]
+		}
+		if v == 0 {
+			continue
+		}
+		for i := 0; i < m; i++ {
+			wb[i] -= work[i][j] * v
+		}
+	}
+
+	cand := &tableau{
+		a:      work,
+		b:      wb,
+		d:      make([]float64, n),
+		lb:     std.lb,
+		ub:     std.ub,
+		basis:  assign,
+		inBase: inBase,
+		status: newStatus,
+		banned: append([]bool(nil), t.banned...),
+		iters:  t.iters,
+		pivots: t.pivots,
+	}
+	cand.setCosts(std.c)
+	if checkDual {
+		for j := 0; j < n; j++ {
+			if inBase[j] || cand.banned[j] || std.lb[j] == std.ub[j] {
+				continue
+			}
+			if newStatus[j] == atLower && cand.d[j] < -dualFeasEps {
+				return false
+			}
+			if newStatus[j] == atUpper && cand.d[j] > dualFeasEps {
+				return false
+			}
+		}
+	}
+	inc.t = cand
+	std.a = work
+	inc.factorPivots = cand.pivots
+	return true
+}
+
+// refactor rebuilds the tableau from the pristine rows with the current
+// basis, purging accumulated floating-point drift.
+func (inc *Incremental) refactor() bool {
+	t := inc.t
+	cols := make([]int32, len(t.basis))
+	for i, c := range t.basis {
+		cols[i] = int32(c)
+	}
+	return inc.install(cols, append([]int8(nil), t.status...), false)
+}
+
+// reoptimize runs the dual simplex to repair primal feasibility, then a
+// primal cleanup pass (a no-op when the dual phase ends optimal), falling
+// back to the cold authority on iteration limits, unboundedness, or to
+// confirm an Infeasible verdict.
+func (inc *Incremental) reoptimize() (*Solution, error) {
+	t := inc.t
+	maxIter := inc.p.MaxIter
+	if maxIter == 0 {
+		maxIter = 200*(len(t.a)+25) + 20*len(t.d)
+	}
+	pivots0 := t.pivots
+	t.iters = 0
+	// The dual repair of a handful of bound changes or row additions needs
+	// O(m) pivots; a dual phase still churning past a few multiples of the
+	// tableau size is wandering a degenerate face (the Bland fallback is
+	// not provably acyclic for the dual), so cap it well below the global
+	// iteration limit and let the cold authority take over instead.
+	dualBudget := 4*(len(t.a)+len(t.d)) + 64
+	if dualBudget > maxIter {
+		dualBudget = maxIter
+	}
+	st := t.runDual(dualBudget)
+	if st == Optimal {
+		st = t.run(maxIter)
+	}
+	iters := t.iters
+	switch st {
+	case Optimal:
+		sol := extract(inc.p, inc.std, t, iters, t.pivots-pivots0, inc.tag)
+		// Safety net: a warm tableau that drifted numerically can report
+		// Optimal with a point that violates the original rows. Never let
+		// that escape — any real violation discards the warm state and
+		// defers to the cold authority.
+		if inc.p.MaxViolation(sol.X) > warmFeasTol(inc.p) {
+			return inc.rebuild()
+		}
+		return sol, nil
+	case Infeasible:
+		// The dual simplex concluded infeasible; confirm with a cold solve
+		// so a numerical misstep can never prune a feasible region. The
+		// warm tableau is left as-is (still dual feasible) for the next
+		// sibling solve.
+		ws := wsPool.Get().(*workspace)
+		sol, _, _, err := solveCold(inc.p, ws, nil)
+		wsPool.Put(ws)
+		if err != nil {
+			return nil, err
+		}
+		if sol.Status == Infeasible {
+			sol.Iterations += iters
+			sol.Pivots += t.pivots - pivots0
+			return sol, nil
+		}
+		// Disagreement: the cold authority wins; adopt a fresh cold state.
+		return inc.rebuild()
+	default: // IterLimit, Unbounded
+		return inc.rebuild()
+	}
+}
+
+// warmFeasTol is the primal feasibility tolerance for accepting a warm
+// Optimal verdict, scaled to the magnitude of the right-hand sides.
+func warmFeasTol(p *Problem) float64 {
+	scale := 1.0
+	for i := range p.rows {
+		if r := math.Abs(p.rows[i].RHS); r > scale {
+			scale = r
+		}
+	}
+	return 1e-7 * scale
+}
+
+// runDual iterates the dual simplex: pick the basic variable most outside
+// its bounds as the leaving row, then the entering column by the dual ratio
+// test over the dual-feasible reduced costs. Bound tightenings and row
+// additions leave the reduced costs untouched, so the incumbent basis is a
+// valid starting point and each iteration monotonically increases the
+// objective toward the new optimum.
+func (t *tableau) runDual(maxIter int) Status {
+	m := len(t.a)
+	stall := 0
+	blandAfter := m + 64
+	for t.iters < maxIter {
+		bland := stall > blandAfter
+
+		// Leaving row: basic variable violating a bound.
+		r := -1
+		var target float64
+		var rKind int8
+		worst := dualFeasEps
+		for i := 0; i < m; i++ {
+			bc := t.basis[i]
+			if v := t.lb[bc] - t.b[i]; v > worst {
+				worst, r, target, rKind = v, i, t.lb[bc], atLower
+				if bland {
+					break
+				}
+			}
+			if v := t.b[i] - t.ub[bc]; v > worst {
+				worst, r, target, rKind = v, i, t.ub[bc], atUpper
+				if bland {
+					break
+				}
+			}
+		}
+		if r < 0 {
+			return Optimal
+		}
+		t.iters++
+
+		// Entering column: admissible sign pattern, minimal |d/α|.
+		row := t.a[r]
+		e := -1
+		best := math.Inf(1)
+		for j := range t.d {
+			if t.inBase[j] || t.banned[j] || t.lb[j] == t.ub[j] {
+				continue
+			}
+			alpha := row[j]
+			if alpha < dualPivotEps && alpha > -dualPivotEps {
+				continue
+			}
+			var ok bool
+			if rKind == atLower {
+				// b_r must increase: entering at lower moving up needs
+				// α < 0, entering at upper moving down needs α > 0.
+				ok = (t.status[j] == atLower && alpha < 0) || (t.status[j] == atUpper && alpha > 0)
+			} else {
+				ok = (t.status[j] == atLower && alpha > 0) || (t.status[j] == atUpper && alpha < 0)
+			}
+			if !ok {
+				continue
+			}
+			ratio := math.Abs(t.d[j] / alpha)
+			if ratio < best-1e-12 || (ratio < best+1e-12 && (e < 0 || j < e)) {
+				best, e = ratio, j
+			}
+		}
+		if e < 0 {
+			// No column can repair the violated row: the (standard-form)
+			// problem is infeasible.
+			return Infeasible
+		}
+
+		// Bound-flip ratio test: if repairing row r would push x_e past
+		// its own opposite bound, flip x_e to that bound instead (no basis
+		// change) and retry the row with another entering column. Without
+		// this, a small |α| makes x_e take an enormous value that later
+		// pivots must walk back, amplifying round-off catastrophically.
+		delta := (t.b[r] - target) / row[e]
+		if rng := t.ub[e] - t.lb[e]; math.Abs(delta) > rng {
+			flip := rng
+			if delta < 0 {
+				flip = -rng
+			}
+			for i := 0; i < m; i++ {
+				t.b[i] -= t.a[i][e] * flip
+			}
+			gain := t.d[e] * flip
+			t.obj += gain
+			if t.status[e] == atLower {
+				t.status[e] = atUpper
+			} else {
+				t.status[e] = atLower
+			}
+			if gain > 1e-9*(1+math.Abs(t.obj)) {
+				stall = 0
+			} else {
+				stall++
+			}
+			continue
+		}
+
+		// Pivot: move x_e so that row r lands exactly on its bound.
+		step := t.d[e] * delta
+		newVal := t.nbVal(e) + delta
+		leave := t.basis[r]
+		t.inBase[leave] = false
+		t.status[leave] = rKind
+		t.basis[r] = e
+		t.inBase[e] = true
+		for i := 0; i < m; i++ {
+			if i != r {
+				t.b[i] -= t.a[i][e] * delta
+			}
+		}
+		t.b[r] = newVal
+		t.obj += step
+		t.pivot(r, e)
+		t.pivots++
+
+		if step > 1e-9*(1+math.Abs(t.obj)) {
+			stall = 0
+		} else {
+			stall++
+		}
+	}
+	return IterLimit
+}

@@ -1,0 +1,323 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// checkAgainstCold solves inc warm and the same problem cold, and asserts
+// matching status, objective within objTol, and a KKT certificate on the
+// warm solution.
+func checkAgainstCold(t *testing.T, inc *Incremental, b *Basis, label string) *Solution {
+	t.Helper()
+	warm, err := inc.SolveFrom(b)
+	if err != nil {
+		t.Fatalf("%s: warm solve error: %v", label, err)
+	}
+	cold, err := inc.Problem().Clone().Solve()
+	if err != nil {
+		t.Fatalf("%s: cold solve error: %v", label, err)
+	}
+	if warm.Status != cold.Status {
+		t.Fatalf("%s: status mismatch warm=%v cold=%v", label, warm.Status, cold.Status)
+	}
+	if warm.Status != Optimal {
+		return warm
+	}
+	if d := math.Abs(warm.Obj - cold.Obj); d > 1e-9*(1+math.Abs(cold.Obj)) {
+		t.Fatalf("%s: objective mismatch warm=%.12g cold=%.12g (Δ=%g)", label, warm.Obj, cold.Obj, d)
+	}
+	if err := VerifyKKT(inc.Problem(), warm, 1e-6); err != nil {
+		t.Fatalf("%s: warm KKT: %v", label, err)
+	}
+	if warm.Basis == nil {
+		t.Fatalf("%s: optimal warm solution missing basis snapshot", label)
+	}
+	return warm
+}
+
+func TestIncrementalTightenBound(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable(0, 10, -1, "x")
+	y := p.AddVariable(0, 10, -2, "y")
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, LE, 12, "cap")
+	p.AddConstraint([]Term{{x, 1}, {y, 3}}, LE, 24, "mix")
+
+	inc := NewIncremental(p)
+	sol := checkAgainstCold(t, inc, nil, "root")
+	root := sol.Basis
+
+	// Branch-like sequence: tighten, solve, retighten from the root basis.
+	inc.TightenBound(y, 0, 3)
+	checkAgainstCold(t, inc, root, "y<=3")
+	inc.TightenBound(y, 4, 10)
+	checkAgainstCold(t, inc, root, "y>=4")
+	inc.TightenBound(y, 5, 5) // fixed within the box
+	checkAgainstCold(t, inc, root, "y=5")
+	inc.TightenBound(y, 0, 10) // relax back
+	checkAgainstCold(t, inc, root, "relaxed")
+}
+
+func TestIncrementalAddRow(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable(0, 4, -3, "x")
+	y := p.AddVariable(0, 4, -5, "y")
+	p.AddConstraint([]Term{{x, 3}, {y, 2}}, LE, 18, "m")
+
+	inc := NewIncremental(p)
+	checkAgainstCold(t, inc, nil, "root")
+
+	// Cutting-plane-like sequence: rows arrive one at a time.
+	inc.AddRow([]Term{{x, 1}, {y, 1}}, LE, 5, "cut1")
+	checkAgainstCold(t, inc, nil, "cut1")
+	inc.AddRow([]Term{{x, -1}, {y, 1}}, GE, -1, "cut2")
+	checkAgainstCold(t, inc, nil, "cut2")
+	inc.AddRow([]Term{{x, 1}, {y, 2}}, EQ, 8, "eqcut")
+	checkAgainstCold(t, inc, nil, "eqcut")
+}
+
+func TestIncrementalInfeasibleChildKeepsWarmState(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable(0, 10, -1, "x")
+	y := p.AddVariable(0, 10, -1, "y")
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, GE, 5, "floor")
+
+	inc := NewIncremental(p)
+	sol := checkAgainstCold(t, inc, nil, "root")
+	root := sol.Basis
+
+	// Empty box child: must not poison the warm state.
+	inc.TightenBound(x, 6, 2)
+	if s, err := inc.SolveFrom(root); err != nil || s.Status != Infeasible {
+		t.Fatalf("empty box: got status %v err %v", s.Status, err)
+	}
+	inc.TightenBound(x, 0, 10)
+	checkAgainstCold(t, inc, root, "after empty box")
+
+	// LP-infeasible child (bounds force row violation).
+	inc.TightenBound(x, 0, 1)
+	inc.TightenBound(y, 0, 1)
+	if s, err := inc.SolveFrom(root); err != nil || s.Status != Infeasible {
+		t.Fatalf("lp-infeasible child: got status %v err %v", s.Status, err)
+	}
+	inc.TightenBound(x, 0, 10)
+	inc.TightenBound(y, 0, 10)
+	checkAgainstCold(t, inc, root, "after infeasible child")
+}
+
+func TestIncrementalStaleBasisIgnored(t *testing.T) {
+	build := func() *Problem {
+		p := NewProblem()
+		x := p.AddVariable(0, 4, -1, "x")
+		y := p.AddVariable(0, 4, -1, "y")
+		p.AddConstraint([]Term{{x, 1}, {y, 2}}, LE, 6, "r")
+		return p
+	}
+	incA := NewIncremental(build())
+	solA, err := incA.Solve()
+	if err != nil || solA.Status != Optimal {
+		t.Fatalf("A: %v %v", solA.Status, err)
+	}
+	// A basis from a different standardization must be ignored, not crash.
+	incB := NewIncremental(build())
+	checkAgainstCold(t, incB, solA.Basis, "foreign basis")
+}
+
+func TestIncrementalCostChangeFallsBackCold(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable(0, 4, -1, "x")
+	p.AddConstraint([]Term{{x, 1}}, LE, 3, "r")
+	inc := NewIncremental(p)
+	checkAgainstCold(t, inc, nil, "root")
+	p.SetCost(x, 2) // outside the warm class: minimum moves to x=0
+	sol := checkAgainstCold(t, inc, nil, "after cost change")
+	if math.Abs(sol.X[x]) > 1e-9 {
+		t.Fatalf("expected x=0 after cost flip, got %g", sol.X[x])
+	}
+}
+
+func TestIncrementalPlainSolveHasNilBasis(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable(0, 1, -1, "x")
+	p.AddConstraint([]Term{{x, 1}}, LE, 1, "r")
+	sol, err := p.Solve()
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("%v %v", sol, err)
+	}
+	if sol.Basis != nil {
+		t.Fatal("plain Problem.Solve must not export a basis")
+	}
+}
+
+// randomWarmInstance builds a random LP plus a mutation script mirroring
+// the branch-and-bound / cutting-plane access pattern.
+func randomWarmInstance(rng *rand.Rand) *Problem {
+	p := NewProblem()
+	n := 2 + rng.Intn(5)
+	for j := 0; j < n; j++ {
+		lo := float64(rng.Intn(5))
+		hi := lo + float64(1+rng.Intn(9))
+		if rng.Float64() < 0.15 {
+			lo = math.Inf(-1) // kind-1 column
+		}
+		cost := math.Round((rng.Float64()*4-2)*8) / 8
+		p.AddVariable(lo, hi, cost, "")
+	}
+	rowsN := 1 + rng.Intn(4)
+	for i := 0; i < rowsN; i++ {
+		var terms []Term
+		for j := 0; j < n; j++ {
+			if rng.Float64() < 0.6 {
+				terms = append(terms, Term{j, math.Round((rng.Float64()*4-2)*8) / 8})
+			}
+		}
+		if len(terms) == 0 {
+			terms = append(terms, Term{rng.Intn(n), 1})
+		}
+		sense := LE
+		switch rng.Intn(4) {
+		case 0:
+			sense = GE
+		case 1:
+			sense = EQ
+		}
+		rhs := math.Round((rng.Float64()*20 - 4)) // mildly biased feasible
+		p.AddConstraint(terms, sense, rhs, "")
+	}
+	return p
+}
+
+// TestWarmMatchesColdProperty is the 1000-instance fuzzed warm-vs-cold
+// property: every warm reoptimization after a random sequence of bound
+// tightenings and row additions must match a from-scratch cold solve in
+// status and objective (1e-9 relative) and carry a KKT certificate.
+func TestWarmMatchesColdProperty(t *testing.T) {
+	instances := 1000
+	if testing.Short() {
+		instances = 120
+	}
+	rng := rand.New(rand.NewSource(20260806))
+	for k := 0; k < instances; k++ {
+		p := randomWarmInstance(rng)
+		inc := NewIncremental(p)
+		warm, err := inc.Solve()
+		if err != nil {
+			t.Fatalf("instance %d: root error: %v", k, err)
+		}
+		cold, _ := p.Clone().Solve()
+		if warm.Status != cold.Status {
+			t.Fatalf("instance %d: root status warm=%v cold=%v", k, warm.Status, cold.Status)
+		}
+		var parent *Basis
+		if warm.Status == Optimal {
+			parent = warm.Basis
+		}
+		steps := 2 + rng.Intn(4)
+		for s := 0; s < steps; s++ {
+			// Mutate: mostly bound tightenings, sometimes a new row.
+			if rng.Float64() < 0.35 {
+				var terms []Term
+				for j := 0; j < p.NumVariables(); j++ {
+					if rng.Float64() < 0.5 {
+						terms = append(terms, Term{j, math.Round((rng.Float64()*4-2)*8) / 8})
+					}
+				}
+				if len(terms) == 0 {
+					terms = append(terms, Term{0, 1})
+				}
+				sense := LE
+				if rng.Intn(3) == 0 {
+					sense = GE
+				}
+				inc.AddRow(terms, sense, math.Round(rng.Float64()*20-2), "")
+			} else {
+				v := rng.Intn(p.NumVariables())
+				lo, hi := p.Bounds(v)
+				if math.IsInf(lo, -1) {
+					// Keep the bound class: only move the finite side.
+					inc.TightenBound(v, lo, hi-rng.Float64()*2)
+				} else {
+					nlo := lo + rng.Float64()*2
+					nhi := hi - rng.Float64()*2
+					if rng.Float64() < 0.2 {
+						nhi = nlo // fix
+					}
+					inc.TightenBound(v, nlo, nhi)
+				}
+			}
+			w, err := inc.SolveFrom(parent)
+			if err != nil {
+				t.Fatalf("instance %d step %d: warm error: %v", k, s, err)
+			}
+			c, err := p.Clone().Solve()
+			if err != nil {
+				t.Fatalf("instance %d step %d: cold error: %v", k, s, err)
+			}
+			if w.Status != c.Status {
+				t.Fatalf("instance %d step %d: status warm=%v cold=%v", k, s, w.Status, c.Status)
+			}
+			if w.Status == Optimal {
+				if d := math.Abs(w.Obj - c.Obj); d > 1e-9*(1+math.Abs(c.Obj)) {
+					t.Fatalf("instance %d step %d: obj warm=%.12g cold=%.12g", k, s, w.Obj, c.Obj)
+				}
+				if err := VerifyKKT(p, w, 1e-6); err != nil {
+					t.Fatalf("instance %d step %d: warm KKT: %v", k, s, err)
+				}
+				parent = w.Basis
+			}
+		}
+	}
+}
+
+// TestWarmPivotAdvantage asserts the headline perf property on a
+// branch-and-bound-like workload: reoptimizing children from the parent
+// basis must use far fewer pivots than cold solves.
+func TestWarmPivotAdvantage(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := NewProblem()
+	n := 24
+	for j := 0; j < n; j++ {
+		p.AddVariable(0, 1, rng.Float64()*2-1, "")
+	}
+	for i := 0; i < 16; i++ {
+		var terms []Term
+		for j := 0; j < n; j++ {
+			terms = append(terms, Term{j, rng.Float64()})
+		}
+		p.AddConstraint(terms, LE, float64(n)/3, "")
+	}
+	inc := NewIncremental(p)
+	root, err := inc.Solve()
+	if err != nil || root.Status != Optimal {
+		t.Fatalf("root: %v %v", root, err)
+	}
+	warmPivots, coldPivots := 0, 0
+	children := 0
+	for j := 0; j < n && children < 40; j++ {
+		for _, fix := range []float64{0, 1} {
+			inc.TightenBound(j, fix, fix)
+			w, err := inc.SolveFrom(root.Basis)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := p.Clone().Solve()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if w.Status == Optimal {
+				warmPivots += w.Pivots
+				coldPivots += c.Pivots
+				children++
+			}
+			inc.TightenBound(j, 0, 1)
+		}
+	}
+	if children == 0 {
+		t.Fatal("no optimal children")
+	}
+	t.Logf("children=%d warm pivots=%d cold pivots=%d", children, warmPivots, coldPivots)
+	if warmPivots*3 > coldPivots {
+		t.Fatalf("warm start too weak: warm=%d cold=%d pivots (want ≥3×)", warmPivots, coldPivots)
+	}
+}

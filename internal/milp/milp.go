@@ -104,7 +104,15 @@ type Options struct {
 	// the search — optimum, tree statistics, every Result field — is
 	// bit-identical to a serial run. 0 uses one worker per CPU; values
 	// that resolve to a single worker select the plain serial path.
+	// Speculation only applies when DisableWarmStart is set: the warm
+	// path reoptimizes each node from its parent basis on the authority
+	// goroutine, which is both faster and inherently sequential.
 	Parallelism int
+	// DisableWarmStart turns off dual-simplex warm starting of node LPs
+	// from the parent basis and reverts to cold two-phase solves (plus
+	// speculative prefetch when Parallelism allows). Warm starting is the
+	// default; this is the ablation/benchmark knob.
+	DisableWarmStart bool
 }
 
 // Result is the outcome of a solve.
@@ -116,6 +124,16 @@ type Result struct {
 	Nodes     int
 	LPSolves  int
 	Cuts      int
+	// Pivots is the total number of simplex basis changes across all node
+	// LP solves — the hardware-independent measure of LP work that the
+	// warm-start benchmarks compare.
+	Pivots int
+	// Inexact reports that at least one node LP hit its iteration limit
+	// and was dropped from the search rather than pruned as infeasible.
+	// The reported bound (and, when Status is Optimal-like, the incumbent)
+	// may therefore be weaker than the true optimum; Status is NodeLimit
+	// whenever the dropped subtrees could still matter.
+	Inexact bool
 }
 
 type nodeState struct {
@@ -123,6 +141,9 @@ type nodeState struct {
 	bound  float64
 	depth  int
 	seq    int // tiebreak for deterministic order
+	// basis is the parent's optimal LP basis, inherited at branching and
+	// used to warm-start this node's first solve.
+	basis *lp.Basis
 }
 
 type nodeQueue []*nodeState
@@ -160,7 +181,16 @@ type solver struct {
 	unbounded bool
 	res       *Result
 
-	spec *speculator // nil when running serially
+	spec *speculator // nil when running serially or warm-starting
+
+	// Warm-start state: one persistent incremental LP shared by every
+	// node, reconfigured per node by bound updates and cut appends.
+	inc         *lp.Incremental // nil when DisableWarmStart
+	cutsApplied int             // prefix of s.cuts already absorbed by inc
+
+	// inexactBound tracks the weakest bound among nodes dropped on
+	// lp.IterLimit; the final BestBound may not exceed it.
+	inexactBound float64
 }
 
 // specResult is one pre-solved node LP relaxation.
@@ -276,6 +306,9 @@ func less(a, b *nodeState) bool {
 // built the same problem (same base, same node bounds, same cut prefix)
 // and lp.Solve is deterministic.
 func (s *solver) nodeLP(node *nodeState) (*lp.Problem, *lp.Solution, error) {
+	if s.inc != nil {
+		return s.warmLP(node)
+	}
 	if s.spec != nil {
 		if e, ok := s.spec.entries[node]; ok {
 			delete(s.spec.entries, node)
@@ -290,6 +323,25 @@ func (s *solver) nodeLP(node *nodeState) (*lp.Problem, *lp.Solution, error) {
 	p := s.buildLP(node)
 	sol, err := p.Solve()
 	return p, sol, err
+}
+
+// warmLP reconfigures the shared incremental LP for the node — bound
+// updates plus any cuts appended since the last node — and reoptimizes with
+// the dual simplex from the parent basis (or the previous node's live basis
+// when the parent snapshot is stale or absent). Correctness does not depend
+// on the basis: incompatible snapshots are ignored and numerical failures
+// fall back to a cold solve inside the lp layer.
+func (s *solver) warmLP(node *nodeState) (*lp.Problem, *lp.Solution, error) {
+	for j := range node.lo {
+		s.inc.TightenBound(j, node.lo[j], node.hi[j])
+	}
+	for i := s.cutsApplied; i < len(s.cuts); i++ {
+		c := &s.cuts[i]
+		s.inc.AddRow(c.Terms, c.Sense, c.RHS, c.Name)
+	}
+	s.cutsApplied = len(s.cuts)
+	sol, err := s.inc.SolveFrom(node.basis)
+	return s.inc.Problem(), sol, err
 }
 
 // buildNodeLP assembles base + node bounds + the given cut prefix. It only
@@ -329,10 +381,15 @@ func SolveContext(ctx context.Context, base *lp.Problem, ints []int, sos []SOS1,
 		opts.MaxNodes = 200000
 	}
 	s := &solver{ctx: ctx, base: base, ints: ints, sos: sos, opts: opts,
-		incObj: math.Inf(1), res: &Result{BestBound: math.Inf(-1)}}
-	if w := par.Workers(opts.Parallelism); w > 1 {
-		s.spec = newSpeculator(w)
-		defer s.spec.close()
+		incObj: math.Inf(1), inexactBound: math.Inf(1),
+		res: &Result{BestBound: math.Inf(-1)}}
+	if opts.DisableWarmStart {
+		// Speculative prefetch only pays off for cold node solves; the
+		// warm path reoptimizes sequentially from the parent basis.
+		if w := par.Workers(opts.Parallelism); w > 1 {
+			s.spec = newSpeculator(w)
+			defer s.spec.close()
+		}
 	}
 
 	n := base.NumVariables()
@@ -344,6 +401,11 @@ func SolveContext(ctx context.Context, base *lp.Problem, ints []int, sos []SOS1,
 	for _, j := range ints {
 		root.lo[j] = math.Ceil(root.lo[j] - 1e-9)
 		root.hi[j] = math.Floor(root.hi[j] + 1e-9)
+	}
+	if !opts.DisableWarmStart {
+		// The incremental LP starts from the root box (base clone, so it
+		// inherits MaxIter); each node reconfigures it in place.
+		s.inc = lp.NewIncremental(buildNodeLP(base, root, nil))
 	}
 	heap.Init(&s.queue)
 	heap.Push(&s.queue, root)
@@ -371,8 +433,20 @@ func SolveContext(ctx context.Context, base *lp.Problem, ints []int, sos []SOS1,
 		}
 	}
 	if s.incumbent == nil {
+		if s.res.Inexact {
+			// Subtrees were dropped on iteration limits; claiming
+			// Infeasible could be wrong. Report the bounded outcome.
+			s.finish(NodeLimit)
+			return s.res
+		}
 		s.res.Status = Infeasible
 		s.res.BestBound = math.Inf(1)
+		return s.res
+	}
+	if s.res.Inexact && s.inexactBound < s.incObj-s.pruneEps() {
+		// A dropped subtree could still contain a better incumbent than
+		// the one we hold: optimality is unproven.
+		s.finish(NodeLimit)
 		return s.res
 	}
 	s.finish(Optimal)
@@ -401,6 +475,9 @@ func (s *solver) finish(st Status) {
 		if nd.bound < bb {
 			bb = nd.bound
 		}
+	}
+	if bb > s.inexactBound {
+		bb = s.inexactBound
 	}
 	if s.res.Status == NodeLimit {
 		s.res.BestBound = bb
@@ -433,11 +510,26 @@ func (s *solver) processNode(node *nodeState) {
 		}
 		p, sol, err := s.nodeLP(node)
 		s.res.LPSolves++
+		if err == nil {
+			s.res.Pivots += sol.Pivots
+		}
 		if s.opts.DebugLPCheck != nil && err == nil {
 			s.opts.DebugLPCheck(p, sol)
 		}
-		if err != nil || sol.Status == lp.Infeasible || sol.Status == lp.IterLimit {
+		if err != nil || sol.Status == lp.Infeasible {
 			return // prune
+		}
+		if sol.Status == lp.IterLimit {
+			// The LP could not be finished within its iteration budget.
+			// Unlike infeasibility this proves nothing about the subtree:
+			// pruning here could silently discard the optimum. Drop the
+			// node but record that the search is now inexact, capped by
+			// this node's last known bound.
+			s.res.Inexact = true
+			if node.bound < s.inexactBound {
+				s.inexactBound = node.bound
+			}
+			return
 		}
 		if sol.Status == lp.Unbounded {
 			// An unbounded node relaxation means the MILP is unbounded
@@ -447,6 +539,10 @@ func (s *solver) processNode(node *nodeState) {
 			return
 		}
 		node.bound = sol.Obj
+		// Remember the optimal basis: children inherit it (cloneNode) as
+		// their warm-start seed, and cut-loop re-solves of this node reuse
+		// it directly.
+		node.basis = sol.Basis
 		if sol.Obj >= s.incObj-s.pruneEps() {
 			return // bound prune
 		}
@@ -594,5 +690,6 @@ func cloneNode(n *nodeState) *nodeState {
 		hi:    append([]float64(nil), n.hi...),
 		bound: n.bound,
 		depth: n.depth + 1,
+		basis: n.basis, // immutable snapshot, shared with the parent
 	}
 }

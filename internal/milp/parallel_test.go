@@ -110,7 +110,9 @@ func TestParallelMatchesSerialProperty(t *testing.T) {
 				t.Fatalf("seed %d: node LP certificate: %v", seed, err)
 			}
 		}
-		opts := Options{MaxNodes: 20000, DebugLPCheck: kkt}
+		// Warm starts force serial LP solves, so disable them here to
+		// keep the speculative prefetch path under test.
+		opts := Options{MaxNodes: 20000, DebugLPCheck: kkt, DisableWarmStart: true}
 		optsSerial := opts
 		optsSerial.Parallelism = -1
 		serial := Solve(p.Clone(), ints, sos, optsSerial)

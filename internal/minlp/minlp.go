@@ -74,6 +74,10 @@ type Options struct {
 	MaxNodes int
 	// DisableSOSBranching forwards the ablation knob to the MILP tree.
 	DisableSOSBranching bool
+	// DisableWarmStart forwards to the Kelley relaxation and the MILP
+	// master: every LP is then solved from scratch instead of
+	// dual-simplex reoptimized from a parent basis.
+	DisableWarmStart bool
 	// CutAtFractional adds OA cuts at fractional node solutions too.
 	CutAtFractional bool
 	// SkipNLPRelaxation skips step 1 (the initial Kelley solve); the
@@ -121,6 +125,9 @@ type Result struct {
 	Nodes     int
 	LPSolves  int
 	OACuts    int
+	// Pivots is the total simplex pivot count across the Kelley
+	// relaxation and the master tree (see lp.Solution.Pivots).
+	Pivots int
 }
 
 // Solve minimizes the model. The model's nonlinear constraints must be
@@ -210,8 +217,12 @@ func SolveContext(ctx context.Context, m *model.Model, opts Options) *Result {
 	// Step 1: continuous relaxation via Kelley's method. Its cut points
 	// warm-start the master with the same linearizations.
 	if !opts.SkipNLPRelaxation {
-		relax := nlp.SolveConvex(m.Clone(), nlp.ConvexOptions{Tol: opts.FeasTol / 10})
+		relax := nlp.SolveConvex(m.Clone(), nlp.ConvexOptions{
+			Tol:              opts.FeasTol / 10,
+			DisableWarmStart: opts.DisableWarmStart,
+		})
 		res.LPSolves += relax.Iters
+		res.Pivots += relax.Pivots
 		switch relax.Status {
 		case nlp.ConvexInfeasible:
 			res.Status = Infeasible
@@ -299,6 +310,7 @@ func SolveContext(ctx context.Context, m *model.Model, opts Options) *Result {
 		GapTol:              opts.GapTol,
 		TimeLimit:           opts.TimeLimit,
 		DisableSOSBranching: opts.DisableSOSBranching,
+		DisableWarmStart:    opts.DisableWarmStart,
 		CutAtFractional:     opts.CutAtFractional,
 		Lazy:                lazy,
 		DebugLPCheck:        opts.DebugLPCheck,
@@ -307,6 +319,7 @@ func SolveContext(ctx context.Context, m *model.Model, opts Options) *Result {
 	res.Nodes = mres.Nodes
 	res.LPSolves += mres.LPSolves
 	res.OACuts = mres.Cuts
+	res.Pivots += mres.Pivots
 	switch mres.Status {
 	case milp.Optimal:
 		res.Status = Optimal

@@ -42,12 +42,18 @@ type ConvexResult struct {
 	Cuts      int
 	CutPoints [][]float64
 	Iters     int
+	// Pivots is the total simplex pivot count across all LP resolves
+	// (see lp.Solution.Pivots).
+	Pivots int
 }
 
 // ConvexOptions tunes SolveConvex. Zero values select defaults.
 type ConvexOptions struct {
 	MaxIter int     // default 400
 	Tol     float64 // nonlinear feasibility tolerance, default 1e-7
+	// DisableWarmStart solves every cutting-plane iteration from scratch
+	// instead of dual-simplex reoptimizing from the previous basis.
+	DisableWarmStart bool
 }
 
 // SolveConvex minimizes the model's linear objective over its linear
@@ -70,9 +76,25 @@ func SolveConvex(m *model.Model, opts ConvexOptions) *ConvexResult {
 	p := m.LPRelaxation()
 	res := &ConvexResult{}
 	nl := m.Nonlinear()
+	// Each iteration only appends cuts, so the previous optimal basis
+	// stays dual-feasible and the incremental solver reoptimizes with a
+	// handful of dual pivots instead of a full cold solve.
+	var inc *lp.Incremental
+	if !opts.DisableWarmStart {
+		inc = lp.NewIncremental(p)
+	}
 	for iter := 0; iter < opts.MaxIter; iter++ {
 		res.Iters = iter + 1
-		sol, err := p.Solve()
+		var sol *lp.Solution
+		var err error
+		if inc != nil {
+			sol, err = inc.Solve()
+		} else {
+			sol, err = p.Solve()
+		}
+		if sol != nil {
+			res.Pivots += sol.Pivots
+		}
 		if err != nil {
 			res.Status = ConvexInfeasible
 			return res
