@@ -1,0 +1,186 @@
+package hslb
+
+// Large-N scaling sweep for the LP layer's sparse kernels (see DESIGN.md,
+// "Sparse kernels and presolve"). Each size builds the min-max T-series
+// allocation LP — the paper's load-balancing shape, with one pick row and
+// one load row per fragment family — and cold-solves it through the sparse
+// path and the dense authority:
+//
+//	go test . -run xxx -bench BenchmarkScaling -benchtime 1x
+//
+// TestMain collects the per-size records into BENCH_scaling.json and prints
+// a per-N dense-vs-sparse summary for the CI job log. The dense authority
+// is capped at denseCap: above it a cold dense solve costs O(m·n) per pivot
+// with m and n both in the thousands, minutes of wall clock that buy no
+// information the capped sizes don't already give.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"testing"
+
+	"repro/internal/lp"
+	"repro/internal/stats"
+)
+
+// scalingRecord is one (size, variant) measurement in BENCH_scaling.json.
+type scalingRecord struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	Variant     string  `json:"variant"` // "sparse" or "dense"
+	NsPerOp     float64 `json:"ns_per_op"`
+	Pivots      float64 `json:"pivots_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+var scalingRecords []scalingRecord
+
+// scalingSizes is the full sweep; short mode stops at 512 to keep the CI
+// smoke fast, and the dense authority stops at denseCap regardless.
+var scalingSizes = []int{128, 256, 512, 1024, 2048, 4096}
+
+const (
+	scalingShortCap = 512
+	denseCap        = 1024
+)
+
+// minmaxTSeriesLP builds the continuous relaxation of the paper's min-max
+// allocation problem at N fragment families: for each family a pick row
+// (Σ_k z_fk = 1 over K sweet-spot configs), a load row coupling the family
+// to the makespan T (Σ_k time_fk·z_fk − T ≤ 0), and one global node-budget
+// row. Rows touch K+1 of the K·N+1 columns, the sparsity the kernels are
+// built for.
+func minmaxTSeriesLP(n int, seed uint64) *lp.Problem {
+	const K = 4
+	rng := stats.NewRNG(seed)
+	p := lp.NewProblem()
+	T := p.AddVariable(0, lp.Inf, 1, "T")
+	budget := make([]lp.Term, 0, K*n)
+	for f := 0; f < n; f++ {
+		pick := make([]lp.Term, K)
+		load := make([]lp.Term, 0, K+1)
+		nodes := 1 + rng.Intn(8)
+		a := rng.Range(50, 500)
+		for k := 0; k < K; k++ {
+			z := p.AddVariable(0, 1, 0, "")
+			pick[k] = lp.Term{Var: z, Coef: 1}
+			// DLB-style time curve: work/nodes plus a linear overhead.
+			t := a/float64(nodes) + 0.1*float64(nodes) + rng.Range(0, 5)
+			load = append(load, lp.Term{Var: z, Coef: t})
+			budget = append(budget, lp.Term{Var: z, Coef: float64(nodes)})
+			nodes *= 2
+		}
+		p.AddConstraint(pick, lp.EQ, 1, "")
+		load = append(load, lp.Term{Var: T, Coef: -1})
+		p.AddConstraint(load, lp.LE, 0, "")
+	}
+	// Smallest configs average 4.5 nodes per family; 6N leaves room to pick
+	// while keeping the budget row binding (families want larger configs).
+	p.AddConstraint(budget, lp.LE, 6*float64(n), "")
+	return p
+}
+
+func benchScalingAt(b *testing.B, n int, dense bool) {
+	b.ReportAllocs()
+	p := minmaxTSeriesLP(n, 4242)
+	p.DisableSparse = dense
+	b.ResetTimer()
+	var pivots int
+	allocs0 := mallocsNow()
+	for i := 0; i < b.N; i++ {
+		sol, err := p.Solve()
+		if err != nil || sol.Status != lp.Optimal {
+			b.Fatalf("N=%d dense=%v: status %v err %v", n, dense, sol.Status, err)
+		}
+		pivots += sol.Pivots
+	}
+	allocs := mallocsNow() - allocs0
+	b.ReportMetric(float64(pivots)/float64(b.N), "pivots/op")
+	variant := "sparse"
+	if dense {
+		variant = "dense"
+	}
+	benchMu.Lock()
+	scalingRecords = append(scalingRecords, scalingRecord{
+		Name:        b.Name(),
+		N:           n,
+		Variant:     variant,
+		NsPerOp:     float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		Pivots:      float64(pivots) / float64(b.N),
+		AllocsPerOp: float64(allocs) / float64(b.N),
+	})
+	benchMu.Unlock()
+}
+
+// BenchmarkScaling sweeps the min-max T-series LP from N=128 to N=4096
+// fragment families, cold-solving each size with the sparse kernels and
+// (up to denseCap) the dense authority.
+func BenchmarkScaling(b *testing.B) {
+	for _, n := range scalingSizes {
+		if testing.Short() && n > scalingShortCap {
+			b.Logf("short mode: skipping N=%d (cap %d)", n, scalingShortCap)
+			continue
+		}
+		for _, dense := range []bool{false, true} {
+			if dense && n > denseCap {
+				b.Logf("dense authority capped at N=%d: skipping N=%d", denseCap, n)
+				continue
+			}
+			variant := "sparse"
+			if dense {
+				variant = "dense"
+			}
+			n, dense := n, dense
+			b.Run(fmt.Sprintf("N=%d/%s", n, variant), func(b *testing.B) {
+				benchScalingAt(b, n, dense)
+			})
+		}
+	}
+}
+
+func writeScalingJSON() {
+	sort.Slice(scalingRecords, func(i, j int) bool {
+		if scalingRecords[i].N != scalingRecords[j].N {
+			return scalingRecords[i].N < scalingRecords[j].N
+		}
+		return scalingRecords[i].Variant < scalingRecords[j].Variant
+	})
+	buf, err := json.MarshalIndent(struct {
+		Benchmarks []scalingRecord `json:"benchmarks"`
+	}{scalingRecords}, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scaling collector:", err)
+		return
+	}
+	if err := os.WriteFile("BENCH_scaling.json", append(buf, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "scaling collector:", err)
+		return
+	}
+	// Per-N dense-vs-sparse summary for the CI job log.
+	bySize := map[int]map[string]scalingRecord{}
+	sizes := []int{}
+	for _, r := range scalingRecords {
+		if bySize[r.N] == nil {
+			bySize[r.N] = map[string]scalingRecord{}
+			sizes = append(sizes, r.N)
+		}
+		bySize[r.N][r.Variant] = r
+	}
+	sort.Ints(sizes)
+	fmt.Println("\ndense vs sparse cold solve (time/op, pivots/op, allocs/op):")
+	for _, n := range sizes {
+		s, okS := bySize[n]["sparse"]
+		d, okD := bySize[n]["dense"]
+		switch {
+		case okS && okD:
+			fmt.Printf("  N=%-5d time %9.1fms → %8.1fms (%5.2fx)   pivots %7.0f → %7.0f   allocs %7.0f → %7.0f\n",
+				n, d.NsPerOp/1e6, s.NsPerOp/1e6, safeRatio(d.NsPerOp, s.NsPerOp),
+				d.Pivots, s.Pivots, d.AllocsPerOp, s.AllocsPerOp)
+		case okS:
+			fmt.Printf("  N=%-5d time %12s → %8.1fms            pivots %7s → %7.0f   (dense authority capped at N=%d)\n",
+				n, "—", s.NsPerOp/1e6, "—", s.Pivots, denseCap)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -32,26 +33,37 @@ import (
 
 // benchRecord is one benchmark's totals, serialized into BENCH_solver.json.
 type benchRecord struct {
-	Name     string  `json:"name"`
-	NsPerOp  float64 `json:"ns_per_op"`
-	Pivots   float64 `json:"pivots_per_op"`
-	Nodes    float64 `json:"nodes_per_op,omitempty"`
-	LPSolves float64 `json:"lp_solves_per_op,omitempty"`
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	Pivots      float64 `json:"pivots_per_op"`
+	Nodes       float64 `json:"nodes_per_op,omitempty"`
+	LPSolves    float64 `json:"lp_solves_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// mallocsNow reads the cumulative heap allocation count; benchmarks diff it
+// around their timed loop to report allocs/op into the JSON collectors
+// (testing's own ReportAllocs tally is not exposed mid-run).
+func mallocsNow() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
 }
 
 var benchMu sync.Mutex
 var benchRecords []benchRecord
 
-func recordBench(b *testing.B, pivots, nodes, lps int) {
+func recordBench(b *testing.B, pivots, nodes, lps int, allocs uint64) {
 	n := float64(b.N)
 	b.ReportMetric(float64(pivots)/n, "pivots/op")
 	benchMu.Lock()
 	benchRecords = append(benchRecords, benchRecord{
-		Name:     b.Name(),
-		NsPerOp:  float64(b.Elapsed().Nanoseconds()) / n,
-		Pivots:   float64(pivots) / n,
-		Nodes:    float64(nodes) / n,
-		LPSolves: float64(lps) / n,
+		Name:        b.Name(),
+		NsPerOp:     float64(b.Elapsed().Nanoseconds()) / n,
+		Pivots:      float64(pivots) / n,
+		Nodes:       float64(nodes) / n,
+		LPSolves:    float64(lps) / n,
+		AllocsPerOp: float64(allocs) / n,
 	})
 	benchMu.Unlock()
 }
@@ -60,6 +72,9 @@ func TestMain(m *testing.M) {
 	code := m.Run()
 	if len(benchRecords) > 0 {
 		writeBenchJSON()
+	}
+	if len(scalingRecords) > 0 {
+		writeScalingJSON()
 	}
 	os.Exit(code)
 }
@@ -165,7 +180,9 @@ func assignmentMILP(seed uint64) (*lp.Problem, []int) {
 }
 
 func benchMILP(b *testing.B, cold bool) {
+	b.ReportAllocs()
 	var pivots, nodes, lps int
+	allocs0 := mallocsNow()
 	for i := 0; i < b.N; i++ {
 		for seed := uint64(0); seed < 4; seed++ {
 			p, ints := assignmentMILP(777 + seed)
@@ -178,7 +195,7 @@ func benchMILP(b *testing.B, cold bool) {
 			lps += res.LPSolves
 		}
 	}
-	recordBench(b, pivots, nodes, lps)
+	recordBench(b, pivots, nodes, lps, mallocsNow()-allocs0)
 }
 
 // BenchmarkMILPCold / BenchmarkMILPWarm: branch-and-bound over
@@ -188,7 +205,9 @@ func BenchmarkMILPCold(b *testing.B) { benchMILP(b, true) }
 func BenchmarkMILPWarm(b *testing.B) { benchMILP(b, false) }
 
 func benchOA(b *testing.B, cold bool) {
+	b.ReportAllocs()
 	var pivots, nodes, lps int
+	allocs0 := mallocsNow()
 	for i := 0; i < b.N; i++ {
 		for _, sz := range []int{20, 60} {
 			p := tseriesProblem(44, sz, 2048)
@@ -205,7 +224,7 @@ func benchOA(b *testing.B, cold bool) {
 			lps += res.LPSolves
 		}
 	}
-	recordBench(b, pivots, nodes, lps)
+	recordBench(b, pivots, nodes, lps, mallocsNow()-allocs0)
 }
 
 // BenchmarkOACold / BenchmarkOAWarm: the paper's full outer-approximation
@@ -215,7 +234,9 @@ func BenchmarkOACold(b *testing.B) { benchOA(b, true) }
 func BenchmarkOAWarm(b *testing.B) { benchOA(b, false) }
 
 func benchKelley(b *testing.B, cold bool) {
+	b.ReportAllocs()
 	var pivots, lps int
+	allocs0 := mallocsNow()
 	for i := 0; i < b.N; i++ {
 		for _, sz := range []int{20, 60} {
 			p := tseriesProblem(44, sz, 2048)
@@ -231,7 +252,7 @@ func benchKelley(b *testing.B, cold bool) {
 			lps += res.Iters
 		}
 	}
-	recordBench(b, pivots, 0, lps)
+	recordBench(b, pivots, 0, lps, mallocsNow()-allocs0)
 }
 
 // BenchmarkKelleyCold / BenchmarkKelleyWarm: the continuous relaxation via

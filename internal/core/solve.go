@@ -24,6 +24,10 @@ type SolverOptions struct {
 	// SkipNLPRelaxation starts branch-and-bound from the pure linear
 	// relaxation without the initial Kelley solve.
 	SkipNLPRelaxation bool
+	// DisableSparse solves every LP with the dense simplex kernels
+	// instead of the sparsity-aware path (benchmark ablation; the sparse
+	// kernels are on by default).
+	DisableSparse bool
 	// CutAtFractional adds outer-approximation cuts at fractional nodes.
 	CutAtFractional bool
 	// MaxNodes bounds the branch-and-bound tree; exhausting it is a hard
@@ -185,6 +189,7 @@ func (p *Problem) SolveMINLPContext(ctx context.Context, opts SolverOptions) (*A
 		DisableSOSBranching: opts.DisableSOSBranching,
 		DisableWarmStart:    opts.DisableWarmStart,
 		SkipNLPRelaxation:   opts.SkipNLPRelaxation,
+		DisableSparse:       opts.DisableSparse,
 		CutAtFractional:     opts.CutAtFractional,
 		MaxNodes:            maxNodes,
 		TimeLimit:           opts.Deadline,

@@ -77,3 +77,88 @@ func FuzzSimplex(f *testing.F) {
 		}
 	})
 }
+
+// decodePresolveLP builds on decodeLP's byte diet but skews the population
+// toward presolve triggers: fixed variables (lo == hi), nonzero lower
+// bounds, and singleton rows.
+func decodePresolveLP(data []byte) *Problem {
+	next := func() byte {
+		if len(data) == 0 {
+			return 0
+		}
+		b := data[0]
+		data = data[1:]
+		return b
+	}
+	p := NewProblem()
+	nv := 1 + int(next())%6
+	nc := int(next()) % 7
+	for i := 0; i < nv; i++ {
+		lo := float64(int8(next()) % 16)
+		span := float64(next() % 16)
+		if next()%4 == 0 {
+			span = 0 // fixed at input
+		}
+		p.AddVariable(lo, lo+span, float64(int8(next())), "")
+	}
+	for c := 0; c < nc; c++ {
+		var terms []Term
+		if next()%3 == 0 { // singleton row
+			coef := float64(int8(next()))
+			if coef == 0 {
+				coef = 1
+			}
+			terms = []Term{{Var: int(next()) % nv, Coef: coef}}
+		} else {
+			for v := 0; v < nv; v++ {
+				if coef := float64(int8(next())); coef != 0 {
+					terms = append(terms, Term{Var: v, Coef: coef})
+				}
+			}
+		}
+		sense := Sense(next() % 3)
+		rhs := float64(int8(next()))
+		if len(terms) > 0 {
+			p.AddConstraint(terms, sense, rhs, "")
+		}
+	}
+	return p
+}
+
+// FuzzPresolve audits the presolve/postsolve round trip: on any decodable
+// instance, the default path (presolve + sparse kernels) must agree with
+// the pinned dense no-presolve authority on status, match its objective,
+// and produce a full KKT certificate on the ORIGINAL problem — values and
+// reconstructed duals for eliminated rows alike.
+func FuzzPresolve(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 2, 2, 0, 1, 5, 0, 0, 3, 1, 7, 2, 0, 4, 1, 1, 2, 9})
+	f.Add([]byte{4, 5, 1, 4, 0, 200, 2, 0, 0, 3, 0, 3, 5, 1, 128, 127, 64, 32, 2, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := decodePresolveLP(data)
+		dense := p.Clone()
+		dense.DisableSparse = true
+		dense.DisablePresolve = true
+
+		got, err := p.Solve()
+		if err != nil {
+			return // structurally invalid models may reject either way
+		}
+		want, err := dense.Solve()
+		if err != nil {
+			t.Fatalf("dense authority rejected what default accepted: %v", err)
+		}
+		if got.Status != want.Status {
+			t.Fatalf("status %v (default) vs %v (dense authority)", got.Status, want.Status)
+		}
+		if got.Status != Optimal {
+			return
+		}
+		if math.Abs(got.Obj-want.Obj) > 1e-6*(1+math.Abs(want.Obj)) {
+			t.Fatalf("obj %.12g (default) vs %.12g (dense authority)", got.Obj, want.Obj)
+		}
+		if err := VerifyKKT(p, got, 1e-6); err != nil {
+			t.Fatalf("postsolved certificate: %v", err)
+		}
+	})
+}

@@ -1,4 +1,4 @@
-// Package lp implements a dense two-phase primal simplex solver for linear
+// Package lp implements a two-phase primal simplex solver for linear
 // programs in general form:
 //
 //	minimize    cᵀx
@@ -6,15 +6,18 @@
 //	            loⱼ ≤ xⱼ ≤ hiⱼ   (bounds may be infinite)
 //
 // The solver is exactly what the HSLB optimization stack needs: robust on the
-// small/medium problems produced by outer approximation and branch-and-bound
-// (up to a few thousand variables), deterministic, and dependency-free. It is
-// the stand-in for CLP, which the paper's MINOTAUR solver uses for its LP
-// relaxations.
+// small/medium problems produced by outer approximation and branch-and-bound,
+// scaling to thousands of fragment families, deterministic, and
+// dependency-free. It is the stand-in for CLP, which the paper's MINOTAUR
+// solver uses for its LP relaxations.
 //
-// Internally the problem is reduced to standard computational form
-// (min cᵀx, Ax = b, x ≥ 0) and solved with a dense tableau simplex using
-// Dantzig pricing with an automatic switch to Bland's rule to escape
-// degenerate cycling.
+// Internally the problem is presolved (presolve.go), reduced to standard
+// computational form (min cᵀx, Ax = b, x ≥ 0), and solved with Dantzig
+// pricing plus an automatic switch to Bland's rule to escape degenerate
+// cycling. Cold solves run a sparse revised simplex with a product-form
+// inverse (revised.go); warm solves and all fallbacks run the tableau
+// simplex (simplex.go) with pattern-aware kernels (sparse.go), whose dense
+// loops are the correctness authority (Problem.DisableSparse).
 package lp
 
 import (
@@ -102,6 +105,17 @@ type Problem struct {
 	// MaxIter bounds simplex iterations per phase; 0 means automatic
 	// (scales with problem size).
 	MaxIter int
+
+	// DisableSparse pins every solve of this problem to the dense simplex
+	// kernels (full-row pivots, full-column pricing) — the correctness
+	// authority the sparse path is validated against. Copied by Clone, so
+	// the knob propagates through branch-and-bound node problems.
+	DisableSparse bool
+
+	// DisablePresolve skips the presolve/postsolve reduction in front of
+	// cold Problem.Solve calls. Incremental (warm) solves never presolve;
+	// their bound-tightening machinery plays the same role.
+	DisablePresolve bool
 }
 
 // NewProblem returns an empty problem.
@@ -149,12 +163,14 @@ func (p *Problem) AddConstraint(terms []Term, sense Sense, rhs float64, name str
 // Clone returns a deep copy of the problem.
 func (p *Problem) Clone() *Problem {
 	c := &Problem{
-		costs:   append([]float64(nil), p.costs...),
-		lo:      append([]float64(nil), p.lo...),
-		hi:      append([]float64(nil), p.hi...),
-		names:   append([]string(nil), p.names...),
-		rows:    make([]Constraint, len(p.rows)),
-		MaxIter: p.MaxIter,
+		costs:           append([]float64(nil), p.costs...),
+		lo:              append([]float64(nil), p.lo...),
+		hi:              append([]float64(nil), p.hi...),
+		names:           append([]string(nil), p.names...),
+		rows:            make([]Constraint, len(p.rows)),
+		MaxIter:         p.MaxIter,
+		DisableSparse:   p.DisableSparse,
+		DisablePresolve: p.DisablePresolve,
 	}
 	for i, r := range p.rows {
 		c.rows[i] = Constraint{Terms: append([]Term(nil), r.Terms...), Sense: r.Sense, RHS: r.RHS, Name: r.Name}

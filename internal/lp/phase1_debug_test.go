@@ -49,8 +49,11 @@ func TestPhase1HookPlumbing(t *testing.T) {
 		_ = math.Inf(1)
 	}
 	defer func() { debugPhase1 = nil }()
-	// A genuinely infeasible problem triggers the hook.
+	// A genuinely infeasible problem triggers the hook. Presolve would
+	// catch this trivially (singleton row vs. bounds) before phase 1 ever
+	// runs, so pin the solve to the raw two-phase path.
 	p := NewProblem()
+	p.DisablePresolve = true
 	x := p.AddVariable(0, 1, 1, "x")
 	p.AddConstraint([]Term{{x, 1}}, GE, 5, "")
 	sol, _ := p.Solve()

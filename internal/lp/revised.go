@@ -1,0 +1,772 @@
+package lp
+
+// Revised simplex with a product-form inverse — the cold-solve engine of
+// the sparse path.
+//
+// The pattern-aware tableau kernels in sparse.go cut the cost of a pivot
+// to the true fill of the tableau, but on the paper's min-max allocation
+// LPs the tableau itself densifies: the makespan column T appears in every
+// load row, so the first pivot that brings T into the basis sprays one
+// row's pattern across all N load rows and the *exact* tableau jumps to
+// ~50% fill (profiled in DESIGN.md). No bookkeeping of B⁻¹A can be sparse
+// when B⁻¹A is dense. The classical answer is to stop forming B⁻¹A: the
+// basis matrix B is a selection of ORIGINAL columns (≤ 3 nonzeros for an
+// assignment column, 1 for a slack) and stays sparse even when the tableau
+// does not.
+//
+// This engine keeps the constraint matrix in CSC form and represents B⁻¹
+// as a product of eta matrices (PFI):
+//
+//   - FTRAN (B⁻¹·a_e, the pivot column) applies the eta file forward with
+//     skip-on-zero, so its cost tracks the eta file's fill, not m·n;
+//   - BTRAN (c_B·B⁻¹, the pricing row) applies it in reverse, one sparse
+//     dot product per eta;
+//   - pricing recomputes every reduced cost each iteration from y and the
+//     original sparse columns — O(nnz(A)), exact, and drift-free;
+//   - every reinvEvery pivots the eta file is rebuilt from scratch off the
+//     current basis columns, sparsest column first with partial pivoting
+//     (Markowitz-flavored static order), which both bounds the file length
+//     and refreshes x_B against accumulated roundoff.
+//
+// The iteration logic — Dantzig pricing with a Bland fallback on stall,
+// the bounded-variable ratio test, tie-breaks, tolerances, the two-phase
+// artificial scheme, and the artificial pivot-out — mirrors tableau.run /
+// solveCold line for line, so the engine follows (up to roundoff) the same
+// vertex path as the dense authority and the property tests can hold it to
+// status agreement and 1e-9 objective agreement. Any anomaly (singular
+// reinversion, iteration limit, diagnostic hooks that want a tableau)
+// abandons the attempt and the caller falls back to the tableau path.
+
+import (
+	"math"
+	"sort"
+)
+
+// reinvEvery bounds the iteration-eta file: after this many pivots the
+// basis inverse is rebuilt from the original columns. Small enough that
+// post-densification etas (one near-dense vector per pivot) stay cheap to
+// apply, large enough that reinversion cost amortizes to noise.
+const reinvEvery = 64
+
+// revFailed is the internal sentinel for "abandon the revised engine and
+// fall back to the tableau path"; it never escapes solveRevised.
+const revFailed Status = -1
+
+// revEngine is the working state of one revised-simplex solve.
+type revEngine struct {
+	m, n int // rows, columns (slacks and artificials included)
+
+	// CSC of the standardized, artificial-extended constraint matrix.
+	// Row indices ascend within each column; the matrix is immutable.
+	colPtr []int32
+	rowIdx []int32
+	colVal []float64
+
+	cost   []float64 // current phase costs
+	lb, ub []float64
+	banned []bool
+	basis  []int // basic column per row
+	inBase []bool
+	status []int8
+	xB     []float64 // values of the basic variables, by row
+	rhs    []float64 // standardized b (reinversion refresh source)
+
+	obj    float64
+	iters  int
+	pivots int
+
+	// Product-form eta file: the reinvLen-long prefix comes from the last
+	// reinversion, one more eta per pivot since. Eta k transforms z by
+	// z ← z − z_r·e_r + z_r·η_k (η stored sparse in the flat arenas).
+	etaR     []int32
+	etaOff   []int32 // len(etaR)+1 offsets into etaIdx/etaVal
+	etaIdx   []int32
+	etaVal   []float64
+	reinvLen int
+
+	w       []float64 // FTRAN scratch (dense, len m)
+	y       []float64 // BTRAN scratch (dense, len m)
+	mark    []int32   // touched-row stamps for sparse gathers
+	markGen int32
+	touch   []int32 // touched-row list scratch
+
+	active []int32 // pricing skip list (mirrors tableau.buildActive)
+
+	artStart int
+}
+
+// ftranApply multiplies z (dense, len m) by the eta file: z ← E_K···E_1 z.
+// Etas whose pivot row is zero in z are no-ops, so cost tracks fill.
+func (rv *revEngine) ftranApply(z []float64) {
+	for k := 0; k < len(rv.etaR); k++ {
+		r := rv.etaR[k]
+		zr := z[r]
+		if zr == 0 {
+			continue
+		}
+		z[r] = 0
+		for t := rv.etaOff[k]; t < rv.etaOff[k+1]; t++ {
+			z[rv.etaIdx[t]] += rv.etaVal[t] * zr
+		}
+	}
+}
+
+// btranApply multiplies the row vector y by the eta file from the right:
+// y ← y·E_K···E_1, i.e. one sparse dot product per eta, in reverse order.
+func (rv *revEngine) btranApply(y []float64) {
+	for k := len(rv.etaR) - 1; k >= 0; k-- {
+		s := 0.0
+		for t := rv.etaOff[k]; t < rv.etaOff[k+1]; t++ {
+			s += rv.etaVal[t] * y[rv.etaIdx[t]]
+		}
+		y[rv.etaR[k]] = s
+	}
+}
+
+// ftranColumn loads original column j into the w scratch and applies the
+// eta file, leaving w = B⁻¹·a_j (the exact tableau column of j).
+func (rv *revEngine) ftranColumn(j int) {
+	w := rv.w
+	for i := range w {
+		w[i] = 0
+	}
+	for t := rv.colPtr[j]; t < rv.colPtr[j+1]; t++ {
+		w[rv.rowIdx[t]] = rv.colVal[t]
+	}
+	rv.ftranApply(w)
+}
+
+// appendEtaDense records the eta of a pivot at row r on column w (dense,
+// len m): η_r = 1/w_r, η_i = −w_i/w_r.
+func (rv *revEngine) appendEtaDense(r int, w []float64) {
+	inv := 1 / w[r]
+	rv.etaR = append(rv.etaR, int32(r))
+	for i, v := range w {
+		if v == 0 {
+			continue
+		}
+		if i == r {
+			rv.etaIdx = append(rv.etaIdx, int32(i))
+			rv.etaVal = append(rv.etaVal, inv)
+		} else {
+			rv.etaIdx = append(rv.etaIdx, int32(i))
+			rv.etaVal = append(rv.etaVal, -v*inv)
+		}
+	}
+	rv.etaOff = append(rv.etaOff, int32(len(rv.etaIdx)))
+}
+
+// bumpGen advances the touched-row stamp generation (wrap-safe).
+func (rv *revEngine) bumpGen() int32 {
+	rv.markGen++
+	if rv.markGen < 0 {
+		for i := range rv.mark {
+			rv.mark[i] = 0
+		}
+		rv.markGen = 1
+	}
+	return rv.markGen
+}
+
+// reinvert rebuilds the eta file from the current basis columns and
+// refreshes x_B. Columns are processed sparsest first (ties by column
+// index, deterministic) with partial pivoting over the not-yet-pivoted
+// rows; since every basis column has few original nonzeros this is
+// near-fill-free — the rare dense column (the makespan variable) comes
+// last and contributes a single long eta. Row assignments are rebuilt from
+// the pivot choices; a valid basis always admits one (B is nonsingular),
+// so failure to find a pivot means numerical trouble and reports false.
+func (rv *revEngine) reinvert() bool {
+	rv.etaR = rv.etaR[:0]
+	rv.etaOff = rv.etaOff[:1]
+	rv.etaIdx = rv.etaIdx[:0]
+	rv.etaVal = rv.etaVal[:0]
+	rv.reinvLen = 0
+
+	m := rv.m
+	order := make([]int, m)
+	for i := range order {
+		order[i] = i
+	}
+	nnzOf := func(c int) int32 { return rv.colPtr[c+1] - rv.colPtr[c] }
+	sort.Slice(order, func(a, b int) bool {
+		ca, cb := rv.basis[order[a]], rv.basis[order[b]]
+		if d := nnzOf(ca) - nnzOf(cb); d != 0 {
+			return d < 0
+		}
+		return ca < cb
+	})
+
+	taken := make([]bool, m)
+	newBasis := make([]int, m)
+	w := rv.w
+	for i := range w {
+		w[i] = 0
+	}
+	for _, pos := range order {
+		c := rv.basis[pos]
+		gen := rv.bumpGen()
+		touch := rv.touch[:0]
+		for t := rv.colPtr[c]; t < rv.colPtr[c+1]; t++ {
+			i := rv.rowIdx[t]
+			w[i] = rv.colVal[t]
+			rv.mark[i] = gen
+			touch = append(touch, i)
+		}
+		for k := 0; k < len(rv.etaR); k++ {
+			r := rv.etaR[k]
+			zr := w[r]
+			if zr == 0 {
+				continue
+			}
+			w[r] = 0
+			for t := rv.etaOff[k]; t < rv.etaOff[k+1]; t++ {
+				i := rv.etaIdx[t]
+				w[i] += rv.etaVal[t] * zr
+				if rv.mark[i] != gen {
+					rv.mark[i] = gen
+					touch = append(touch, i)
+				}
+			}
+		}
+		// Partial pivoting over the free rows (touch order is
+		// deterministic, so strict improvement keeps this reproducible).
+		r, bestAbs := -1, pivotEps
+		for _, i := range touch {
+			if taken[i] {
+				continue
+			}
+			if a := math.Abs(w[i]); a > bestAbs {
+				bestAbs, r = a, int(i)
+			}
+		}
+		if r < 0 {
+			for _, i := range touch {
+				w[i] = 0
+			}
+			rv.touch = touch[:0]
+			return false
+		}
+		inv := 1 / w[r]
+		rv.etaR = append(rv.etaR, int32(r))
+		for _, i := range touch {
+			v := w[i]
+			w[i] = 0
+			if v == 0 {
+				continue
+			}
+			if int(i) == r {
+				rv.etaIdx = append(rv.etaIdx, i)
+				rv.etaVal = append(rv.etaVal, inv)
+			} else {
+				rv.etaIdx = append(rv.etaIdx, i)
+				rv.etaVal = append(rv.etaVal, -v*inv)
+			}
+		}
+		rv.etaOff = append(rv.etaOff, int32(len(rv.etaIdx)))
+		taken[r] = true
+		newBasis[r] = c
+		rv.touch = touch[:0]
+	}
+	copy(rv.basis, newBasis)
+	rv.reinvLen = len(rv.etaR)
+
+	// Refresh x_B = B⁻¹(b − N·x_N): the incremental updates drift over
+	// long runs; the rebuilt inverse restores them from first principles.
+	for i := range w {
+		w[i] = rv.rhs[i]
+	}
+	for j := 0; j < rv.n; j++ {
+		if rv.inBase[j] {
+			continue
+		}
+		v := rv.nbVal(j)
+		if v == 0 {
+			continue
+		}
+		for t := rv.colPtr[j]; t < rv.colPtr[j+1]; t++ {
+			w[rv.rowIdx[t]] -= rv.colVal[t] * v
+		}
+	}
+	rv.ftranApply(w)
+	for i := 0; i < m; i++ {
+		rv.xB[i] = w[i]
+		w[i] = 0
+		lo := rv.lb[rv.basis[i]]
+		if rv.xB[i] < lo && rv.xB[i] > lo-1e-11 {
+			rv.xB[i] = lo
+		}
+	}
+	return true
+}
+
+// nbVal mirrors tableau.nbVal for the engine's column bounds.
+func (rv *revEngine) nbVal(j int) float64 {
+	if rv.status[j] == atUpper {
+		return rv.ub[j]
+	}
+	return rv.lb[j]
+}
+
+// buildActive mirrors tableau.buildActive: the pricing skip list of
+// columns that could ever enter (non-banned, nonzero bound range).
+func (rv *revEngine) buildActive() {
+	rv.active = rv.active[:0]
+	for j := 0; j < rv.n; j++ {
+		if rv.banned[j] || rv.lb[j] == rv.ub[j] {
+			continue
+		}
+		rv.active = append(rv.active, int32(j))
+	}
+}
+
+// computeY fills y = c_B·B⁻¹ for the given cost vector.
+func (rv *revEngine) computeY(cost []float64) {
+	y := rv.y
+	for i := range y {
+		y[i] = cost[rv.basis[i]]
+	}
+	rv.btranApply(y)
+}
+
+// redCost prices column j against the current y: d_j = c_j − y·a_j.
+func (rv *revEngine) redCost(j int) float64 {
+	d := rv.cost[j]
+	for t := rv.colPtr[j]; t < rv.colPtr[j+1]; t++ {
+		d -= rv.y[rv.rowIdx[t]] * rv.colVal[t]
+	}
+	return d
+}
+
+// price selects the entering column exactly as tableau.priceEntering's
+// dense branch does — Bland takes the lowest favorable index, Dantzig the
+// best score — except the reduced costs come fresh from y each call.
+func (rv *revEngine) price(bland bool) (e int, dir, de float64) {
+	if bland {
+		for _, j32 := range rv.active {
+			j := int(j32)
+			if rv.inBase[j] {
+				continue
+			}
+			d := rv.redCost(j)
+			if rv.status[j] == atLower && d < -costEps {
+				return j, 1, d
+			}
+			if rv.status[j] == atUpper && d > costEps {
+				return j, -1, d
+			}
+		}
+		return -1, 0, 0
+	}
+	best := costEps
+	e, dir = -1, 1
+	for _, j32 := range rv.active {
+		j := int(j32)
+		if rv.inBase[j] {
+			continue
+		}
+		d := rv.redCost(j)
+		if rv.status[j] == atLower && -d > best {
+			best, e, dir, de = -d, j, 1, d
+		} else if rv.status[j] == atUpper && d > best {
+			best, e, dir, de = d, j, -1, d
+		}
+	}
+	return e, dir, de
+}
+
+// betterLeaving mirrors the dense authority's ratio-test tie-break
+// (lowest basic column index).
+func (rv *revEngine) betterLeaving(i, r int) bool {
+	if r < 0 {
+		return true
+	}
+	return rv.basis[i] < rv.basis[r]
+}
+
+// initObj recomputes the tracked objective for a fresh cost vector,
+// mirroring tableau.setCosts' bookkeeping.
+func (rv *revEngine) initObj() {
+	rv.obj = 0
+	for i, bc := range rv.basis {
+		if c := rv.cost[bc]; c != 0 {
+			rv.obj += c * rv.xB[i]
+		}
+	}
+	for j := 0; j < rv.n; j++ {
+		if rv.inBase[j] {
+			continue
+		}
+		if v := rv.nbVal(j); v != 0 {
+			rv.obj += rv.cost[j] * v
+		}
+	}
+}
+
+// runPhase is tableau.run transcribed to the revised representation: same
+// stall/Bland escalation, same ratio test and tolerances, same bound-flip
+// and clamp hygiene. Returns revFailed if a reinversion goes singular.
+func (rv *revEngine) runPhase(maxIter int) Status {
+	m := rv.m
+	rv.buildActive()
+	stall := 0
+	blandAfter := m + 64
+	for rv.iters < maxIter {
+		rv.iters++
+		bland := stall > blandAfter
+
+		rv.computeY(rv.cost)
+		e, dir, de := rv.price(bland)
+		if e < 0 {
+			return Optimal
+		}
+
+		rv.ftranColumn(e)
+		w := rv.w
+		tMax := rv.ub[e] - rv.lb[e]
+		r, rKind := -1, atLower
+		limit := tMax
+		for i := 0; i < m; i++ {
+			rate := dir * w[i]
+			if rate > pivotEps {
+				l := (rv.xB[i] - rv.lb[rv.basis[i]]) / rate
+				if l < limit-1e-12 || (l < limit+1e-12 && rv.betterLeaving(i, r)) {
+					limit, r, rKind = l, i, atLower
+				}
+			} else if rate < -pivotEps {
+				ubB := rv.ub[rv.basis[i]]
+				if math.IsInf(ubB, 1) {
+					continue
+				}
+				l := (ubB - rv.xB[i]) / -rate
+				if l < limit-1e-12 || (l < limit+1e-12 && rv.betterLeaving(i, r)) {
+					limit, r, rKind = l, i, atUpper
+				}
+			}
+		}
+		if math.IsInf(limit, 1) {
+			return Unbounded
+		}
+		if limit < 0 {
+			limit = 0
+		}
+
+		improved := de*dir*limit < -1e-9*(1+math.Abs(rv.obj))
+		if limit > 0 {
+			for i := 0; i < m; i++ {
+				rv.xB[i] -= w[i] * dir * limit
+			}
+			rv.obj += de * dir * limit
+		}
+
+		if r < 0 {
+			if rv.status[e] == atLower {
+				rv.status[e] = atUpper
+			} else {
+				rv.status[e] = atLower
+			}
+		} else {
+			leave := rv.basis[r]
+			rv.inBase[leave] = false
+			rv.status[leave] = rKind
+			newVal := dir*limit + rv.nbVal(e)
+			rv.basis[r] = e
+			rv.inBase[e] = true
+			rv.xB[r] = newVal
+			rv.appendEtaDense(r, w)
+			rv.pivots++
+			if len(rv.etaR)-rv.reinvLen >= reinvEvery {
+				if !rv.reinvert() {
+					return revFailed
+				}
+			}
+		}
+		for i := 0; i < m; i++ {
+			lo := rv.lb[rv.basis[i]]
+			if rv.xB[i] < lo && rv.xB[i] > lo-1e-11 {
+				rv.xB[i] = lo
+			}
+		}
+		if improved {
+			stall = 0
+		} else {
+			stall++
+		}
+	}
+	return IterLimit
+}
+
+// solveRevised attempts a cold solve through the revised engine. ok=false
+// means "no verdict — run the tableau path instead"; it is returned for
+// structurally unusable inputs (NaN bounds handled by solveCold's
+// validation), installed diagnostics hooks, iteration limits, and numerical
+// failures, so the tableau path remains the single authority for every
+// hard case.
+func solveRevised(p *Problem) (*Solution, bool) {
+	if p.DisableSparse || debugPhase1 != nil {
+		return nil, false
+	}
+	for j := range p.lo {
+		if math.IsNaN(p.lo[j]) || math.IsNaN(p.hi[j]) {
+			return nil, false
+		}
+	}
+	// Sparse-only standardization: aligned pattern/value rows, no m×n
+	// dense arena (the workspace pool is left to the tableau fallback).
+	std, st := standardize(p, nil, false, true)
+	if st == Infeasible {
+		return &Solution{Status: Infeasible}, true
+	}
+	if std.pat == nil || std.val == nil {
+		return nil, false
+	}
+
+	m, nPre := len(std.a), len(std.c)
+	maxIter := p.MaxIter
+	if maxIter == 0 {
+		maxIter = 200*(m+25) + 20*nPre
+	}
+
+	// Initial basis, as in solveCold: for each row the smallest slack
+	// column that is exactly its identity (a singleton +1 entry), else an
+	// artificial. Column nonzero counts come from the standardize-built
+	// row patterns.
+	colNnz := make([]int32, nPre)
+	colRow := make([]int32, nPre) // last row touching the column
+	nnz := 0
+	for i, row := range std.pat {
+		for _, j := range row {
+			colNnz[j]++
+			colRow[j] = int32(i)
+		}
+		nnz += len(row)
+	}
+	basis := make([]int, m)
+	for i := range basis {
+		basis[i] = -1
+	}
+	std.unitCol = make([]int, m)
+	for j := 0; j < nPre; j++ {
+		if colNnz[j] != 1 || !std.isSlack(j) {
+			continue
+		}
+		ri := int(colRow[j])
+		if basis[ri] >= 0 {
+			continue
+		}
+		v := 0.0
+		for t, c := range std.pat[ri] {
+			if int(c) == j {
+				v = std.val[ri][t]
+				break
+			}
+		}
+		if v != 1 {
+			continue
+		}
+		basis[ri] = j
+		std.unitCol[ri] = j
+	}
+	numArt := 0
+	for i := range basis {
+		if basis[i] < 0 {
+			numArt++
+		}
+	}
+	n := nPre + numArt
+	artStart := nPre
+
+	rv := &revEngine{
+		m: m, n: n,
+		colPtr:   make([]int32, n+1),
+		rowIdx:   make([]int32, nnz+numArt),
+		colVal:   make([]float64, nnz+numArt),
+		cost:     make([]float64, n),
+		lb:       append(append(make([]float64, 0, n), std.lb...), make([]float64, numArt)...),
+		ub:       append(append(make([]float64, 0, n), std.ub...), make([]float64, numArt)...),
+		banned:   make([]bool, n),
+		basis:    basis,
+		inBase:   make([]bool, n),
+		status:   make([]int8, n),
+		xB:       append([]float64(nil), std.b...),
+		rhs:      append([]float64(nil), std.b...),
+		etaOff:   make([]int32, 1, reinvEvery+m+1),
+		w:        make([]float64, m),
+		y:        make([]float64, m),
+		mark:     make([]int32, m),
+		touch:    make([]int32, 0, m),
+		artStart: artStart,
+	}
+
+	// CSC fill: pass 1 counted (colNnz); artificial columns are appended
+	// singletons. Rows are scanned in ascending order, so row indices
+	// ascend within every column.
+	cur := rv.colPtr
+	for j := 0; j < nPre; j++ {
+		cur[j+1] = cur[j] + colNnz[j]
+	}
+	pos := append([]int32(nil), cur[:nPre]...)
+	for i, row := range std.pat {
+		vals := std.val[i]
+		for ti, j := range row {
+			t := pos[j]
+			rv.rowIdx[t] = int32(i)
+			rv.colVal[t] = vals[ti]
+			pos[j] = t + 1
+		}
+	}
+	art := nPre
+	for i := range basis {
+		if basis[i] >= 0 {
+			continue
+		}
+		t := cur[art]
+		rv.rowIdx[t] = int32(i)
+		rv.colVal[t] = 1
+		cur[art+1] = t + 1
+		rv.lb[art] = 0
+		rv.ub[art] = math.Inf(1)
+		basis[i] = art
+		std.unitCol[i] = art
+		art++
+	}
+	for _, bc := range basis {
+		rv.inBase[bc] = true
+	}
+
+	totalIters := 0
+
+	// Phase 1: minimize the artificial sum.
+	if numArt > 0 {
+		for j := artStart; j < n; j++ {
+			rv.cost[j] = 1
+		}
+		rv.initObj()
+		st := rv.runPhase(maxIter)
+		totalIters += rv.iters
+		if st == revFailed || st == IterLimit {
+			return nil, false
+		}
+		resid := 0.0
+		for i, bc := range rv.basis {
+			if bc >= artStart && rv.xB[i] > 0 {
+				resid += rv.xB[i]
+			}
+		}
+		if st == Unbounded || resid > feasEps {
+			return &Solution{Status: Infeasible, Iterations: totalIters, Pivots: rv.pivots}, true
+		}
+		// Drive zero-valued artificials out of the basis where a
+		// structural pivot exists (mirrors solveCold; a leftover means a
+		// redundant row and is harmless).
+		for i := range rv.basis {
+			if rv.basis[i] < artStart {
+				continue
+			}
+			rv.xB[i] = 0
+			y := rv.y
+			for k := range y {
+				y[k] = 0
+			}
+			y[i] = 1
+			rv.btranApply(y)
+			for j := 0; j < artStart; j++ {
+				if rv.inBase[j] {
+					continue
+				}
+				alpha := 0.0
+				for t := rv.colPtr[j]; t < rv.colPtr[j+1]; t++ {
+					alpha += y[rv.rowIdx[t]] * rv.colVal[t]
+				}
+				if math.Abs(alpha) > 1e-7 {
+					rv.ftranColumn(j)
+					if math.Abs(rv.w[i]) <= pivotEps {
+						continue
+					}
+					leave := rv.basis[i]
+					rv.inBase[leave] = false
+					rv.status[leave] = atLower
+					rv.basis[i] = j
+					rv.inBase[j] = true
+					rv.xB[i] = rv.nbVal(j)
+					rv.appendEtaDense(i, rv.w)
+					if len(rv.etaR)-rv.reinvLen >= reinvEvery && !rv.reinvert() {
+						return nil, false
+					}
+					break
+				}
+			}
+		}
+		for j := artStart; j < n; j++ {
+			rv.banned[j] = true
+		}
+	}
+
+	// Phase 2: original costs (artificial columns cost 0).
+	copy(rv.cost, std.c)
+	for j := artStart; j < n; j++ {
+		rv.cost[j] = 0
+	}
+	rv.iters = 0
+	rv.initObj()
+	st2 := rv.runPhase(maxIter)
+	totalIters += rv.iters
+	switch st2 {
+	case revFailed, IterLimit:
+		return nil, false
+	case Unbounded:
+		return &Solution{Status: Unbounded, Iterations: totalIters, Pivots: rv.pivots}, true
+	}
+
+	// Sanity gate before standing behind the answer: basic values must be
+	// finite and inside their bounds. Anything else goes to the tableau.
+	for i, bc := range rv.basis {
+		v := rv.xB[i]
+		if math.IsNaN(v) || v < rv.lb[bc]-1e-6 || v > rv.ub[bc]+1e-6 {
+			return nil, false
+		}
+	}
+
+	// Extraction, mirroring extract(): u-values, original variables via
+	// the standardize maps, duals off the unit columns. d_unit = −y_r for
+	// a zero-cost +1 identity column, so dual = rowSign·y_r.
+	u := make([]float64, n)
+	for j := 0; j < n; j++ {
+		if !rv.inBase[j] {
+			u[j] = rv.nbVal(j)
+		}
+	}
+	for i, bc := range rv.basis {
+		u[bc] = rv.xB[i]
+	}
+	x := make([]float64, len(p.costs))
+	for j, vm := range std.vmaps {
+		switch vm.kind {
+		case 0:
+			x[j] = vm.shift + u[vm.col]
+		case 1:
+			x[j] = vm.shift - u[vm.col]
+		case 2:
+			x[j] = u[vm.col] - u[vm.col2]
+		case 3:
+			x[j] = vm.shift
+		}
+	}
+	rv.computeY(rv.cost)
+	dual := make([]float64, len(p.rows))
+	for i := range p.rows {
+		r := std.rowOf[i]
+		if r < 0 {
+			continue
+		}
+		dual[i] = std.rowSign[i] * rv.y[r]
+	}
+	return &Solution{
+		Status:     Optimal,
+		X:          x,
+		Obj:        p.Objective(x),
+		Dual:       dual,
+		Iterations: totalIters,
+		Pivots:     rv.pivots,
+	}, true
+}

@@ -3,6 +3,7 @@ package lp
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 )
 
@@ -51,6 +52,19 @@ type standard struct {
 	// They are the refactorization source for installing a stored Basis.
 	orig  [][]float64
 	origB []float64
+
+	// pat holds the per-row nonzero patterns built during standardization
+	// (CSR index arrays over the dense rows; nil when the sparse kernels
+	// are disabled). origPat is the pristine-row counterpart of orig, the
+	// pattern source for sparse refactorization.
+	pat     [][]int32
+	origPat [][]int32
+
+	// val holds the nonzero values aligned with pat, built only by
+	// sparse-only standardization (the revised engine's input) — the dense
+	// rows are then never materialized and a stays row-count-only (nil
+	// rows), saving the m×n arena entirely.
+	val [][]float64
 }
 
 // workspace is the reusable dense-matrix arena for cold solves. Pooling it
@@ -60,6 +74,15 @@ type standard struct {
 // allocate normally.
 type workspace struct {
 	arena []float64
+
+	// Sparse-kernel scratch, pooled alongside the matrix arena: patArena
+	// backs the per-row nonzero pattern lists, the flat int32 buffers back
+	// the column counts, the generation-stamp array, and the pattern
+	// rebuild scratch of one tableau at a time.
+	patArena   []int32
+	colCnt     []int32
+	mark       []int32
+	patScratch []int32
 }
 
 var wsPool = sync.Pool{New: func() interface{} { return &workspace{} }}
@@ -87,13 +110,56 @@ func (ws *workspace) matrix(m, w int) [][]float64 {
 	return rows[:0]
 }
 
+// patMatrix carves m empty pattern rows of capacity w from the pooled
+// int32 arena (mirrors matrix; a pattern can never exceed the column
+// capacity of its row, so the slots cannot overflow).
+func (ws *workspace) patMatrix(m, w int) [][]int32 {
+	if ws == nil {
+		return make([][]int32, 0, m)
+	}
+	need := m * w
+	if cap(ws.patArena) < need {
+		ws.patArena = make([]int32, need)
+	}
+	a := ws.patArena[:need]
+	rows := make([][]int32, m)
+	for i := range rows {
+		rows[i] = a[i*w : i*w : (i+1)*w][:0]
+	}
+	return rows[:0]
+}
+
+// sortPattern orders a freshly built pattern row ascending (map iteration
+// order is random; the kernels need determinism). Small rows use an
+// allocation-free insertion sort; the rare dense row (the node-budget row)
+// goes through sort.Slice.
+func sortPattern(v []int32) {
+	if len(v) > 32 {
+		sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+		return
+	}
+	for i := 1; i < len(v); i++ {
+		x := v[i]
+		j := i - 1
+		for j >= 0 && v[j] > x {
+			v[j+1] = v[j]
+			j--
+		}
+		v[j+1] = x
+	}
+}
+
 // standardize rewrites p into bounded standard form. It returns Infeasible
 // immediately for contradictory bounds. ws (optional) provides the row
 // arena. keepFixed retains lo==hi variables as real zero-range columns
 // instead of eliminating them — required by warm-capable solves, where a
 // later TightenBound may relax the fix and the column must still exist for
-// the change to be absorbable.
-func standardize(p *Problem, ws *workspace, keepFixed bool) (*standard, Status) {
+// the change to be absorbable. sparseOnly skips the dense rows entirely
+// and emits aligned pattern/value rows (s.pat/s.val) instead — the revised
+// engine's input, which at thousands of fragments avoids clearing an
+// m×n arena just to read its few nonzeros; s.a then holds nil rows and
+// serves only as the row count.
+func standardize(p *Problem, ws *workspace, keepFixed, sparseOnly bool) (*standard, Status) {
 	s := &standard{}
 	n := len(p.costs)
 	s.vmaps = make([]varMap, n)
@@ -109,7 +175,18 @@ func standardize(p *Problem, ws *workspace, keepFixed bool) (*standard, Status) 
 		}
 	}
 	maxCols += 2 * len(p.rows)
-	rows := ws.matrix(len(p.rows), maxCols)
+	var rows [][]float64
+	sparseOn := !p.DisableSparse || sparseOnly
+	var pats [][]int32
+	if sparseOnly {
+		pats = make([][]int32, 0, len(p.rows))
+		s.val = make([][]float64, 0, len(p.rows))
+	} else {
+		rows = ws.matrix(len(p.rows), maxCols)
+		if sparseOn {
+			pats = ws.patMatrix(len(p.rows), maxCols)
+		}
+	}
 
 	// Map variables.
 	for j := 0; j < n; j++ {
@@ -140,6 +217,29 @@ func standardize(p *Problem, ws *workspace, keepFixed bool) (*standard, Status) 
 	s.rowOf = make([]int, len(p.rows))
 	s.rowSign = make([]float64, len(p.rows))
 	addRow := func(coefs map[int]float64, rhs float64, slack bool) int {
+		if sparseOnly {
+			var rp []int32
+			for col, v := range coefs {
+				if v != 0 {
+					rp = append(rp, int32(col))
+				}
+			}
+			sortPattern(rp)
+			vals := make([]float64, len(rp), len(rp)+1)
+			for t, c := range rp {
+				vals[t] = coefs[int(c)]
+			}
+			if slack {
+				sc := s.addCol(0, math.Inf(1))
+				rp = append(rp, int32(sc))
+				vals = append(vals, 1)
+			}
+			s.a = append(s.a, nil)
+			s.b = append(s.b, rhs)
+			pats = append(pats, rp)
+			s.val = append(s.val, vals)
+			return len(s.a) - 1
+		}
 		var row []float64
 		if len(rows) < cap(rows) {
 			rows = rows[:len(rows)+1]
@@ -159,6 +259,31 @@ func standardize(p *Problem, ws *workspace, keepFixed bool) (*standard, Status) 
 		}
 		s.a = append(s.a, row)
 		s.b = append(s.b, rhs)
+		if sparseOn {
+			// The row's nonzero pattern, sorted ascending for determinism
+			// (coefs is a map). The slack, if any, is the newest column and
+			// therefore already the largest index.
+			var rp []int32
+			pooled := len(pats) < cap(pats)
+			if pooled {
+				pats = pats[:len(pats)+1]
+				rp = pats[len(pats)-1][:0]
+			}
+			for col, v := range coefs {
+				if v != 0 {
+					rp = append(rp, int32(col))
+				}
+			}
+			sortPattern(rp)
+			if slack {
+				rp = append(rp, int32(len(s.c)-1))
+			}
+			if pooled {
+				pats[len(pats)-1] = rp
+			} else {
+				pats = append(pats, rp)
+			}
+		}
 		return len(s.a) - 1
 	}
 
@@ -200,8 +325,14 @@ func standardize(p *Problem, ws *workspace, keepFixed bool) (*standard, Status) 
 	for r := range s.a {
 		if s.b[r] < 0 {
 			s.b[r] = -s.b[r]
-			for c := range s.a[r] {
-				s.a[r][c] = -s.a[r][c]
+			if sparseOnly {
+				for c := range s.val[r] {
+					s.val[r][c] = -s.val[r][c]
+				}
+			} else {
+				for c := range s.a[r] {
+					s.a[r][c] = -s.a[r][c]
+				}
 			}
 			for i, ro := range s.rowOf {
 				if ro == r {
@@ -212,12 +343,17 @@ func standardize(p *Problem, ws *workspace, keepFixed bool) (*standard, Status) 
 	}
 
 	// Pad rows to full width (slack columns added after a row was created).
-	for r := range s.a {
-		if len(s.a[r]) < len(s.c) {
-			s.a[r] = append(s.a[r], make([]float64, len(s.c)-len(s.a[r]))...)
+	if !sparseOnly {
+		for r := range s.a {
+			if len(s.a[r]) < len(s.c) {
+				s.a[r] = append(s.a[r], make([]float64, len(s.c)-len(s.a[r]))...)
+			}
 		}
 	}
 	s.nReal = len(s.c)
+	if sparseOn {
+		s.pat = pats
+	}
 	return s, Optimal
 }
 
@@ -225,8 +361,10 @@ func (s *standard) addCol(cost, upper float64) int {
 	s.c = append(s.c, cost)
 	s.lb = append(s.lb, 0)
 	s.ub = append(s.ub, upper)
-	for r := range s.a {
-		s.a[r] = append(s.a[r], 0)
+	if s.val == nil { // sparse-only rows carry no dense storage to widen
+		for r := range s.a {
+			s.a[r] = append(s.a[r], 0)
+		}
 	}
 	return len(s.c) - 1
 }
@@ -298,6 +436,19 @@ type tableau struct {
 	obj    float64     // current phase objective value
 	iters  int
 	pivots int // basis-changing pivots (excludes pure bound flips)
+
+	// Sparse-kernel state (see sparse.go). pat == nil means the dense
+	// kernels are in charge; the two share the same value rows, so the
+	// sparse path can drop to dense at any time.
+	pat        [][]int32 // per-row exact nonzero column patterns
+	colCnt     []int32   // per-column pattern-membership counts
+	nnz        int       // Σ len(pat[i]), the fill monitor
+	mark       []int32   // shared generation-stamp scratch, len n
+	markGen    int32
+	patScratch []int32 // pattern rebuild buffer
+
+	active []int32 // pricing skip list: non-banned, non-fixed columns
+	cand   []int32 // partial-pricing candidate list (sparse mode)
 }
 
 // nbVal returns the current value of nonbasic column j.
@@ -311,7 +462,8 @@ func (t *tableau) nbVal(j int) float64 {
 // run iterates the primal simplex until optimality, unboundedness, or the
 // iteration budget is exhausted.
 func (t *tableau) run(maxIter int) Status {
-	m, n := len(t.a), len(t.d)
+	m := len(t.a)
+	t.buildActive()
 	stall := 0
 	// Engage Bland's rule quickly once the objective stops moving:
 	// degenerate plateaus are common on the branch-and-bound children of
@@ -323,35 +475,9 @@ func (t *tableau) run(maxIter int) Status {
 		bland := stall > blandAfter
 
 		// Entering column: nonbasic whose reduced cost improves in its
-		// feasible movement direction.
-		e, dir := -1, 1.0
-		if bland {
-			for j := 0; j < n; j++ {
-				if t.inBase[j] || t.banned[j] {
-					continue
-				}
-				if t.status[j] == atLower && t.d[j] < -costEps {
-					e, dir = j, 1
-					break
-				}
-				if t.status[j] == atUpper && t.d[j] > costEps {
-					e, dir = j, -1
-					break
-				}
-			}
-		} else {
-			best := costEps
-			for j := 0; j < n; j++ {
-				if t.inBase[j] || t.banned[j] {
-					continue
-				}
-				if t.status[j] == atLower && -t.d[j] > best {
-					best, e, dir = -t.d[j], j, 1
-				} else if t.status[j] == atUpper && t.d[j] > best {
-					best, e, dir = t.d[j], j, -1
-				}
-			}
-		}
+		// feasible movement direction (see priceEntering in sparse.go for
+		// the skip-list and candidate-list mechanics).
+		e, dir := t.priceEntering(bland)
 		if e < 0 {
 			return Optimal
 		}
@@ -365,7 +491,7 @@ func (t *tableau) run(maxIter int) Status {
 			if rate > pivotEps {
 				// Basic variable decreases towards its lower bound.
 				l := (t.b[i] - t.lb[t.basis[i]]) / rate
-				if l < limit-1e-12 || (l < limit+1e-12 && (r < 0 || t.basis[i] < t.basis[r])) {
+				if l < limit-1e-12 || (l < limit+1e-12 && t.betterLeaving(i, r)) {
 					limit, r, rKind = l, i, atLower
 				}
 			} else if rate < -pivotEps {
@@ -375,7 +501,7 @@ func (t *tableau) run(maxIter int) Status {
 				}
 				// Basic variable increases towards its upper bound.
 				l := (ubB - t.b[i]) / -rate
-				if l < limit-1e-12 || (l < limit+1e-12 && (r < 0 || t.basis[i] < t.basis[r])) {
+				if l < limit-1e-12 || (l < limit+1e-12 && t.betterLeaving(i, r)) {
 					limit, r, rKind = l, i, atUpper
 				}
 			}
@@ -436,10 +562,33 @@ func (t *tableau) run(maxIter int) Status {
 	return IterLimit
 }
 
+// betterLeaving breaks ratio-test ties (candidate row i against incumbent
+// r). The dense authority keeps its historical lowest-basis-index rule. In
+// sparse mode the Markowitz-flavored rule prefers the row with the smaller
+// nonzero pattern: a degenerate problem offers many tied pivot rows, and
+// choosing a wide one (the makespan or budget row of an allocation LP)
+// sprays its pattern across every touched row in one pivot. Any tied row
+// is mathematically valid, so this only steers fill-in, not correctness.
+func (t *tableau) betterLeaving(i, r int) bool {
+	if r < 0 {
+		return true
+	}
+	if t.sparse() {
+		if d := len(t.pat[i]) - len(t.pat[r]); d != 0 {
+			return d < 0
+		}
+	}
+	return t.basis[i] < t.basis[r]
+}
+
 // pivot performs the row reduction making column e the unit column of row r
 // and keeping the reduced costs consistent. The caller has already updated
 // basis/inBase/status/b.
 func (t *tableau) pivot(r, e int) {
+	if t.sparse() {
+		t.pivotSparse(r, e)
+		return
+	}
 	pr := t.a[r]
 	inv := 1 / pr[e]
 	for j := range pr {
@@ -480,10 +629,17 @@ func (t *tableau) setCosts(c []float64) {
 		}
 		t.obj += cb * t.b[i]
 		row := t.a[i]
-		for j := range t.d {
-			t.d[j] -= cb * row[j]
+		if t.sparse() {
+			for _, j := range t.pat[i] {
+				t.d[j] -= cb * row[j]
+			}
+		} else {
+			for j := range t.d {
+				t.d[j] -= cb * row[j]
+			}
 		}
 	}
+	t.cand = t.cand[:0] // the candidate list priced the old costs
 	for _, bcol := range t.basis {
 		t.d[bcol] = 0
 	}
@@ -502,9 +658,41 @@ func (t *tableau) setCosts(c []float64) {
 // only for structurally invalid models; infeasibility and unboundedness are
 // reported through Solution.Status.
 func (p *Problem) Solve() (*Solution, error) {
+	if !p.DisablePresolve {
+		for j := range p.lo {
+			if math.IsNaN(p.lo[j]) || math.IsNaN(p.hi[j]) {
+				return nil, fmt.Errorf("%w: NaN bound on variable %d", ErrBadModel, j)
+			}
+		}
+		ps, st := presolveProblem(p)
+		if st == Infeasible {
+			return &Solution{Status: Infeasible}, nil
+		}
+		if ps != nil {
+			ws := wsPool.Get().(*workspace)
+			sol, err := solveColdAuto(ps.reduced, ws)
+			wsPool.Put(ws)
+			if err != nil {
+				return nil, err
+			}
+			return ps.postsolve(sol), nil
+		}
+	}
 	ws := wsPool.Get().(*workspace)
-	sol, _, _, err := solveCold(p, ws, nil)
+	sol, err := solveColdAuto(p, ws)
 	wsPool.Put(ws)
+	return sol, err
+}
+
+// solveColdAuto routes a one-shot cold solve: the revised sparse engine
+// (revised.go) when the sparse path is enabled, with the dense tableau as
+// both the correctness authority and the fallback for every case the
+// engine declines (diagnostic hooks, iteration limits, numerical trouble).
+func solveColdAuto(p *Problem, ws *workspace) (*Solution, error) {
+	if sol, ok := solveRevised(p); ok {
+		return sol, nil
+	}
+	sol, _, _, err := solveCold(p, ws, nil)
 	return sol, err
 }
 
@@ -518,7 +706,7 @@ func solveCold(p *Problem, ws *workspace, tag *basisTag) (*Solution, *standard, 
 			return nil, nil, nil, fmt.Errorf("%w: NaN bound on variable %d", ErrBadModel, j)
 		}
 	}
-	std, st := standardize(p, ws, tag != nil)
+	std, st := standardize(p, ws, tag != nil, false)
 	if st == Infeasible {
 		return &Solution{Status: Infeasible}, nil, nil, nil
 	}
@@ -581,6 +769,11 @@ func solveCold(p *Problem, ws *workspace, tag *basisTag) (*Solution, *standard, 
 			}
 			t.a[r] = append(t.a[r], v)
 		}
+		if std.pat != nil {
+			// The artificial is the newest (largest) column: the pattern
+			// stays sorted.
+			std.pat[i] = append(std.pat[i], int32(col))
+		}
 		t.basis[i] = col
 		std.unitCol[i] = col
 	}
@@ -595,6 +788,9 @@ func solveCold(p *Problem, ws *workspace, tag *basisTag) (*Solution, *standard, 
 	for _, bc := range t.basis {
 		t.inBase[bc] = true
 	}
+	if std.pat != nil {
+		t.initSparse(std.pat, ws)
+	}
 
 	// Warm-capable solves keep a pristine copy of the (artificial-extended)
 	// system for later basis refactorization.
@@ -604,6 +800,14 @@ func solveCold(p *Problem, ws *workspace, tag *basisTag) (*Solution, *standard, 
 			std.orig[i] = append([]float64(nil), t.a[i]...)
 		}
 		std.origB = append([]float64(nil), t.b...)
+		if std.pat != nil {
+			// Patterns are still pristine here (no pivots yet); snapshot
+			// them alongside orig for sparse refactorization.
+			std.origPat = make([][]int32, m)
+			for i := range std.pat {
+				std.origPat[i] = append([]int32(nil), std.pat[i]...)
+			}
+		}
 	}
 
 	totalIters := 0

@@ -291,6 +291,7 @@ func (inc *Incremental) addRowStd(i int) {
 	t.status = append(t.status, atLower)
 	t.inBase = append(t.inBase, true)
 	t.banned = append(t.banned, banned)
+	t.growSparseCol()
 	t.lb, t.ub = std.lb, std.ub // appends may have reallocated
 	n := len(std.c)
 
@@ -302,6 +303,17 @@ func (inc *Incremental) addRowStd(i int) {
 	prow[newcol] = 1
 	std.orig = append(std.orig, prow)
 	std.origB = append(std.origB, rhs)
+	if std.origPat != nil {
+		op := make([]int32, 0, len(coefs)+1)
+		for c, v := range coefs {
+			if v != 0 {
+				op = append(op, int32(c))
+			}
+		}
+		sortPattern(op)
+		op = append(op, int32(newcol))
+		std.origPat = append(std.origPat, op)
+	}
 
 	// Value of the new basic column at the current point.
 	val := rhs
@@ -320,16 +332,63 @@ func (inc *Incremental) addRowStd(i int) {
 	// Reduced row: eliminate the basic columns against the tableau rows
 	// (each tableau row is the identity on its own basic column).
 	rrow := append([]float64(nil), prow...)
-	for k, bc := range t.basis {
-		f := rrow[bc]
-		if f == 0 {
-			continue
+	if t.sparse() {
+		// Pattern-aware elimination: only the eliminating row's nonzeros
+		// can touch rrow, and the union of visited patterns is a superset
+		// of the result, pruned exactly at the end.
+		gen := t.bumpGen()
+		rpat := t.patScratch[:0]
+		for c, v := range coefs {
+			if v != 0 {
+				rpat = append(rpat, int32(c))
+				t.mark[c] = gen
+			}
 		}
-		rowk := t.a[k]
-		for c := range rrow {
-			rrow[c] -= f * rowk[c]
+		sortPattern(rpat)
+		rpat = append(rpat, int32(newcol))
+		t.mark[newcol] = gen
+		for k, bc := range t.basis {
+			f := rrow[bc]
+			if f == 0 {
+				continue
+			}
+			rowk := t.a[k]
+			for _, j32 := range t.pat[k] {
+				j := int(j32)
+				rrow[j] -= f * rowk[j]
+				if t.mark[j] != gen {
+					t.mark[j] = gen
+					rpat = append(rpat, j32)
+				}
+			}
+			rrow[bc] = 0
 		}
-		rrow[bc] = 0
+		w := 0
+		for _, j32 := range rpat {
+			if rrow[j32] != 0 {
+				rpat[w] = j32
+				w++
+			}
+		}
+		np := append([]int32(nil), rpat[:w]...)
+		t.pat = append(t.pat, np)
+		for _, j := range np {
+			t.colCnt[j]++
+		}
+		t.nnz += len(np)
+		t.patScratch = rpat[:0]
+	} else {
+		for k, bc := range t.basis {
+			f := rrow[bc]
+			if f == 0 {
+				continue
+			}
+			rowk := t.a[k]
+			for c := range rrow {
+				rrow[c] -= f * rowk[c]
+			}
+			rrow[bc] = 0
+		}
 	}
 
 	t.a = append(t.a, rrow)
@@ -397,6 +456,23 @@ func (inc *Incremental) install(cols []int32, status []int8, checkDual bool) boo
 	// fixed 0..m-1 order could hit a zero pivot on a perfectly nonsingular
 	// basis (elimination without reordering is not order-free). A
 	// near-singular best pivot rejects the basis.
+	//
+	// With the sparse kernels on, the pristine rows start near-empty and
+	// the elimination walks patterns instead of full rows — this is the
+	// path every warm basis install (one per branch-and-bound node) and
+	// every periodic refactorization takes, so it matters as much as the
+	// pivot kernel itself.
+	sparse := std.origPat != nil
+	var pats [][]int32
+	var pmark, pscratch []int32
+	var pgen int32
+	if sparse {
+		pats = make([][]int32, m)
+		for i := range pats {
+			pats[i] = append([]int32(nil), std.origPat[i]...)
+		}
+		pmark = make([]int32, n)
+	}
 	work := make([][]float64, m)
 	for i := range work {
 		work[i] = append(make([]float64, 0, n), std.orig[i]...)
@@ -418,25 +494,58 @@ func (inc *Incremental) install(cols []int32, status []int8, checkDual bool) boo
 		}
 		done[best] = true
 		wi := work[best]
-		inv := 1 / wi[assign[best]]
-		for j := range wi {
-			wi[j] *= inv
+		pc := assign[best]
+		inv := 1 / wi[pc]
+		if sparse {
+			for _, j := range pats[best] {
+				wi[j] *= inv
+			}
+		} else {
+			for j := range wi {
+				wi[j] *= inv
+			}
 		}
-		wi[assign[best]] = 1
+		wi[pc] = 1
 		wb[best] *= inv
 		for k := 0; k < m; k++ {
 			if k == best {
 				continue
 			}
-			f := work[k][assign[best]]
+			f := work[k][pc]
 			if f == 0 {
 				continue
 			}
 			wk := work[k]
-			for j := range wk {
-				wk[j] -= f * wi[j]
+			if sparse {
+				patB := pats[best]
+				old := pats[k]
+				pgen++
+				for _, j := range old {
+					pmark[j] = pgen
+				}
+				for _, j := range patB {
+					wk[j] -= f * wi[j]
+				}
+				wk[pc] = 0
+				np := pscratch[:0]
+				for _, j := range old {
+					if wk[j] != 0 {
+						np = append(np, j)
+					}
+				}
+				for _, j := range patB {
+					if pmark[j] != pgen && wk[j] != 0 {
+						np = append(np, j)
+					}
+				}
+				pats[k] = append(old[:0], np...)
+				pscratch = np[:0]
+			} else {
+				for j := range wk {
+					wk[j] -= f * wi[j]
+				}
+				wk[pc] = 0
 			}
-			wk[assign[best]] = 0
 			wb[k] -= f * wb[best]
 		}
 	}
@@ -482,6 +591,12 @@ func (inc *Incremental) install(cols []int32, status []int8, checkDual bool) boo
 		banned: append([]bool(nil), t.banned...),
 		iters:  t.iters,
 		pivots: t.pivots,
+	}
+	if sparse {
+		// Re-derive the column counts from the eliminated patterns; a
+		// tableau that had dropped to dense under fill-in comes back
+		// sparse from the pristine rows.
+		cand.initSparse(pats, nil)
 	}
 	cand.setCosts(std.c)
 	if checkDual {
@@ -594,6 +709,7 @@ func warmFeasTol(p *Problem) float64 {
 // objective toward the new optimum.
 func (t *tableau) runDual(maxIter int) Status {
 	m := len(t.a)
+	t.buildActive()
 	stall := 0
 	blandAfter := m + 64
 	for t.iters < maxIter {
@@ -624,11 +740,19 @@ func (t *tableau) runDual(maxIter int) Status {
 		}
 		t.iters++
 
-		// Entering column: admissible sign pattern, minimal |d/α|.
+		// Entering column: admissible sign pattern, minimal |d/α|. The
+		// candidates all have row[j] != 0, so in sparse mode the leaving
+		// row's pattern is the complete search space; the dense mode scans
+		// the active skip list (banned and fixed columns pre-excluded).
 		row := t.a[r]
+		scan := t.active
+		if t.sparse() {
+			scan = t.pat[r]
+		}
 		e := -1
 		best := math.Inf(1)
-		for j := range t.d {
+		for _, j32 := range scan {
+			j := int(j32)
 			if t.inBase[j] || t.banned[j] || t.lb[j] == t.ub[j] {
 				continue
 			}

@@ -113,6 +113,10 @@ type Options struct {
 	// speculative prefetch when Parallelism allows). Warm starting is the
 	// default; this is the ablation/benchmark knob.
 	DisableWarmStart bool
+	// DisableSparse pins every node LP to the dense simplex kernels
+	// (lp.Problem.DisableSparse on the base problem, inherited by all
+	// node clones). Benchmark/ablation knob for the sparse path.
+	DisableSparse bool
 }
 
 // Result is the outcome of a solve.
@@ -379,6 +383,10 @@ func SolveContext(ctx context.Context, base *lp.Problem, ints []int, sos []SOS1,
 	}
 	if opts.MaxNodes == 0 {
 		opts.MaxNodes = 200000
+	}
+	if opts.DisableSparse && !base.DisableSparse {
+		base = base.Clone() // node LPs clone base, so the flag propagates
+		base.DisableSparse = true
 	}
 	s := &solver{ctx: ctx, base: base, ints: ints, sos: sos, opts: opts,
 		incObj: math.Inf(1), inexactBound: math.Inf(1),

@@ -80,6 +80,9 @@ type Options struct {
 	DisableWarmStart bool
 	// CutAtFractional adds OA cuts at fractional node solutions too.
 	CutAtFractional bool
+	// DisableSparse pins every LP — Kelley relaxation and master tree —
+	// to the dense simplex kernels (benchmark/ablation knob).
+	DisableSparse bool
 	// SkipNLPRelaxation skips step 1 (the initial Kelley solve); the
 	// master then starts from the pure linear relaxation. Used by the
 	// solver ablation benchmarks.
@@ -220,6 +223,7 @@ func SolveContext(ctx context.Context, m *model.Model, opts Options) *Result {
 		relax := nlp.SolveConvex(m.Clone(), nlp.ConvexOptions{
 			Tol:              opts.FeasTol / 10,
 			DisableWarmStart: opts.DisableWarmStart,
+			DisableSparse:    opts.DisableSparse,
 		})
 		res.LPSolves += relax.Iters
 		res.Pivots += relax.Pivots
@@ -311,6 +315,7 @@ func SolveContext(ctx context.Context, m *model.Model, opts Options) *Result {
 		TimeLimit:           opts.TimeLimit,
 		DisableSOSBranching: opts.DisableSOSBranching,
 		DisableWarmStart:    opts.DisableWarmStart,
+		DisableSparse:       opts.DisableSparse,
 		CutAtFractional:     opts.CutAtFractional,
 		Lazy:                lazy,
 		DebugLPCheck:        opts.DebugLPCheck,

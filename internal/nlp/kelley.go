@@ -54,6 +54,9 @@ type ConvexOptions struct {
 	// DisableWarmStart solves every cutting-plane iteration from scratch
 	// instead of dual-simplex reoptimizing from the previous basis.
 	DisableWarmStart bool
+	// DisableSparse pins the LP relaxation to the dense simplex kernels
+	// (benchmark/ablation knob for the sparse path).
+	DisableSparse bool
 }
 
 // SolveConvex minimizes the model's linear objective over its linear
@@ -74,6 +77,7 @@ func SolveConvex(m *model.Model, opts ConvexOptions) *ConvexResult {
 		opts.Tol = 1e-7
 	}
 	p := m.LPRelaxation()
+	p.DisableSparse = opts.DisableSparse
 	res := &ConvexResult{}
 	nl := m.Nonlinear()
 	// Each iteration only appends cuts, so the previous optimal basis
