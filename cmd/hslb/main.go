@@ -166,16 +166,11 @@ func cmdSolve(args []string) error {
 		return err
 	}
 	p := &core.Problem{TotalNodes: *nodes, UseAllNodes: *useAll}
-	switch *objective {
-	case "min-max":
-		p.Objective = core.MinMax
-	case "max-min":
-		p.Objective = core.MaxMin
-	case "min-sum":
-		p.Objective = core.MinSum
-	default:
-		return fmt.Errorf("solve: unknown objective %q", *objective)
+	obj, err := core.ParseObjective(*objective)
+	if err != nil {
+		return fmt.Errorf("solve: %w", err)
 	}
+	p.Objective = obj
 	for _, t := range doc.Tasks {
 		p.Tasks = append(p.Tasks, core.Task{
 			Name: t.Name, Perf: t.Params,
@@ -322,16 +317,11 @@ func cmdExportAMPL(args []string) error {
 		return err
 	}
 	p := &core.Problem{TotalNodes: *nodes}
-	switch *objective {
-	case "min-max":
-		p.Objective = core.MinMax
-	case "max-min":
-		p.Objective = core.MaxMin
-	case "min-sum":
-		p.Objective = core.MinSum
-	default:
-		return fmt.Errorf("export-ampl: unknown objective %q", *objective)
+	obj, err := core.ParseObjective(*objective)
+	if err != nil {
+		return fmt.Errorf("export-ampl: %w", err)
 	}
+	p.Objective = obj
 	for _, t := range doc.Tasks {
 		p.Tasks = append(p.Tasks, core.Task{
 			Name: t.Name, Perf: t.Params,

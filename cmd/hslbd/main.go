@@ -1,0 +1,102 @@
+// Command hslbd serves HSLB solves over HTTP/JSON: a cached, batching
+// front-end for the fragment-allocation solver.
+//
+//	hslbd -addr :8080 -cache-size 4096 -max-inflight 8
+//
+//	curl -s localhost:8080/v1/solve -d '{
+//	  "totalNodes": 64,
+//	  "tasks": [
+//	    {"name": "frag-a", "params": {"a": 120, "b": 0.4, "c": 0.9, "d": 1.5}},
+//	    {"name": "frag-b", "params": {"a": 300, "b": 0.1, "c": 1.1, "d": 2.0}}
+//	  ]
+//	}'
+//
+// See DESIGN.md "Service architecture" for the endpoint and caching
+// contract.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hslbd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hslbd", flag.ContinueOnError)
+	def := serve.DefaultOptions()
+	addr := fs.String("addr", ":8080", "listen address")
+	cacheSize := fs.Int("cache-size", def.CacheSize, "solution cache capacity (entries)")
+	disableCache := fs.Bool("disable-cache", false, "turn the solution cache off")
+	maxInFlight := fs.Int("max-inflight", def.MaxInFlight, "max concurrently running solves")
+	queueTimeout := fs.Duration("queue-timeout", def.QueueTimeout, "max wait for a solve slot before 429")
+	batchWindow := fs.Duration("batch-window", def.BatchWindow, "delay before each solve so identical requests collapse into it")
+	defaultDeadline := fs.Duration("default-deadline", 0, "solve deadline for requests that set none (0 = unlimited)")
+	maxDeadline := fs.Duration("max-deadline", 0, "cap on per-request deadlines (0 = uncapped)")
+	parallel := fs.Int("parallel", 0, "solver parallelism (0 = one worker per CPU, negative = serial)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := def
+	opts.CacheSize = *cacheSize
+	opts.DisableCache = *disableCache
+	opts.MaxInFlight = *maxInFlight
+	opts.QueueTimeout = *queueTimeout
+	opts.BatchWindow = *batchWindow
+	opts.DefaultDeadline = *defaultDeadline
+	opts.MaxDeadline = *maxDeadline
+	opts.Parallelism = *parallel
+
+	srv, err := serve.New(opts)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	fmt.Fprintln(os.Stderr, "hslbd: listening on", ln.Addr())
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	// Graceful drain: stop accepting, let in-flight requests finish, then
+	// cancel any solves that outlive the drain window.
+	shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+// TestRunRejectsBadOptions: option validation happens at startup, with the
+// typed error naming the offending field, before any socket is opened.
+func TestRunRejectsBadOptions(t *testing.T) {
+	cases := []struct {
+		args  []string
+		field string
+	}{
+		{[]string{"-cache-size", "0"}, "CacheSize"},
+		{[]string{"-cache-size", "-5"}, "CacheSize"},
+		{[]string{"-max-inflight", "0"}, "MaxInFlight"},
+		{[]string{"-queue-timeout", "-1s"}, "QueueTimeout"},
+		{[]string{"-batch-window", "-1ms"}, "BatchWindow"},
+		{[]string{"-default-deadline", "-1s"}, "DefaultDeadline"},
+		{[]string{"-max-deadline", "-1s"}, "MaxDeadline"},
+	}
+	for _, tc := range cases {
+		err := run(tc.args)
+		if err == nil {
+			t.Fatalf("%v: accepted", tc.args)
+		}
+		var oe *serve.OptionError
+		if !errors.As(err, &oe) {
+			t.Fatalf("%v: error %T %v, want *serve.OptionError", tc.args, err, err)
+		}
+		if oe.Field != tc.field {
+			t.Fatalf("%v: error names %s, want %s", tc.args, oe.Field, tc.field)
+		}
+	}
+}
+
+func TestRunDisableCacheLiftsCacheSize(t *testing.T) {
+	// -disable-cache with -cache-size 0 is a valid combination; it must get
+	// past option validation (and then fail on the unusable address rather
+	// than on the options).
+	err := run([]string{"-disable-cache", "-cache-size", "0", "-addr", "256.0.0.1:0"})
+	var oe *serve.OptionError
+	if err == nil || errors.As(err, &oe) {
+		t.Fatalf("want a listen error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "listen") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

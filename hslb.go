@@ -74,6 +74,11 @@ const (
 	MinSum = core.MinSum
 )
 
+// ParseObjective maps the canonical objective names ("min-max", "max-min",
+// "min-sum") onto the Objective constants; the CLI flags and the hslbd HTTP
+// service share this parser.
+var ParseObjective = core.ParseObjective
+
 // Fit estimates performance-model coefficients from benchmark samples
 // (HSLB step 2).
 func Fit(samples []Sample, opts FitOptions) (*FitResult, error) {
@@ -104,7 +109,11 @@ func Solve(p *Problem, opts SolverOptions) (*Allocation, error) {
 func SolveContext(ctx context.Context, p *Problem, opts SolverOptions) (*Allocation, error) {
 	a, err := p.SolveMINLPContext(ctx, opts)
 	if err == core.ErrObjectiveUnsupported {
-		return p.SolveParametricContext(ctx)
+		a, perr := p.SolveParametricContext(ctx)
+		if perr == nil && opts.Canonical {
+			a = p.CanonicalAllocation(a)
+		}
+		return a, perr
 	}
 	var noInc *core.NoIncumbentError
 	if errors.As(err, &noInc) {
@@ -118,6 +127,9 @@ func SolveContext(ctx context.Context, p *Problem, opts SolverOptions) (*Allocat
 		a.Bounded = true
 		a.BestBound = noInc.BestBound
 		a.Gap = core.RelativeGap(p.ObjectiveValue(a), noInc.BestBound)
+		if opts.Canonical {
+			a = p.CanonicalAllocation(a)
+		}
 		return a, nil
 	}
 	return a, err

@@ -62,6 +62,22 @@ func (o Objective) String() string {
 	return "unknown"
 }
 
+// ParseObjective is the inverse of Objective.String: it maps the canonical
+// names "min-max", "max-min", and "min-sum" onto the Objective constants.
+// Every front end (CLI flags, the HTTP service) funnels through this one
+// parser so the accepted spellings cannot drift apart.
+func ParseObjective(s string) (Objective, error) {
+	switch s {
+	case "min-max":
+		return MinMax, nil
+	case "max-min":
+		return MaxMin, nil
+	case "min-sum":
+		return MinSum, nil
+	}
+	return 0, fmt.Errorf("core: unknown objective %q (want min-max, max-min, or min-sum)", s)
+}
+
 // Task is one load-balancing unit: an FMO fragment (group) or, in the
 // coupled extension, a model component.
 type Task struct {
@@ -236,6 +252,11 @@ type Allocation struct {
 	SolverNodes int `json:"solverNodes,omitempty"`
 	LPSolves    int `json:"lpSolves,omitempty"`
 	OACuts      int `json:"oaCuts,omitempty"`
+	// Pivots is the total simplex pivot count behind this allocation
+	// (Kelley relaxation plus master tree; see minlp.Result.Pivots) — the
+	// hardware-independent measure of LP work that the serving layer
+	// aggregates into its statistics counters.
+	Pivots int `json:"pivots,omitempty"`
 
 	// Bounded reports that the solve stopped at a deadline, node budget,
 	// or cancellation and this allocation is the best feasible point found

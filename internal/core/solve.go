@@ -49,6 +49,14 @@ type SolverOptions struct {
 	// negative forces serial. The returned allocation and all solver
 	// statistics are bit-identical for every setting.
 	Parallelism int
+	// Canonical post-processes the solved allocation with
+	// Problem.CanonicalAllocation, replacing whatever alternate optimum
+	// the search happened to reach by the unique minimal-resource optimal
+	// allocation. The makespan is unchanged; only the tie-break among
+	// equally optimal assignments becomes deterministic and independent of
+	// task order. The HTTP solve service sets this so cached responses are
+	// reproducible; default off to preserve historical outputs.
+	Canonical bool
 	// DebugLPCheck, when non-nil, is invoked after every node LP solve of
 	// the branch-and-bound tree (testing hook, e.g. lp.VerifyKKT).
 	DebugLPCheck func(p *lp.Problem, sol *lp.Solution)
@@ -204,12 +212,19 @@ func (p *Problem) SolveMINLPContext(ctx context.Context, opts SolverOptions) (*A
 		a.Bounded = true
 		a.BestBound = res.BestBound
 		a.Gap = RelativeGap(p.ObjectiveValue(a), res.BestBound)
+		if opts.Canonical {
+			a = p.CanonicalAllocation(a)
+		}
 		return a, nil
 	}
 	if res.Status != minlp.Optimal {
 		return nil, fmt.Errorf("core: MINLP solve ended with status %v", res.Status)
 	}
-	return p.allocationFrom(res, nVars), nil
+	a := p.allocationFrom(res, nVars)
+	if opts.Canonical {
+		a = p.CanonicalAllocation(a)
+	}
+	return a, nil
 }
 
 // allocationFrom rounds the solver point into an integer allocation and
@@ -223,7 +238,49 @@ func (p *Problem) allocationFrom(res *minlp.Result, nVars []int) *Allocation {
 	a.SolverNodes = res.Nodes
 	a.LPSolves = res.LPSolves
 	a.OACuts = res.OACuts
+	a.Pivots = res.Pivots
 	return a
+}
+
+// CanonicalAllocation maps a min-max allocation onto the canonical
+// representative of its optimality class: per task, the smallest admissible
+// node count whose predicted time still meets the allocation's makespan.
+// Alternate optima differ only in how many spare nodes non-critical tasks
+// happen to hold, and which alternate the branch-and-bound returns depends
+// on task order (column order steers pivot tie-breaks); the canonical form
+// is a per-task function of the makespan alone and therefore independent of
+// task order — the property the solve service's cache relies on.
+//
+// The makespan is preserved bit for bit: the critical task's minimal count
+// is exactly its current one (any smaller admissible count would exceed the
+// makespan on the decreasing branch). If floating-point pathologies break
+// that invariant, or the objective is not min-max, or the problem pins the
+// budget (UseAllNodes: shrinking would strand nodes), the allocation is
+// returned unchanged — canonicalization never degrades a solution.
+func (p *Problem) CanonicalAllocation(a *Allocation) *Allocation {
+	if a == nil || p.Objective != MinMax || p.UseAllNodes {
+		return a
+	}
+	nodes := make([]int, len(p.Tasks))
+	for i := range p.Tasks {
+		n, ok := p.minNodesAchieving(i, a.Makespan)
+		if !ok {
+			return a
+		}
+		nodes[i] = n
+	}
+	c := p.Evaluate(nodes)
+	if c.Makespan != a.Makespan || c.Used > p.TotalNodes {
+		return a
+	}
+	c.SolverNodes = a.SolverNodes
+	c.LPSolves = a.LPSolves
+	c.OACuts = a.OACuts
+	c.Pivots = a.Pivots
+	c.Bounded = a.Bounded
+	c.BestBound = a.BestBound
+	c.Gap = a.Gap
+	return c
 }
 
 // RelativeGap is the standard MIP gap (obj − bound)/max(1, |obj|), clamped

@@ -68,8 +68,20 @@ type Incremental struct {
 	rowsApplied  int
 	factorPivots int // t.pivots at the last (re)factorization
 
+	// Basis-cache effectiveness counters; see Stats.
+	warmSolves int
+	coldSolves int
+
 	valid bool
 }
+
+// Stats reports how often the live-tableau basis cache paid off: warm is the
+// number of Solve/SolveFrom calls resolved by dual-simplex reoptimization of
+// the cached basis (including trivial empty-box and confirmed-infeasible
+// verdicts), cold the number that fell back to a full two-phase rebuild.
+// Clients (the branch-and-bound tree, the solve service) surface these as
+// cache hit/miss statistics.
+func (inc *Incremental) Stats() (warm, cold int) { return inc.warmSolves, inc.coldSolves }
 
 // NewIncremental wraps p for warm-started solving. The problem is shared,
 // not copied: mutate it through the Incremental helpers or directly (e.g.
@@ -119,6 +131,7 @@ func (inc *Incremental) SolveFrom(b *Basis) (*Solution, error) {
 		// Empty box: report infeasibility without touching the warm state,
 		// so the tableau stays reusable for the next (feasible) sibling.
 		if p.lo[j] > p.hi[j] {
+			inc.warmSolves++
 			return &Solution{Status: Infeasible}, nil
 		}
 	}
@@ -144,6 +157,7 @@ func (inc *Incremental) SolveFrom(b *Basis) (*Solution, error) {
 // rebuild discards all warm state and runs a cold two-phase solve, adopting
 // the resulting tableau when optimal.
 func (inc *Incremental) rebuild() (*Solution, error) {
+	inc.coldSolves++
 	sol, std, t, err := solveCold(inc.p, nil, inc.tag)
 	if err != nil || sol.Status != Optimal {
 		inc.valid = false
@@ -665,6 +679,7 @@ func (inc *Incremental) reoptimize() (*Solution, error) {
 		if inc.p.MaxViolation(sol.X) > warmFeasTol(inc.p) {
 			return inc.rebuild()
 		}
+		inc.warmSolves++
 		return sol, nil
 	case Infeasible:
 		// The dual simplex concluded infeasible; confirm with a cold solve
@@ -680,6 +695,7 @@ func (inc *Incremental) reoptimize() (*Solution, error) {
 		if sol.Status == Infeasible {
 			sol.Iterations += iters
 			sol.Pivots += t.pivots - pivots0
+			inc.warmSolves++
 			return sol, nil
 		}
 		// Disagreement: the cold authority wins; adopt a fresh cold state.

@@ -132,6 +132,13 @@ type Result struct {
 	// LP solves — the hardware-independent measure of LP work that the
 	// warm-start benchmarks compare.
 	Pivots int
+	// WarmSolves / ColdSolves split the node LP solves by how the basis
+	// cache fared: WarmSolves were resolved by dual-simplex reoptimization
+	// of the cached parent basis, ColdSolves needed a full two-phase
+	// rebuild (every solve is cold when DisableWarmStart is set). See
+	// lp.Incremental.Stats.
+	WarmSolves int
+	ColdSolves int
 	// Inexact reports that at least one node LP hit its iteration limit
 	// and was dropped from the search rather than pruned as infeasible.
 	// The reported bound (and, when Status is Optimal-like, the incumbent)
@@ -391,6 +398,15 @@ func SolveContext(ctx context.Context, base *lp.Problem, ints []int, sos []SOS1,
 	s := &solver{ctx: ctx, base: base, ints: ints, sos: sos, opts: opts,
 		incObj: math.Inf(1), inexactBound: math.Inf(1),
 		res: &Result{BestBound: math.Inf(-1)}}
+	// Fill the basis-cache counters on every exit path; with warm starts
+	// disabled every LP solve is by definition cold.
+	defer func() {
+		if s.inc != nil {
+			s.res.WarmSolves, s.res.ColdSolves = s.inc.Stats()
+		} else {
+			s.res.ColdSolves = s.res.LPSolves
+		}
+	}()
 	if opts.DisableWarmStart {
 		// Speculative prefetch only pays off for cold node solves; the
 		// warm path reoptimizes sequentially from the parent basis.

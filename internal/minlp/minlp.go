@@ -131,6 +131,11 @@ type Result struct {
 	// Pivots is the total simplex pivot count across the Kelley
 	// relaxation and the master tree (see lp.Solution.Pivots).
 	Pivots int
+	// WarmSolves / ColdSolves are the master tree's basis-cache
+	// statistics (see milp.Result); the Kelley relaxation's LP solves are
+	// counted in LPSolves but not split here.
+	WarmSolves int
+	ColdSolves int
 }
 
 // Solve minimizes the model. The model's nonlinear constraints must be
@@ -325,6 +330,8 @@ func SolveContext(ctx context.Context, m *model.Model, opts Options) *Result {
 	res.LPSolves += mres.LPSolves
 	res.OACuts = mres.Cuts
 	res.Pivots += mres.Pivots
+	res.WarmSolves = mres.WarmSolves
+	res.ColdSolves = mres.ColdSolves
 	switch mres.Status {
 	case milp.Optimal:
 		res.Status = Optimal

@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a bounded, mutex-guarded LRU map from canonical key to
+// solution. It is deliberately simple: the solve service's working set is
+// "the instance shapes currently recurring in traffic", for which plain LRU
+// is the textbook fit, and a single mutex is never the bottleneck next to
+// multi-millisecond solves.
+type lruCache struct {
+	mu    sync.Mutex
+	cap   int
+	m     map[string]*list.Element
+	order *list.List // front = most recently used
+}
+
+type lruEntry struct {
+	key string
+	sol *canonSolution
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{cap: capacity, m: make(map[string]*list.Element), order: list.New()}
+}
+
+// get returns the cached solution for key and marks it most recently used.
+func (c *lruCache) get(key string) (*canonSolution, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).sol, true
+}
+
+// put inserts (or refreshes) key, evicting the least recently used entry
+// when the cache is full.
+func (c *lruCache) put(key string, sol *canonSolution) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*lruEntry).sol = sol
+		c.order.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.order.PushFront(&lruEntry{key: key, sol: sol})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.m, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// len reports the current entry count.
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

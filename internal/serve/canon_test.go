@@ -1,0 +1,209 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/perfmodel"
+)
+
+func randomCanonProblem(rng *rand.Rand) *core.Problem {
+	for {
+		p := randomCanonProblemOnce(rng)
+		// Reject instances whose minimal admissible counts already blow the
+		// budget: the service rightly refuses to solve the unsolvable.
+		need := 0
+		feasible := true
+		for _, t := range p.Tasks {
+			min := t.MinNodes
+			if min < 1 {
+				min = 1
+			}
+			if t.Allowed != nil {
+				m := -1
+				for _, n := range t.Allowed {
+					if n >= min {
+						m = n
+						break
+					}
+				}
+				if m < 0 {
+					feasible = false
+					break
+				}
+				min = m
+			}
+			need += min
+		}
+		if feasible && need <= p.TotalNodes {
+			return p
+		}
+	}
+}
+
+func randomCanonProblemOnce(rng *rand.Rand) *core.Problem {
+	k := 2 + rng.Intn(6)
+	total := 32 + rng.Intn(256)
+	tasks := make([]core.Task, k)
+	for i := range tasks {
+		tasks[i] = core.Task{
+			Name: fmt.Sprintf("t%d", i),
+			Perf: perfmodel.Params{
+				A: 500 + rng.Float64()*50000,
+				B: rng.Float64() * 1e-3,
+				C: 1 + rng.Float64()*0.3,
+				D: rng.Float64() * 5,
+			},
+		}
+		if rng.Intn(3) == 0 {
+			tasks[i].MinNodes = 1 + rng.Intn(3)
+		}
+		if rng.Intn(4) == 0 {
+			var allowed []int
+			n := 1 + rng.Intn(4)
+			for len(allowed) < 5 {
+				allowed = append(allowed, n)
+				n += 1 + rng.Intn(10)
+			}
+			tasks[i].Allowed = allowed
+		}
+	}
+	return &core.Problem{Tasks: tasks, TotalNodes: total, Objective: core.MinMax}
+}
+
+func permuteProblem(rng *rand.Rand, p *core.Problem) (*core.Problem, []int) {
+	perm := rng.Perm(len(p.Tasks))
+	tasks := make([]core.Task, len(p.Tasks))
+	for i, pi := range perm {
+		tasks[pi] = p.Tasks[i]
+	}
+	return &core.Problem{Tasks: tasks, TotalNodes: p.TotalNodes,
+		Objective: p.Objective, UseAllNodes: p.UseAllNodes}, perm
+}
+
+func scaleProblem(p *core.Problem, e int) *core.Problem {
+	tasks := make([]core.Task, len(p.Tasks))
+	copy(tasks, p.Tasks)
+	for i := range tasks {
+		tasks[i].Perf.A = math.Ldexp(tasks[i].Perf.A, e)
+		tasks[i].Perf.B = math.Ldexp(tasks[i].Perf.B, e)
+		tasks[i].Perf.D = math.Ldexp(tasks[i].Perf.D, e)
+	}
+	return &core.Problem{Tasks: tasks, TotalNodes: p.TotalNodes,
+		Objective: p.Objective, UseAllNodes: p.UseAllNodes}
+}
+
+// TestCanonicalKeyInvariance: permuted and exactly power-of-two-rescaled
+// copies of an instance share the canonical cache key; genuinely different
+// instances do not.
+func TestCanonicalKeyInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		p := randomCanonProblem(rng)
+		c0 := canonicalize(routeSolve, p)
+
+		pp, _ := permuteProblem(rng, p)
+		if cp := canonicalize(routeSolve, pp); cp.key != c0.key {
+			t.Fatalf("trial %d: permuted copy changed the key", trial)
+		}
+		// Rescaled copies must NOT share a key: solver tolerances are not
+		// scale-equivariant, so a shared slot could serve a different
+		// optimum (found empirically by the differential harness).
+		e := rng.Intn(13) - 6
+		if e == 0 {
+			e = 7
+		}
+		ps := scaleProblem(pp, e)
+		if cs := canonicalize(routeSolve, ps); cs.key == c0.key {
+			t.Fatalf("trial %d: 2^%d-rescaled copy shares the key", trial, e)
+		}
+
+		// Renaming tasks must not change the key either.
+		pn := &core.Problem{Tasks: append([]core.Task(nil), p.Tasks...),
+			TotalNodes: p.TotalNodes, Objective: p.Objective}
+		for i := range pn.Tasks {
+			pn.Tasks[i].Name = fmt.Sprintf("renamed-%d", i)
+		}
+		if cn := canonicalize(routeSolve, pn); cn.key != c0.key {
+			t.Fatalf("trial %d: renaming tasks changed the key", trial)
+		}
+
+		// Distinct instances get distinct keys.
+		if cr := canonicalize(routeMINLP, p); cr.key == c0.key {
+			t.Fatalf("trial %d: different routes share a key", trial)
+		}
+		p2 := &core.Problem{Tasks: p.Tasks, TotalNodes: p.TotalNodes + 1, Objective: p.Objective}
+		if c2 := canonicalize(routeSolve, p2); c2.key == c0.key {
+			t.Fatalf("trial %d: different budgets share a key", trial)
+		}
+		p3 := scaleProblem(p, 0)
+		p3.Tasks[0].Perf.A *= 1.5 // not a power of two
+		if c3 := canonicalize(routeSolve, p3); c3.key == c0.key {
+			t.Fatalf("trial %d: perturbed coefficients share a key", trial)
+		}
+	}
+}
+
+// TestCanonicalKeyNormalization: redundant constraint spellings hash alike.
+func TestCanonicalKeyNormalization(t *testing.T) {
+	base := func() *core.Problem {
+		return &core.Problem{
+			TotalNodes: 64,
+			Objective:  core.MinMax,
+			Tasks: []core.Task{
+				{Name: "a", Perf: perfmodel.Params{A: 100, C: 1}},
+				{Name: "b", Perf: perfmodel.Params{A: 200, C: 1}, MinNodes: 2, Allowed: []int{2, 4, 8}},
+			},
+		}
+	}
+	k0 := canonicalize(routeSolve, base()).key
+
+	p := base()
+	p.Tasks[0].MinNodes = 1 // MinNodes 0 and 1 mean the same thing
+	if canonicalize(routeSolve, p).key != k0 {
+		t.Fatal("MinNodes 0 vs 1 changed the key")
+	}
+	p = base()
+	p.Tasks[0].MaxNodes = 64 // MaxNodes ≥ total means unbounded
+	if canonicalize(routeSolve, p).key != k0 {
+		t.Fatal("MaxNodes == total vs 0 changed the key")
+	}
+	p = base()
+	p.Tasks[1].Allowed = []int{1, 2, 4, 8} // 1 < MinNodes is inadmissible anyway
+	if canonicalize(routeSolve, p).key != k0 {
+		t.Fatal("inadmissible allowed entry changed the key")
+	}
+	p = base()
+	p.Tasks[1].MaxNodes = 4 // genuinely tighter: must change the key
+	if canonicalize(routeSolve, p).key == k0 {
+		t.Fatal("tighter MaxNodes kept the key")
+	}
+}
+
+// TestUnpermute: the canonical permutation round-trips node vectors.
+func TestUnpermute(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		p := randomCanonProblem(rng)
+		c := canonicalize(routeSolve, p)
+		// Mark each canonical task with a recognizable node count and check
+		// it lands on the request task with the same coefficients.
+		nodes := make([]int, len(c.prob.Tasks))
+		for i := range nodes {
+			nodes[i] = i + 1
+		}
+		out := c.unpermute(nodes)
+		for ci, ri := range c.perm {
+			if out[ri] != ci+1 {
+				t.Fatalf("trial %d: perm[%d]=%d mapped wrong", trial, ci, ri)
+			}
+			if p.Tasks[ri].Perf != c.prob.Tasks[ci].Perf {
+				t.Fatalf("trial %d: canonical task %d is not request task %d", trial, ci, ri)
+			}
+		}
+	}
+}
+

@@ -1,0 +1,53 @@
+package serve
+
+import "sync/atomic"
+
+// counters are the service's expvar-style monitoring counters, exported as
+// JSON by /v1/statz. All fields are monotonically increasing except
+// inFlight (a gauge).
+type counters struct {
+	requests    atomic.Int64 // solve-family requests admitted to decoding
+	hits        atomic.Int64 // cache hits
+	misses      atomic.Int64 // cache misses (triggered or joined a solve)
+	collapsed   atomic.Int64 // requests that joined another request's in-flight solve
+	solves      atomic.Int64 // solver invocations actually run
+	rejected    atomic.Int64 // requests bounced by admission control
+	canceled    atomic.Int64 // requests whose client went away first
+	solveErrors atomic.Int64 // solves that ended in an error
+	bounded     atomic.Int64 // responses serving a deadline-bounded incumbent
+	pivots      atomic.Int64 // total simplex pivots across all solves
+	inFlight    atomic.Int64 // solves currently running (gauge)
+}
+
+// Stats is the JSON snapshot shape of the service counters.
+type Stats struct {
+	Requests    int64 `json:"requests"`
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Collapsed   int64 `json:"collapsed"`
+	Solves      int64 `json:"solves"`
+	Rejected    int64 `json:"rejected"`
+	Canceled    int64 `json:"canceled"`
+	SolveErrors int64 `json:"solveErrors"`
+	Bounded     int64 `json:"bounded"`
+	Pivots      int64 `json:"pivots"`
+	InFlight    int64 `json:"inFlight"`
+	CacheSize   int64 `json:"cacheSize"`
+}
+
+func (c *counters) snapshot(cacheLen int) Stats {
+	return Stats{
+		Requests:    c.requests.Load(),
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Collapsed:   c.collapsed.Load(),
+		Solves:      c.solves.Load(),
+		Rejected:    c.rejected.Load(),
+		Canceled:    c.canceled.Load(),
+		SolveErrors: c.solveErrors.Load(),
+		Bounded:     c.bounded.Load(),
+		Pivots:      c.pivots.Load(),
+		InFlight:    c.inFlight.Load(),
+		CacheSize:   int64(cacheLen),
+	}
+}

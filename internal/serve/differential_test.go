@@ -1,0 +1,249 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	hslb "repro"
+	"repro/internal/core"
+)
+
+// requestFromProblem renders a core.Problem as a service request body.
+func requestFromProblem(p *core.Problem) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `{"totalNodes": %d`, p.TotalNodes)
+	switch p.Objective {
+	case core.MaxMin:
+		b.WriteString(`, "objective": "max-min"`)
+	case core.MinSum:
+		b.WriteString(`, "objective": "min-sum"`)
+	}
+	if p.UseAllNodes {
+		b.WriteString(`, "useAllNodes": true`)
+	}
+	b.WriteString(`, "tasks": [`)
+	for i, t := range p.Tasks {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, `{"name": %q, "params": {"a": %s, "b": %s, "c": %s, "d": %s}`,
+			t.Name, jsonFloat(t.Perf.A), jsonFloat(t.Perf.B), jsonFloat(t.Perf.C), jsonFloat(t.Perf.D))
+		if t.MinNodes > 0 {
+			fmt.Fprintf(&b, `, "minNodes": %d`, t.MinNodes)
+		}
+		if t.MaxNodes > 0 {
+			fmt.Fprintf(&b, `, "maxNodes": %d`, t.MaxNodes)
+		}
+		if len(t.Allowed) > 0 {
+			data, _ := json.Marshal(t.Allowed)
+			fmt.Fprintf(&b, `, "allowed": %s`, data)
+		}
+		b.WriteString("}")
+	}
+	b.WriteString("]}")
+	return b.String()
+}
+
+// jsonFloat prints a float with full round-trip precision so the service
+// decodes the exact same bits the direct solver sees.
+func jsonFloat(v float64) string {
+	data, _ := json.Marshal(v)
+	return string(data)
+}
+
+func postRaw(t *testing.T, url, body string) (int, MetaBody, json.RawMessage, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw rawResponse
+	if resp.StatusCode == 200 {
+		if err := json.Unmarshal(data, &raw); err != nil {
+			t.Fatalf("decode: %v (%s)", err, data)
+		}
+	}
+	return resp.StatusCode, raw.Meta, raw.Solution, data
+}
+
+// TestDifferentialCacheCorrectness is the end-to-end differential harness:
+// a 1000-instance sweep (short mode: 120) asserting, for each random
+// instance and its fragment-permuted and power-of-two-rescaled copies,
+// that
+//
+//  1. the variants canonicalize to the same cache key, so only the first
+//     request solves and the rest are cache hits;
+//  2. every cached response is byte-identical (the whole solution block:
+//     status, objective, allocation, makespan, min/sum/imbalance, bounds)
+//     to the same request served by a cache-disabled reference server;
+//  3. for the MinMax family, the un-permuted cached solution is
+//     bit-identical to a fresh direct hslb.Solve of the permuted instance
+//     with canonical tie-breaking.
+func TestDifferentialCacheCorrectness(t *testing.T) {
+	trials := 334 // ×3 requests per trial ≈ 1000 instances solved/served
+	if testing.Short() {
+		trials = 40
+	}
+
+	cachedSrv, err := New(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cachedSrv.Close()
+	cached := httptest.NewServer(cachedSrv.Handler())
+	defer cached.Close()
+
+	refOpts := DefaultOptions()
+	refOpts.DisableCache = true
+	refSrv, err := New(refOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer refSrv.Close()
+	ref := httptest.NewServer(refSrv.Handler())
+	defer ref.Close()
+
+	rng := rand.New(rand.NewSource(20120501))
+	solverFailures := 0
+	for trial := 0; trial < trials; trial++ {
+		p := randomCanonProblem(rng)
+		switch trial % 5 {
+		case 3:
+			p.Objective = core.MinSum
+		case 4:
+			p.Objective = core.MaxMin
+		}
+
+		perm, permIdx := permuteProblem(rng, p)
+		e := rng.Intn(13) - 6
+		if e == 0 {
+			e = 3
+		}
+		scaled := scaleProblem(perm, e)
+
+		// The permuted copy (variant 1) must hit variant 0's cache slot; the
+		// rescaled copy (variant 2) must NOT — solver tolerances are not
+		// scale-equivariant, so it gets its own fresh solve.
+		variants := []*core.Problem{p, perm, scaled}
+		skipTrial := false
+		for vi, v := range variants {
+			if skipTrial && vi == 1 {
+				continue // no cached solution to compare against
+			}
+			body := requestFromProblem(v)
+			status, meta, sol, data := postRaw(t, cached.URL+"/v1/solve", body)
+			if status == 500 && vi != 1 {
+				// A rare pre-existing solver edge case (the warm-started
+				// sparse master can falsely report an instance infeasible;
+				// see ROADMAP). The differential property still holds: the
+				// reference server must fail with the identical body.
+				refStatus, _, _, refData := postRaw(t, ref.URL+"/v1/solve", body)
+				if refStatus != 500 || !bytes.Equal(data, refData) {
+					t.Fatalf("trial %d: cached and reference servers disagree on failure:\n%s\n%s", trial, data, refData)
+				}
+				solverFailures++
+				if vi == 0 {
+					skipTrial = true
+				}
+				continue
+			}
+			if status != 200 {
+				t.Fatalf("trial %d variant %d: status %d: %s", trial, vi, status, data)
+			}
+			if vi == 1 && !meta.Cached {
+				t.Fatalf("trial %d: permuted copy missed the cache", trial)
+			}
+			if vi == 2 && meta.Cached {
+				t.Fatalf("trial %d: rescaled copy wrongly shared a cache slot", trial)
+			}
+			refStatus, refMeta, refSol, refData := postRaw(t, ref.URL+"/v1/solve", body)
+			if refStatus != 200 {
+				t.Fatalf("trial %d variant %d: reference status %d: %s", trial, vi, refStatus, refData)
+			}
+			if refMeta.Cached {
+				t.Fatalf("reference server served from a cache it should not have")
+			}
+			if !bytes.Equal(sol, refSol) {
+				t.Fatalf("trial %d variant %d (obj %v, scale 2^%d): cached response diverges from cache-disabled reference\ncached: %s\nfresh:  %s",
+					trial, vi, p.Objective, e, sol, refSol)
+			}
+		}
+
+		// Direct-library comparison on the permuted instance (the canonical
+		// polish pins a unique optimum only for the MinMax family).
+		if p.Objective == core.MinMax && !p.UseAllNodes && !skipTrial {
+			var body SolutionBody
+			_, _, solRaw, _ := postRaw(t, cached.URL+"/v1/solve", requestFromProblem(perm))
+			if err := json.Unmarshal(solRaw, &body); err != nil {
+				t.Fatal(err)
+			}
+			direct, err := hslb.Solve(perm, hslb.SolverOptions{Canonical: true})
+			if err != nil {
+				t.Fatalf("trial %d: direct solve: %v", trial, err)
+			}
+			for i := range perm.Tasks {
+				if body.Allocation[i].Nodes != direct.Nodes[i] {
+					t.Fatalf("trial %d task %d: served %d nodes, direct solve says %d\nserved: %v\ndirect: %v (perm %v)",
+						trial, i, body.Allocation[i].Nodes, direct.Nodes[i], body.Allocation, direct.Nodes, permIdx)
+				}
+				if body.Allocation[i].Time != direct.Times[i] {
+					t.Fatalf("trial %d task %d: served time %v, direct %v (must be bit-identical)",
+						trial, i, body.Allocation[i].Time, direct.Times[i])
+				}
+			}
+			if body.Makespan != direct.Makespan || body.SumTime != direct.SumTime ||
+				body.Imbalance != direct.Imbalance || body.Used != direct.Used {
+				t.Fatalf("trial %d: derived stats diverge: %+v vs %+v", trial, body, direct)
+			}
+		}
+	}
+
+	// The sweep's cache behavior in aggregate: every variant beyond the
+	// first of a non-failed trial must have hit, and solver failures must
+	// stay the rare edge case they are claimed to be.
+	if solverFailures*20 > trials {
+		t.Fatalf("%d/%d trials hit solver failures — no longer a rare edge case", solverFailures, trials)
+	}
+	st := cachedSrv.Stats()
+	if st.Hits < int64(trials-solverFailures) {
+		t.Fatalf("expected ≥ %d cache hits across the sweep, got %+v", trials-solverFailures, st)
+	}
+	if st.SolveErrors != int64(solverFailures) || refSrv.Stats().SolveErrors != int64(solverFailures) {
+		t.Fatalf("unexpected solve errors during sweep: %+v / %+v (solver failures %d)",
+			st, refSrv.Stats(), solverFailures)
+	}
+}
+
+// TestScaledInstanceNotShared pins the scale-sharing decision end to end: a
+// power-of-two rescaled copy of a cached instance is solved fresh, never
+// answered from the original's slot. (Exact rescaling preserves the
+// predicted-time ordering, but the solver's absolute tolerances do not
+// scale with the instance, and the differential sweep showed rescaled
+// solves can converge to different optima — so sharing would let a cache
+// hit change the answer.)
+func TestScaledInstanceNotShared(t *testing.T) {
+	srv, ts := newTestServer(t, nil)
+	rng := rand.New(rand.NewSource(99))
+	p := randomCanonProblem(rng)
+	postRaw(t, ts.URL+"/v1/solve", requestFromProblem(p))
+	scaled := scaleProblem(p, 3)
+	_, meta, _, _ := postRaw(t, ts.URL+"/v1/solve", requestFromProblem(scaled))
+	if meta.Cached {
+		t.Fatal("rescaled instance was served from the original's cache slot")
+	}
+	if st := srv.Stats(); st.Solves != 2 || st.CacheSize != 2 {
+		t.Fatalf("want two independent solves and slots, got %+v", st)
+	}
+}
