@@ -1,0 +1,104 @@
+package core
+
+import "math"
+
+// Power-of-two time normalization.
+//
+// The MINLP route hands the branch-and-bound machinery LPs whose rows mix
+// time-dimensioned coefficients (the linearized performance cuts, with
+// magnitudes set by the caller's time units — seconds, milliseconds, …)
+// with dimensionless ±1 entries on the makespan and allocation variables.
+// No tolerance inside the LP layer can make such a mixed system behave
+// identically at every unit choice, and at extreme units the simplex can
+// lose digits outright (the recorded hslbd defect: a cold warm-capable
+// build on second-scale coefficients amplified its tableau to 1e30 and
+// declared a feasible master infeasible). The fix belongs here, where the
+// time dimension is still a single coherent axis: before solving, rescale
+// every time coefficient by a power of two so the largest is O(1), solve,
+// and undo the exact-power-of-two factor on the way out.
+//
+// Powers of two multiply IEEE-754 values without rounding (only the
+// exponent moves, barring under/overflow), so:
+//
+//   - two problems that differ by an exact power-of-two time rescale
+//     normalize to BIT-IDENTICAL problems, making the whole MINLP route —
+//     node counts, pivot sequences, statistics — exactly scale-equivariant;
+//   - the reported times lose nothing: they are recomputed from the
+//     ORIGINAL coefficients (allocationFrom → Evaluate), and only the
+//     solver-internal bound is Ldexp-ed back.
+//
+// The parametric, DP, and greedy routes need none of this: they only ever
+// compare time values produced by perfmodel.Eval on the caller's
+// coefficients, and those comparisons are equivariant under any uniform
+// positive rescale already.
+
+// TimeScaleExp returns the binary exponent e of the problem's time scale:
+// the scale estimate mx satisfies mx = f·2^e with f ∈ [0.5, 1), so dividing
+// every time coefficient by 2^e (see normalizedTime) puts the estimate into
+// [0.5, 1). A degenerate estimate (no positive finite time) yields 0, i.e.
+// no normalization.
+//
+// The estimate is the max over tasks of the task's minimum achievable time
+// — the parametric route's lower bracket on the min-max optimum. It tracks
+// the magnitude of the times the solver actually optimizes over, which is
+// what the absolute solver tolerances (integrality, OA feasibility, gap)
+// are calibrated for; the raw coefficient maximum would be off by the full
+// parallelism factor (A is the one-node time; at the paper's 32768 nodes
+// the optimal makespan sits three orders of magnitude below it).
+//
+// Every quantity involved is exactly equivariant under a power-of-two
+// rescale of (A, B, D): the probe node counts are integer-valued functions
+// of the problem structure and of Perf.ArgMin (which is invariant — moving
+// the time axis does not move the minimizing n), and Perf.Eval at a fixed n
+// scales by exactly the power of two. Hence e(scaled) = e(original) + s and
+// the normalized problems are bit-identical.
+func (p *Problem) TimeScaleExp() int {
+	mx := 0.0
+	for i := range p.Tasks {
+		t := &p.Tasks[i]
+		best := math.Inf(1)
+		if t.Allowed != nil {
+			for _, n := range t.candidates(p.TotalNodes) {
+				if v := t.Perf.Eval(float64(n)); v < best {
+					best = v
+				}
+			}
+		} else {
+			lo, hi := t.rangeFor(p.TotalNodes)
+			am := int(math.Round(t.Perf.ArgMin()))
+			for _, n := range []int{lo, hi, clampInt(am, lo, hi), clampInt(am+1, lo, hi)} {
+				if v := t.Perf.Eval(float64(n)); v < best {
+					best = v
+				}
+			}
+		}
+		if best > mx && !math.IsInf(best, 1) {
+			mx = best
+		}
+	}
+	if mx <= 0 || math.IsNaN(mx) {
+		return 0
+	}
+	_, e := math.Frexp(mx)
+	return e
+}
+
+// normalizedTime returns a copy of the problem with every time-dimensioned
+// performance coefficient (A, B, D — C is the dimensionless communication
+// exponent base) multiplied by 2^-e. Structure (node counts, bounds,
+// allowed sets, objective) is shared or copied unchanged.
+func (p *Problem) normalizedTime(e int) *Problem {
+	q := &Problem{
+		Tasks:       append([]Task(nil), p.Tasks...),
+		TotalNodes:  p.TotalNodes,
+		Objective:   p.Objective,
+		UseAllNodes: p.UseAllNodes,
+	}
+	for i := range q.Tasks {
+		pf := &q.Tasks[i].Perf
+		pf.A = math.Ldexp(pf.A, -e)
+		pf.B = math.Ldexp(pf.B, -e)
+		pf.D = math.Ldexp(pf.D, -e)
+	}
+	return q
+}

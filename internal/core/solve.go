@@ -28,6 +28,10 @@ type SolverOptions struct {
 	// instead of the sparsity-aware path (benchmark ablation; the sparse
 	// kernels are on by default).
 	DisableSparse bool
+	// DisablePresolve skips the LP presolve reduction in front of every
+	// cold LP solve of the MINLP route (ablation knob; the
+	// scale-equivariance test battery exercises both settings).
+	DisablePresolve bool
 	// CutAtFractional adds outer-approximation cuts at fractional nodes.
 	CutAtFractional bool
 	// MaxNodes bounds the branch-and-bound tree; exhausting it is a hard
@@ -182,7 +186,19 @@ func (p *Problem) SolveMINLP(opts SolverOptions) (*Allocation, error) {
 // integer-feasible point was reached. With no limit firing the result is
 // bit-identical to SolveMINLP.
 func (p *Problem) SolveMINLPContext(ctx context.Context, opts SolverOptions) (*Allocation, error) {
-	m, nVars, err := p.BuildModel()
+	// Normalize the time dimension to O(1) by an exact power of two before
+	// formulating (see scale.go): the branch-and-bound machinery then sees
+	// the same bits whatever time units the caller works in, and the LP
+	// layer never faces coefficients at numerically hostile magnitudes.
+	// Times in the returned allocation are computed from the ORIGINAL
+	// coefficients (allocationFrom); only the solver-internal best bound
+	// needs the power-of-two factor undone.
+	e := p.TimeScaleExp()
+	sp := p
+	if e != 0 {
+		sp = p.normalizedTime(e)
+	}
+	m, nVars, err := sp.BuildModel()
 	if err != nil {
 		return nil, err
 	}
@@ -198,6 +214,7 @@ func (p *Problem) SolveMINLPContext(ctx context.Context, opts SolverOptions) (*A
 		DisableWarmStart:    opts.DisableWarmStart,
 		SkipNLPRelaxation:   opts.SkipNLPRelaxation,
 		DisableSparse:       opts.DisableSparse,
+		DisablePresolve:     opts.DisablePresolve,
 		CutAtFractional:     opts.CutAtFractional,
 		MaxNodes:            maxNodes,
 		TimeLimit:           opts.Deadline,
@@ -205,13 +222,14 @@ func (p *Problem) SolveMINLPContext(ctx context.Context, opts SolverOptions) (*A
 		DebugLPCheck:        opts.DebugLPCheck,
 	})
 	if res.Status == minlp.Limit && (graceful || ctx.Err() != nil) {
+		bound := math.Ldexp(res.BestBound, e) // exact: exponent shift only
 		if res.X == nil {
-			return nil, &NoIncumbentError{BestBound: res.BestBound}
+			return nil, &NoIncumbentError{BestBound: bound}
 		}
 		a := p.allocationFrom(res, nVars)
 		a.Bounded = true
-		a.BestBound = res.BestBound
-		a.Gap = RelativeGap(p.ObjectiveValue(a), res.BestBound)
+		a.BestBound = bound
+		a.Gap = RelativeGap(p.ObjectiveValue(a), bound)
 		if opts.Canonical {
 			a = p.CanonicalAllocation(a)
 		}
@@ -462,7 +480,12 @@ func (p *Problem) solveMinMaxParametric(ctx context.Context) (*Allocation, error
 	if lo > hi {
 		lo = hi
 	}
-	for iter := 0; iter < 100 && hi-lo > 1e-12*(1+hi); iter++ {
+	// The convergence test is homogeneous in the time unit (no absolute
+	// "+1" floor): a uniform rescale of the coefficients rescales lo, hi,
+	// and the threshold together, so the bisection runs the same number of
+	// iterations whatever units the caller uses. The 100-iteration cap
+	// bounds the degenerate hi→0 case.
+	for iter := 0; iter < 100 && hi-lo > 1e-12*hi; iter++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -581,7 +604,8 @@ func (p *Problem) solveMaxMinParametric(ctx context.Context) (*Allocation, error
 	if !ok {
 		return nil, errors.New("core: max-min allocation cannot use all nodes (allowed-set gaps)")
 	}
-	for iter := 0; iter < 100 && hi-lo > 1e-12*(1+hi); iter++ {
+	// Homogeneous convergence test; see solveMinMaxParametric.
+	for iter := 0; iter < 100 && hi-lo > 1e-12*hi; iter++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}

@@ -35,11 +35,6 @@ import (
 // standardization must retain every column and row so later TightenBound
 // calls remain absorbable. Problem.DisablePresolve opts cold solves out.
 
-// psTol is the infeasibility tolerance of the trivial checks, aligned with
-// the phase-1 feasibility tolerance so presolve and the simplex agree on
-// borderline instances.
-const psTol = feasEps
-
 // psAction logs one eliminated singleton row for reverse replay.
 type psAction struct {
 	row     int     // original row index

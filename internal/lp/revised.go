@@ -293,7 +293,7 @@ func (rv *revEngine) reinvert() bool {
 		rv.xB[i] = w[i]
 		w[i] = 0
 		lo := rv.lb[rv.basis[i]]
-		if rv.xB[i] < lo && rv.xB[i] > lo-1e-11 {
+		if rv.xB[i] < lo && rv.xB[i] > lo-boundSnapEps {
 			rv.xB[i] = lo
 		}
 	}
@@ -430,7 +430,7 @@ func (rv *revEngine) runPhase(maxIter int) Status {
 			rate := dir * w[i]
 			if rate > pivotEps {
 				l := (rv.xB[i] - rv.lb[rv.basis[i]]) / rate
-				if l < limit-1e-12 || (l < limit+1e-12 && rv.betterLeaving(i, r)) {
+				if l < limit-ratioTieEps || (l < limit+ratioTieEps && rv.betterLeaving(i, r)) {
 					limit, r, rKind = l, i, atLower
 				}
 			} else if rate < -pivotEps {
@@ -439,7 +439,7 @@ func (rv *revEngine) runPhase(maxIter int) Status {
 					continue
 				}
 				l := (ubB - rv.xB[i]) / -rate
-				if l < limit-1e-12 || (l < limit+1e-12 && rv.betterLeaving(i, r)) {
+				if l < limit-ratioTieEps || (l < limit+ratioTieEps && rv.betterLeaving(i, r)) {
 					limit, r, rKind = l, i, atUpper
 				}
 			}
@@ -451,7 +451,7 @@ func (rv *revEngine) runPhase(maxIter int) Status {
 			limit = 0
 		}
 
-		improved := de*dir*limit < -1e-9*(1+math.Abs(rv.obj))
+		improved := de*dir*limit < -progressRelEps*(1+math.Abs(rv.obj))
 		if limit > 0 {
 			for i := 0; i < m; i++ {
 				rv.xB[i] -= w[i] * dir * limit
@@ -483,7 +483,7 @@ func (rv *revEngine) runPhase(maxIter int) Status {
 		}
 		for i := 0; i < m; i++ {
 			lo := rv.lb[rv.basis[i]]
-			if rv.xB[i] < lo && rv.xB[i] > lo-1e-11 {
+			if rv.xB[i] < lo && rv.xB[i] > lo-boundSnapEps {
 				rv.xB[i] = lo
 			}
 		}
@@ -653,8 +653,12 @@ func solveRevised(p *Problem) (*Solution, bool) {
 				resid += rv.xB[i]
 			}
 		}
-		if st == Unbounded || resid > feasEps {
-			return &Solution{Status: Infeasible, Iterations: totalIters, Pivots: rv.pivots}, true
+		if st == Unbounded || resid > feasTol(std.scale) {
+			// The engine never stands behind an Infeasible verdict: a
+			// numerically exploded eta file can manufacture any residual
+			// (see the solveCold confirmation path). Decline and let the
+			// tableau authority decide.
+			return nil, false
 		}
 		// Drive zero-valued artificials out of the basis where a
 		// structural pivot exists (mirrors solveCold; a leftover means a
@@ -678,7 +682,7 @@ func solveRevised(p *Problem) (*Solution, bool) {
 				for t := rv.colPtr[j]; t < rv.colPtr[j+1]; t++ {
 					alpha += y[rv.rowIdx[t]] * rv.colVal[t]
 				}
-				if math.Abs(alpha) > 1e-7 {
+				if math.Abs(alpha) > artPivotEps {
 					rv.ftranColumn(j)
 					if math.Abs(rv.w[i]) <= pivotEps {
 						continue
@@ -722,7 +726,8 @@ func solveRevised(p *Problem) (*Solution, bool) {
 	// finite and inside their bounds. Anything else goes to the tableau.
 	for i, bc := range rv.basis {
 		v := rv.xB[i]
-		if math.IsNaN(v) || v < rv.lb[bc]-1e-6 || v > rv.ub[bc]+1e-6 {
+		gate := revSanityEps * std.scale
+		if math.IsNaN(v) || v < rv.lb[bc]-gate || v > rv.ub[bc]+gate {
 			return nil, false
 		}
 	}

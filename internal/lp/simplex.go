@@ -7,11 +7,7 @@ import (
 	"sync"
 )
 
-const (
-	costEps  = 1e-9 // reduced-cost optimality tolerance
-	pivotEps = 1e-9 // minimum acceptable pivot magnitude
-	feasEps  = 1e-7 // phase-1 feasibility tolerance
-)
+// The package's tolerances (costEps, pivotEps, feasEps, …) live in tol.go.
 
 // varMap records how an original variable was rewritten in standard form.
 type varMap struct {
@@ -65,6 +61,11 @@ type standard struct {
 	// rows are then never materialized and a stays row-count-only (nil
 	// rows), saving the m×n arena entirely.
 	val [][]float64
+
+	// scale is the power-of-two magnitude of the standardized RHS
+	// (primalScale(b), tol.go); every SCALED tolerance of the solve is
+	// multiplied by it so verdicts are relative to the data's units.
+	scale float64
 }
 
 // workspace is the reusable dense-matrix arena for cold solves. Pooling it
@@ -354,6 +355,7 @@ func standardize(p *Problem, ws *workspace, keepFixed, sparseOnly bool) (*standa
 	if sparseOn {
 		s.pat = pats
 	}
+	s.scale = primalScale(s.b)
 	return s, Optimal
 }
 
@@ -437,6 +439,18 @@ type tableau struct {
 	iters  int
 	pivots int // basis-changing pivots (excludes pure bound flips)
 
+	// delta is the Harris ratio-test relative feasibility slack: pass 1
+	// of the ratio test relaxes each basic bound by delta × the
+	// power-of-two magnitude of that bound, letting pass 2 pick the
+	// largest-|pivot| row among those whose exact ratio fits under the
+	// relaxed limit. Per-bound scaling matters: a global slack sized to
+	// the RHS norm over-relaxes the O(1) outer-approximation cut rows by
+	// the budget row's magnitude, delivering solutions whose cut
+	// violations the OA callback (tolerance 1e-6) keeps rejecting — the
+	// cut pool then grows without bound. Zero degrades gracefully to an
+	// exact-tie max-|pivot| rule.
+	delta float64
+
 	// Sparse-kernel state (see sparse.go). pat == nil means the dense
 	// kernels are in charge; the two share the same value rows, so the
 	// sparse path can drop to dense at any time.
@@ -482,17 +496,29 @@ func (t *tableau) run(maxIter int) Status {
 			return Optimal
 		}
 
-		// Ratio test: how far can x_e move in direction dir?
+		// Ratio test (two-pass Harris): how far can x_e move in direction
+		// dir? Pass 1 finds the most limiting ratio with every basic bound
+		// relaxed by the feasibility slack delta; pass 2 picks, among the
+		// rows whose exact ratio fits under that relaxed limit, the one
+		// with the largest pivot magnitude. A single exact-minimum pass
+		// is forced to pivot wherever the minimum happens to fall — on
+		// the near-parallel rows that duplicate outer-approximation cuts
+		// produce, that is a noise-magnitude entry (~1e-7), and a pivot
+		// on it amplifies the whole tableau by its reciprocal. Two such
+		// pivots corrupted reduced costs to 1e14 and made the dense
+		// authority report an "optimal" point 2× outside a column bound.
+		// The price is a bound violation of at most delta on the rows
+		// pass 2 overrides, which is within the solve's feasibility
+		// tolerance by construction (both are feasEps × the primal scale).
 		tMax := t.ub[e] - t.lb[e] // own bound flip distance (lower↔upper)
-		r, rKind := -1, atLower
-		limit := tMax
+		limit1 := tMax
 		for i := 0; i < m; i++ {
 			rate := dir * t.a[i][e] // d(x_B(i))/d(t) = -rate
 			if rate > pivotEps {
 				// Basic variable decreases towards its lower bound.
-				l := (t.b[i] - t.lb[t.basis[i]]) / rate
-				if l < limit-1e-12 || (l < limit+1e-12 && t.betterLeaving(i, r)) {
-					limit, r, rKind = l, i, atLower
+				lo := t.lb[t.basis[i]]
+				if l := (t.b[i] - lo + t.delta*pow2Scale(lo)) / rate; l < limit1 {
+					limit1 = l
 				}
 			} else if rate < -pivotEps {
 				ubB := t.ub[t.basis[i]]
@@ -500,14 +526,46 @@ func (t *tableau) run(maxIter int) Status {
 					continue
 				}
 				// Basic variable increases towards its upper bound.
-				l := (ubB - t.b[i]) / -rate
-				if l < limit-1e-12 || (l < limit+1e-12 && t.betterLeaving(i, r)) {
-					limit, r, rKind = l, i, atUpper
+				if l := (ubB - t.b[i] + t.delta*pow2Scale(ubB)) / -rate; l < limit1 {
+					limit1 = l
 				}
 			}
 		}
-		if math.IsInf(limit, 1) {
+		if math.IsInf(limit1, 1) {
 			return Unbounded
+		}
+		r, rKind := -1, atLower
+		limit := tMax
+		bestRate := 0.0
+		for i := 0; i < m; i++ {
+			rate := dir * t.a[i][e]
+			var l float64
+			var kind int8
+			if rate > pivotEps {
+				l = (t.b[i] - t.lb[t.basis[i]]) / rate
+				kind = atLower
+			} else if rate < -pivotEps {
+				ubB := t.ub[t.basis[i]]
+				if math.IsInf(ubB, 1) {
+					continue
+				}
+				l = (ubB - t.b[i]) / -rate
+				kind = atUpper
+			} else {
+				continue
+			}
+			if l > limit1+ratioTieEps {
+				continue
+			}
+			a := math.Abs(rate)
+			if r < 0 || a > bestRate || (a == bestRate && t.betterLeaving(i, r)) {
+				limit, r, rKind, bestRate = l, i, kind, a
+			}
+		}
+		if r >= 0 && limit > tMax {
+			// Every admissible row blocks later than the entering column's
+			// own bound: flip instead of pivoting.
+			r, limit = -1, tMax
 		}
 		if limit < 0 {
 			limit = 0
@@ -516,7 +574,7 @@ func (t *tableau) run(maxIter int) Status {
 		// Progress is judged relative to the objective scale; absolute
 		// epsilons let 1e-13-sized zigzags reset the stall counter
 		// forever.
-		improved := t.d[e]*dir*limit < -1e-9*(1+math.Abs(t.obj))
+		improved := t.d[e]*dir*limit < -progressRelEps*(1+math.Abs(t.obj))
 		// Move the entering variable by dir·limit.
 		if limit > 0 {
 			for i := 0; i < m; i++ {
@@ -549,7 +607,7 @@ func (t *tableau) run(maxIter int) Status {
 		// Numerical hygiene: clamp tiny bound violations of basic values.
 		for i := 0; i < m; i++ {
 			lo := t.lb[t.basis[i]]
-			if t.b[i] < lo && t.b[i] > lo-1e-11 {
+			if t.b[i] < lo && t.b[i] > lo-boundSnapEps {
 				t.b[i] = lo
 			}
 		}
@@ -724,6 +782,7 @@ func solveCold(p *Problem, ws *workspace, tag *basisTag) (*Solution, *standard, 
 		b:     append([]float64(nil), std.b...),
 		ub:    std.ub,
 		basis: make([]int, m),
+		delta: feasEps,
 	}
 
 	// Initial basis: a slack column that is exactly the identity on the
@@ -834,7 +893,31 @@ func solveCold(p *Problem, ws *workspace, tag *basisTag) (*Solution, *standard, 
 				resid += t.b[i]
 			}
 		}
-		if st == Unbounded || resid > feasEps {
+		if st == Unbounded || resid > feasTol(std.scale) {
+			// An Infeasible conclusion reached with the sparse pattern
+			// kernels is confirmed against the dense authority before it
+			// escapes. The kernels can — rarely — pivot themselves into a
+			// numerical explosion whose phase-1 residual is astronomically
+			// large (the recorded hslbd defect reached 5e30, with st even
+			// reporting Unbounded, impossible for a genuine phase 1); no
+			// residual threshold distinguishes that from honest
+			// infeasibility, so the verdict itself is re-derived densely.
+			// Genuine infeasibles pay one extra dense solve; in the HSLB
+			// stack those are rare because branch-and-bound prunes
+			// contradictory boxes via presolve/empty-box checks first.
+			if std.pat != nil {
+				dense := *p
+				dense.DisableSparse = true
+				sol2, std2, t2, err := solveCold(&dense, ws, tag)
+				if err == nil && sol2 != nil {
+					sol2.Iterations += totalIters
+					sol2.Pivots += t.pivots
+					if sol2.Status != Infeasible && debugInfeasConfirm != nil {
+						debugInfeasConfirm(resid, sol2.Status)
+					}
+				}
+				return sol2, std2, t2, err
+			}
 			if debugPhase1 != nil {
 				debugPhase1(t, std, artStart)
 			}
@@ -851,7 +934,7 @@ func solveCold(p *Problem, ws *workspace, tag *basisTag) (*Solution, *standard, 
 				if t.inBase[j] {
 					continue
 				}
-				if math.Abs(t.a[i][j]) > 1e-7 {
+				if math.Abs(t.a[i][j]) > artPivotEps {
 					t.pivotOutArtificial(i, j)
 					break
 				}

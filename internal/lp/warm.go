@@ -5,19 +5,8 @@ import (
 	"math"
 )
 
-// dualFeasEps is the tolerance on reduced-cost signs when validating an
-// installed basis, and on primal bound violations when picking the dual
-// simplex leaving row.
-const dualFeasEps = 1e-7
-
-// dualPivotEps is the minimum |α| accepted for a dual entering pivot. It is
-// deliberately much stricter than pivotEps: after many warm absorptions an
-// exactly-zero tableau entry carries round-off at the 1e-8 level, and
-// pivoting on such noise amplifies every tableau value by 1/|α| —
-// irreversibly corrupting the shared state the next hundred solves reuse.
-// Rejecting a genuine small pivot is always safe here: with no admissible
-// column runDual reports Infeasible, which reoptimize cold-confirms.
-const dualPivotEps = 1e-7
+// The dual-simplex tolerances (dualFeasEps, dualPivotEps) and warmFeasTol
+// live in tol.go with the rest of the package's tolerance audit.
 
 // refactorEvery bounds the pivots applied to a warm tableau before it is
 // refactorized from the pristine rows to purge accumulated round-off.
@@ -605,6 +594,7 @@ func (inc *Incremental) install(cols []int32, status []int8, checkDual bool) boo
 		banned: append([]bool(nil), t.banned...),
 		iters:  t.iters,
 		pivots: t.pivots,
+		delta:  t.delta,
 	}
 	if sparse {
 		// Re-derive the column counts from the eliminated patterns; a
@@ -705,18 +695,6 @@ func (inc *Incremental) reoptimize() (*Solution, error) {
 	}
 }
 
-// warmFeasTol is the primal feasibility tolerance for accepting a warm
-// Optimal verdict, scaled to the magnitude of the right-hand sides.
-func warmFeasTol(p *Problem) float64 {
-	scale := 1.0
-	for i := range p.rows {
-		if r := math.Abs(p.rows[i].RHS); r > scale {
-			scale = r
-		}
-	}
-	return 1e-7 * scale
-}
-
 // runDual iterates the dual simplex: pick the basic variable most outside
 // its bounds as the leaving row, then the entering column by the dual ratio
 // test over the dual-feasible reduced costs. Bound tightenings and row
@@ -788,7 +766,7 @@ func (t *tableau) runDual(maxIter int) Status {
 				continue
 			}
 			ratio := math.Abs(t.d[j] / alpha)
-			if ratio < best-1e-12 || (ratio < best+1e-12 && (e < 0 || j < e)) {
+			if ratio < best-ratioTieEps || (ratio < best+ratioTieEps && (e < 0 || j < e)) {
 				best, e = ratio, j
 			}
 		}
@@ -819,7 +797,7 @@ func (t *tableau) runDual(maxIter int) Status {
 			} else {
 				t.status[e] = atLower
 			}
-			if gain > 1e-9*(1+math.Abs(t.obj)) {
+			if gain > progressRelEps*(1+math.Abs(t.obj)) {
 				stall = 0
 			} else {
 				stall++
@@ -845,7 +823,7 @@ func (t *tableau) runDual(maxIter int) Status {
 		t.pivot(r, e)
 		t.pivots++
 
-		if step > 1e-9*(1+math.Abs(t.obj)) {
+		if step > progressRelEps*(1+math.Abs(t.obj)) {
 			stall = 0
 		} else {
 			stall++

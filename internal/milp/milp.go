@@ -75,7 +75,12 @@ type Lazy func(x []float64) []LazyCut
 
 // Options tunes the solver. Zero values select defaults.
 type Options struct {
-	IntTol   float64 // integrality tolerance, default 1e-6
+	// IntTol is the integrality tolerance (default 1e-6). Deliberately
+	// dimensionless/absolute: integer variables are count-valued (node
+	// allocations, binaries), so their unit is fixed at 1 and never
+	// rescales with the problem data. The same reasoning covers the
+	// ±1e-9 Ceil/Floor snaps applied to integer bounds at node setup.
+	IntTol float64
 	GapTol   float64 // relative optimality gap, default 1e-9
 	MaxNodes int     // default 200000
 	// TimeLimit stops the search after the given wall-clock budget
@@ -117,6 +122,11 @@ type Options struct {
 	// (lp.Problem.DisableSparse on the base problem, inherited by all
 	// node clones). Benchmark/ablation knob for the sparse path.
 	DisableSparse bool
+	// DisablePresolve skips the LP presolve reduction in front of cold
+	// node solves (lp.Problem.DisablePresolve on the base problem,
+	// inherited by all node clones). Ablation knob for the
+	// scale-equivariance battery.
+	DisablePresolve bool
 }
 
 // Result is the outcome of a solve.
@@ -391,9 +401,11 @@ func SolveContext(ctx context.Context, base *lp.Problem, ints []int, sos []SOS1,
 	if opts.MaxNodes == 0 {
 		opts.MaxNodes = 200000
 	}
-	if opts.DisableSparse && !base.DisableSparse {
-		base = base.Clone() // node LPs clone base, so the flag propagates
-		base.DisableSparse = true
+	if (opts.DisableSparse && !base.DisableSparse) ||
+		(opts.DisablePresolve && !base.DisablePresolve) {
+		base = base.Clone() // node LPs clone base, so the flags propagate
+		base.DisableSparse = base.DisableSparse || opts.DisableSparse
+		base.DisablePresolve = base.DisablePresolve || opts.DisablePresolve
 	}
 	s := &solver{ctx: ctx, base: base, ints: ints, sos: sos, opts: opts,
 		incObj: math.Inf(1), inexactBound: math.Inf(1),
@@ -478,6 +490,13 @@ func SolveContext(ctx context.Context, base *lp.Problem, ints []int, sos []SOS1,
 	return s.res
 }
 
+// pruneEps is the bound-vs-incumbent slack below which a node is fathomed:
+// GapTol relative to the incumbent objective, which is the one value that is
+// guaranteed to carry the problem's objective scale (box bounds do not —
+// they routinely hold big-M values orders of magnitude above any attainable
+// objective). The unit floor covers the no-incumbent and near-zero cases;
+// for the HSLB stack it is exact, because the core layer's power-of-two
+// time normalization delivers O(1) objectives here.
 func (s *solver) pruneEps() float64 {
 	return s.opts.GapTol * (1 + math.Abs(s.incObj))
 }

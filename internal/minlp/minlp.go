@@ -68,7 +68,10 @@ func (s Status) String() string {
 // Options tunes the solver. Zero values select defaults.
 type Options struct {
 	// FeasTol is the nonlinear feasibility tolerance for accepting
-	// incumbents (default 1e-6).
+	// incumbents (default 1e-6). It is applied relative to the
+	// constraint's first-order magnitude at the candidate point (see
+	// model.CutScale), with scale floor 1 — i.e. exactly the historical
+	// absolute tolerance for O(1)-scaled models.
 	FeasTol float64
 	// MaxNodes bounds the branch-and-bound tree (default 200000).
 	MaxNodes int
@@ -83,6 +86,10 @@ type Options struct {
 	// DisableSparse pins every LP — Kelley relaxation and master tree —
 	// to the dense simplex kernels (benchmark/ablation knob).
 	DisableSparse bool
+	// DisablePresolve skips the LP presolve reduction in front of every
+	// cold LP solve of the Kelley relaxation and the master tree
+	// (ablation knob for the scale-equivariance battery).
+	DisablePresolve bool
 	// SkipNLPRelaxation skips step 1 (the initial Kelley solve); the
 	// master then starts from the pure linear relaxation. Used by the
 	// solver ablation benchmarks.
@@ -194,7 +201,12 @@ func SolveContext(ctx context.Context, m *model.Model, opts Options) *Result {
 			for _, v := range vars {
 				vi := m.Var(v)
 				lo, hi := vi.Lo, vi.Hi
-				if math.IsInf(lo, -1) || math.IsInf(hi, 1) || hi-lo < 1e-12 {
+				// The degenerate-box cutoff is relative to the bound
+				// magnitude; an absolute cutoff would misjudge boxes at
+				// units far from O(1). An exactly-pinned box (lo == hi,
+				// including 0) still skips.
+				if math.IsInf(lo, -1) || math.IsInf(hi, 1) ||
+					hi-lo <= 1e-12*math.Max(math.Abs(lo), math.Abs(hi)) {
 					continue
 				}
 				lo, hi = math.Max(lo, -magCap), math.Min(hi, magCap)
@@ -229,6 +241,7 @@ func SolveContext(ctx context.Context, m *model.Model, opts Options) *Result {
 			Tol:              opts.FeasTol / 10,
 			DisableWarmStart: opts.DisableWarmStart,
 			DisableSparse:    opts.DisableSparse,
+			DisablePresolve:  opts.DisablePresolve,
 		})
 		res.LPSolves += relax.Iters
 		res.Pivots += relax.Pivots
@@ -268,11 +281,12 @@ func SolveContext(ctx context.Context, m *model.Model, opts Options) *Result {
 	// the `seen` dedup map stays on the authority's goroutine, keeping the
 	// emitted cut sequence bit-identical to a serial run.
 	seen := make(map[cutKey]bool)
+	varScale := quantScales(m)
 	type verdict struct {
-		violation float64
-		key       cutKey
-		terms     []lp.Term
-		rhs       float64
+		violated bool
+		key      cutKey
+		terms    []lp.Term
+		rhs      float64
 	}
 	lazy := func(x []float64) []milp.LazyCut {
 		nl := m.Nonlinear()
@@ -283,20 +297,28 @@ func SolveContext(ctx context.Context, m *model.Model, opts Options) *Result {
 		verdicts := par.Map(workers, len(nl), func(k int) verdict {
 			g := nl[k].G
 			v := g.Value(x)
+			// Fast path: CutScale ≥ 1, so v ≤ FeasTol is feasible at any
+			// scale and needs no gradient evaluation.
 			if v <= opts.FeasTol {
-				return verdict{violation: v}
+				return verdict{}
 			}
+			// The violation check is relative to the constraint's
+			// first-order magnitude at this very point; the linearization
+			// is needed for both the scale and (if violated) the cut.
 			terms, rhs := m.LinearCutAt(k, x)
-			return verdict{violation: v, key: makeCutKey(k, g.Vars(), x), terms: terms, rhs: rhs}
+			if v <= opts.FeasTol*model.CutScale(terms, rhs, x) {
+				return verdict{}
+			}
+			return verdict{violated: true, key: makeCutKey(k, g.Vars(), x, varScale), terms: terms, rhs: rhs}
 		})
 		var cuts []milp.LazyCut
-		for k, vd := range verdicts {
-			if vd.violation <= opts.FeasTol {
+		for _, vd := range verdicts {
+			if !vd.violated {
 				continue
 			}
 			if seen[vd.key] {
 				if lazyDebug {
-					fmt.Printf("lazy SKIP k=%d viol=%g x=%v\n", k, vd.violation, x)
+					fmt.Printf("lazy SKIP k=%d x=%v\n", vd.key.k, x)
 				}
 				continue
 			}
@@ -321,6 +343,7 @@ func SolveContext(ctx context.Context, m *model.Model, opts Options) *Result {
 		DisableSOSBranching: opts.DisableSOSBranching,
 		DisableWarmStart:    opts.DisableWarmStart,
 		DisableSparse:       opts.DisableSparse,
+		DisablePresolve:     opts.DisablePresolve,
 		CutAtFractional:     opts.CutAtFractional,
 		Lazy:                lazy,
 		DebugLPCheck:        opts.DebugLPCheck,
@@ -365,11 +388,39 @@ type cutKey struct {
 	hash uint64
 }
 
-func makeCutKey(k int, vars []int, x []float64) cutKey {
-	// FNV-style hash over the coordinates rounded to 1e-6.
+// quantScales precomputes, per variable, the reciprocal quantization step
+// for cut deduplication: 2^40 divided by the power-of-two magnitude of the
+// variable's box. Two linearization points collide only when they agree to
+// ~1e-12 of the variable's own range — always at least as fine as the
+// historical absolute 1e-6 rounding (a coarser key could merge genuinely
+// different cuts and let a violated incumbent slip past the lazy check),
+// and, being a pure power of two, the quantization maps exactly across
+// power-of-two rescalings of the model data.
+func quantScales(m *model.Model) []float64 {
+	s := make([]float64, m.NumVars())
+	for v := range s {
+		vi := m.Var(v)
+		b := 0.0
+		if lo := math.Abs(vi.Lo); !math.IsInf(lo, 1) {
+			b = lo
+		}
+		if hi := math.Abs(vi.Hi); !math.IsInf(hi, 1) && hi > b {
+			b = hi
+		}
+		e := 0
+		if b > 1 {
+			_, e = math.Frexp(b)
+		}
+		s[v] = math.Ldexp(1, 40-e)
+	}
+	return s
+}
+
+func makeCutKey(k int, vars []int, x []float64, varScale []float64) cutKey {
+	// FNV-style hash over the box-relative quantized coordinates.
 	h := uint64(1469598103934665603)
 	for _, v := range vars {
-		q := int64(math.Round(x[v] * 1e6))
+		q := int64(math.Round(x[v] * varScale[v]))
 		for i := 0; i < 8; i++ {
 			h ^= uint64(q >> (8 * i) & 0xff)
 			h *= 1099511628211

@@ -1,0 +1,54 @@
+package model
+
+import (
+	"math"
+
+	"repro/internal/lp"
+)
+
+// CutScale returns the power-of-two round-off scale of a nonlinear
+// constraint's first-order expansion at the candidate point x: the largest
+// magnitude among the linearization's terms |coefᵢ·xᵢ| and its right-hand
+// side, rounded up to a power of two with a floor of one.
+//
+// This is the cancellation magnitude of evaluating g near x — the individual
+// quantities that add up to the (near-zero) constraint value — and therefore
+// the scale of the round-off noise any feasibility verdict on g(x) has to
+// tolerate. The OA solver and the Kelley relaxation multiply their
+// feasibility tolerances by it, so "violated beyond tol" means the same
+// thing whatever units the constraint's data carries.
+//
+// Two properties matter for the scale-equivariance battery:
+//
+//   - the floor keeps already-O(1) constraints (the HSLB models after the
+//     core layer's power-of-two time normalization) on the plain absolute
+//     tolerance, and
+//   - the power-of-two form multiplies tolerances without rounding, so
+//     accept/reject decisions are bit-identical across exact power-of-two
+//     rescalings of the model data.
+//
+// The scale is deliberately computed from the candidate point rather than
+// from the variable box: boxes routinely carry big-M bounds (a makespan
+// variable bounded by 1e12 says nothing about the makespan's magnitude), and
+// a box-derived estimate would loosen the tolerance by the full big-M
+// factor. The candidate point is where the verdict is taken; its term
+// magnitudes are the honest scale there.
+func CutScale(terms []lp.Term, rhs float64, x []float64) float64 {
+	mx := math.Abs(rhs)
+	for _, t := range terms {
+		if v := math.Abs(t.Coef * x[t.Var]); v > mx {
+			mx = v
+		}
+	}
+	return pow2Floor1(mx)
+}
+
+// pow2Floor1 is the smallest power of two ≥ max(1, v); non-finite v maps
+// to 1 so a wild evaluation can never loosen a tolerance unboundedly.
+func pow2Floor1(v float64) float64 {
+	if !(v > 1) || math.IsInf(v, 1) {
+		return 1
+	}
+	_, e := math.Frexp(v)
+	return math.Ldexp(1, e)
+}

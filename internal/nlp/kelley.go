@@ -49,14 +49,21 @@ type ConvexResult struct {
 
 // ConvexOptions tunes SolveConvex. Zero values select defaults.
 type ConvexOptions struct {
-	MaxIter int     // default 400
-	Tol     float64 // nonlinear feasibility tolerance, default 1e-7
+	MaxIter int // default 400
+	// Tol is the nonlinear feasibility tolerance (default 1e-7), applied
+	// relative to each constraint's first-order magnitude at the candidate
+	// point (model.CutScale, power-of-two factors with floor 1).
+	Tol float64
 	// DisableWarmStart solves every cutting-plane iteration from scratch
 	// instead of dual-simplex reoptimizing from the previous basis.
 	DisableWarmStart bool
 	// DisableSparse pins the LP relaxation to the dense simplex kernels
 	// (benchmark/ablation knob for the sparse path).
 	DisableSparse bool
+	// DisablePresolve skips the LP presolve reduction in front of cold
+	// relaxation solves (ablation knob for the scale-equivariance
+	// battery; warm solves never presolve).
+	DisablePresolve bool
 }
 
 // SolveConvex minimizes the model's linear objective over its linear
@@ -78,6 +85,7 @@ func SolveConvex(m *model.Model, opts ConvexOptions) *ConvexResult {
 	}
 	p := m.LPRelaxation()
 	p.DisableSparse = opts.DisableSparse
+	p.DisablePresolve = opts.DisablePresolve
 	res := &ConvexResult{}
 	nl := m.Nonlinear()
 	// Each iteration only appends cuts, so the previous optimal basis
@@ -119,26 +127,24 @@ func SolveConvex(m *model.Model, opts ConvexOptions) *ConvexResult {
 			res.Status = ConvexIterLimit
 			return res
 		}
-		worst, worstViol := -1, opts.Tol
-		for k := range nl {
-			if v := nl[k].G.Value(sol.X); v > worstViol {
-				worst, worstViol = k, v
-			}
-		}
-		if worst < 0 {
-			res.Status = ConvexOptimal
-			res.X = sol.X
-			res.Obj = m.EvalObjective(sol.X)
-			return res
-		}
 		// Cut every violated constraint at this point (not only the
-		// worst): fewer LP resolves in practice.
+		// worst): fewer LP resolves in practice. "Violated" is judged
+		// relative to the constraint's first-order magnitude at this point
+		// (model.CutScale, floor 1); the linearization is computed anyway
+		// for the cut, so the scale costs nothing extra. A value below Tol
+		// is feasible at any scale and skips the gradient evaluation.
 		added := false
 		for k := range nl {
-			if nl[k].G.Value(sol.X) > opts.Tol {
-				m.LinearizeAt(p, k, sol.X)
-				added = true
+			v := nl[k].G.Value(sol.X)
+			if v <= opts.Tol {
+				continue
 			}
+			terms, rhs := m.LinearCutAt(k, sol.X)
+			if v <= opts.Tol*model.CutScale(terms, rhs, sol.X) {
+				continue
+			}
+			p.AddConstraint(terms, lp.LE, rhs, "oa["+nl[k].Name+"]")
+			added = true
 		}
 		if !added {
 			res.Status = ConvexOptimal

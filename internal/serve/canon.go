@@ -21,23 +21,39 @@ import (
 // (MinNodes 0 vs 1, MaxNodes 0 vs ≥ N, allowed-set entries outside the
 // admissible range).
 //
-// Performance coefficients are deliberately hashed at their raw bits, NOT
-// magnitude-normalized. Power-of-two rescaling of a, b, d scales every
-// predicted time exactly, so sharing cache slots across rescaled copies of
-// a workload looks safe — but the branch-and-bound stack carries absolute
-// tolerances (feasibility and cut tolerances that do not scale with the
-// instance), and the differential harness caught rescaled instances
-// converging to measurably different optima (≈0.7% apart at 2^6). A cache
-// hit must never change an answer, so scale-sharing was rejected; see
-// DESIGN.md and TestScaledInstanceNotShared.
+// Performance coefficients are hashed in scale-canonical form: every
+// time-dimensioned coefficient (a, b, d — not the dimensionless exponent
+// base c) is divided by the instance's power-of-two time scale
+// (core.Problem.TimeScaleExp) before its bits enter the hash, so an entire
+// family of exact power-of-two rescalings of one workload collapses to a
+// single cache entry.
+//
+// This is sound because every solver route is exactly equivariant under
+// such rescalings: the parametric/DP/greedy routes only compare
+// perfmodel.Eval values (which scale by the exact power of two), and the
+// MINLP route normalizes its own time axis with the same TimeScaleExp
+// before branch and bound, so two pow-2-related instances run bit-identical
+// searches and return the same node vector. Only the node vector is cached;
+// all reported times are re-evaluated on the requesting problem's own
+// coefficients (buildSolution), so a cache hit is byte-identical to an
+// uncached solve of that exact request. (Earlier revisions hashed raw bits
+// because the solver stack carried absolute tolerances and rescaled
+// instances could converge to different optima; the relative-tolerance
+// overhaul removed that failure mode — see DESIGN.md "Numerics and
+// tolerances".)
+//
+// Non-power-of-two rescalings do NOT share a key: dividing by the
+// power-of-two scale leaves their mantissa bits distinct. That is
+// deliberate — only the power-of-two quotient is exact in IEEE-754, so only
+// there is bit-identity of the search guaranteed.
 type canonical struct {
 	// key is the hex SHA-256 cache key over (route, objective, budget
-	// semantics, canonicalized tasks).
+	// semantics, scale-canonicalized tasks).
 	key string
 	// prob is the canonicalized instance the service actually solves: the
 	// requesting problem with tasks reordered and representationally
-	// normalized, but NOT rescaled — solver tolerances see the caller's
-	// magnitudes.
+	// normalized, at the caller's own time scale (the MINLP route
+	// normalizes internally; the other routes are scale-equivariant as-is).
 	prob *core.Problem
 	// perm maps canonical task index → request task index, for
 	// un-permuting the cached node vector on the way out.
@@ -143,10 +159,14 @@ func taskLess(a, b *core.Task) bool {
 
 // hashInstance computes the canonical cache key. The encoding is a flat,
 // fixed-order byte stream: any field that can alter the solution — route,
-// objective, budget semantics, total nodes, and every task's coefficient
-// bits and constraint set — is included; names, deadlines (only
-// proven-optimal results are cached, and those are deadline-independent),
-// and parallelism (bit-identical by the par contract) are not.
+// objective, budget semantics, total nodes, and every task's
+// scale-canonical coefficient bits and constraint set — is included; names,
+// deadlines (only proven-optimal results are cached, and those are
+// deadline-independent), and parallelism (bit-identical by the par
+// contract) are not. The time scale exponent itself is deliberately NOT
+// hashed: it is the one quantity that differs across a power-of-two
+// rescaled family, and erasing it is exactly what lets the family share a
+// slot.
 func hashInstance(route string, p *core.Problem) string {
 	h := sha256.New()
 	var buf [8]byte
@@ -155,6 +175,10 @@ func hashInstance(route string, p *core.Problem) string {
 		h.Write(buf[:])
 	}
 	wf := func(v float64) { wu(math.Float64bits(v)) }
+	e := p.TimeScaleExp()
+	if e != 0 && !scaleExact(p, e) {
+		e = 0
+	}
 	h.Write([]byte(route))
 	h.Write([]byte{0})
 	wu(uint64(p.Objective))
@@ -166,10 +190,10 @@ func hashInstance(route string, p *core.Problem) string {
 	wu(uint64(p.TotalNodes))
 	for i := range p.Tasks {
 		t := &p.Tasks[i]
-		wf(t.Perf.A)
-		wf(t.Perf.B)
-		wf(t.Perf.C)
-		wf(t.Perf.D)
+		wf(math.Ldexp(t.Perf.A, -e))
+		wf(math.Ldexp(t.Perf.B, -e))
+		wf(t.Perf.C) // dimensionless exponent base: not time-scaled
+		wf(math.Ldexp(t.Perf.D, -e))
 		wu(uint64(t.MinNodes))
 		wu(uint64(t.MaxNodes))
 		wu(uint64(len(t.Allowed)))
@@ -178,6 +202,25 @@ func hashInstance(route string, p *core.Problem) string {
 		}
 	}
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// scaleExact reports whether dividing every time coefficient by 2^e is an
+// exact IEEE-754 operation (no underflow to subnormal loss, no overflow).
+// If not, the instance is hashed at its raw scale: losing a cache-sharing
+// opportunity is fine, letting two numerically distinct instances collide
+// on one key is not.
+func scaleExact(p *core.Problem, e int) bool {
+	ok := func(x float64) bool {
+		y := math.Ldexp(x, -e)
+		return !math.IsInf(y, 0) && math.Ldexp(y, e) == x
+	}
+	for i := range p.Tasks {
+		pf := &p.Tasks[i].Perf
+		if !ok(pf.A) || !ok(pf.B) || !ok(pf.D) {
+			return false
+		}
+	}
+	return true
 }
 
 // unpermute maps a canonical-order node vector back onto request task
