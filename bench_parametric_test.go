@@ -1,0 +1,209 @@
+package hslb
+
+// Parametric breakpoint-table benchmarks: solving one N-parameterized
+// family at EVERY budget in a range, either directly (one solve per
+// budget) or through a breakpoint table (a handful of solves walking the
+// segments, then pure lookups). TestMain records the totals in
+// BENCH_parametric.json, which the CI bench job archives:
+//
+//	go test . -run xxx -bench ParametricSweep -benchtime 1x
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/perfmodel"
+	"repro/internal/stats"
+)
+
+// parametricRecord is one sweep benchmark's totals, serialized into
+// BENCH_parametric.json.
+type parametricRecord struct {
+	Name     string  `json:"name"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	Budgets  int     `json:"budgets"`
+	Solves   float64 `json:"solves_per_op"`
+	Segments int     `json:"segments,omitempty"`
+}
+
+var parametricMu sync.Mutex
+var parametricRecords []parametricRecord
+
+func recordParametric(b *testing.B, budgets, segments int, solves float64) {
+	b.ReportMetric(solves/float64(b.N), "solves/op")
+	parametricMu.Lock()
+	parametricRecords = append(parametricRecords, parametricRecord{
+		Name:     b.Name(),
+		NsPerOp:  float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		Budgets:  budgets,
+		Solves:   solves / float64(b.N),
+		Segments: segments,
+	})
+	parametricMu.Unlock()
+}
+
+func writeParametricJSON() {
+	parametricMu.Lock()
+	defer parametricMu.Unlock()
+	sort.Slice(parametricRecords, func(i, j int) bool {
+		return parametricRecords[i].Name < parametricRecords[j].Name
+	})
+	byName := map[string]parametricRecord{}
+	for _, r := range parametricRecords {
+		byName[r.Name] = r
+	}
+	out := struct {
+		Benchmarks []parametricRecord `json:"benchmarks"`
+		// SweepSpeedup is the headline number: direct per-budget solving
+		// vs the table build plus lookups, same family, same budgets.
+		SweepSpeedup float64 `json:"sweep_speedup,omitempty"`
+	}{Benchmarks: parametricRecords}
+	d, dok := byName["BenchmarkParametricSweepDirect"]
+	tb, tok := byName["BenchmarkParametricSweepTable"]
+	if dok && tok && tb.NsPerOp > 0 {
+		out.SweepSpeedup = d.NsPerOp / tb.NsPerOp
+		fmt.Printf("\nparametric sweep: direct %.3fms vs table %.3fms (%.1fx) over %d budgets\n",
+			d.NsPerOp/1e6, tb.NsPerOp/1e6, out.SweepSpeedup, d.Budgets)
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "parametric bench collector:", err)
+		return
+	}
+	if err := os.WriteFile("BENCH_parametric.json", append(buf, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "parametric bench collector:", err)
+	}
+}
+
+// sweepFamily is the production workload shape: a few tasks, each
+// restricted to power-of-two sweet-spot node counts, swept across the
+// whole budget range.
+func sweepFamily(seed uint64, total int) *core.Problem {
+	rng := stats.NewRNG(seed)
+	p := &core.Problem{TotalNodes: total, Objective: core.MinMax}
+	for t := 0; t < 4; t++ {
+		var set []int
+		for n := 1; n <= total; n *= 2 {
+			set = append(set, n)
+		}
+		p.Tasks = append(p.Tasks, core.Task{
+			Name: "t",
+			Perf: perfmodel.Params{
+				A: rng.Range(1e3, 5e4),
+				B: rng.Range(0, 1e-3),
+				C: 1 + rng.Float64()*0.4,
+				D: rng.Range(0, 10),
+			},
+			Allowed: set,
+		})
+	}
+	return p
+}
+
+const sweepTotal = 2048
+
+func sweepRange(p *core.Problem) (int, int) { return len(p.Tasks), p.TotalNodes }
+
+// BenchmarkParametricSweepDirect solves the family at every budget, one
+// parametric solve per budget — the pre-table cost of answering "what is
+// the optimal allocation at every machine size".
+func BenchmarkParametricSweepDirect(b *testing.B) {
+	p := sweepFamily(47, sweepTotal)
+	lo, hi := sweepRange(p)
+	solves := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for n := lo; n <= hi; n++ {
+			q := p.WithBudget(n)
+			if q.Validate() != nil {
+				continue
+			}
+			if _, err := q.SolveParametricContext(context.Background()); err != nil {
+				b.Fatalf("N=%d: %v", n, err)
+			}
+			solves++
+		}
+	}
+	recordParametric(b, hi-lo+1, 0, float64(solves))
+}
+
+// BenchmarkParametricSweepTable answers the same sweep by building the
+// breakpoint table once (a handful of boundary-walking solves) and serving
+// every budget by lookup.
+func BenchmarkParametricSweepTable(b *testing.B) {
+	p := sweepFamily(47, sweepTotal)
+	lo, hi := sweepRange(p)
+	var solves float64
+	var segments int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab, err := core.BuildParametricTable(context.Background(), p, lo, hi, core.TableOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for n := lo; n <= hi; n++ {
+			tab.Lookup(n)
+		}
+		solves += float64(tab.Solves)
+		segments = len(tab.Segments)
+	}
+	recordParametric(b, hi-lo+1, segments, solves)
+}
+
+// TestParametricSweepAmortization is the deterministic form of the bench
+// claim: on the production workload shape, the table answers the full
+// budget sweep with at least 10x fewer solver calls than per-budget
+// solving, and the answers are the same (spot-checked bit-for-bit here,
+// exhaustively in internal/core and internal/serve).
+func TestParametricSweepAmortization(t *testing.T) {
+	p := sweepFamily(47, sweepTotal)
+	lo, hi := sweepRange(p)
+	start := time.Now()
+	tab, err := core.BuildParametricTable(context.Background(), p, lo, hi, core.TableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buildTime := time.Since(start)
+	budgets := hi - lo + 1
+	if tab.Solves*10 > budgets {
+		t.Fatalf("table spent %d solves for %d budgets — amortization below 10x", tab.Solves, budgets)
+	}
+	start = time.Now()
+	checked := 0
+	for n := lo; n <= hi; n += 97 { // spot-check a spread of budgets
+		q := p.WithBudget(n)
+		if q.Validate() != nil {
+			continue
+		}
+		a, err := q.SolveParametricContext(context.Background())
+		if err != nil {
+			t.Fatalf("N=%d: %v", n, err)
+		}
+		a = q.CanonicalAllocation(a)
+		seg, ok := tab.Lookup(n)
+		if !ok {
+			t.Fatalf("N=%d: solvable budget not covered", n)
+		}
+		if seg.Makespan != a.Makespan {
+			t.Fatalf("N=%d: table %v vs direct %v", n, seg.Makespan, a.Makespan)
+		}
+		for i := range a.Nodes {
+			if seg.Nodes[i] != a.Nodes[i] {
+				t.Fatalf("N=%d: nodes %v vs %v", n, seg.Nodes, a.Nodes)
+			}
+		}
+		checked++
+	}
+	directTime := time.Since(start)
+	perBudget := directTime / time.Duration(checked)
+	t.Logf("table: %d segments, %d solves for %d budgets (%.0fx solve amortization); build %v vs ~%v direct (est. %v for all budgets)",
+		len(tab.Segments), tab.Solves, budgets, float64(budgets)/float64(tab.Solves),
+		buildTime, perBudget, perBudget*time.Duration(budgets))
+}

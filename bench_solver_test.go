@@ -76,6 +76,9 @@ func TestMain(m *testing.M) {
 	if len(scalingRecords) > 0 {
 		writeScalingJSON()
 	}
+	if len(parametricRecords) > 0 {
+		writeParametricJSON()
+	}
 	os.Exit(code)
 }
 

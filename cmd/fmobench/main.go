@@ -37,6 +37,7 @@ var runners = []struct {
 	{"F2", experiments.F2Layouts},
 	{"T7", experiments.T7Crossover},
 	{"T8", experiments.T8Families},
+	{"T9", experiments.T9ParametricTable},
 }
 
 func main() {

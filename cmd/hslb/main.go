@@ -248,6 +248,8 @@ func cmdJobSize(args []string) error {
 	in := fs.String("in", "-", "tasks JSON (default stdin)")
 	sizes := fs.String("sizes", "", "comma-separated candidate machine sizes (required)")
 	minEff := fs.Float64("min-efficiency", 0.7, "efficiency floor for the cost-efficient size")
+	table := fs.Bool("table", false,
+		"answer the sweep from one parametric breakpoint table instead of solving per size")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -275,9 +277,21 @@ func cmdJobSize(args []string) error {
 		}
 		cands = append(cands, n)
 	}
-	pts, err := core.SweepJobSize(tasks, core.MinMax, cands)
-	if err != nil {
-		return err
+	var pts []core.JobSizePoint
+	var err error
+	if *table {
+		var tab *core.ParametricTable
+		pts, tab, err = core.SweepJobSizeTable(context.Background(), tasks, core.MinMax, cands)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("parametric table: budgets [%d, %d], %d segments, %d solves (%d budgets skipped)\n\n",
+			tab.FromN, tab.ToN, len(tab.Segments), tab.Solves, tab.Skipped)
+	} else {
+		pts, err = core.SweepJobSizeContext(context.Background(), tasks, core.MinMax, cands)
+		if err != nil {
+			return err
+		}
 	}
 	fmt.Printf("%10s %14s %12s %10s %12s\n", "nodes", "makespan, s", "node-hours", "speedup", "efficiency")
 	for _, p := range pts {

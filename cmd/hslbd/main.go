@@ -43,6 +43,8 @@ func run(args []string) error {
 	addr := fs.String("addr", ":8080", "listen address")
 	cacheSize := fs.Int("cache-size", def.CacheSize, "solution cache capacity (entries)")
 	disableCache := fs.Bool("disable-cache", false, "turn the solution cache off")
+	tableCacheSize := fs.Int("table-cache-size", 1024,
+		"parametric breakpoint-table capacity (task families); 0 disables tables")
 	maxInFlight := fs.Int("max-inflight", def.MaxInFlight, "max concurrently running solves")
 	queueTimeout := fs.Duration("queue-timeout", def.QueueTimeout, "max wait for a solve slot before 429")
 	batchWindow := fs.Duration("batch-window", def.BatchWindow, "delay before each solve so identical requests collapse into it")
@@ -56,6 +58,7 @@ func run(args []string) error {
 	opts := def
 	opts.CacheSize = *cacheSize
 	opts.DisableCache = *disableCache
+	opts.TableCacheSize = *tableCacheSize
 	opts.MaxInFlight = *maxInFlight
 	opts.QueueTimeout = *queueTimeout
 	opts.BatchWindow = *batchWindow

@@ -163,4 +163,30 @@ var (
 	SweepJobSize      = core.SweepJobSize
 	FastestSize       = core.FastestSize
 	CostEfficientSize = core.CostEfficientSize
+	// SweepJobSizeContext is SweepJobSize with cancellation.
+	SweepJobSizeContext = core.SweepJobSizeContext
+	// SweepJobSizeTable answers the sweep from one parametric breakpoint
+	// table instead of one solve per candidate size, and returns the table.
+	SweepJobSizeTable = core.SweepJobSizeTable
 )
+
+// ParametricTable is the piecewise-constant allocation table of an
+// N-parameterized instance family: the full answer to "how would the
+// optimal allocation change with the node budget", computed with a handful
+// of solves by walking breakpoints instead of re-solving every budget. See
+// BuildParametricTable.
+type ParametricTable = core.ParametricTable
+
+// TableSegment is one budget bracket of a ParametricTable on which the
+// optimal allocation is constant.
+type TableSegment = core.TableSegment
+
+// TableOptions configures BuildParametricTable.
+type TableOptions = core.TableOptions
+
+// BuildParametricTable computes the allocation table of base over the
+// budget range [fromN, toN], verifying every segment boundary against a
+// fresh solve.
+func BuildParametricTable(ctx context.Context, base *Problem, fromN, toN int, opts TableOptions) (*ParametricTable, error) {
+	return core.BuildParametricTable(ctx, base, fromN, toN, opts)
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 )
@@ -21,18 +22,50 @@ type JobSizePoint struct {
 	Efficiency float64 `json:"efficiency"` // Speedup × smallestN / Nodes
 }
 
+func validateCandidates(candidates []int) error {
+	if len(candidates) == 0 {
+		return errors.New("core: no candidate sizes")
+	}
+	for i := 1; i < len(candidates); i++ {
+		if candidates[i] <= candidates[i-1] {
+			return errors.New("core: candidate sizes must be strictly increasing")
+		}
+	}
+	return nil
+}
+
+// jobSizePoint derives the sweep statistics of one candidate from its
+// makespan; base is makespan₀ × n₀ of the smallest candidate.
+func jobSizePoint(n, n0 int, makespan, base float64, first bool) JobSizePoint {
+	pt := JobSizePoint{
+		Nodes:     n,
+		Makespan:  makespan,
+		NodeHours: float64(n) * makespan / 3600,
+	}
+	if first {
+		pt.Speedup = 1
+		pt.Efficiency = 1
+	} else {
+		pt.Speedup = base / float64(n0) / makespan
+		pt.Efficiency = base / (makespan * float64(n))
+	}
+	return pt
+}
+
 // SweepJobSize solves the allocation problem at each candidate machine size
 // (ascending) and reports makespan, node-hours, and efficiency relative to
 // the smallest candidate. The tasks are shared across sizes; per-task
 // restrictions apply at every size.
 func SweepJobSize(tasks []Task, objective Objective, candidates []int) ([]JobSizePoint, error) {
-	if len(candidates) == 0 {
-		return nil, errors.New("core: no candidate sizes")
-	}
-	for i := 1; i < len(candidates); i++ {
-		if candidates[i] <= candidates[i-1] {
-			return nil, errors.New("core: candidate sizes must be strictly increasing")
-		}
+	return SweepJobSizeContext(context.Background(), tasks, objective, candidates)
+}
+
+// SweepJobSizeContext is SweepJobSize with cooperative cancellation: ctx is
+// threaded into every per-size solve, so a cancelled sweep stops mid-range
+// and returns ctx's error instead of running the remaining sizes.
+func SweepJobSizeContext(ctx context.Context, tasks []Task, objective Objective, candidates []int) ([]JobSizePoint, error) {
+	if err := validateCandidates(candidates); err != nil {
+		return nil, err
 	}
 	points := make([]JobSizePoint, 0, len(candidates))
 	var base float64
@@ -41,26 +74,56 @@ func SweepJobSize(tasks []Task, objective Objective, candidates []int) ([]JobSiz
 		if err := p.Validate(); err != nil {
 			return nil, fmt.Errorf("core: size %d: %w", n, err)
 		}
-		a, err := p.SolveParametric()
+		a, err := p.SolveParametricContext(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("core: size %d: %w", n, err)
 		}
-		pt := JobSizePoint{
-			Nodes:     n,
-			Makespan:  a.Makespan,
-			NodeHours: float64(n) * a.Makespan / 3600,
-		}
 		if i == 0 {
 			base = a.Makespan * float64(n)
-			pt.Speedup = 1
-			pt.Efficiency = 1
-		} else {
-			pt.Speedup = base / float64(candidates[0]) / a.Makespan
-			pt.Efficiency = base / (a.Makespan * float64(n))
 		}
-		points = append(points, pt)
+		points = append(points, jobSizePoint(n, candidates[0], a.Makespan, base, i == 0))
 	}
 	return points, nil
+}
+
+// SweepJobSizeTable is SweepJobSizeContext through a parametric breakpoint
+// table: one table build over [candidates[0], candidates[last]] answers
+// every candidate by lookup, and the table is returned for reuse (further
+// sizes in range cost a binary search, not a solve). Candidates falling in
+// a table gap are solved directly, so the points are always exactly those
+// of SweepJobSizeContext.
+func SweepJobSizeTable(ctx context.Context, tasks []Task, objective Objective, candidates []int) ([]JobSizePoint, *ParametricTable, error) {
+	if err := validateCandidates(candidates); err != nil {
+		return nil, nil, err
+	}
+	base0 := &Problem{Tasks: tasks, TotalNodes: candidates[len(candidates)-1], Objective: objective}
+	tab, err := BuildParametricTable(ctx, base0, candidates[0], candidates[len(candidates)-1], TableOptions{})
+	if err != nil {
+		return nil, nil, err
+	}
+	points := make([]JobSizePoint, 0, len(candidates))
+	var base float64
+	for i, n := range candidates {
+		var makespan float64
+		if seg, ok := tab.Lookup(n); ok {
+			makespan = seg.Makespan
+		} else {
+			p := &Problem{Tasks: tasks, TotalNodes: n, Objective: objective}
+			if err := p.Validate(); err != nil {
+				return nil, nil, fmt.Errorf("core: size %d: %w", n, err)
+			}
+			a, err := p.SolveParametricContext(ctx)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: size %d: %w", n, err)
+			}
+			makespan = a.Makespan
+		}
+		if i == 0 {
+			base = makespan * float64(n)
+		}
+		points = append(points, jobSizePoint(n, candidates[0], makespan, base, i == 0))
+	}
+	return points, tab, nil
 }
 
 // FastestSize returns the swept size with the smallest makespan (ties go to

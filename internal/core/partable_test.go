@@ -1,0 +1,386 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// directAt is the reference answer the table must reproduce bit-for-bit.
+func directAt(t *testing.T, base *Problem, n int) *Allocation {
+	t.Helper()
+	p := base.WithBudget(n)
+	if p.Validate() != nil {
+		return nil
+	}
+	a, err := p.SolveParametricContext(context.Background())
+	if err != nil {
+		return nil
+	}
+	return p.CanonicalAllocation(a)
+}
+
+// TestParametricTableMatchesDirect is the core-side differential property:
+// every budget in the table range answers bit-identically (nodes and
+// makespan) to a per-budget direct solve, and gaps appear exactly where
+// the direct solve declines.
+func TestParametricTableMatchesDirect(t *testing.T) {
+	instances := 120
+	if testing.Short() {
+		instances = 30
+	}
+	rng := stats.NewRNG(20260808)
+	for k := 0; k < instances; k++ {
+		base := randomProblem(rng, 6, 100, MinMax, true)
+		fromN := len(base.Tasks)
+		toN := base.TotalNodes
+		tab, err := BuildParametricTable(context.Background(), base, fromN, toN, TableOptions{})
+		if err != nil {
+			t.Fatalf("instance %d: build: %v", k, err)
+		}
+		for n := fromN; n <= toN; n++ {
+			want := directAt(t, base, n)
+			seg, ok := tab.Lookup(n)
+			if want == nil {
+				if ok {
+					t.Fatalf("instance %d N=%d: table covers an infeasible budget", k, n)
+				}
+				continue
+			}
+			if !ok {
+				t.Fatalf("instance %d N=%d: uncovered feasible budget", k, n)
+			}
+			if seg.Makespan != want.Makespan {
+				t.Fatalf("instance %d N=%d: makespan %g (table) vs %g (direct)", k, n, seg.Makespan, want.Makespan)
+			}
+			for i := range want.Nodes {
+				if seg.Nodes[i] != want.Nodes[i] {
+					t.Fatalf("instance %d N=%d: nodes %v (table) vs %v (direct)", k, n, seg.Nodes, want.Nodes)
+				}
+			}
+		}
+	}
+}
+
+// TestParametricTableBreakpointBoundaries is the breakpoint-walk property
+// test: the analytic segment boundaries must agree with the boundaries a
+// blind per-budget scan discovers, and the segment list must be sorted,
+// non-overlapping, and in range.
+func TestParametricTableBreakpointBoundaries(t *testing.T) {
+	instances := 40
+	if testing.Short() {
+		instances = 10
+	}
+	rng := stats.NewRNG(20260809)
+	for k := 0; k < instances; k++ {
+		base := randomProblem(rng, 5, 80, MinMax, true)
+		fromN := len(base.Tasks)
+		toN := base.TotalNodes
+		tab, err := BuildParametricTable(context.Background(), base, fromN, toN, TableOptions{})
+		if err != nil {
+			t.Fatalf("instance %d: build: %v", k, err)
+		}
+		prevEnd := fromN - 1
+		for _, seg := range tab.Segments {
+			if seg.FromN <= prevEnd || seg.ToN < seg.FromN || seg.ToN > toN {
+				t.Fatalf("instance %d: malformed segment [%d,%d] after %d", k, seg.FromN, seg.ToN, prevEnd)
+			}
+			prevEnd = seg.ToN
+		}
+		// Scan-discovered boundaries: N and N+1 answer differently exactly
+		// when a table boundary separates them.
+		for n := fromN; n < toN; n++ {
+			a, b := directAt(t, base, n), directAt(t, base, n+1)
+			if a == nil || b == nil {
+				continue
+			}
+			sa, oka := tab.Lookup(n)
+			sb, okb := tab.Lookup(n + 1)
+			if !oka || !okb {
+				t.Fatalf("instance %d: lookup gap at %d/%d", k, n, n+1)
+			}
+			scanSame := sameTablePoint(a, b)
+			tableSame := sa == sb
+			if scanSame != tableSame {
+				t.Fatalf("instance %d: boundary disagreement at N=%d→%d: scan same=%v table same=%v",
+					k, n, n+1, scanSame, tableSame)
+			}
+		}
+	}
+}
+
+// TestParametricTableOtherObjectives covers the non-analytic shapes
+// (min-sum, max-min, UseAllNodes): the per-budget merge fallback must stay
+// bit-identical to direct solves.
+func TestParametricTableOtherObjectives(t *testing.T) {
+	rng := stats.NewRNG(20260810)
+	shapes := []struct {
+		obj Objective
+		all bool
+	}{{MinSum, false}, {MaxMin, true}, {MinMax, true}}
+	for _, sh := range shapes {
+		for k := 0; k < 8; k++ {
+			base := randomProblem(rng, 4, 50, sh.obj, true)
+			base.UseAllNodes = sh.all
+			fromN := len(base.Tasks)
+			toN := base.TotalNodes
+			tab, err := BuildParametricTable(context.Background(), base, fromN, toN, TableOptions{})
+			if err != nil {
+				t.Fatalf("%v/%v instance %d: build: %v", sh.obj, sh.all, k, err)
+			}
+			for n := fromN; n <= toN; n++ {
+				p := base.WithBudget(n)
+				var want *Allocation
+				if p.Validate() == nil {
+					if a, err := p.SolveParametricContext(context.Background()); err == nil {
+						want = p.CanonicalAllocation(a)
+					}
+				}
+				seg, ok := tab.Lookup(n)
+				if want == nil {
+					if ok {
+						t.Fatalf("%v instance %d N=%d: covered infeasible budget", sh.obj, k, n)
+					}
+					continue
+				}
+				if !ok {
+					t.Fatalf("%v instance %d N=%d: uncovered budget", sh.obj, k, n)
+				}
+				if seg.Makespan != want.Makespan {
+					t.Fatalf("%v instance %d N=%d: makespan mismatch", sh.obj, k, n)
+				}
+				for i := range want.Nodes {
+					if seg.Nodes[i] != want.Nodes[i] {
+						t.Fatalf("%v instance %d N=%d: nodes %v vs %v", sh.obj, k, n, seg.Nodes, want.Nodes)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParametricTableCrossCheckMINLP validates integer-feasible segment
+// boundaries through the milp/minlp stack: the MINLP route (canonical
+// polish on) must bit-agree with the parametric walk at every boundary.
+func TestParametricTableCrossCheckMINLP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("MINLP cross-check is slow; covered by the full tier")
+	}
+	rng := stats.NewRNG(20260811)
+	cross := func(ctx context.Context, p *Problem) (*Allocation, error) {
+		return p.SolveMINLPContext(ctx, SolverOptions{Canonical: true})
+	}
+	for k := 0; k < 4; k++ {
+		base := randomProblem(rng, 4, 60, MinMax, true)
+		tab, err := BuildParametricTable(context.Background(), base, len(base.Tasks), base.TotalNodes,
+			TableOptions{CrossCheck: cross})
+		var mism *SegmentMismatchError
+		if errors.As(err, &mism) {
+			t.Fatalf("instance %d: MINLP cross-check mismatch: %v", k, err)
+		}
+		if err != nil {
+			t.Fatalf("instance %d: build: %v", k, err)
+		}
+		if len(tab.Segments) == 0 {
+			t.Fatalf("instance %d: empty table", k)
+		}
+	}
+}
+
+// TestParametricTableCancel: a cancelled build returns the context error
+// promptly instead of walking the rest of the range.
+func TestParametricTableCancel(t *testing.T) {
+	base := fourTasks(4000, MinMax)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := BuildParametricTable(ctx, base, 4, 4000, TableOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled build returned %v", err)
+	}
+}
+
+// TestParametricTableBounds exercises the Lookup bound check and the
+// range validation.
+func TestParametricTableBounds(t *testing.T) {
+	base := fourTasks(64, MinMax)
+	tab, err := BuildParametricTable(context.Background(), base, 8, 64, TableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tab.Lookup(7); ok {
+		t.Fatal("lookup below range succeeded")
+	}
+	if _, ok := tab.Lookup(65); ok {
+		t.Fatal("lookup above range succeeded")
+	}
+	if _, ok := tab.Lookup(8); !ok {
+		t.Fatal("lookup at FromN failed")
+	}
+	if _, ok := tab.Lookup(64); !ok {
+		t.Fatal("lookup at ToN failed")
+	}
+	if _, err := BuildParametricTable(context.Background(), base, 10, 9, TableOptions{}); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+	var nilTab *ParametricTable
+	if _, ok := nilTab.Lookup(8); ok {
+		t.Fatal("nil table lookup succeeded")
+	}
+}
+
+// TestParametricTableAmortization pins the point of the walk: serving the
+// whole budget range from the table must spend far fewer solver calls
+// than one solve per budget.
+func TestParametricTableAmortization(t *testing.T) {
+	base := fourTasks(2048, MinMax)
+	// Sweet-spot allowed sets (powers of two), the paper's production
+	// shape: few distinct per-task times → few breakpoints.
+	for i := range base.Tasks {
+		set := []int{}
+		for v := 1; v <= 2048; v *= 2 {
+			set = append(set, v)
+		}
+		base.Tasks[i].Allowed = set
+	}
+	tab, err := BuildParametricTable(context.Background(), base, 4, 2048, TableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgets := 2048 - 4 + 1
+	if tab.Solves*10 > budgets {
+		t.Fatalf("table build spent %d solves for %d budgets — no 10x amortization", tab.Solves, budgets)
+	}
+	t.Logf("table: %d segments, %d solves for %d budgets (%.0fx amortization)",
+		len(tab.Segments), tab.Solves, budgets, float64(budgets)/float64(tab.Solves))
+}
+
+// countdownCtx cancels itself after a fixed number of Err checks — a
+// deterministic way to cancel mid-sweep without timing races.
+type countdownCtx struct {
+	context.Context
+	mu    sync.Mutex
+	left  int
+	fired bool
+}
+
+func (c *countdownCtx) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.fired {
+		return context.Canceled
+	}
+	c.left--
+	if c.left <= 0 {
+		c.fired = true
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestSweepJobSizeCancelMidSweep is the regression for the recorded
+// defect: SweepJobSize used to call SolveParametric() instead of
+// SolveParametricContext(ctx), so a cancelled sweep kept solving every
+// remaining size. A context expiring mid-sweep must abort the sweep with
+// context.Canceled and return no points.
+func TestSweepJobSizeCancelMidSweep(t *testing.T) {
+	tasks := sweepTasks()
+	sizes := []int{8, 32, 128, 512, 2048, 8192}
+	// Count how many ctx checks a full sweep performs, then allow half:
+	// the cancellation fires strictly inside the solve of a middle size.
+	probe := &countdownCtx{Context: context.Background(), left: 1 << 30}
+	if _, err := SweepJobSizeContext(probe, tasks, MinMax, sizes); err != nil {
+		t.Fatalf("probe sweep failed: %v", err)
+	}
+	total := (1 << 30) - probe.left
+	if total < 4 {
+		t.Fatalf("sweep performed only %d ctx checks; countdown scheme inapplicable", total)
+	}
+	ctx := &countdownCtx{Context: context.Background(), left: total / 2}
+	pts, err := SweepJobSizeContext(ctx, tasks, MinMax, sizes)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-sweep cancel returned err=%v (points=%d) — sweep ignored the context", err, len(pts))
+	}
+	if pts != nil {
+		t.Fatalf("cancelled sweep returned points: %v", pts)
+	}
+}
+
+// TestSweepJobSizeTableMatchesDirect: the table-driven sweep must produce
+// exactly the per-size sweep's points.
+func TestSweepJobSizeTableMatchesDirect(t *testing.T) {
+	tasks := sweepTasks()
+	sizes := []int{8, 32, 128, 512, 2048}
+	direct, err := SweepJobSize(tasks, MinMax, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaTab, tab, err := SweepJobSizeTable(context.Background(), tasks, MinMax, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab == nil || len(tab.Segments) == 0 {
+		t.Fatal("no table returned")
+	}
+	if len(viaTab) != len(direct) {
+		t.Fatalf("point count %d vs %d", len(viaTab), len(direct))
+	}
+	for i := range direct {
+		if viaTab[i] != direct[i] {
+			t.Fatalf("point %d differs: %+v vs %+v", i, viaTab[i], direct[i])
+		}
+	}
+}
+
+// FuzzParametricTable drives the differential property from fuzzed
+// instance shapes: whatever the generator parameters, table lookups must
+// be bit-identical to direct solves over the whole range.
+func FuzzParametricTable(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(60), true)
+	f.Add(int64(20260808), uint8(6), uint8(90), false)
+	f.Add(int64(7), uint8(2), uint8(20), true)
+	f.Fuzz(func(t *testing.T, seed int64, maxTasks, maxNodes uint8, allowSets bool) {
+		if maxTasks < 2 {
+			maxTasks = 2
+		}
+		if maxTasks > 10 {
+			maxTasks = 10
+		}
+		if maxNodes > 120 {
+			maxNodes = 120
+		}
+		if int(maxNodes) <= int(maxTasks) {
+			maxNodes = maxTasks + 10
+		}
+		rng := stats.NewRNG(uint64(seed))
+		base := randomProblem(rng, int(maxTasks), int(maxNodes), MinMax, allowSets)
+		fromN := len(base.Tasks)
+		toN := base.TotalNodes
+		tab, err := BuildParametricTable(context.Background(), base, fromN, toN, TableOptions{})
+		if err != nil {
+			t.Fatalf("build: %v", err)
+		}
+		for n := fromN; n <= toN; n++ {
+			want := directAt(t, base, n)
+			seg, ok := tab.Lookup(n)
+			if want == nil {
+				if ok {
+					t.Fatalf("N=%d: covered infeasible budget", n)
+				}
+				continue
+			}
+			if !ok {
+				t.Fatalf("N=%d: uncovered budget", n)
+			}
+			if seg.Makespan != want.Makespan {
+				t.Fatalf("N=%d: makespan %g vs %g", n, seg.Makespan, want.Makespan)
+			}
+			for i := range want.Nodes {
+				if seg.Nodes[i] != want.Nodes[i] {
+					t.Fatalf("N=%d: nodes %v vs %v", n, seg.Nodes, want.Nodes)
+				}
+			}
+		}
+	})
+}

@@ -125,7 +125,7 @@ func All(scale Scale) ([]*Table, error) {
 	runners := []func(Scale) (*Table, error){
 		T1FitQuality, T2Objectives, T3Baselines, F1Scaling,
 		T4Solver, T4Relaxation, T5Sensitivity, T6Coupled, F2Layouts,
-		T7Crossover, T8Families,
+		T7Crossover, T8Families, T9ParametricTable,
 	}
 	var out []*Table
 	for _, r := range runners {

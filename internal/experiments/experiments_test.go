@@ -285,6 +285,31 @@ func TestT8Shape(t *testing.T) {
 	}
 }
 
+func TestT9Shape(t *testing.T) {
+	tbl, err := T9ParametricTable(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for r := range tbl.Rows {
+		budgets := parseCell(t, tbl, r, 1)
+		segments := parseCell(t, tbl, r, 2)
+		solves := parseCell(t, tbl, r, 3)
+		if segments > budgets || solves > 2*budgets {
+			t.Fatalf("row %d: %v segments / %v solves for %v budgets", r, segments, solves, budgets)
+		}
+		if tbl.Rows[r][0] == "sweet-spot" {
+			// The production shape: a handful of segments, so the table
+			// build must beat per-budget solving by a wide margin.
+			if solves*4 > budgets {
+				t.Fatalf("sweet-spot row %d: %v solves for %v budgets — no amortization", r, solves, budgets)
+			}
+		}
+	}
+}
+
 func TestStaticTunedPlan(t *testing.T) {
 	w := Protein(12, 256, 21)
 	fits, err := w.FitAll(5, 64, false)
@@ -337,8 +362,8 @@ func TestAllRunnersQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 11 {
-		t.Fatalf("got %d tables, want 11", len(tables))
+	if len(tables) != 12 {
+		t.Fatalf("got %d tables, want 12", len(tables))
 	}
 	seen := map[string]bool{}
 	for _, tbl := range tables {

@@ -1,0 +1,135 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// RHS ranging (Incremental.SetRHS): the warm layer's contribution to the
+// parametric breakpoint tables — walking one row's right-hand side across
+// a range (the budget row of an N-parameterized family) must reoptimize
+// warmly and match a cold solve at every step.
+
+// budgetWalkLP is a small allocation-shaped LP: maximize utility over n
+// activities under one budget row (index 0) and a couple of coupling
+// rows. The budget row is the one whose RHS the tests walk.
+func budgetWalkLP(rng *rand.Rand, n int) (*Problem, int) {
+	p := NewProblem()
+	terms := make([]Term, 0, n)
+	for j := 0; j < n; j++ {
+		hi := 2 + float64(rng.Intn(8))
+		cost := -math.Round((0.5+rng.Float64()*3)*8) / 8 // maximize
+		v := p.AddVariable(0, hi, cost, "")
+		terms = append(terms, Term{v, 1 + float64(rng.Intn(3))})
+	}
+	budget := p.AddConstraint(terms, LE, 4, "budget")
+	rows := 1 + rng.Intn(3)
+	for i := 0; i < rows; i++ {
+		var rt []Term
+		for j := 0; j < n; j++ {
+			if rng.Float64() < 0.5 {
+				rt = append(rt, Term{j, math.Round((rng.Float64()*4-1)*8) / 8})
+			}
+		}
+		if len(rt) == 0 {
+			rt = append(rt, Term{rng.Intn(n), 1})
+		}
+		sense := LE
+		if rng.Intn(3) == 0 {
+			sense = GE
+		}
+		p.AddConstraint(rt, sense, math.Round(rng.Float64()*10), "")
+	}
+	return p, budget
+}
+
+// TestSetRHSWarmMatchesColdProperty fuzzes RHS ranging across every row
+// kind (LE/GE/EQ, sign-flipped standard rows included): after each SetRHS
+// the warm reoptimization must match a cold solve in status and objective
+// and carry a KKT certificate.
+func TestSetRHSWarmMatchesColdProperty(t *testing.T) {
+	instances := 400
+	if testing.Short() {
+		instances = 80
+	}
+	rng := rand.New(rand.NewSource(20260808))
+	for k := 0; k < instances; k++ {
+		p := randomWarmInstance(rng)
+		inc := NewIncremental(p)
+		if _, err := inc.Solve(); err != nil {
+			t.Fatalf("instance %d: root error: %v", k, err)
+		}
+		steps := 3 + rng.Intn(4)
+		for s := 0; s < steps; s++ {
+			row := rng.Intn(p.NumConstraints())
+			delta := math.Round((rng.Float64()*8-4)*4) / 4
+			inc.SetRHS(row, p.RHS(row)+delta)
+			checkAgainstCold(t, inc, nil, "setrhs")
+		}
+	}
+}
+
+// TestBudgetWalkWarmMatchesCold walks the budget row of allocation-shaped
+// LPs across a whole range, in both directions, checking warm-vs-cold at
+// every budget — the exact access pattern of a parametric table build.
+func TestBudgetWalkWarmMatchesCold(t *testing.T) {
+	instances := 60
+	if testing.Short() {
+		instances = 15
+	}
+	rng := rand.New(rand.NewSource(20260807))
+	for k := 0; k < instances; k++ {
+		p, budget := budgetWalkLP(rng, 3+rng.Intn(5))
+		inc := NewIncremental(p)
+		if _, err := inc.Solve(); err != nil {
+			t.Fatalf("instance %d: root error: %v", k, err)
+		}
+		for b := 4.0; b <= 24; b += 2 {
+			inc.SetRHS(budget, b)
+			checkAgainstCold(t, inc, nil, "walk-up")
+		}
+		for b := 23.0; b >= 1; b -= 3 {
+			inc.SetRHS(budget, b)
+			checkAgainstCold(t, inc, nil, "walk-down")
+		}
+	}
+}
+
+// TestBudgetWalkPivotAdvantage asserts the point of RHS ranging: a warm
+// budget walk must spend far fewer pivots than cold solves at every
+// budget. The threshold is deliberately loose (≥1.5×) — the walk takes a
+// handful of dual pivots per step against a full cold solve.
+func TestBudgetWalkPivotAdvantage(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260809))
+	var warmPivots, coldPivots int
+	for k := 0; k < 10; k++ {
+		p, budget := budgetWalkLP(rng, 8)
+		inc := NewIncremental(p)
+		root, err := inc.Solve()
+		if err != nil {
+			t.Fatalf("instance %d: root error: %v", k, err)
+		}
+		_ = root
+		for b := 5.0; b <= 45; b += 1 {
+			inc.SetRHS(budget, b)
+			w, err := inc.Solve()
+			if err != nil {
+				t.Fatalf("instance %d b=%g: warm error: %v", k, b, err)
+			}
+			warmPivots += w.Pivots
+			c, err := p.Clone().Solve()
+			if err != nil {
+				t.Fatalf("instance %d b=%g: cold error: %v", k, b, err)
+			}
+			coldPivots += c.Pivots
+		}
+	}
+	if coldPivots == 0 {
+		t.Fatalf("degenerate workload: zero cold pivots")
+	}
+	if float64(coldPivots) < 1.5*float64(warmPivots) {
+		t.Fatalf("warm budget walk shows no pivot advantage: warm=%d cold=%d", warmPivots, coldPivots)
+	}
+	t.Logf("budget walk pivots: warm=%d cold=%d (%.1fx)", warmPivots, coldPivots, float64(coldPivots)/float64(math.Max(1, float64(warmPivots))))
+}

@@ -143,6 +143,15 @@ func (p *Problem) SetBounds(v int, lo, hi float64) { p.lo[v], p.hi[v] = lo, hi }
 // Bounds returns the bounds of variable v.
 func (p *Problem) Bounds(v int) (lo, hi float64) { return p.lo[v], p.hi[v] }
 
+// SetRHS replaces the right-hand side of constraint row i. RHS changes
+// leave the dual solution dual-feasible, so Incremental solves absorb them
+// warmly (RHS ranging — the budget walk of a parametric family); cold
+// solves simply see the new value.
+func (p *Problem) SetRHS(i int, rhs float64) { p.rows[i].RHS = rhs }
+
+// RHS returns the right-hand side of constraint row i.
+func (p *Problem) RHS(i int) float64 { return p.rows[i].RHS }
+
 // NumVariables returns the number of variables added so far.
 func (p *Problem) NumVariables() int { return len(p.costs) }
 

@@ -499,11 +499,13 @@ func (rv *revEngine) runPhase(maxIter int) Status {
 // solveRevised attempts a cold solve through the revised engine. ok=false
 // means "no verdict — run the tableau path instead"; it is returned for
 // structurally unusable inputs (NaN bounds handled by solveCold's
-// validation), installed diagnostics hooks, iteration limits, and numerical
-// failures, so the tableau path remains the single authority for every
-// hard case.
+// validation), iteration limits, and numerical failures, so the tableau
+// path remains the single authority for every hard case. The debugPhase1
+// diagnostics hook never affects route selection: the engine declines
+// every phase-1 Infeasible verdict, so those runs reach the tableau path
+// — and its dense confirmation — where the hook fires.
 func solveRevised(p *Problem) (*Solution, bool) {
-	if p.DisableSparse || debugPhase1 != nil {
+	if p.DisableSparse {
 		return nil, false
 	}
 	for j := range p.lo {

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // The package's tolerances (costEps, pivotEps, feasEps, …) live in tol.go.
@@ -742,12 +743,20 @@ func (p *Problem) Solve() (*Solution, error) {
 	return sol, err
 }
 
+// revisedSolves counts cold solves answered by the revised sparse engine.
+// It exists for route-selection observability in tests (diagnostic hooks
+// must never alter which engine answers a solve); production code never
+// reads it.
+var revisedSolves atomic.Int64
+
 // solveColdAuto routes a one-shot cold solve: the revised sparse engine
 // (revised.go) when the sparse path is enabled, with the dense tableau as
 // both the correctness authority and the fallback for every case the
-// engine declines (diagnostic hooks, iteration limits, numerical trouble).
+// engine declines (iteration limits, numerical trouble, Infeasible
+// verdicts it never stands behind).
 func solveColdAuto(p *Problem, ws *workspace) (*Solution, error) {
 	if sol, ok := solveRevised(p); ok {
+		revisedSolves.Add(1)
 		return sol, nil
 	}
 	sol, _, _, err := solveCold(p, ws, nil)

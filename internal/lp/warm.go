@@ -54,6 +54,7 @@ type Incremental struct {
 	loApplied    []float64
 	hiApplied    []float64
 	costApplied  []float64
+	rhsApplied   []float64
 	rowsApplied  int
 	factorPivots int // t.pivots at the last (re)factorization
 
@@ -101,6 +102,15 @@ func (inc *Incremental) TightenBound(v int, lo, hi float64) {
 // Row additions preserve dual feasibility of the incumbent basis.
 func (inc *Incremental) AddRow(terms []Term, sense Sense, rhs float64, name string) int {
 	return inc.p.AddConstraint(terms, sense, rhs, name)
+}
+
+// SetRHS replaces the right-hand side of constraint row i (RHS ranging).
+// The change preserves dual feasibility and is absorbed warmly by the next
+// Solve: walking a single row's RHS across a parameter range — the budget
+// row of a parametric table build — reoptimizes in a few dual pivots per
+// step instead of a cold solve per value.
+func (inc *Incremental) SetRHS(i int, rhs float64) {
+	inc.p.SetRHS(i, rhs)
 }
 
 // Solve reoptimizes after any pending problem mutations, warm-starting from
@@ -164,6 +174,10 @@ func (inc *Incremental) snapshotApplied() {
 	inc.loApplied = append(inc.loApplied[:0], p.lo...)
 	inc.hiApplied = append(inc.hiApplied[:0], p.hi...)
 	inc.costApplied = append(inc.costApplied[:0], p.costs...)
+	inc.rhsApplied = inc.rhsApplied[:0]
+	for i := range p.rows {
+		inc.rhsApplied = append(inc.rhsApplied, p.rows[i].RHS)
+	}
 	inc.rowsApplied = len(p.rows)
 }
 
@@ -206,10 +220,53 @@ func (inc *Incremental) absorb() bool {
 		}
 		inc.loApplied[j], inc.hiApplied[j] = lo, hi
 	}
+	for i := 0; i < inc.rowsApplied; i++ {
+		rhs := p.rows[i].RHS
+		if rhs == inc.rhsApplied[i] {
+			continue
+		}
+		if math.IsNaN(rhs) || math.IsInf(rhs, 0) {
+			return false
+		}
+		if !inc.shiftRHS(i, rhs-inc.rhsApplied[i]) {
+			return false
+		}
+		inc.rhsApplied[i] = rhs
+	}
 	for i := inc.rowsApplied; i < len(p.rows); i++ {
 		inc.addRowStd(i)
+		inc.rhsApplied = append(inc.rhsApplied, p.rows[i].RHS)
 	}
 	inc.rowsApplied = len(p.rows)
+	return true
+}
+
+// shiftRHS folds an RHS change of constraint i into the live tableau (RHS
+// ranging). The standard-form delta is rowSign·dRHS — variable shifts from
+// standardization are additive and unchanged, and rowSign tracks every
+// negation (GE flip, b≥0 flip) the row went through. With e_r the unit
+// vector of the row's standard slot, the basic values move by
+// B⁻¹ e_r · Δ, and B⁻¹ e_r is exactly the live tableau column of the
+// row's unit column (the slack or artificial that started as the identity
+// on the row). Costs are untouched, so dual feasibility survives and the
+// dual simplex in reoptimize repairs any primal violation — the same
+// contract as bound changes.
+func (inc *Incremental) shiftRHS(i int, dRHS float64) bool {
+	std, t := inc.std, inc.t
+	r := std.rowOf[i]
+	if r < 0 || r >= len(t.a) {
+		return false // row eliminated at standardization: rebuild
+	}
+	d := std.rowSign[i] * dRHS
+	uc := std.unitCol[r]
+	std.origB[r] += d
+	std.b[r] += d
+	for k := range t.a {
+		t.b[k] += t.a[k][uc] * d
+	}
+	// Objective delta: c_B·B⁻¹e_r = −d_uc (unit columns carry zero cost),
+	// valid whether the unit column is basic (both sides zero) or not.
+	t.obj -= t.d[uc] * d
 	return true
 }
 

@@ -5,18 +5,31 @@ import "sync/atomic"
 // counters are the service's expvar-style monitoring counters, exported as
 // JSON by /v1/statz. All fields are monotonically increasing except
 // inFlight (a gauge).
+//
+// Counting discipline (pinned by TestSingleflightCounterAudit): counters
+// describing *requests* — requests, hits, misses, collapsed, canceled,
+// rejected, bounded, tableHits — increment once per request, in the
+// handler, even when many requests share one flight. Counters describing
+// *solver work* — solves, solveErrors, pivots, tableSolves, inFlight —
+// increment once per solver dispatch, in the flight leader, no matter how
+// many waiters observe the outcome.
 type counters struct {
 	requests    atomic.Int64 // solve-family requests admitted to decoding
-	hits        atomic.Int64 // cache hits
+	hits        atomic.Int64 // per-budget cache hits
 	misses      atomic.Int64 // cache misses (triggered or joined a solve)
 	collapsed   atomic.Int64 // requests that joined another request's in-flight solve
-	solves      atomic.Int64 // solver invocations actually run
+	solves      atomic.Int64 // solver invocations actually run (incl. table verification)
 	rejected    atomic.Int64 // requests bounced by admission control
 	canceled    atomic.Int64 // requests whose client went away first
-	solveErrors atomic.Int64 // solves that ended in an error
+	solveErrors atomic.Int64 // solver dispatches that ended in an error
 	bounded     atomic.Int64 // responses serving a deadline-bounded incumbent
 	pivots      atomic.Int64 // total simplex pivots across all solves
 	inFlight    atomic.Int64 // solves currently running (gauge)
+
+	// Parametric breakpoint tables (see table.go).
+	tableHits      atomic.Int64 // requests answered from a verified table bracket
+	tableSolves    atomic.Int64 // extra solves spent verifying bracket endpoints
+	tableConflicts atomic.Int64 // endpoint verifications that contradicted the analytic bracket
 }
 
 // Stats is the JSON snapshot shape of the service counters.
@@ -33,9 +46,15 @@ type Stats struct {
 	Pivots      int64 `json:"pivots"`
 	InFlight    int64 `json:"inFlight"`
 	CacheSize   int64 `json:"cacheSize"`
+
+	TableHits      int64 `json:"tableHits"`
+	TableSolves    int64 `json:"tableSolves"`
+	TableConflicts int64 `json:"tableConflicts"`
+	TableFamilies  int64 `json:"tableFamilies"` // families holding a table
+	TableSegments  int64 `json:"tableSegments"` // verified brackets across all families
 }
 
-func (c *counters) snapshot(cacheLen int) Stats {
+func (c *counters) snapshot(cacheLen, tableFamilies, tableSegments int) Stats {
 	return Stats{
 		Requests:    c.requests.Load(),
 		Hits:        c.hits.Load(),
@@ -49,5 +68,11 @@ func (c *counters) snapshot(cacheLen int) Stats {
 		Pivots:      c.pivots.Load(),
 		InFlight:    c.inFlight.Load(),
 		CacheSize:   int64(cacheLen),
+
+		TableHits:      c.tableHits.Load(),
+		TableSolves:    c.tableSolves.Load(),
+		TableConflicts: c.tableConflicts.Load(),
+		TableFamilies:  int64(tableFamilies),
+		TableSegments:  int64(tableSegments),
 	}
 }

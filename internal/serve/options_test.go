@@ -21,7 +21,14 @@ func TestOptionValidation(t *testing.T) {
 		{"BatchWindow", func(o *ServerOptions) { o.BatchWindow = -time.Millisecond }},
 		{"BatchWindow", func(o *ServerOptions) { o.BatchWindow = 2 * time.Minute }},
 		{"DefaultDeadline", func(o *ServerOptions) { o.DefaultDeadline = -time.Second }},
+		// Regression: a default deadline beyond the cap used to validate,
+		// then be silently capped on every request.
+		{"DefaultDeadline", func(o *ServerOptions) {
+			o.MaxDeadline = time.Second
+			o.DefaultDeadline = 2 * time.Second
+		}},
 		{"MaxDeadline", func(o *ServerOptions) { o.MaxDeadline = -time.Second }},
+		{"TableCacheSize", func(o *ServerOptions) { o.TableCacheSize = -1 }},
 		{"MaxTasks", func(o *ServerOptions) { o.MaxTasks = 0 }},
 		{"MaxTotalNodes", func(o *ServerOptions) { o.MaxTotalNodes = -2 }},
 		{"MaxBodyBytes", func(o *ServerOptions) { o.MaxBodyBytes = 0 }},
@@ -64,6 +71,25 @@ func TestOptionValidationAccepts(t *testing.T) {
 	}
 	if srv.cache != nil {
 		t.Fatal("DisableCache server still built a cache")
+	}
+	srv.Close()
+
+	// The deadline boundary cases: a default exactly at the cap, and an
+	// uncapped server with any default, are both legal.
+	opts = DefaultOptions()
+	opts.MaxDeadline = time.Second
+	opts.DefaultDeadline = time.Second
+	srv, err = New(opts)
+	if err != nil {
+		t.Fatalf("DefaultDeadline == MaxDeadline rejected: %v", err)
+	}
+	srv.Close()
+
+	opts = DefaultOptions()
+	opts.DefaultDeadline = time.Hour // MaxDeadline 0 = uncapped
+	srv, err = New(opts)
+	if err != nil {
+		t.Fatalf("DefaultDeadline with uncapped MaxDeadline rejected: %v", err)
 	}
 	srv.Close()
 }

@@ -274,8 +274,12 @@ type TaskAlloc struct {
 // MetaBody carries the per-response serving metadata; unlike SolutionBody
 // it may legitimately differ between a cached and a fresh response.
 type MetaBody struct {
-	Cached      bool   `json:"cached"`
-	Collapsed   bool   `json:"collapsed,omitempty"` // joined another request's solve
+	Cached    bool `json:"cached"`
+	Collapsed bool `json:"collapsed,omitempty"` // joined another request's solve
+	// TableHit marks a response served from a verified parametric
+	// breakpoint bracket: this exact budget was never solved, but the
+	// allocation is certified constant across a bracket containing it.
+	TableHit    bool   `json:"tableHit,omitempty"`
 	Route       string `json:"route"`
 	SolverNodes int    `json:"solverNodes,omitempty"`
 	LPSolves    int    `json:"lpSolves,omitempty"`

@@ -49,6 +49,14 @@ type ServerOptions struct {
 	// CacheSize bounds the solution cache (entries). Must be positive
 	// unless DisableCache is set.
 	CacheSize int
+	// TableCacheSize bounds the parametric breakpoint-table cache
+	// (families). When positive, every proven-optimal min-max solve also
+	// certifies the budget bracket on which its allocation is constant
+	// (two extra verification solves per bracket), and later requests for
+	// the same task family at any budget inside a certified bracket are
+	// answered at cache-hit cost without solving. 0 disables tables; must
+	// be non-negative.
+	TableCacheSize int
 	// DisableCache turns the solution cache off (every request solves);
 	// the differential test harness uses this as its reference server.
 	DisableCache bool
@@ -111,6 +119,10 @@ func (o *ServerOptions) Validate() error {
 		return &OptionError{Field: "CacheSize", Value: o.CacheSize,
 			Reason: "must be positive (or set DisableCache)"}
 	}
+	if o.TableCacheSize < 0 {
+		return &OptionError{Field: "TableCacheSize", Value: o.TableCacheSize,
+			Reason: "must be non-negative (0 disables parametric tables)"}
+	}
 	if o.MaxInFlight <= 0 {
 		return &OptionError{Field: "MaxInFlight", Value: o.MaxInFlight, Reason: "must be positive"}
 	}
@@ -130,6 +142,10 @@ func (o *ServerOptions) Validate() error {
 	if o.MaxDeadline < 0 {
 		return &OptionError{Field: "MaxDeadline", Value: o.MaxDeadline, Reason: "must be non-negative"}
 	}
+	if o.MaxDeadline > 0 && o.DefaultDeadline > o.MaxDeadline {
+		return &OptionError{Field: "DefaultDeadline", Value: o.DefaultDeadline,
+			Reason: "must not exceed MaxDeadline (the default would be silently capped on every request)"}
+	}
 	if o.MaxTasks <= 0 {
 		return &OptionError{Field: "MaxTasks", Value: o.MaxTasks, Reason: "must be positive"}
 	}
@@ -146,7 +162,8 @@ func (o *ServerOptions) Validate() error {
 // with Close (which cancels all in-flight solves).
 type Server struct {
 	opts   ServerOptions
-	cache  *lruCache // nil when disabled
+	cache  *lruCache   // nil when disabled
+	tables *tableCache // nil when disabled (TableCacheSize == 0)
 	flight *flightGroup
 	sem    chan struct{}
 	stats  counters
@@ -170,6 +187,9 @@ func New(opts ServerOptions) (*Server, error) {
 	if !opts.DisableCache {
 		s.cache = newLRUCache(opts.CacheSize)
 	}
+	if opts.TableCacheSize > 0 {
+		s.tables = newTableCache(opts.TableCacheSize)
+	}
 	s.base, s.cancel = context.WithCancel(context.Background())
 	s.mux.HandleFunc("/v1/solve", s.solveHandler(routeSolve))
 	s.mux.HandleFunc("/v1/minlp", s.solveHandler(routeMINLP))
@@ -192,7 +212,11 @@ func (s *Server) Stats() Stats {
 	if s.cache != nil {
 		n = s.cache.len()
 	}
-	return s.stats.snapshot(n)
+	fams, segs := 0, 0
+	if s.tables != nil {
+		fams, segs = s.tables.len(), s.tables.segments()
+	}
+	return s.stats.snapshot(n, fams, segs)
 }
 
 // Solver routes. The route is part of both the cache key and the flight
@@ -267,6 +291,21 @@ func (s *Server) solveHandler(route string) http.HandlerFunc {
 				return
 			}
 		}
+		// Second fast path: this exact budget was never solved, but an
+		// earlier solve of the same task family certified a breakpoint
+		// bracket covering it. The hit is promoted into the per-budget
+		// cache so repeats of this budget take the first fast path.
+		if s.tables != nil {
+			if sol, ok := s.tables.lookup(canon.tkey, canon.prob.TotalNodes); ok {
+				s.stats.tableHits.Add(1)
+				meta.TableHit = true
+				if s.cache != nil {
+					s.cache.put(canon.key, sol)
+				}
+				writeSolution(w, prob, canon, sol, meta, "table")
+				return
+			}
+		}
 		s.stats.misses.Add(1)
 
 		deadline := s.effectiveDeadline(req.DeadlineMs)
@@ -292,7 +331,13 @@ func (s *Server) solveHandler(route string) http.HandlerFunc {
 		s.flight.leave(flightKey, call)
 		if call.err != nil {
 			if he, ok := call.err.(*httpError); ok {
-				// Already typed (admission rejection) and already counted.
+				// Typed admission rejection. rejected is a request-scoped
+				// counter, so every waiter bounced by the shared flight
+				// counts, not just the leader (which used to under-count
+				// collapsed rejections).
+				if he.body.Error.Code == CodeQueueFull {
+					s.stats.rejected.Add(1)
+				}
 				writeError(w, he)
 				return
 			}
@@ -303,7 +348,9 @@ func (s *Server) solveHandler(route string) http.HandlerFunc {
 					Code: CodeCanceled, Message: "solve canceled"}}})
 				return
 			}
-			s.stats.solveErrors.Add(1)
+			// solveErrors is flight-scoped and was already counted by the
+			// leader in runSolve (counting here double-counted one failed
+			// solve once per collapsed waiter).
 			writeError(w, mapSolveError(call.err))
 			return
 		}
@@ -353,14 +400,13 @@ func (s *Server) runSolve(route, flightKey string, call *flightCall, canon *cano
 	case s.sem <- struct{}{}:
 	default:
 		if queue == nil {
-			s.stats.rejected.Add(1)
+			// rejected is counted per waiter in solveHandler.
 			s.flight.complete(flightKey, call, nil, errQueueFull)
 			return
 		}
 		select {
 		case s.sem <- struct{}{}:
 		case <-queue:
-			s.stats.rejected.Add(1)
 			s.flight.complete(flightKey, call, nil, errQueueFull)
 			return
 		case <-call.ctx.Done():
@@ -382,6 +428,11 @@ func (s *Server) runSolve(route, flightKey string, call *flightCall, canon *cano
 		err = call.ctx.Err()
 	}
 	if err != nil {
+		if !errors.Is(err, context.Canceled) {
+			// Flight-scoped: one failed dispatch counts once, however many
+			// collapsed waiters observe it.
+			s.stats.solveErrors.Add(1)
+		}
 		s.flight.complete(flightKey, call, nil, err)
 		return
 	}
@@ -393,6 +444,67 @@ func (s *Server) runSolve(route, flightKey string, call *flightCall, canon *cano
 		s.cache.put(canon.key, sol)
 	}
 	s.flight.complete(flightKey, call, sol, nil)
+	// Waiters are unblocked; spend this flight's admission slot certifying
+	// the breakpoint bracket around this budget before releasing it.
+	if !sol.bounded {
+		s.maybeExtendTable(route, canon, alloc, sol, deadline)
+	}
+}
+
+// maybeExtendTable turns one proven-optimal solve into a verified
+// breakpoint bracket: SegmentBounds yields the analytic budget range on
+// which the allocation is provably constant, the far endpoints of that
+// range are re-solved with the same route solver, and only a bracket whose
+// endpoints bit-match the claim is stored. Runs on the flight leader after
+// waiters are unblocked, still inside the admission slot, so verification
+// work is bounded the same way as request work.
+func (s *Server) maybeExtendTable(route string, canon *canonical, alloc *core.Allocation, sol *canonSolution, deadline time.Duration) {
+	if s.tables == nil {
+		return
+	}
+	n := canon.prob.TotalNodes
+	if _, ok := s.tables.lookup(canon.tkey, n); ok {
+		return // some bracket already covers this budget
+	}
+	lo, hi, ok := canon.prob.SegmentBounds(alloc, s.opts.MaxTotalNodes)
+	if !ok || hi <= lo {
+		// Non-analytic shape or a width-1 bracket: the per-budget cache
+		// already serves repeats, a table adds nothing.
+		return
+	}
+	ctx := s.base
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(s.base, deadline)
+		defer cancel()
+	}
+	verify := func(m int) bool {
+		if m == n {
+			return true
+		}
+		s.stats.solves.Add(1)
+		s.stats.tableSolves.Add(1)
+		va, err := s.dispatch(ctx, route, canon.prob.WithBudget(m), deadline)
+		if err != nil || va.Bounded {
+			return false // could not certify (deadline/shutdown); not a conflict
+		}
+		s.stats.pivots.Add(int64(va.Pivots))
+		if va.Makespan != alloc.Makespan {
+			s.stats.tableConflicts.Add(1)
+			return false
+		}
+		for i := range alloc.Nodes {
+			if va.Nodes[i] != alloc.Nodes[i] {
+				s.stats.tableConflicts.Add(1)
+				return false
+			}
+		}
+		return true
+	}
+	if !verify(lo) || !verify(hi) {
+		return
+	}
+	s.tables.insert(canon.tkey, lo, hi, sol)
 }
 
 // dispatch runs the route's solver on the canonical instance. Canonical

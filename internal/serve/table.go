@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"container/list"
+	"sort"
+	"sync"
+)
+
+// tableCache maps a parametric family key (canonical.tkey) to that family's
+// breakpoint table: the set of verified node-budget brackets on which the
+// optimal allocation is known to be constant. It lets the service answer a
+// /v1/solve or /v1/parametric request at a budget it has never seen at
+// cache-hit cost, as long as some earlier solve of the same family proved a
+// segment covering it.
+//
+// Soundness is layered exactly like the core engine's table builder
+// (core.BuildParametricTable): the theoretical segment around a solved
+// budget comes from core.Problem.SegmentBounds — an analytic claim — but
+// the service only ever serves from a bracket whose far endpoints it has
+// re-solved with the same route solver and bit-compared against the claim
+// (see Server.maybeExtendTable). A disagreement is counted (tableConflicts)
+// and the bracket is discarded, so a theory bug degrades to cache misses,
+// never to wrong answers. The ~1000-instance differential gate in
+// table_diff_test.go enforces bit-identity of table-served responses
+// against a cache-disabled reference server.
+type tableCache struct {
+	mu    sync.Mutex
+	cap   int
+	m     map[string]*list.Element
+	order *list.List // front = most recently used
+}
+
+// tableEntry is one family's table: verified brackets sorted by lo,
+// non-overlapping.
+type tableEntry struct {
+	tkey string
+	segs []tableSeg
+}
+
+// tableSeg is one verified bracket [lo, hi] (inclusive, in TotalNodes) on
+// which the canonical solution is constant. Both endpoints have been
+// re-solved by the route solver; interior budgets rest on the SegmentBounds
+// claim plus the differential gate.
+type tableSeg struct {
+	lo, hi int
+	sol    *canonSolution
+}
+
+func newTableCache(capacity int) *tableCache {
+	return &tableCache{cap: capacity, m: make(map[string]*list.Element), order: list.New()}
+}
+
+// lookup returns the family's solution at budget n if a verified bracket
+// covers it, marking the family most recently used.
+func (c *tableCache) lookup(tkey string, n int) (*canonSolution, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[tkey]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	segs := el.Value.(*tableEntry).segs
+	i := sort.Search(len(segs), func(i int) bool { return segs[i].hi >= n })
+	if i < len(segs) && segs[i].lo <= n {
+		return segs[i].sol, true
+	}
+	return nil, false
+}
+
+// insert records a verified bracket for the family, evicting the least
+// recently used family when the cache is full. Brackets that overlap an
+// existing one are dropped: within one family overlapping brackets must
+// carry the same solution anyway (both were verified), so the first claim
+// wins and the structure stays trivially non-overlapping.
+func (c *tableCache) insert(tkey string, lo, hi int, sol *canonSolution) {
+	if lo > hi || sol == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[tkey]
+	if !ok {
+		el = c.order.PushFront(&tableEntry{tkey: tkey})
+		c.m[tkey] = el
+		for c.order.Len() > c.cap {
+			oldest := c.order.Back()
+			c.order.Remove(oldest)
+			delete(c.m, oldest.Value.(*tableEntry).tkey)
+		}
+	} else {
+		c.order.MoveToFront(el)
+	}
+	e := el.Value.(*tableEntry)
+	i := sort.Search(len(e.segs), func(i int) bool { return e.segs[i].hi >= lo })
+	if i < len(e.segs) && e.segs[i].lo <= hi {
+		return // overlaps an existing verified bracket
+	}
+	e.segs = append(e.segs, tableSeg{})
+	copy(e.segs[i+1:], e.segs[i:])
+	e.segs[i] = tableSeg{lo: lo, hi: hi, sol: sol}
+}
+
+// len reports the number of families currently holding a table.
+func (c *tableCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// segments reports the total verified-bracket count across all families
+// (diagnostics only).
+func (c *tableCache) segments() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		n += len(el.Value.(*tableEntry).segs)
+	}
+	return n
+}
