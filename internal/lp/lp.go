@@ -116,6 +116,13 @@ type Problem struct {
 	// cold Problem.Solve calls. Incremental (warm) solves never presolve;
 	// their bound-tightening machinery plays the same role.
 	DisablePresolve bool
+
+	// DisableDevex pins the revised engine and the warm dual simplex to
+	// classic Dantzig pricing instead of devex reference-framework weights.
+	// Ablation knob for the devex-vs-Dantzig property battery and the
+	// pivot-count benchmarks; pricing choice can change which tied-optimal
+	// vertex a solve lands on, never the verdict. Copied by Clone.
+	DisableDevex bool
 }
 
 // NewProblem returns an empty problem.
@@ -180,6 +187,7 @@ func (p *Problem) Clone() *Problem {
 		MaxIter:         p.MaxIter,
 		DisableSparse:   p.DisableSparse,
 		DisablePresolve: p.DisablePresolve,
+		DisableDevex:    p.DisableDevex,
 	}
 	for i, r := range p.rows {
 		c.rows[i] = Constraint{Terms: append([]Term(nil), r.Terms...), Sense: r.Sense, RHS: r.RHS, Name: r.Name}

@@ -1,0 +1,1090 @@
+package lp
+
+// Sparse LU basis factorization with Forrest–Tomlin updates — the engine
+// room of the revised simplex (revised.go).
+//
+// The basis matrix B of the paper's allocation LPs is a selection of
+// original columns: slacks (1 nonzero), assignment columns (2–3), the
+// makespan column (one per load row), artificials (1). PR 4 represented
+// B⁻¹ as a product-form-inverse eta file rebuilt every 64 pivots; the
+// rebuild scanned the whole file per column (O(m·fill) skip checks) and
+// profiled at 40% of a cold N=2048 solve. This file replaces it with the
+// classical sparse-LU design:
+//
+//   - factor() runs a left-looking Gilbert–Peierls factorization over the
+//     basis columns in sparsest-column-first order with threshold row
+//     pivoting (Markowitz-style: among rows within luTau of the column
+//     max, the smallest static row count wins). Each column's L-solve
+//     visits only the etas reachable from its pattern (a DFS over the
+//     L dependency DAG), so the factorization cost tracks fill, not m².
+//
+//   - The U factor is dynamic: entries live in paired column-wise and
+//     row-wise adjacency lists keyed by stable pivot ids, with the
+//     triangular ORDER maintained as a doubly-linked sequence under
+//     monotone uint64 keys. Moving a pivot to the end of the order — the
+//     heart of a Forrest–Tomlin update — is O(1) and never renumbers
+//     anything.
+//
+//   - update() replaces one U column with the spike (the entering column
+//     after the L and eta passes), eliminates the stale row of U via a
+//     sparse triangular closure driven by a key-ordered heap, appends the
+//     multipliers as one row eta to the H file, and moves the pivot id to
+//     the sequence tail. The new diagonal is tested against ftDiagEps
+//     before anything is mutated; a failed test reports false and the
+//     caller refactorizes from the basis columns instead (the
+//     Bartels–Golub-style recovery rung — see DESIGN.md for the full
+//     fallback ladder, which ends at the dense tableau authority).
+//
+//   - ftran/btranUnit are adaptive between two U-solve strategies. A
+//     Gilbert–Peierls DFS over the U adjacency computes the topological
+//     closure of the input support, so a genuinely sparse solve costs
+//     O(closure), not O(m). But the closure is ABORTED past m/8 visited
+//     pivots: on the paper's min-max LPs the makespan column couples every
+//     load row, the closure routinely reaches ~40% of m, and at that
+//     density the branchy DFS with its cache-missing visited marks loses
+//     to a plain walk of the pivot sequence (measured: the hybrid saves
+//     ~20% of a cold N=16384 solve over DFS-always). Dense variants
+//     (ftranDense/btranDense) serve the x_B refresh and exact pricing
+//     resets, where the input is dense anyway.
+//
+// All scratch lives in the luFactor and is reused across solves via the
+// revised engine's pool; steady-state operation allocates nothing.
+
+import (
+	"math"
+	"sort"
+)
+
+// luEnt is one off-diagonal entry of the dynamic U factor, identified by
+// the stable pivot id of its other axis. The id's constraint row is cached
+// alongside (id↔row bindings never change between factorizations, and the
+// row field fits in what was struct padding): the solve scatters are row
+// addressed, and the cached copy saves a cache-missing rowOfId lookup per
+// entry in the hottest loops.
+type luEnt struct {
+	id  int32
+	row int32 // == rowOfId[id], cached at insertion
+	val float64
+}
+
+const (
+	// luMaxUpdates caps Forrest–Tomlin updates between refactorizations.
+	// Updates append one row eta each; past a couple hundred the eta file
+	// costs more to apply than a rebuild costs to run.
+	luMaxUpdates = 192
+
+	// luGrowthFactor / luGrowthSlack trigger adaptive reinversion: the
+	// factor is rebuilt when nnz(L)+nnz(U)+fill(H) exceeds
+	// luGrowthFactor × its post-factorization size plus the slack. This
+	// replaces PR 4's fixed 64-pivot interval — a stable basis sequence
+	// runs to luMaxUpdates, a fill-heavy one rebuilds early.
+	luGrowthFactor = 3
+	luGrowthSlack  = 512
+)
+
+// luFactor is a sparse LU factorization of a simplex basis, maintained
+// across pivots by Forrest–Tomlin updates. It maps between two index
+// spaces: ROWS of the constraint matrix and basis SLOTS (positions in the
+// engine's basis array); pivot ids tie one row to one slot each.
+type luFactor struct {
+	m int
+
+	// L from the last factorization: one column eta per pivot step, flat.
+	// Eta k scatters from pivot row lR[k] into the then-unpivoted rows.
+	lR   []int32
+	lOff []int32 // len(lR)+1 offsets into lIdx/lVal
+	lIdx []int32
+	lVal []float64
+
+	// H: Forrest–Tomlin row etas appended by update(), flat. Eta k
+	// subtracts Σ hVal·w[hIdx] from w[hR[k]] in ftran (a gather) and
+	// scatters in btran.
+	hR   []int32
+	hOff []int32
+	hIdx []int32
+	hVal []float64
+
+	// U over stable pivot ids: diagonal per id, strictly-above-diagonal
+	// entries in paired column/row lists, and the triangular order as a
+	// doubly-linked sequence under monotone keys.
+	udiag    []float64
+	ucol     [][]luEnt // ucol[k]: entries (i, U_ik) with key[i] < key[k]
+	urow     [][]luEnt // urow[k]: entries (j, U_kj) with key[j] > key[k]
+	rowOfId  []int32
+	slotOfId []int32
+	idOfRow  []int32
+	idOfSlot []int32
+	key      []uint64
+	seqNext  []int32
+	seqPrev  []int32
+	seqHead  int32
+	seqTail  int32
+	keyCtr   uint64
+
+	// Fill accounting for the adaptive reinversion trigger.
+	nnzL, nnzU int
+	hFill      int
+	baseSize   int
+	updates    int
+
+	// Dense solve vectors with lazy support-tracked clearing. xSlot/yRow
+	// hold the latest ftran/btran result; valid until the next call.
+	wrow   []float64 // ftran working vector (row space)
+	xSlot  []float64 // ftran result (slot space)
+	xTouch []int32
+	xDense bool
+	yRow   []float64 // btran result (row space)
+	yTouch []int32
+	yDense bool
+
+	// Spike of the last ftran(saveSpike=true): the entering column after
+	// the L and H passes, the input of the next update().
+	spikeDense []float64
+	spikeRows  []int32
+	spikeMax   float64
+
+	// Scratch: row marks for support tracking, id stamps for heap
+	// membership, the key-ordered heap, DFS state for the L reach, the
+	// update closure accumulator (dense by id), and multiplier buffers.
+	mark     []int32
+	gen      int32
+	touch    []int32
+	hmark    []int32
+	hgen     int32
+	heap     []int32
+	topo     []int32
+	stack    []int32
+	stackT   []int32
+	rvis     []int32
+	rgen     int32
+	g        []float64
+	multIds  []int32
+	multVals []float64
+	rcount   []int32
+	order    []int32
+}
+
+// grow32 / growF resize helpers keeping capacity across pooled reuse.
+func grow32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// reset prepares the factor for a fresh factorization at dimension m,
+// reusing every buffer it can.
+func (lu *luFactor) reset(m int) {
+	// Clear stale solve scratch FIRST: the touch lists index the previous
+	// dimension, which may exceed the new m once the vectors are truncated.
+	if lu.xSlot != nil {
+		lu.clearX()
+		lu.clearY()
+		lu.clearSpike()
+	}
+	grew := m > lu.m
+	lu.m = m
+	lu.lR = lu.lR[:0]
+	if len(lu.lOff) == 0 {
+		lu.lOff = append(lu.lOff, 0)
+	}
+	lu.lOff = lu.lOff[:1]
+	lu.lIdx = lu.lIdx[:0]
+	lu.lVal = lu.lVal[:0]
+	lu.hR = lu.hR[:0]
+	if len(lu.hOff) == 0 {
+		lu.hOff = append(lu.hOff, 0)
+	}
+	lu.hOff = lu.hOff[:1]
+	lu.hIdx = lu.hIdx[:0]
+	lu.hVal = lu.hVal[:0]
+
+	lu.udiag = growF(lu.udiag, m)
+	if cap(lu.ucol) < m {
+		nc := make([][]luEnt, m)
+		copy(nc, lu.ucol)
+		lu.ucol = nc
+		nr := make([][]luEnt, m)
+		copy(nr, lu.urow)
+		lu.urow = nr
+	} else {
+		lu.ucol = lu.ucol[:m]
+		lu.urow = lu.urow[:m]
+	}
+	for k := 0; k < m; k++ {
+		lu.ucol[k] = lu.ucol[k][:0]
+		lu.urow[k] = lu.urow[k][:0]
+	}
+	lu.rowOfId = grow32(lu.rowOfId, m)
+	lu.slotOfId = grow32(lu.slotOfId, m)
+	lu.idOfRow = grow32(lu.idOfRow, m)
+	lu.idOfSlot = grow32(lu.idOfSlot, m)
+	for i := 0; i < m; i++ {
+		lu.idOfRow[i] = -1
+		lu.idOfSlot[i] = -1
+	}
+	if cap(lu.key) < m {
+		lu.key = make([]uint64, m)
+	} else {
+		lu.key = lu.key[:m]
+	}
+	lu.seqNext = grow32(lu.seqNext, m)
+	lu.seqPrev = grow32(lu.seqPrev, m)
+	lu.nnzL, lu.nnzU, lu.hFill, lu.updates = 0, 0, 0, 0
+
+	lu.wrow = growF(lu.wrow, m)
+	lu.xSlot = growF(lu.xSlot, m)
+	lu.yRow = growF(lu.yRow, m)
+	lu.spikeDense = growF(lu.spikeDense, m)
+	if grew {
+		for i := range lu.wrow {
+			lu.wrow[i] = 0
+		}
+		for i := range lu.xSlot {
+			lu.xSlot[i] = 0
+		}
+		for i := range lu.yRow {
+			lu.yRow[i] = 0
+		}
+		for i := range lu.spikeDense {
+			lu.spikeDense[i] = 0
+		}
+		lu.xDense, lu.yDense = false, false
+		lu.xTouch = lu.xTouch[:0]
+		lu.yTouch = lu.yTouch[:0]
+		lu.spikeRows = lu.spikeRows[:0]
+	}
+	lu.mark = grow32(lu.mark, m)
+	lu.hmark = grow32(lu.hmark, m)
+	lu.rvis = grow32(lu.rvis, m)
+	if grew {
+		for i := 0; i < m; i++ {
+			lu.mark[i] = 0
+			lu.hmark[i] = 0
+			lu.rvis[i] = 0
+		}
+		lu.gen, lu.hgen, lu.rgen = 0, 0, 0
+	}
+	lu.g = growF(lu.g, m)
+	if grew {
+		for i := range lu.g {
+			lu.g[i] = 0
+		}
+	}
+	lu.rcount = grow32(lu.rcount, m)
+	lu.order = grow32(lu.order, m)
+}
+
+func (lu *luFactor) clearX() {
+	if lu.xDense {
+		for i := range lu.xSlot {
+			lu.xSlot[i] = 0
+		}
+		lu.xDense = false
+	} else {
+		for _, s := range lu.xTouch {
+			lu.xSlot[s] = 0
+		}
+	}
+	lu.xTouch = lu.xTouch[:0]
+}
+
+func (lu *luFactor) clearY() {
+	if lu.yDense {
+		for i := range lu.yRow {
+			lu.yRow[i] = 0
+		}
+		lu.yDense = false
+	} else {
+		for _, r := range lu.yTouch {
+			lu.yRow[r] = 0
+		}
+	}
+	lu.yTouch = lu.yTouch[:0]
+}
+
+func (lu *luFactor) clearSpike() {
+	for _, r := range lu.spikeRows {
+		lu.spikeDense[r] = 0
+	}
+	lu.spikeRows = lu.spikeRows[:0]
+	lu.spikeMax = 0
+}
+
+func (lu *luFactor) bumpGen() int32 {
+	lu.gen++
+	if lu.gen < 0 {
+		for i := range lu.mark {
+			lu.mark[i] = 0
+		}
+		lu.gen = 1
+	}
+	return lu.gen
+}
+
+func (lu *luFactor) bumpHGen() int32 {
+	lu.hgen++
+	if lu.hgen < 0 {
+		for i := range lu.hmark {
+			lu.hmark[i] = 0
+		}
+		lu.hgen = 1
+	}
+	return lu.hgen
+}
+
+// size is the fill monitor behind the adaptive reinversion trigger.
+func (lu *luFactor) size() int { return lu.nnzL + lu.nnzU + lu.hFill }
+
+// needRefactor reports whether the update file grew past its budget.
+func (lu *luFactor) needRefactor() bool {
+	return lu.updates >= luMaxUpdates || lu.size() > lu.baseSize*luGrowthFactor+luGrowthSlack
+}
+
+// Key-ordered binary heaps over pivot ids. Keys are unique (monotone
+// counter), so pop order — and therefore every solve — is deterministic.
+
+func (lu *luFactor) heapPushMin(id int32) {
+	h := append(lu.heap, id)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if lu.key[h[p]] <= lu.key[h[i]] {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	lu.heap = h
+}
+
+func (lu *luFactor) heapPopMin() int32 {
+	h := lu.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < last && lu.key[h[l]] < lu.key[h[s]] {
+			s = l
+		}
+		if r < last && lu.key[h[r]] < lu.key[h[s]] {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		h[i], h[s] = h[s], h[i]
+		i = s
+	}
+	lu.heap = h
+	return top
+}
+
+// reach computes the L etas that fire for a vector whose support rows are
+// in touch, in application (topological) order — the Gilbert–Peierls
+// reachability DFS over the L dependency DAG (eta k → etas pivoting the
+// rows it scatters into). Cost is proportional to the reach set, not the
+// eta count.
+func (lu *luFactor) reach(touch []int32) []int32 {
+	lu.rgen++
+	if lu.rgen < 0 {
+		for i := range lu.rvis {
+			lu.rvis[i] = 0
+		}
+		lu.rgen = 1
+	}
+	rgen := lu.rgen
+	topo := lu.topo[:0]
+	stack := lu.stack[:0]
+	stackT := lu.stackT[:0]
+	for _, rr := range touch {
+		k0 := lu.idOfRow[rr]
+		if k0 < 0 || lu.rvis[k0] == rgen {
+			continue
+		}
+		lu.rvis[k0] = rgen
+		stack = append(stack, k0)
+		stackT = append(stackT, lu.lOff[k0])
+		for len(stack) > 0 {
+			sp := len(stack) - 1
+			k := stack[sp]
+			t := stackT[sp]
+			end := lu.lOff[k+1]
+			advanced := false
+			for ; t < end; t++ {
+				k2 := lu.idOfRow[lu.lIdx[t]]
+				if k2 >= 0 && lu.rvis[k2] != rgen {
+					lu.rvis[k2] = rgen
+					stackT[sp] = t + 1
+					stack = append(stack, k2)
+					stackT = append(stackT, lu.lOff[k2])
+					advanced = true
+					break
+				}
+			}
+			if !advanced {
+				stack = stack[:sp]
+				stackT = stackT[:sp]
+				topo = append(topo, k)
+			}
+		}
+	}
+	// Reverse postorder of a DAG is a topological order.
+	for i, j := 0, len(topo)-1; i < j; i, j = i+1, j-1 {
+		topo[i], topo[j] = topo[j], topo[i]
+	}
+	lu.topo = topo
+	lu.stack = stack[:0]
+	lu.stackT = stackT[:0]
+	return topo
+}
+
+// factor builds the LU factorization of the basis selected by basis[slot]
+// from the CSC matrix. Columns are processed sparsest first (ties by
+// column index) with threshold pivoting: among the unpivoted support rows
+// within luTau of the column max, the smallest static row count wins,
+// ties to the lowest row — a static Markowitz approximation that keeps
+// slack and assignment columns fill-free and pushes the dense makespan
+// column last. Reports false on a (numerically) singular basis.
+func (lu *luFactor) factor(m int, colPtr, rowIdx []int32, colVal []float64, basis []int) bool {
+	lu.reset(m)
+	rcount := lu.rcount[:m]
+	for i := range rcount {
+		rcount[i] = 0
+	}
+	for _, c := range basis {
+		for t := colPtr[c]; t < colPtr[c+1]; t++ {
+			rcount[rowIdx[t]]++
+		}
+	}
+	order := lu.order[:0]
+	for slot := 0; slot < m; slot++ {
+		order = append(order, int32(slot))
+	}
+	// Sparsest column first; ties by column index. Column ids are unique,
+	// so the comparator is a total order and the (unstable) sort is
+	// deterministic.
+	sort.Slice(order, func(a, b int) bool {
+		ca, cb := basis[order[a]], basis[order[b]]
+		if d := (colPtr[ca+1] - colPtr[ca]) - (colPtr[cb+1] - colPtr[cb]); d != 0 {
+			return d < 0
+		}
+		return ca < cb
+	})
+	lu.order = order
+
+	w := lu.wrow
+	for step, slot32 := range order {
+		slot := int(slot32)
+		c := basis[slot]
+		gen := lu.bumpGen()
+		touch := lu.touch[:0]
+		for t := colPtr[c]; t < colPtr[c+1]; t++ {
+			i := rowIdx[t]
+			w[i] = colVal[t]
+			lu.mark[i] = gen
+			touch = append(touch, i)
+		}
+		// Sparse L-solve over the reach of the column pattern.
+		topo := lu.reach(touch)
+		for _, k := range topo {
+			v := w[lu.lR[k]]
+			if v == 0 {
+				continue
+			}
+			for t := lu.lOff[k]; t < lu.lOff[k+1]; t++ {
+				i := lu.lIdx[t]
+				w[i] -= lu.lVal[t] * v
+				if lu.mark[i] != gen {
+					lu.mark[i] = gen
+					touch = append(touch, i)
+				}
+			}
+		}
+		// Threshold pivot among the unpivoted support rows.
+		amax := 0.0
+		for _, i := range touch {
+			if lu.idOfRow[i] < 0 {
+				if a := math.Abs(w[i]); a > amax {
+					amax = a
+				}
+			}
+		}
+		if amax <= pivotEps {
+			for _, i := range touch {
+				w[i] = 0
+			}
+			lu.touch = touch[:0]
+			return false
+		}
+		thr := luTau * amax
+		r := int32(-1)
+		var bestCnt int32
+		for _, i := range touch {
+			if lu.idOfRow[i] >= 0 || math.Abs(w[i]) < thr {
+				continue
+			}
+			if r < 0 || rcount[i] < bestCnt || (rcount[i] == bestCnt && i < r) {
+				r, bestCnt = i, rcount[i]
+			}
+		}
+		id := int32(step)
+		piv := w[r]
+		lu.rowOfId[id] = r
+		lu.slotOfId[id] = int32(slot)
+		lu.idOfRow[r] = id
+		lu.idOfSlot[slot] = id
+		lu.udiag[id] = piv
+		lu.lR = append(lu.lR, r)
+		for _, i := range touch {
+			v := w[i]
+			w[i] = 0
+			if v == 0 || i == r {
+				continue
+			}
+			if id2 := lu.idOfRow[i]; id2 >= 0 && id2 != id {
+				lu.ucol[id] = append(lu.ucol[id], luEnt{id2, i, v})
+				lu.urow[id2] = append(lu.urow[id2], luEnt{id, r, v})
+				lu.nnzU++
+			} else {
+				lu.lIdx = append(lu.lIdx, i)
+				lu.lVal = append(lu.lVal, v/piv)
+				lu.nnzL++
+			}
+		}
+		lu.lOff = append(lu.lOff, int32(len(lu.lIdx)))
+		lu.key[id] = uint64(step)
+		lu.touch = touch[:0]
+	}
+	for id := int32(0); id < int32(m); id++ {
+		lu.seqPrev[id] = id - 1
+		if id == int32(m)-1 {
+			lu.seqNext[id] = -1
+		} else {
+			lu.seqNext[id] = id + 1
+		}
+	}
+	if m > 0 {
+		lu.seqHead, lu.seqTail = 0, int32(m)-1
+	} else {
+		lu.seqHead, lu.seqTail = -1, -1
+	}
+	lu.keyCtr = uint64(m)
+	lu.baseSize = lu.nnzL + lu.nnzU + m
+	return true
+}
+
+// ftran solves B·x = a for the sparse column a given as (rows, vals).
+// The result lives in lu.xSlot over the returned slot list, valid until
+// the next ftran call. With saveSpike the intermediate vector after the
+// L and H passes — the Forrest–Tomlin spike — is retained for update().
+func (lu *luFactor) ftran(rows []int32, vals []float64, saveSpike bool) []int32 {
+	lu.clearX()
+	w := lu.wrow
+	gen := lu.bumpGen()
+	touch := lu.touch[:0]
+	for t, r := range rows {
+		w[r] = vals[t]
+		lu.mark[r] = gen
+		touch = append(touch, r)
+	}
+	// L: only the etas reachable from the column pattern fire.
+	topo := lu.reach(touch)
+	for _, k := range topo {
+		v := w[lu.lR[k]]
+		if v == 0 {
+			continue
+		}
+		for t := lu.lOff[k]; t < lu.lOff[k+1]; t++ {
+			i := lu.lIdx[t]
+			w[i] -= lu.lVal[t] * v
+			if lu.mark[i] != gen {
+				lu.mark[i] = gen
+				touch = append(touch, i)
+			}
+		}
+	}
+	// H forward: one gather per row eta, in append order.
+	for k := 0; k < len(lu.hR); k++ {
+		s := 0.0
+		for t := lu.hOff[k]; t < lu.hOff[k+1]; t++ {
+			s += lu.hVal[t] * w[lu.hIdx[t]]
+		}
+		if s != 0 {
+			r := lu.hR[k]
+			w[r] -= s
+			if lu.mark[r] != gen {
+				lu.mark[r] = gen
+				touch = append(touch, r)
+			}
+		}
+	}
+	if saveSpike {
+		lu.clearSpike()
+		for _, r := range touch {
+			if v := w[r]; v != 0 {
+				lu.spikeDense[r] = v
+				lu.spikeRows = append(lu.spikeRows, r)
+				if a := math.Abs(v); a > lu.spikeMax {
+					lu.spikeMax = a
+				}
+			}
+		}
+	}
+	// U backward: Gilbert–Peierls closure over the ucol scatter DAG —
+	// reverse postorder of the DFS is a topological order, so every id is
+	// finalized before it scatters into its dependents. Cost tracks the
+	// closure, not m. On the paper's minmax polytopes the makespan column
+	// couples every load row, so closures routinely blow up to a large
+	// fraction of m; past dfsCut the DFS's cache-missing mark checks cost
+	// more than a plain reverse sequence walk (one sequential load per id,
+	// zero bookkeeping), so the symbolic phase ABORTS and the numeric pass
+	// walks the whole triangular order instead — same arithmetic, the walk
+	// merely fails to skip the zero part.
+	xT := lu.xTouch[:0]
+	dfsCut := lu.m/8 + 16
+	abort := false
+	hgen := lu.bumpHGen()
+	topo = lu.topo[:0]
+	stack := lu.stack[:0]
+	stackT := lu.stackT[:0]
+	for _, r := range touch {
+		k0 := lu.idOfRow[r]
+		if lu.hmark[k0] == hgen {
+			continue
+		}
+		lu.hmark[k0] = hgen
+		stack = append(stack, k0)
+		stackT = append(stackT, 0)
+		for len(stack) > 0 {
+			sp := len(stack) - 1
+			k := stack[sp]
+			adj := lu.ucol[k]
+			t := stackT[sp]
+			advanced := false
+			for ; int(t) < len(adj); t++ {
+				k2 := adj[t].id
+				if lu.hmark[k2] != hgen {
+					lu.hmark[k2] = hgen
+					stackT[sp] = t + 1
+					stack = append(stack, k2)
+					stackT = append(stackT, 0)
+					advanced = true
+					break
+				}
+			}
+			if !advanced {
+				stack = stack[:sp]
+				stackT = stackT[:sp]
+				topo = append(topo, k)
+				if len(topo) > dfsCut {
+					abort = true
+					break
+				}
+			}
+		}
+		if abort {
+			break
+		}
+	}
+	if abort {
+		for id := lu.seqTail; id >= 0; id = lu.seqPrev[id] {
+			r := lu.rowOfId[id]
+			v := w[r]
+			if v == 0 {
+				continue
+			}
+			w[r] = 0
+			v /= lu.udiag[id]
+			slot := lu.slotOfId[id]
+			lu.xSlot[slot] = v
+			xT = append(xT, slot)
+			for _, e := range lu.ucol[id] {
+				w[e.row] -= e.val * v
+			}
+		}
+	} else {
+		for i := len(topo) - 1; i >= 0; i-- {
+			k := topo[i]
+			r := lu.rowOfId[k]
+			v := w[r]
+			w[r] = 0
+			if v == 0 {
+				continue
+			}
+			v /= lu.udiag[k]
+			slot := lu.slotOfId[k]
+			lu.xSlot[slot] = v
+			xT = append(xT, slot)
+			for _, e := range lu.ucol[k] {
+				w[e.row] -= e.val * v
+			}
+		}
+	}
+	lu.topo = topo
+	lu.stack = stack[:0]
+	lu.stackT = stackT[:0]
+	lu.xTouch = xT
+	lu.touch = touch[:0]
+	return xT
+}
+
+// ftranDense solves B·x = w for a dense w (consumed: zeroed on return).
+// The result is lu.xSlot, dense. Used for the x_B refresh after a
+// (re)factorization, where the right-hand side is dense anyway.
+func (lu *luFactor) ftranDense(w []float64) []float64 {
+	lu.clearX()
+	lu.xDense = true
+	for k := 0; k < len(lu.lR); k++ {
+		v := w[lu.lR[k]]
+		if v == 0 {
+			continue
+		}
+		for t := lu.lOff[k]; t < lu.lOff[k+1]; t++ {
+			w[lu.lIdx[t]] -= lu.lVal[t] * v
+		}
+	}
+	for k := 0; k < len(lu.hR); k++ {
+		s := 0.0
+		for t := lu.hOff[k]; t < lu.hOff[k+1]; t++ {
+			s += lu.hVal[t] * w[lu.hIdx[t]]
+		}
+		w[lu.hR[k]] -= s
+	}
+	for id := lu.seqTail; id >= 0; id = lu.seqPrev[id] {
+		r := lu.rowOfId[id]
+		v := w[r]
+		w[r] = 0
+		if v == 0 {
+			continue
+		}
+		v /= lu.udiag[id]
+		lu.xSlot[lu.slotOfId[id]] = v
+		for _, e := range lu.ucol[id] {
+			w[e.row] -= e.val * v
+		}
+	}
+	return lu.xSlot
+}
+
+// btranUnit computes y = e_slot·B⁻¹ (the row-space functional selecting
+// basis slot `slot`). The result lives in lu.yRow over the returned row
+// list, valid until the next btran call. y·a_j is then column j's entry
+// of the pivot row — the revised engine's incremental pricing input.
+func (lu *luFactor) btranUnit(slot int) []int32 {
+	lu.clearY()
+	y := lu.yRow
+	gen := lu.bumpGen()
+	yT := lu.yTouch[:0]
+	id0 := lu.idOfSlot[slot]
+	r0 := lu.rowOfId[id0]
+	y[r0] = 1
+	lu.mark[r0] = gen
+	yT = append(yT, r0)
+	// Uᵀ forward: Gilbert–Peierls closure over the urow scatter DAG
+	// (contributions flow from earlier to later sequence positions only).
+	// Reverse postorder of the DFS from the seed id is a topological
+	// order, so every id is finalized before it scatters forward. As in
+	// ftran, a closure past dfsCut means the DFS costs more than the plain
+	// forward sequence walk, so the symbolic phase aborts to the walk.
+	hgen := lu.bumpHGen()
+	dfsCut := lu.m/8 + 16
+	abort := false
+	topo := lu.topo[:0]
+	stack := lu.stack[:0]
+	stackT := lu.stackT[:0]
+	lu.hmark[id0] = hgen
+	stack = append(stack, id0)
+	stackT = append(stackT, 0)
+	for len(stack) > 0 {
+		sp := len(stack) - 1
+		k := stack[sp]
+		adj := lu.urow[k]
+		t := stackT[sp]
+		advanced := false
+		for ; int(t) < len(adj); t++ {
+			k2 := adj[t].id
+			if lu.hmark[k2] != hgen {
+				lu.hmark[k2] = hgen
+				stackT[sp] = t + 1
+				stack = append(stack, k2)
+				stackT = append(stackT, 0)
+				advanced = true
+				break
+			}
+		}
+		if !advanced {
+			stack = stack[:sp]
+			stackT = stackT[:sp]
+			topo = append(topo, k)
+			if len(topo) > dfsCut {
+				abort = true
+				break
+			}
+		}
+	}
+	if abort {
+		for id := lu.seqHead; id >= 0; id = lu.seqNext[id] {
+			r := lu.rowOfId[id]
+			v := y[r]
+			if v == 0 {
+				continue
+			}
+			v /= lu.udiag[id]
+			y[r] = v
+			for _, e := range lu.urow[id] {
+				r2 := e.row
+				y[r2] -= e.val * v
+				if lu.mark[r2] != gen {
+					lu.mark[r2] = gen
+					yT = append(yT, r2)
+				}
+			}
+		}
+	} else {
+		for i := len(topo) - 1; i >= 0; i-- {
+			k := topo[i]
+			r := lu.rowOfId[k]
+			v := y[r]
+			if v == 0 {
+				continue
+			}
+			v /= lu.udiag[k]
+			y[r] = v
+			for _, e := range lu.urow[k] {
+				r2 := e.row
+				y[r2] -= e.val * v
+				if lu.mark[r2] != gen {
+					lu.mark[r2] = gen
+					yT = append(yT, r2)
+				}
+			}
+		}
+	}
+	lu.topo = topo
+	lu.stack = stack[:0]
+	lu.stackT = stackT[:0]
+	// H reverse: scatters, skip-on-zero.
+	for k := len(lu.hR) - 1; k >= 0; k-- {
+		v := y[lu.hR[k]]
+		if v == 0 {
+			continue
+		}
+		for t := lu.hOff[k]; t < lu.hOff[k+1]; t++ {
+			r2 := lu.hIdx[t]
+			y[r2] -= lu.hVal[t] * v
+			if lu.mark[r2] != gen {
+				lu.mark[r2] = gen
+				yT = append(yT, r2)
+			}
+		}
+	}
+	// L reverse: one gather per eta (a gather cannot skip on zero, but
+	// nnz(L) is tiny for the near-triangular bases this engine sees).
+	for k := len(lu.lR) - 1; k >= 0; k-- {
+		s := 0.0
+		for t := lu.lOff[k]; t < lu.lOff[k+1]; t++ {
+			s += lu.lVal[t] * y[lu.lIdx[t]]
+		}
+		if s != 0 {
+			r := lu.lR[k]
+			y[r] -= s
+			if lu.mark[r] != gen {
+				lu.mark[r] = gen
+				yT = append(yT, r)
+			}
+		}
+	}
+	lu.yTouch = yT
+	return yT
+}
+
+// btranDense computes y = c·B⁻¹ for a dense slot-space cost vector (the
+// exact pricing reset and the dual extraction). Result: lu.yRow, dense.
+func (lu *luFactor) btranDense(cSlot []float64) []float64 {
+	lu.clearY()
+	lu.yDense = true
+	y := lu.yRow
+	for id := lu.seqHead; id >= 0; id = lu.seqNext[id] {
+		r := lu.rowOfId[id]
+		v := cSlot[lu.slotOfId[id]] + y[r]
+		if v == 0 {
+			y[r] = 0
+			continue
+		}
+		v /= lu.udiag[id]
+		y[r] = v
+		for _, e := range lu.urow[id] {
+			y[e.row] -= e.val * v
+		}
+	}
+	for k := len(lu.hR) - 1; k >= 0; k-- {
+		v := y[lu.hR[k]]
+		if v == 0 {
+			continue
+		}
+		for t := lu.hOff[k]; t < lu.hOff[k+1]; t++ {
+			y[lu.hIdx[t]] -= lu.hVal[t] * v
+		}
+	}
+	for k := len(lu.lR) - 1; k >= 0; k-- {
+		s := 0.0
+		for t := lu.lOff[k]; t < lu.lOff[k+1]; t++ {
+			s += lu.lVal[t] * y[lu.lIdx[t]]
+		}
+		y[lu.lR[k]] -= s
+	}
+	return y
+}
+
+// removeColEnt drops the entry referencing target from ucol[id]
+// (swap-delete; entry order is never significant).
+func (lu *luFactor) removeColEnt(id, target int32) {
+	l := lu.ucol[id]
+	for i := range l {
+		if l[i].id == target {
+			l[i] = l[len(l)-1]
+			lu.ucol[id] = l[:len(l)-1]
+			return
+		}
+	}
+}
+
+// removeRowEnt drops the entry referencing target from urow[id].
+func (lu *luFactor) removeRowEnt(id, target int32) {
+	l := lu.urow[id]
+	for i := range l {
+		if l[i].id == target {
+			l[i] = l[len(l)-1]
+			lu.urow[id] = l[:len(l)-1]
+			return
+		}
+	}
+}
+
+// update applies the Forrest–Tomlin basis change at the given slot: the
+// spike saved by the preceding ftran(saveSpike=true) replaces the slot's
+// U column, the stale U row is eliminated by a sparse triangular closure
+// whose multipliers become one H row eta, and the pivot id moves to the
+// sequence tail. The new diagonal is stability-tested BEFORE any state is
+// mutated; false means "refactorize instead" and leaves the factor
+// exactly as it was.
+func (lu *luFactor) update(slot int) bool {
+	s := lu.idOfSlot[slot]
+	rs := lu.rowOfId[s]
+
+	// Elimination closure over the stale row of U, in sequence order via
+	// the min-heap. Read-only: the accumulator g (dense by id) is cleared
+	// as ids pop, and the multipliers go to side buffers until the
+	// stability verdict commits them.
+	g := lu.g
+	hgen := lu.bumpHGen()
+	lu.heap = lu.heap[:0]
+	for _, e := range lu.urow[s] {
+		g[e.id] = e.val
+		lu.hmark[e.id] = hgen
+		lu.heapPushMin(e.id)
+	}
+	multIds := lu.multIds[:0]
+	multVals := lu.multVals[:0]
+	dnew := lu.spikeDense[rs]
+	for len(lu.heap) > 0 {
+		j := lu.heapPopMin()
+		v := g[j]
+		g[j] = 0
+		if v == 0 {
+			continue
+		}
+		mj := v / lu.udiag[j]
+		if mj == 0 {
+			continue
+		}
+		multIds = append(multIds, j)
+		multVals = append(multVals, mj)
+		dnew -= mj * lu.spikeDense[lu.rowOfId[j]]
+		for _, e := range lu.urow[j] {
+			if lu.hmark[e.id] != hgen {
+				lu.hmark[e.id] = hgen
+				g[e.id] = 0
+				lu.heapPushMin(e.id)
+			}
+			g[e.id] -= mj * e.val
+		}
+	}
+	lu.multIds, lu.multVals = multIds, multVals
+
+	// Stability: the updated diagonal must be a safe divisor both in
+	// absolute terms and relative to the spike it came from.
+	if a := math.Abs(dnew); !(a > pivotEps) || !(a > ftDiagEps*lu.spikeMax) {
+		return false
+	}
+
+	// Commit. Remove the old column and row of id s from the paired lists.
+	for _, e := range lu.ucol[s] {
+		lu.removeRowEnt(e.id, s)
+	}
+	lu.nnzU -= len(lu.ucol[s])
+	lu.ucol[s] = lu.ucol[s][:0]
+	for _, e := range lu.urow[s] {
+		lu.removeColEnt(e.id, s)
+	}
+	lu.nnzU -= len(lu.urow[s])
+	lu.urow[s] = lu.urow[s][:0]
+
+	// Insert the spike as the (new, last-in-order) column of id s. Every
+	// other id now precedes s, so all spike entries are above-diagonal.
+	for _, r := range lu.spikeRows {
+		v := lu.spikeDense[r]
+		if v == 0 || r == rs {
+			continue
+		}
+		i := lu.idOfRow[r]
+		lu.ucol[s] = append(lu.ucol[s], luEnt{i, r, v})
+		lu.urow[i] = append(lu.urow[i], luEnt{s, rs, v})
+		lu.nnzU++
+	}
+	lu.udiag[s] = dnew
+
+	// One H row eta: w[rs] -= Σ m_j·w[row_j].
+	if len(multIds) > 0 {
+		lu.hR = append(lu.hR, rs)
+		for t, j := range multIds {
+			lu.hIdx = append(lu.hIdx, lu.rowOfId[j])
+			lu.hVal = append(lu.hVal, multVals[t])
+		}
+		lu.hOff = append(lu.hOff, int32(len(lu.hIdx)))
+		lu.hFill += len(multIds)
+	}
+
+	// Move id s to the sequence tail under a fresh maximal key.
+	if lu.seqTail != s {
+		p, n := lu.seqPrev[s], lu.seqNext[s]
+		if p >= 0 {
+			lu.seqNext[p] = n
+		} else {
+			lu.seqHead = n
+		}
+		if n >= 0 {
+			lu.seqPrev[n] = p
+		}
+		lu.seqPrev[s] = lu.seqTail
+		lu.seqNext[s] = -1
+		lu.seqNext[lu.seqTail] = s
+		lu.seqTail = s
+	}
+	lu.keyCtr++
+	lu.key[s] = lu.keyCtr
+	lu.updates++
+	return true
+}

@@ -1,0 +1,503 @@
+package lp
+
+// Unit battery for the sparse LU kernel (lu.go): factorization and all four
+// solve variants against dense references, Forrest–Tomlin update sequences
+// against fresh factorizations of the mutated basis, and a fuzz target
+// exercising factor+update on arbitrary small matrices. The revised-engine
+// integration batteries (LU-vs-dense on real LP instances) live in
+// revised_test.go; this file proves the kernel in isolation.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// testCSC is a column-compressed test matrix with more columns than rows so
+// update tests can swap basis columns.
+type testCSC struct {
+	m, n int
+	ptr  []int32
+	idx  []int32
+	val  []float64
+}
+
+// col returns column j densified into out (len m, caller-zeroed).
+func (a *testCSC) col(j int, out []float64) {
+	for t := a.ptr[j]; t < a.ptr[j+1]; t++ {
+		out[a.idx[t]] = a.val[t]
+	}
+}
+
+// mulBasis computes B·x for the basis selection, B[:,slot] = A[:,basis[slot]].
+func (a *testCSC) mulBasis(basis []int, x []float64, out []float64) {
+	for i := range out {
+		out[i] = 0
+	}
+	for slot, c := range basis {
+		xv := x[slot]
+		if xv == 0 {
+			continue
+		}
+		for t := a.ptr[c]; t < a.ptr[c+1]; t++ {
+			out[a.idx[t]] += a.val[t] * xv
+		}
+	}
+}
+
+// randTestCSC builds an m×n sparse matrix whose first m columns form a
+// diagonally dominant (hence nonsingular) basis; the extra columns carry a
+// dominant entry at a random row so update tests usually stay nonsingular.
+func randTestCSC(rng *rand.Rand, m, n int, density float64) *testCSC {
+	a := &testCSC{m: m, n: n, ptr: make([]int32, 1, n+1)}
+	add := func(i int, v float64) {
+		a.idx = append(a.idx, int32(i))
+		a.val = append(a.val, v)
+	}
+	for j := 0; j < n; j++ {
+		diag := j % m
+		if j >= m {
+			diag = rng.Intn(m)
+		}
+		for i := 0; i < m; i++ {
+			if i == diag {
+				add(i, 4+rng.Float64())
+			} else if rng.Float64() < density {
+				add(i, rng.NormFloat64())
+			}
+		}
+		a.ptr = append(a.ptr, int32(len(a.idx)))
+	}
+	return a
+}
+
+// denseSolve solves B·x = b by Gaussian elimination with partial pivoting;
+// B is densified from the basis columns. Returns false on (near) singular.
+func denseSolve(a *testCSC, basis []int, b []float64) ([]float64, bool) {
+	m := a.m
+	bm := make([][]float64, m)
+	for i := range bm {
+		bm[i] = make([]float64, m)
+	}
+	for slot, c := range basis {
+		for t := a.ptr[c]; t < a.ptr[c+1]; t++ {
+			bm[a.idx[t]][slot] = a.val[t]
+		}
+	}
+	x := append([]float64(nil), b...)
+	perm := make([]int, m)
+	for i := range perm {
+		perm[i] = i
+	}
+	for k := 0; k < m; k++ {
+		p, best := -1, 0.0
+		for i := k; i < m; i++ {
+			if v := math.Abs(bm[i][k]); v > best {
+				p, best = i, v
+			}
+		}
+		if best < 1e-12 {
+			return nil, false
+		}
+		bm[k], bm[p] = bm[p], bm[k]
+		x[k], x[p] = x[p], x[k]
+		for i := k + 1; i < m; i++ {
+			f := bm[i][k] / bm[k][k]
+			if f == 0 {
+				continue
+			}
+			bm[i][k] = 0
+			for j := k + 1; j < m; j++ {
+				bm[i][j] -= f * bm[k][j]
+			}
+			x[i] -= f * x[k]
+		}
+	}
+	for k := m - 1; k >= 0; k-- {
+		s := x[k]
+		for j := k + 1; j < m; j++ {
+			s -= bm[k][j] * x[j]
+		}
+		x[k] = s / bm[k][k]
+	}
+	return x, true
+}
+
+func maxAbs(v []float64) float64 {
+	mx := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// checkFtranResidual verifies B·x = rhs for the sparse result in lu.xSlot.
+// eps is the relative backward-error budget: 1e-8 for a fresh factorization,
+// driftEps (1e-7) after Forrest–Tomlin update chains — matching the drift
+// discipline the revised engine itself enforces.
+func checkFtranResidual(t *testing.T, a *testCSC, basis []int, lu *luFactor, rhs []float64, eps float64, tag string) {
+	t.Helper()
+	x := make([]float64, a.m)
+	copy(x, lu.xSlot[:a.m])
+	bx := make([]float64, a.m)
+	a.mulBasis(basis, x, bx)
+	tol := eps * (1 + maxAbs(x))
+	for i := range bx {
+		if math.Abs(bx[i]-rhs[i]) > tol {
+			t.Fatalf("%s: residual %g at row %d (tol %g)", tag, bx[i]-rhs[i], i, tol)
+		}
+	}
+}
+
+// checkBtranRow verifies y·B = want for the sparse result in lu.yRow.
+func checkBtranRow(t *testing.T, a *testCSC, basis []int, lu *luFactor, want []float64, eps float64, tag string) {
+	t.Helper()
+	y := lu.yRow
+	tol := eps * (1 + maxAbs(y[:a.m]))
+	for slot, c := range basis {
+		s := 0.0
+		for tt := a.ptr[c]; tt < a.ptr[c+1]; tt++ {
+			s += y[a.idx[tt]] * a.val[tt]
+		}
+		if math.Abs(s-want[slot]) > tol {
+			t.Fatalf("%s: (y·B)[%d]=%g want %g", tag, slot, s, want[slot])
+		}
+	}
+}
+
+func TestLUFactorSolves(t *testing.T) {
+	rng := rand.New(rand.NewSource(71001))
+	for trial := 0; trial < 200; trial++ {
+		m := 1 + rng.Intn(30)
+		a := randTestCSC(rng, m, m, 0.05+rng.Float64()*0.3)
+		basis := make([]int, m)
+		for i := range basis {
+			basis[i] = i
+		}
+		lu := &luFactor{}
+		if !lu.factor(m, a.ptr, a.idx, a.val, basis) {
+			t.Fatalf("trial %d: factor reported singular on a diagonally dominant basis", trial)
+		}
+
+		// ftran of each basis column must reproduce a unit vector.
+		slotCheck := rng.Intn(m)
+		c := basis[slotCheck]
+		xT := lu.ftran(a.idx[a.ptr[c]:a.ptr[c+1]], a.val[a.ptr[c]:a.ptr[c+1]], false)
+		for _, s := range xT {
+			want := 0.0
+			if int(s) == slotCheck {
+				want = 1
+			}
+			if math.Abs(lu.xSlot[s]-want) > 1e-9 {
+				t.Fatalf("trial %d: ftran(basis col) x[%d]=%g want %g", trial, s, lu.xSlot[s], want)
+			}
+		}
+
+		// ftran of a random sparse rhs vs the dense reference.
+		var rows []int32
+		var vals []float64
+		rhs := make([]float64, m)
+		for i := 0; i < m; i++ {
+			if rng.Float64() < 0.4 {
+				v := rng.NormFloat64()
+				rows = append(rows, int32(i))
+				vals = append(vals, v)
+				rhs[i] = v
+			}
+		}
+		lu.ftran(rows, vals, false)
+		checkFtranResidual(t, a, basis, lu, rhs, 1e-8, "ftran sparse")
+		if ref, ok := denseSolve(a, basis, rhs); ok {
+			for s := 0; s < m; s++ {
+				if math.Abs(lu.xSlot[s]-ref[s]) > 1e-8*(1+maxAbs(ref)) {
+					t.Fatalf("trial %d: ftran x[%d]=%g dense ref %g", trial, s, lu.xSlot[s], ref[s])
+				}
+			}
+		}
+
+		// ftranDense on a dense rhs.
+		w := make([]float64, m)
+		rhsD := make([]float64, m)
+		for i := range w {
+			w[i] = rng.NormFloat64()
+			rhsD[i] = w[i]
+		}
+		lu.ftranDense(w)
+		checkFtranResidual(t, a, basis, lu, rhsD, 1e-8, "ftranDense")
+		for i := range w {
+			if w[i] != 0 {
+				t.Fatalf("trial %d: ftranDense left w[%d]=%g (contract: consumed)", trial, i, w[i])
+			}
+		}
+
+		// btranUnit: y·B = e_slot.
+		slot := rng.Intn(m)
+		lu.btranUnit(slot)
+		unit := make([]float64, m)
+		unit[slot] = 1
+		checkBtranRow(t, a, basis, lu, unit, 1e-8, "btranUnit")
+
+		// btranDense: y·B = c.
+		cs := make([]float64, m)
+		for i := range cs {
+			cs[i] = rng.NormFloat64()
+		}
+		lu.btranDense(cs)
+		checkBtranRow(t, a, basis, lu, cs, 1e-8, "btranDense")
+	}
+}
+
+func TestLUFactorSingular(t *testing.T) {
+	rng := rand.New(rand.NewSource(71002))
+	m := 8
+	a := randTestCSC(rng, m, m+1, 0.3)
+	// Duplicate a column: basis using it twice is exactly singular.
+	a.ptr = append(a.ptr[:m+1], a.ptr[m])
+	basis := make([]int, m)
+	for i := range basis {
+		basis[i] = i
+	}
+	basis[3] = basis[5]
+	lu := &luFactor{}
+	if lu.factor(m, a.ptr, a.idx, a.val, basis) {
+		t.Fatal("factor accepted a basis with a duplicated column")
+	}
+	// The factor must remain usable after a singular rejection.
+	for i := range basis {
+		basis[i] = i
+	}
+	if !lu.factor(m, a.ptr, a.idx, a.val, basis) {
+		t.Fatal("factor failed on a nonsingular basis after a singular rejection")
+	}
+}
+
+// TestLUUpdate drives long Forrest–Tomlin sequences: random column swaps,
+// each applied via ftran(saveSpike)+update, verified by fresh solves against
+// the mutated basis, with refactorization both on demand (update declines)
+// and on the adaptive trigger.
+func TestLUUpdate(t *testing.T) {
+	rng := rand.New(rand.NewSource(71003))
+	for trial := 0; trial < 60; trial++ {
+		m := 2 + rng.Intn(24)
+		n := m + 2 + rng.Intn(2*m)
+		a := randTestCSC(rng, m, n, 0.05+rng.Float64()*0.25)
+		basis := make([]int, m)
+		inBase := make([]bool, n)
+		for i := range basis {
+			basis[i] = i
+			inBase[i] = true
+		}
+		lu := &luFactor{}
+		if !lu.factor(m, a.ptr, a.idx, a.val, basis) {
+			t.Fatalf("trial %d: initial factor singular", trial)
+		}
+		refactors, updates := 0, 0
+		for step := 0; step < 3*m; step++ {
+			e := rng.Intn(n)
+			if inBase[e] {
+				continue
+			}
+			slot := rng.Intn(m)
+			// Protocol mirror of the revised engine: FTRAN the entering
+			// column with the spike saved, then update in place.
+			lu.ftran(a.idx[a.ptr[e]:a.ptr[e+1]], a.val[a.ptr[e]:a.ptr[e+1]], true)
+			newBasis := append([]int(nil), basis...)
+			newBasis[slot] = e
+			if _, ok := denseSolve(a, newBasis, make([]float64, m)); !ok {
+				continue // candidate basis singular; the engine's ratio test would not pick it
+			}
+			if lu.update(slot) {
+				updates++
+			} else {
+				refactors++
+				if !lu.factor(m, a.ptr, a.idx, a.val, newBasis) {
+					t.Fatalf("trial %d step %d: refactor failed on verified-nonsingular basis", trial, step)
+				}
+			}
+			inBase[basis[slot]] = false
+			inBase[e] = true
+			basis[slot] = e
+			if lu.needRefactor() {
+				if !lu.factor(m, a.ptr, a.idx, a.val, basis) {
+					t.Fatalf("trial %d step %d: adaptive refactor failed", trial, step)
+				}
+				refactors++
+			}
+
+			// Verify both solve directions against the mutated basis.
+			var rows []int32
+			var vals []float64
+			rhs := make([]float64, m)
+			for i := 0; i < m; i++ {
+				if rng.Float64() < 0.5 {
+					v := rng.NormFloat64()
+					rows = append(rows, int32(i))
+					vals = append(vals, v)
+					rhs[i] = v
+				}
+			}
+			lu.ftran(rows, vals, false)
+			checkFtranResidual(t, a, basis, lu, rhs, driftEps, "post-update ftran")
+			slotQ := rng.Intn(m)
+			lu.btranUnit(slotQ)
+			unit := make([]float64, m)
+			unit[slotQ] = 1
+			checkBtranRow(t, a, basis, lu, unit, driftEps, "post-update btranUnit")
+		}
+		if trial == 0 && updates == 0 {
+			t.Error("no FT update ever succeeded; the update path is not being exercised")
+		}
+	}
+}
+
+// TestLUUpdateFillTrigger pins the adaptive reinversion contract: updates
+// accumulate H fill, needRefactor eventually fires, and a refactorization
+// resets the budget.
+func TestLUUpdateFillTrigger(t *testing.T) {
+	rng := rand.New(rand.NewSource(71004))
+	m := 12
+	n := 3 * m
+	a := randTestCSC(rng, m, n, 0.4)
+	basis := make([]int, m)
+	inBase := make([]bool, n)
+	for i := range basis {
+		basis[i] = i
+		inBase[i] = true
+	}
+	lu := &luFactor{}
+	if !lu.factor(m, a.ptr, a.idx, a.val, basis) {
+		t.Fatal("initial factor singular")
+	}
+	fired := false
+	for step := 0; step < 4*luMaxUpdates && !fired; step++ {
+		e := rng.Intn(n)
+		if inBase[e] {
+			continue
+		}
+		slot := rng.Intn(m)
+		lu.ftran(a.idx[a.ptr[e]:a.ptr[e+1]], a.val[a.ptr[e]:a.ptr[e+1]], true)
+		if !lu.update(slot) {
+			continue
+		}
+		inBase[basis[slot]] = false
+		inBase[e] = true
+		basis[slot] = e
+		if lu.needRefactor() {
+			fired = true
+		}
+	}
+	if !fired {
+		t.Fatal("needRefactor never fired across 4×luMaxUpdates attempted pivots")
+	}
+	if !lu.factor(m, a.ptr, a.idx, a.val, basis) {
+		t.Fatal("refactor failed")
+	}
+	if lu.needRefactor() {
+		t.Fatal("needRefactor still true immediately after refactorization")
+	}
+	if lu.updates != 0 || lu.hFill != 0 {
+		t.Fatalf("refactor did not reset update accounting: updates=%d hFill=%d", lu.updates, lu.hFill)
+	}
+}
+
+// FuzzLUFactor feeds arbitrary small matrices through factor + an update
+// sequence, checking backward error on every solve. Wired into the CI fuzz
+// smoke alongside FuzzSimplex/FuzzPresolve.
+func FuzzLUFactor(f *testing.F) {
+	f.Add([]byte{5, 200, 3, 7, 9, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add([]byte{2, 255, 0, 1, 2, 3})
+	f.Add([]byte{8, 128, 9, 9, 9, 9, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			return
+		}
+		m := 1 + int(data[0])%8
+		n := m + 1 + int(data[1])%8
+		data = data[2:]
+		a := &testCSC{m: m, n: n, ptr: make([]int32, 1, n+1)}
+		pos := 0
+		next := func() byte {
+			if pos >= len(data) {
+				pos = 0
+			}
+			if len(data) == 0 {
+				return 0
+			}
+			b := data[pos]
+			pos++
+			return b
+		}
+		for j := 0; j < n; j++ {
+			for i := 0; i < m; i++ {
+				b := next()
+				if b%3 == 0 {
+					continue // structural zero
+				}
+				// Quantized values in [-4, 4]: keeps ‖B‖ bounded so the
+				// backward-error tolerance below is meaningful.
+				v := float64(int(b)-128) / 32
+				if v == 0 {
+					v = 0.5
+				}
+				a.idx = append(a.idx, int32(i))
+				a.val = append(a.val, v)
+			}
+			a.ptr = append(a.ptr, int32(len(a.idx)))
+		}
+		basis := make([]int, m)
+		inBase := make([]bool, n)
+		for i := range basis {
+			basis[i] = i
+			inBase[i] = true
+		}
+		lu := &luFactor{}
+		if !lu.factor(m, a.ptr, a.idx, a.val, basis) {
+			return // singular input is a valid rejection
+		}
+		verify := func(tag string) {
+			rhs := make([]float64, m)
+			var rows []int32
+			var vals []float64
+			for i := 0; i < m; i++ {
+				v := float64(int(next())-128) / 32
+				if v == 0 {
+					continue
+				}
+				rhs[i] = v
+				rows = append(rows, int32(i))
+				vals = append(vals, v)
+			}
+			lu.ftran(rows, vals, false)
+			x := make([]float64, m)
+			copy(x, lu.xSlot[:m])
+			bx := make([]float64, m)
+			a.mulBasis(basis, x, bx)
+			// Backward-error bound: threshold pivoting (τ=0.1) admits
+			// growth, so the tolerance scales with ‖x‖ and ‖B‖ (≤4·m).
+			tol := 1e-5 * (1 + maxAbs(x)*float64(4*m))
+			for i := range bx {
+				if d := math.Abs(bx[i] - rhs[i]); !(d <= tol) {
+					t.Fatalf("%s: residual %g at row %d (tol %g, m=%d)", tag, d, i, tol, m)
+				}
+			}
+		}
+		verify("after factor")
+		for step := 0; step < 6; step++ {
+			e := int(next()) % n
+			if inBase[e] {
+				continue
+			}
+			slot := int(next()) % m
+			lu.ftran(a.idx[a.ptr[e]:a.ptr[e+1]], a.val[a.ptr[e]:a.ptr[e+1]], true)
+			if !lu.update(slot) {
+				continue // declined update: caller would refactor; basis unchanged here
+			}
+			inBase[basis[slot]] = false
+			inBase[e] = true
+			basis[slot] = e
+			verify("after update")
+		}
+	})
+}

@@ -85,6 +85,18 @@ type workspace struct {
 	colCnt     []int32
 	mark       []int32
 	patScratch []int32
+
+	// Row-accumulator scratch for standardize: a dense coefficient
+	// accumulator plus membership marks and the touched-column list,
+	// replacing the per-row map the row builder used to allocate.
+	// valArena backs the sparse-only value rows (the pattern rows reuse
+	// patArena, which the dense path's patMatrix never touches in
+	// sparse-only mode). Invariant between calls: acc and accMark are
+	// all-zero.
+	acc      []float64
+	accMark  []int32
+	accTouch []int32
+	valArena []float64
 }
 
 var wsPool = sync.Pool{New: func() interface{} { return &workspace{} }}
@@ -180,9 +192,31 @@ func standardize(p *Problem, ws *workspace, keepFixed, sparseOnly bool) (*standa
 	var rows [][]float64
 	sparseOn := !p.DisableSparse || sparseOnly
 	var pats [][]int32
+	var patFlat []int32
+	var valFlat []float64
 	if sparseOnly {
 		pats = make([][]int32, 0, len(p.rows))
 		s.val = make([][]float64, 0, len(p.rows))
+		// Flat arenas for the pattern/value rows, pre-sized so appends
+		// never reallocate mid-build: ≤ 2 columns per term (a free
+		// variable splits) plus one slack per row.
+		nnzBound := len(p.rows)
+		for i := range p.rows {
+			nnzBound += 2 * len(p.rows[i].Terms)
+		}
+		if ws != nil {
+			if cap(ws.patArena) < nnzBound {
+				ws.patArena = make([]int32, 0, nnzBound)
+			}
+			if cap(ws.valArena) < nnzBound {
+				ws.valArena = make([]float64, 0, nnzBound)
+			}
+			patFlat = ws.patArena[:0]
+			valFlat = ws.valArena[:0]
+		} else {
+			patFlat = make([]int32, 0, nnzBound)
+			valFlat = make([]float64, 0, nnzBound)
+		}
 	} else {
 		rows = ws.matrix(len(p.rows), maxCols)
 		if sparseOn {
@@ -215,31 +249,56 @@ func standardize(p *Problem, ws *workspace, keepFixed, sparseOnly bool) (*standa
 		}
 	}
 
-	// Constraint rows. Each becomes an equality with optional slack.
+	// Constraint rows. Each becomes an equality with optional slack. Row
+	// coefficients accumulate into a dense accumulator plus a touched-column
+	// list — the per-row map this code used to allocate dominated the
+	// revised path's allocs_per_op once everything else was pooled.
+	// Invariant: acc and accMark are all-zero between rows (each row clears
+	// exactly what it touched).
 	s.rowOf = make([]int, len(p.rows))
 	s.rowSign = make([]float64, len(p.rows))
-	addRow := func(coefs map[int]float64, rhs float64, slack bool) int {
+	var acc []float64
+	var accMark []int32
+	var accTouch []int32
+	if ws != nil {
+		if cap(ws.acc) < maxCols {
+			ws.acc = make([]float64, maxCols)
+			ws.accMark = make([]int32, maxCols)
+		}
+		acc, accMark = ws.acc[:maxCols], ws.accMark[:maxCols]
+		accTouch = ws.accTouch[:0]
+	} else {
+		acc = make([]float64, maxCols)
+		accMark = make([]int32, maxCols)
+	}
+	accAdd := func(c int, v float64) {
+		if accMark[c] == 0 {
+			accMark[c] = 1
+			accTouch = append(accTouch, int32(c))
+		}
+		acc[c] += v
+	}
+	addRow := func(rhs float64, slack bool) int {
+		// accTouch is sorted by the caller; zero accumulator entries
+		// (exact term cancellation) are dropped from patterns and values,
+		// matching the map-era behavior.
 		if sparseOnly {
-			var rp []int32
-			for col, v := range coefs {
-				if v != 0 {
-					rp = append(rp, int32(col))
+			pb, vb := len(patFlat), len(valFlat)
+			for _, c := range accTouch {
+				if v := acc[c]; v != 0 {
+					patFlat = append(patFlat, c)
+					valFlat = append(valFlat, v)
 				}
-			}
-			sortPattern(rp)
-			vals := make([]float64, len(rp), len(rp)+1)
-			for t, c := range rp {
-				vals[t] = coefs[int(c)]
 			}
 			if slack {
 				sc := s.addCol(0, math.Inf(1))
-				rp = append(rp, int32(sc))
-				vals = append(vals, 1)
+				patFlat = append(patFlat, int32(sc))
+				valFlat = append(valFlat, 1)
 			}
 			s.a = append(s.a, nil)
 			s.b = append(s.b, rhs)
-			pats = append(pats, rp)
-			s.val = append(s.val, vals)
+			pats = append(pats, patFlat[pb:len(patFlat):len(patFlat)])
+			s.val = append(s.val, valFlat[vb:len(valFlat):len(valFlat)])
 			return len(s.a) - 1
 		}
 		var row []float64
@@ -251,8 +310,8 @@ func standardize(p *Problem, ws *workspace, keepFixed, sparseOnly bool) (*standa
 		for i := range row {
 			row[i] = 0
 		}
-		for col, v := range coefs {
-			row[col] = v
+		for _, c := range accTouch {
+			row[c] = acc[c]
 		}
 		if slack {
 			sc := s.addCol(0, math.Inf(1))
@@ -262,21 +321,19 @@ func standardize(p *Problem, ws *workspace, keepFixed, sparseOnly bool) (*standa
 		s.a = append(s.a, row)
 		s.b = append(s.b, rhs)
 		if sparseOn {
-			// The row's nonzero pattern, sorted ascending for determinism
-			// (coefs is a map). The slack, if any, is the newest column and
-			// therefore already the largest index.
+			// The row's nonzero pattern. The slack, if any, is the newest
+			// column and therefore already the largest index.
 			var rp []int32
 			pooled := len(pats) < cap(pats)
 			if pooled {
 				pats = pats[:len(pats)+1]
 				rp = pats[len(pats)-1][:0]
 			}
-			for col, v := range coefs {
-				if v != 0 {
-					rp = append(rp, int32(col))
+			for _, c := range accTouch {
+				if acc[c] != 0 {
+					rp = append(rp, c)
 				}
 			}
-			sortPattern(rp)
 			if slack {
 				rp = append(rp, int32(len(s.c)-1))
 			}
@@ -291,20 +348,19 @@ func standardize(p *Problem, ws *workspace, keepFixed, sparseOnly bool) (*standa
 
 	for i := range p.rows {
 		r := &p.rows[i]
-		coefs := make(map[int]float64)
 		rhs := r.RHS
 		for _, t := range r.Terms {
 			vm := s.vmaps[t.Var]
 			switch vm.kind {
 			case 0:
-				coefs[vm.col] += t.Coef
+				accAdd(vm.col, t.Coef)
 				rhs -= t.Coef * vm.shift
 			case 1:
-				coefs[vm.col] -= t.Coef
+				accAdd(vm.col, -t.Coef)
 				rhs -= t.Coef * vm.shift
 			case 2:
-				coefs[vm.col] += t.Coef
-				coefs[vm.col2] -= t.Coef
+				accAdd(vm.col, t.Coef)
+				accAdd(vm.col2, -t.Coef)
 			case 3:
 				rhs -= t.Coef * vm.shift
 			}
@@ -312,15 +368,31 @@ func standardize(p *Problem, ws *workspace, keepFixed, sparseOnly bool) (*standa
 		sign := 1.0
 		sense := r.Sense
 		if sense == GE { // negate into ≤
-			for c := range coefs {
-				coefs[c] = -coefs[c]
+			for _, c := range accTouch {
+				acc[c] = -acc[c]
 			}
 			rhs = -rhs
 			sign = -1
 			sense = LE
 		}
-		s.rowOf[i] = addRow(coefs, rhs, sense == LE)
+		sortPattern(accTouch)
+		s.rowOf[i] = addRow(rhs, sense == LE)
 		s.rowSign[i] = sign
+		for _, c := range accTouch {
+			acc[c] = 0
+			accMark[c] = 0
+		}
+		accTouch = accTouch[:0]
+	}
+	if ws != nil {
+		// Return the (possibly grown) scratch to the pool; arenas stay
+		// referenced by s.pat/s.val until the solve completes, which is
+		// safe — the pool hands a workspace to one solve at a time.
+		ws.accTouch = accTouch[:0]
+		if sparseOnly {
+			ws.patArena = patFlat[:0]
+			ws.valArena = valFlat[:0]
+		}
 	}
 
 	// Make b ≥ 0 (flips dual sign of affected rows).
@@ -464,6 +536,14 @@ type tableau struct {
 
 	active []int32 // pricing skip list: non-banned, non-fixed columns
 	cand   []int32 // partial-pricing candidate list (sparse mode)
+
+	// Dual-devex row weights for runDual's leaving-row choice (devex.go).
+	// ddOff pins the dual simplex to the plain most-violated rule
+	// (Problem.DisableDevex, threaded through by reoptimize); ddCol is the
+	// gathered pivot column the weight update reads after the pivot.
+	dd    dualDevex
+	ddOff bool
+	ddCol []float64
 }
 
 // nbVal returns the current value of nonbasic column j.
@@ -755,7 +835,7 @@ var revisedSolves atomic.Int64
 // engine declines (iteration limits, numerical trouble, Infeasible
 // verdicts it never stands behind).
 func solveColdAuto(p *Problem, ws *workspace) (*Solution, error) {
-	if sol, ok := solveRevised(p); ok {
+	if sol, ok := solveRevised(p, ws); ok {
 		revisedSolves.Add(1)
 		return sol, nil
 	}

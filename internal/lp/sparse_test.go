@@ -39,10 +39,11 @@ func sparseInstance(rng *stats.RNG) *Problem {
 }
 
 // TestSparseMatchesDenseProperty isolates the sparse solve path (presolve
-// off on both sides): cold sparse solves route through the revised
-// product-form engine, which must reproduce the dense authority's status
-// and objective and pass KKT, over 1000 fuzzed instances spanning sparse
-// to dense fill.
+// off on both sides): cold sparse solves route through the revised engine
+// and its sparse LU basis, which must reproduce the dense authority's
+// status and objective and pass KKT, over 1000 fuzzed instances spanning
+// sparse to dense fill. (revised_test.go adds the larger-instance battery
+// that exercises the Forrest–Tomlin update/reinversion cycle.)
 func TestSparseMatchesDenseProperty(t *testing.T) {
 	instances := 1000
 	if testing.Short() {

@@ -107,6 +107,40 @@ const (
 	// and the dense tableau decides. SCALED.
 	revSanityEps = 1e-6
 
+	// luTau is the threshold-pivoting factor of the sparse LU
+	// factorization (luFactor.factor): a row r is an acceptable pivot for
+	// column k when |u_rk| ≥ luTau · max_i |u_ik|; among acceptable rows the
+	// one with the smallest static row count wins (Markowitz-style fill
+	// control). Dimensionless — it compares entries of one column against
+	// each other, so it is invariant under any column scaling. The textbook
+	// 0.1 proved too strict here: on the min-max LPs the makespan column is
+	// both the densest row and numerically large, and τ=0.1 kept forcing the
+	// pivot onto it, exploding fill. 0.01 admits the sparse load rows
+	// (growth stays bounded by 1/τ per step, and the engine's drift checks
+	// catch the rare bad draw by refactorizing).
+	luTau = 0.01
+
+	// ftDiagEps is the relative stability floor for a Forrest–Tomlin
+	// basis update: the updated diagonal must exceed ftDiagEps × the
+	// largest entry of the incoming spike column, else the update is
+	// declined and the engine refactorizes from scratch (the
+	// Bartels–Golub-flavored recovery rung of the fallback ladder).
+	// Dimensionless: it is a ratio within one FTRAN result. 1e-6 is
+	// deliberately conservative — accepting a 1e-8-relative diagonal costs
+	// ~1e-8·‖x‖ of drift on every later solve (measured in lu_test.go's
+	// update battery), while declining merely costs one refactorization.
+	ftDiagEps = 1e-6
+
+	// driftEps is the relative disagreement tolerance between the revised
+	// engine's incrementally maintained quantities (reduced costs updated
+	// per pivot, the entering column's pivot element) and their exact
+	// recomputation from the factorization. Exceeding it triggers a
+	// refactorization plus exact recompute; exceeding it again immediately
+	// after makes the engine decline the solve with a BasisDriftError so
+	// the dense authority decides. Dimensionless — applied in relative form
+	// driftEps·(1+|exact|).
+	driftEps = 1e-7
+
 	// psTol is the infeasibility tolerance of presolve's trivial checks,
 	// aligned with the phase-1 feasibility tolerance so presolve and the
 	// simplex agree on borderline instances. Applied in per-value relative

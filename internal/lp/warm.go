@@ -702,6 +702,7 @@ func (inc *Incremental) reoptimize() (*Solution, error) {
 	}
 	pivots0 := t.pivots
 	t.iters = 0
+	t.ddOff = inc.p.DisableDevex
 	// The dual repair of a handful of bound changes or row additions needs
 	// O(m) pivots; a dual phase still churning past a few multiples of the
 	// tableau size is wandering a degenerate face (the Bland fallback is
@@ -752,35 +753,56 @@ func (inc *Incremental) reoptimize() (*Solution, error) {
 	}
 }
 
-// runDual iterates the dual simplex: pick the basic variable most outside
-// its bounds as the leaving row, then the entering column by the dual ratio
-// test over the dual-feasible reduced costs. Bound tightenings and row
-// additions leave the reduced costs untouched, so the incumbent basis is a
-// valid starting point and each iteration monotonically increases the
-// objective toward the new optimum.
+// runDual iterates the dual simplex: pick the leaving row among the basic
+// variables outside their bounds — by dual-devex score violation²/w_i
+// (devex.go), or by plain worst violation under DisableDevex/Bland — then
+// the entering column by the dual ratio test over the dual-feasible reduced
+// costs. Bound tightenings and row additions leave the reduced costs
+// untouched, so the incumbent basis is a valid starting point and each
+// iteration monotonically increases the objective toward the new optimum.
 func (t *tableau) runDual(maxIter int) Status {
 	m := len(t.a)
 	t.buildActive()
+	devex := !t.ddOff
+	if devex {
+		t.dd.reset(m)
+		if cap(t.ddCol) < m {
+			t.ddCol = make([]float64, m)
+		}
+		t.ddCol = t.ddCol[:m]
+	}
 	stall := 0
 	blandAfter := m + 64
 	for t.iters < maxIter {
 		bland := stall > blandAfter
 
-		// Leaving row: basic variable violating a bound.
+		// Leaving row: basic variable violating a bound. The devex score
+		// normalizes the violation by the reference-framework row norm
+		// w_i ≈ ‖e_i·B⁻¹‖², steering away from rows whose pivots move the
+		// duals the least per unit of violation repaired. Verdicts are
+		// untouched: a row is a candidate iff its violation exceeds
+		// dualFeasEps, exactly as under the plain rule.
 		r := -1
 		var target float64
 		var rKind int8
 		worst := dualFeasEps
+		bestScore := 0.0
 		for i := 0; i < m; i++ {
 			bc := t.basis[i]
-			if v := t.lb[bc] - t.b[i]; v > worst {
-				worst, r, target, rKind = v, i, t.lb[bc], atLower
-				if bland {
-					break
-				}
+			v, kind, tgt := 0.0, atLower, 0.0
+			if lv := t.lb[bc] - t.b[i]; lv > dualFeasEps {
+				v, kind, tgt = lv, atLower, t.lb[bc]
+			} else if uv := t.b[i] - t.ub[bc]; uv > dualFeasEps {
+				v, kind, tgt = uv, atUpper, t.ub[bc]
+			} else {
+				continue
 			}
-			if v := t.b[i] - t.ub[bc]; v > worst {
-				worst, r, target, rKind = v, i, t.ub[bc], atUpper
+			if devex && !bland {
+				if score := v * v / t.dd.w[i]; score > bestScore {
+					bestScore, r, target, rKind = score, i, tgt, kind
+				}
+			} else if v > worst {
+				worst, r, target, rKind = v, i, tgt, kind
 				if bland {
 					break
 				}
@@ -862,23 +884,40 @@ func (t *tableau) runDual(maxIter int) Status {
 			continue
 		}
 
-		// Pivot: move x_e so that row r lands exactly on its bound.
+		// Pivot: move x_e so that row r lands exactly on its bound. The
+		// entering column is gathered into ddCol alongside the b update —
+		// it is exactly the α column the devex weight update needs, and
+		// t.pivot is about to destroy it.
 		step := t.d[e] * delta
 		newVal := t.nbVal(e) + delta
+		alphaRE := row[e]
 		leave := t.basis[r]
 		t.inBase[leave] = false
 		t.status[leave] = rKind
 		t.basis[r] = e
 		t.inBase[e] = true
-		for i := 0; i < m; i++ {
-			if i != r {
-				t.b[i] -= t.a[i][e] * delta
+		if devex {
+			for i := 0; i < m; i++ {
+				a := t.a[i][e]
+				t.ddCol[i] = a
+				if i != r {
+					t.b[i] -= a * delta
+				}
+			}
+		} else {
+			for i := 0; i < m; i++ {
+				if i != r {
+					t.b[i] -= t.a[i][e] * delta
+				}
 			}
 		}
 		t.b[r] = newVal
 		t.obj += step
 		t.pivot(r, e)
 		t.pivots++
+		if devex && t.dd.update(r, alphaRE, t.ddCol) {
+			t.dd.reset(m)
+		}
 
 		if step > progressRelEps*(1+math.Abs(t.obj)) {
 			stall = 0

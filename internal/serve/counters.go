@@ -1,6 +1,10 @@
 package serve
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"repro/internal/lp"
+)
 
 // counters are the service's expvar-style monitoring counters, exported as
 // JSON by /v1/statz. All fields are monotonically increasing except
@@ -52,9 +56,22 @@ type Stats struct {
 	TableConflicts int64 `json:"tableConflicts"`
 	TableFamilies  int64 `json:"tableFamilies"` // families holding a table
 	TableSegments  int64 `json:"tableSegments"` // verified brackets across all families
+
+	// Revised-simplex engine health (process-global, from lp.ReadEngineStats):
+	// how often the sparse LU engine answered cold solves itself versus
+	// declining to the dense tableau authority, and how hard the basis
+	// representation worked (Forrest–Tomlin updates vs refactorizations,
+	// drift-check trips). A fallback or drift rate creeping up is the first
+	// outward sign of a numerically hostile instance family.
+	EngineSolves    int64 `json:"engineSolves"`
+	EngineFallbacks int64 `json:"engineFallbacks"`
+	EngineDrifts    int64 `json:"engineDrifts"`
+	EngineRefactors int64 `json:"engineRefactors"`
+	EngineUpdates   int64 `json:"engineUpdates"`
 }
 
 func (c *counters) snapshot(cacheLen, tableFamilies, tableSegments int) Stats {
+	eng := lp.ReadEngineStats()
 	return Stats{
 		Requests:    c.requests.Load(),
 		Hits:        c.hits.Load(),
@@ -74,5 +91,11 @@ func (c *counters) snapshot(cacheLen, tableFamilies, tableSegments int) Stats {
 		TableConflicts: c.tableConflicts.Load(),
 		TableFamilies:  int64(tableFamilies),
 		TableSegments:  int64(tableSegments),
+
+		EngineSolves:    eng.Solves,
+		EngineFallbacks: eng.Fallbacks,
+		EngineDrifts:    eng.Drifts,
+		EngineRefactors: eng.Refactors,
+		EngineUpdates:   eng.Updates,
 	}
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package hslb
+
+// raceEnabled reports whether the race detector is compiled in. The race
+// runtime allocates on its own schedule (shadow-memory bookkeeping), which
+// makes Mallocs-based assertions meaningless under -race.
+const raceEnabled = true
