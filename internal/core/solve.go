@@ -32,6 +32,11 @@ type SolverOptions struct {
 	// cold LP solve of the MINLP route (ablation knob; the
 	// scale-equivariance test battery exercises both settings).
 	DisablePresolve bool
+	// DisableCrash skips the heuristic crash start: by default the MINLP
+	// route runs the paper's parametric heuristic first and hands its
+	// allocation to the LP layer as a crash basis for the root relaxation
+	// (ablation knob; the crash-vs-cold battery exercises both settings).
+	DisableCrash bool
 	// CutAtFractional adds outer-approximation cuts at fractional nodes.
 	CutAtFractional bool
 	// MaxNodes bounds the branch-and-bound tree; exhausting it is a hard
@@ -88,11 +93,26 @@ func (e *NoIncumbentError) Error() string {
 // problem. It returns the model plus the ids of the per-task allocation
 // variables (for inspection and tests).
 func (p *Problem) BuildModel() (*model.Model, []int, error) {
+	m, nVars, _, err := p.buildModelStart(nil)
+	return m, nVars, err
+}
+
+// buildModelStart is BuildModel plus an optional primal start: when hint is
+// a per-task node assignment (the paper's heuristic allocation), the model
+// variables are valued at it during construction — allocation variables at
+// the assigned counts, assignment binaries at the matching candidate's
+// indicator, time variables at the predicted times — and the vector is
+// returned for the LP layer's crash-basis construction. A nil hint returns
+// a nil start.
+func (p *Problem) buildModelStart(hint []int) (*model.Model, []int, []float64, error) {
 	if err := p.Validate(); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if p.Objective == MaxMin {
-		return nil, nil, ErrObjectiveUnsupported
+		return nil, nil, nil, ErrObjectiveUnsupported
+	}
+	if len(hint) != len(p.Tasks) {
+		hint = nil
 	}
 	m := model.New()
 	k := len(p.Tasks)
@@ -126,6 +146,7 @@ func (p *Problem) BuildModel() (*model.Model, []int, error) {
 		m.SetObjective(obj, 0)
 	}
 
+	var zOnes []int // assignment binaries the hint values at 1
 	budget := make([]model.Term, 0, k)
 	for i := range p.Tasks {
 		t := &p.Tasks[i]
@@ -148,6 +169,9 @@ func (p *Problem) BuildModel() (*model.Model, []int, error) {
 				wts = append(wts, float64(c))
 				one = append(one, model.Term{Var: z, Coef: 1})
 				link = append(link, model.Term{Var: z, Coef: float64(c)})
+				if hint != nil && c == hint[i] {
+					zOnes = append(zOnes, z)
+				}
 			}
 			m.AddLinear(one, lp.EQ, 1, fmt.Sprintf("pick[%s]", t.Name))
 			m.AddLinear(link, lp.EQ, 0, fmt.Sprintf("link[%s]", t.Name))
@@ -168,7 +192,29 @@ func (p *Problem) BuildModel() (*model.Model, []int, error) {
 		sense = lp.EQ
 	}
 	m.AddLinear(budget, sense, float64(p.TotalNodes), "budget")
-	return m, nVars, nil
+
+	var start []float64
+	if hint != nil {
+		start = make([]float64, m.NumVars())
+		maxT := 0.0
+		for i := range p.Tasks {
+			tm := p.Tasks[i].Perf.Eval(float64(hint[i]))
+			if tm > maxT {
+				maxT = tm
+			}
+			start[nVars[i]] = float64(hint[i])
+			if p.Objective == MinSum {
+				start[timeVars[i]] = tm
+			}
+		}
+		if p.Objective == MinMax {
+			start[tv] = maxT
+		}
+		for _, z := range zOnes {
+			start[z] = 1
+		}
+	}
+	return m, nVars, start, nil
 }
 
 // SolveMINLP is the paper's solver route: formulate the allocation MINLP
@@ -198,7 +244,17 @@ func (p *Problem) SolveMINLPContext(ctx context.Context, opts SolverOptions) (*A
 	if e != 0 {
 		sp = p.normalizedTime(e)
 	}
-	m, nVars, err := sp.BuildModel()
+	// The parametric heuristic is the paper's crash start: its allocation
+	// becomes a primal point for the LP layer's crash-basis construction,
+	// letting the root relaxation (and any cold node solve) skip phase 1.
+	// Strictly best-effort — a heuristic failure just means a cold start.
+	var hint []int
+	if !opts.DisableCrash {
+		if ha, herr := sp.SolveParametricContext(ctx); herr == nil && ha != nil {
+			hint = ha.Nodes
+		}
+	}
+	m, nVars, start, err := sp.buildModelStart(hint)
 	if err != nil {
 		return nil, err
 	}
@@ -220,6 +276,7 @@ func (p *Problem) SolveMINLPContext(ctx context.Context, opts SolverOptions) (*A
 		TimeLimit:           opts.Deadline,
 		Parallelism:         opts.Parallelism,
 		DebugLPCheck:        opts.DebugLPCheck,
+		CrashPoint:          start,
 	})
 	if res.Status == minlp.Limit && (graceful || ctx.Err() != nil) {
 		bound := math.Ldexp(res.BestBound, e) // exact: exponent shift only

@@ -1,0 +1,452 @@
+package lp
+
+// Aggregation presolve: a second reduction layer behind presolve that
+// merges exact duplicates before standardization ever sees them.
+//
+//   - Duplicate COLUMNS — identical cost, identical bounds, identical
+//     coefficient in every row, all compared bit-for-bit — collapse into
+//     one aggregate variable s = Σ x_k with bounds [Σlo, Σhi]. The row
+//     coefficient is the shared value ONCE (c·x₁ + c·x₂ = c·s), not the
+//     sum. Postsolve disaggregates greedily: each member takes as much of
+//     s as its box allows while leaving room for the remaining members'
+//     lower bounds, so members sit at bounds whenever the aggregate does
+//     and the KKT conditions transfer unchanged (members of a group share
+//     the aggregate's reduced cost).
+//   - Duplicate ROWS — identical sense and identical canonical term
+//     vector after per-row accumulation — collapse to the binding one:
+//     LE keeps the minimum RHS, GE the maximum, EQ keeps one copy and
+//     declares Infeasible when two copies disagree beyond
+//     aggEps·(1+|rhs|). Dropped rows carry dual zero in postsolve; the
+//     kept row carries the multiplier, which prices identically through
+//     either copy.
+//
+// Row detection runs on the column-REWRITTEN rows, so merges cascade one
+// step: columns that become identical only never, but rows that become
+// identical after column aggregation are caught.
+//
+// An FNV-1a hash pre-screen buckets candidates before any exact
+// comparison; when no bucket holds two entries the pass returns nil and
+// the solve proceeds untouched. On coefficient patterns with generic
+// (random) values — the T-series tables included — that is the common
+// case, and the pass costs one O(nnz) sweep. Problem.DisableAggregation
+// opts out entirely.
+
+import (
+	"math"
+	"sort"
+)
+
+// aggregated carries the merge mapping from an original problem to its
+// aggregated form.
+type aggregated struct {
+	orig    *Problem
+	reduced *Problem
+	colMap  []int     // original var -> reduced var (group members share one)
+	groups  [][]int32 // reduced var -> original members, ascending (nil: 1-1)
+	rowMap  []int     // original row -> reduced row, -1 for dropped duplicates
+	carrier []int32   // reduced row -> the original duplicate that carries its dual
+}
+
+// fnv1a folds v into an FNV-1a running hash.
+func fnv1a(h, v uint64) uint64 {
+	for s := 0; s < 64; s += 8 {
+		h ^= (v >> s) & 0xff
+		h *= 1099511628211
+	}
+	return h
+}
+
+// mix64 is a murmur3-style finalizer. The commutative row pre-screen sums
+// per-term hashes; raw FNV of a small integer is affine in it, so sums over
+// consecutive index blocks collide systematically ({29..32} and {61..64}
+// fold to the same total). The avalanche destroys that structure.
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// aggregateProblem merges duplicate columns and rows of p, returning
+// (nil, Optimal) when nothing merges (caller solves p directly),
+// (nil, Infeasible) when two equality copies disagree, or the mapping.
+func aggregateProblem(p *Problem) (*aggregated, Status) {
+	n, m := len(p.costs), len(p.rows)
+	if n == 0 {
+		return nil, Optimal
+	}
+
+	// Pre-screen signatures, straight off the raw rows with no per-row
+	// storage. Column hashes fold (row, coef) walking rows in order —
+	// within one row every term touches a different column, so term order
+	// inside a row cannot change any column's fold order. Row hashes
+	// combine their terms COMMUTATIVELY (summed per-term hashes), so an
+	// unsorted row hashes identically to its sorted duplicate. A row
+	// carrying the same variable twice hashes differently from its
+	// combined form and can miss a merge — a soundness-preserving skip
+	// (exact comparison later always works on canonical rows); matching
+	// presolve's treatment of the same corner.
+	colH := make([]uint64, n)
+	for j := 0; j < n; j++ {
+		h := uint64(14695981039346656037)
+		h = fnv1a(h, math.Float64bits(p.costs[j]))
+		h = fnv1a(h, math.Float64bits(p.lo[j]))
+		h = fnv1a(h, math.Float64bits(p.hi[j]))
+		colH[j] = h
+	}
+	for i := range p.rows {
+		for _, t := range p.rows[i].Terms {
+			if t.Coef != 0 {
+				colH[t.Var] = fnv1a(fnv1a(colH[t.Var], uint64(i)), math.Float64bits(t.Coef))
+			}
+		}
+	}
+
+	// Any repeated column hash among eligible columns, or any repeated row
+	// hash? If neither, nothing can merge — bail with O(nnz) work done and
+	// nothing built. (Column and row hashes share one set; a cross-kind
+	// collision costs a wasted exact pass, never a wrong answer.)
+	colEligible := func(j int) bool {
+		return !math.IsInf(p.lo[j], 0) && !math.IsNaN(p.lo[j]) && !math.IsNaN(p.hi[j])
+	}
+	cand := false
+	seen := make(map[uint64]struct{}, n+m)
+	for j := 0; j < n; j++ {
+		if !colEligible(j) {
+			continue
+		}
+		if _, ok := seen[colH[j]]; ok {
+			cand = true
+			break
+		}
+		seen[colH[j]] = struct{}{}
+	}
+	for i := 0; i < m && !cand; i++ {
+		h := fnv1a(uint64(14695981039346656037), uint64(p.rows[i].Sense))
+		for _, t := range p.rows[i].Terms {
+			if t.Coef != 0 {
+				h += mix64(fnv1a(fnv1a(uint64(2166136261), uint64(t.Var)), math.Float64bits(t.Coef)))
+			}
+		}
+		if _, ok := seen[h]; ok {
+			cand = true
+			break
+		}
+		seen[h] = struct{}{}
+	}
+	if !cand {
+		return nil, Optimal
+	}
+
+	// Candidates exist: canonicalize rows (duplicate terms accumulated,
+	// sorted by variable), recompute exact column hashes against them, and
+	// build the pattern index for exact comparison.
+	rows := make([][]Term, m)
+	for i := range p.rows {
+		r := &p.rows[i]
+		dup := false
+		for k := 1; k < len(r.Terms); k++ {
+			if r.Terms[k].Var <= r.Terms[k-1].Var {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			rows[i] = r.Terms
+			continue
+		}
+		cs := make(map[int]float64, len(r.Terms))
+		for _, t := range r.Terms {
+			cs[t.Var] += t.Coef
+		}
+		terms := make([]Term, 0, len(cs))
+		for v, c := range cs {
+			if c != 0 {
+				terms = append(terms, Term{Var: v, Coef: c})
+			}
+		}
+		sort.Slice(terms, func(a, b int) bool { return terms[a].Var < terms[b].Var })
+		rows[i] = terms
+	}
+	for j := 0; j < n; j++ {
+		h := uint64(14695981039346656037)
+		h = fnv1a(h, math.Float64bits(p.costs[j]))
+		h = fnv1a(h, math.Float64bits(p.lo[j]))
+		h = fnv1a(h, math.Float64bits(p.hi[j]))
+		colH[j] = h
+	}
+	patRow := make([][]int32, n)
+	patCoef := make([][]float64, n)
+	for i := 0; i < m; i++ {
+		for _, t := range rows[i] {
+			colH[t.Var] = fnv1a(fnv1a(colH[t.Var], uint64(i)), math.Float64bits(t.Coef))
+			patRow[t.Var] = append(patRow[t.Var], int32(i))
+			patCoef[t.Var] = append(patCoef[t.Var], t.Coef)
+		}
+	}
+
+	// Bucket by hash, verify exact equality inside each bucket. A merge
+	// group needs finite lower bounds (the greedy disaggregation reserves
+	// Σ later lo) and non-NaN boxes.
+	sameCol := func(a, b int) bool {
+		if math.Float64bits(p.costs[a]) != math.Float64bits(p.costs[b]) ||
+			math.Float64bits(p.lo[a]) != math.Float64bits(p.lo[b]) ||
+			math.Float64bits(p.hi[a]) != math.Float64bits(p.hi[b]) ||
+			len(patRow[a]) != len(patRow[b]) {
+			return false
+		}
+		for t := range patRow[a] {
+			if patRow[a][t] != patRow[b][t] ||
+				math.Float64bits(patCoef[a][t]) != math.Float64bits(patCoef[b][t]) {
+				return false
+			}
+		}
+		return true
+	}
+	groupOf := make([]int, n) // j -> leader (smallest member), self when alone
+	for j := range groupOf {
+		groupOf[j] = j
+	}
+	buckets := make(map[uint64][]int32, n)
+	anyColMerge := false
+	for j := 0; j < n; j++ {
+		if math.IsInf(p.lo[j], 0) || math.IsNaN(p.lo[j]) || math.IsNaN(p.hi[j]) {
+			continue
+		}
+		found := false
+		for _, l := range buckets[colH[j]] {
+			if sameCol(int(l), j) {
+				groupOf[j] = int(l)
+				anyColMerge = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			buckets[colH[j]] = append(buckets[colH[j]], int32(j))
+		}
+	}
+
+	// Row duplicate pre-screen on the rewritten rows (group members other
+	// than the leader vanish; the leader's coefficient stands for the sum).
+	rowH := make([]uint64, m)
+	rowBuckets := make(map[uint64][]int32, m)
+	anyRowDup := false
+	for i := 0; i < m; i++ {
+		h := fnv1a(uint64(14695981039346656037), uint64(p.rows[i].Sense))
+		for _, t := range rows[i] {
+			l := groupOf[t.Var]
+			if l != t.Var {
+				continue
+			}
+			h = fnv1a(fnv1a(h, uint64(l)), math.Float64bits(t.Coef))
+		}
+		rowH[i] = h
+		if prev := rowBuckets[h]; len(prev) > 0 {
+			anyRowDup = true
+		}
+		rowBuckets[h] = append(rowBuckets[h], int32(i))
+	}
+	if !anyColMerge && !anyRowDup {
+		return nil, Optimal
+	}
+
+	ag := &aggregated{orig: p}
+	ag.colMap = make([]int, n)
+
+	red := NewProblem()
+	red.MaxIter = p.MaxIter
+	red.DisableSparse = p.DisableSparse
+	red.DisableDevex = p.DisableDevex
+	red.DisableCrash = p.DisableCrash
+	red.DisableBorder = p.DisableBorder
+	red.DisablePresolve = true
+	red.DisableAggregation = true
+
+	// Variables: leaders carry their whole group; members inherit the
+	// leader's reduced index.
+	members := make(map[int][]int32)
+	for j := 0; j < n; j++ {
+		members[groupOf[j]] = append(members[groupOf[j]], int32(j))
+	}
+	for j := 0; j < n; j++ {
+		if groupOf[j] != j {
+			ag.colMap[j] = -2 // patched below from the leader
+			continue
+		}
+		g := members[j]
+		lo, hi := p.lo[j], p.hi[j]
+		if len(g) > 1 {
+			lo *= float64(len(g))
+			if !math.IsInf(hi, 1) {
+				hi *= float64(len(g))
+			}
+		}
+		rc := red.AddVariable(lo, hi, p.costs[j], p.names[j])
+		ag.colMap[j] = rc
+		for rc >= len(ag.groups) {
+			ag.groups = append(ag.groups, nil)
+		}
+		if len(g) > 1 {
+			ag.groups[rc] = g
+		}
+	}
+	for j := 0; j < n; j++ {
+		if ag.colMap[j] == -2 {
+			ag.colMap[j] = ag.colMap[groupOf[j]]
+		}
+	}
+
+	// Rows: rewrite through the column map, then fold duplicates onto the
+	// first (kept) copy, tightening its RHS.
+	keptOf := make(map[uint64][]int32, m) // hash -> kept original rows
+	ag.rowMap = make([]int, m)
+	keptOrig := make([]int32, 0, m)
+	keptRHS := make([]float64, 0, m)
+	carrier := make([]int32, 0, m)
+	sameRow := func(a, b int) bool {
+		if p.rows[a].Sense != p.rows[b].Sense {
+			return false
+		}
+		ta, tb := rows[a], rows[b]
+		wa, wb := 0, 0
+		for {
+			for wa < len(ta) && groupOf[ta[wa].Var] != ta[wa].Var {
+				wa++
+			}
+			for wb < len(tb) && groupOf[tb[wb].Var] != tb[wb].Var {
+				wb++
+			}
+			if wa == len(ta) || wb == len(tb) {
+				return wa == len(ta) && wb == len(tb)
+			}
+			if ta[wa].Var != tb[wb].Var ||
+				math.Float64bits(ta[wa].Coef) != math.Float64bits(tb[wb].Coef) {
+				return false
+			}
+			wa++
+			wb++
+		}
+	}
+	for i := 0; i < m; i++ {
+		dup := -1
+		for _, k := range keptOf[rowH[i]] {
+			if sameRow(int(k), i) {
+				dup = int(k)
+				break
+			}
+		}
+		if dup < 0 {
+			ag.rowMap[i] = len(keptOrig)
+			keptOf[rowH[i]] = append(keptOf[rowH[i]], int32(i))
+			keptOrig = append(keptOrig, int32(i))
+			keptRHS = append(keptRHS, p.rows[i].RHS)
+			carrier = append(carrier, int32(i))
+			continue
+		}
+		// The duplicate whose RHS binds carries the dual in postsolve: the
+		// non-binding copies are strictly slack at any reduced optimum and
+		// must read zero for complementary slackness.
+		k := ag.rowMap[dup]
+		switch p.rows[i].Sense {
+		case LE:
+			if p.rows[i].RHS < keptRHS[k] {
+				keptRHS[k] = p.rows[i].RHS
+				carrier[k] = int32(i)
+			}
+		case GE:
+			if p.rows[i].RHS > keptRHS[k] {
+				keptRHS[k] = p.rows[i].RHS
+				carrier[k] = int32(i)
+			}
+		case EQ:
+			if math.Abs(p.rows[i].RHS-keptRHS[k]) > aggEps*(1+math.Abs(keptRHS[k])) {
+				return nil, Infeasible
+			}
+		}
+		ag.rowMap[i] = -1
+	}
+	ag.carrier = carrier
+	for w, i32 := range keptOrig {
+		i := int(i32)
+		terms := make([]Term, 0, len(rows[i]))
+		for _, t := range rows[i] {
+			if groupOf[t.Var] != t.Var {
+				continue
+			}
+			terms = append(terms, Term{Var: ag.colMap[t.Var], Coef: t.Coef})
+		}
+		red.AddConstraint(terms, p.rows[i].Sense, keptRHS[w], p.rows[i].Name)
+	}
+
+	// A crash hint aggregates with the columns: the merged coordinate is
+	// the member sum.
+	if p.crashPoint != nil && len(p.crashPoint) == n {
+		cp := make([]float64, len(red.costs))
+		for j := 0; j < n; j++ {
+			cp[ag.colMap[j]] += p.crashPoint[j]
+		}
+		red.crashPoint = cp
+	}
+
+	ag.reduced = red
+	return ag, Optimal
+}
+
+// postsolve maps an aggregated-problem solution back onto the original:
+// merged columns disaggregate greedily over their members, kept rows keep
+// their duals, dropped duplicates read zero.
+func (ag *aggregated) postsolve(sol *Solution) *Solution {
+	out := &Solution{Status: sol.Status, Iterations: sol.Iterations, Pivots: sol.Pivots}
+	if sol.Status != Optimal {
+		return out
+	}
+	p := ag.orig
+	n, m := len(p.costs), len(p.rows)
+
+	x := make([]float64, n)
+	done := make([]bool, len(sol.X))
+	for j := 0; j < n; j++ {
+		rc := ag.colMap[j]
+		if g := ag.groups[rc]; g == nil {
+			x[j] = sol.X[rc]
+			continue
+		} else if !done[rc] {
+			done[rc] = true
+			// Greedy split: member k takes what its box allows while
+			// reserving the later members' lower bounds; any float residual
+			// lands on the last member's clamp.
+			rest := 0.0
+			for _, mb := range g[1:] {
+				rest += p.lo[mb]
+			}
+			rem := sol.X[rc]
+			for t, mb := range g {
+				v := rem - rest
+				if v < p.lo[mb] {
+					v = p.lo[mb]
+				}
+				if v > p.hi[mb] {
+					v = p.hi[mb]
+				}
+				x[mb] = v
+				rem -= v
+				if t+1 < len(g) {
+					rest -= p.lo[g[t+1]]
+				}
+			}
+		}
+	}
+
+	dual := make([]float64, m)
+	for r, i := range ag.carrier {
+		dual[i] = sol.Dual[r]
+	}
+
+	out.X = x
+	out.Dual = dual
+	out.Obj = p.Objective(x)
+	return out
+}

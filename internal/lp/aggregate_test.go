@@ -1,0 +1,191 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestAggregatePresolve pins the two merge moves on a hand-built instance:
+// three identical columns collapse to one with summed bounds, duplicate LE
+// rows keep the tightest RHS, and the optimum plus its certificate survive
+// exact disaggregation.
+func TestAggregatePresolve(t *testing.T) {
+	build := func() *Problem {
+		p := NewProblem()
+		for k := 0; k < 3; k++ {
+			p.AddVariable(0, 4, -1, "x")
+		}
+		w := p.AddVariable(0, 10, -2, "w")
+		dup := []Term{{0, 1}, {1, 1}, {2, 1}, {w, 1}}
+		p.AddConstraint(dup, LE, 9, "cap1")
+		p.AddConstraint(dup, LE, 7, "cap2")
+		p.AddConstraint([]Term{{w, 1}}, LE, 5, "wcap")
+		return p
+	}
+	a0 := ReadEngineStats().AggMerges
+	p := build()
+	sol, err := p.Solve()
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("agg solve: %v %v", sol.Status, err)
+	}
+	if got := ReadEngineStats().AggMerges; got <= a0 {
+		t.Fatalf("aggregation did not fire")
+	}
+	q := build()
+	q.DisableAggregation = true
+	ref, err := q.Solve()
+	if err != nil || ref.Status != Optimal {
+		t.Fatalf("ref solve: %v %v", ref.Status, err)
+	}
+	if math.Abs(sol.Obj-ref.Obj) > 1e-9*(1+math.Abs(ref.Obj)) {
+		t.Fatalf("obj mismatch: %g vs %g", sol.Obj, ref.Obj)
+	}
+	if err := VerifyKKT(p, sol, 1e-6); err != nil {
+		t.Fatalf("KKT: %v", err)
+	}
+
+	// Conflicting duplicate EQ rows are a trivial infeasibility the merge
+	// must detect without spending a simplex.
+	p2 := NewProblem()
+	v := p2.AddVariable(0, 1, 1, "v")
+	u := p2.AddVariable(0, 1, 1, "u")
+	p2.AddConstraint([]Term{{v, 1}, {u, 2}}, EQ, 1, "e1")
+	p2.AddConstraint([]Term{{v, 1}, {u, 2}}, EQ, 2, "e2")
+	s2, err := p2.Solve()
+	if err != nil || s2.Status != Infeasible {
+		t.Fatalf("EQ conflict: want Infeasible, got %v %v", s2.Status, err)
+	}
+}
+
+// randomAggregateLP builds a small LP whose population is skewed toward
+// the aggregation triggers: duplicate columns (identical cost, bounds, and
+// coefficients everywhere) and duplicate rows (identical terms, possibly
+// different RHS). The matrix is built dense-first so duplicated columns
+// are bit-exact copies.
+func randomAggregateLP(rng *rand.Rand) *Problem {
+	nBase := 1 + rng.Intn(5)
+	nRow := 1 + rng.Intn(5)
+	cost := make([]float64, 0, 2*nBase)
+	hi := make([]float64, 0, 2*nBase)
+	cols := make([][]float64, 0, 2*nBase)
+	for j := 0; j < nBase; j++ {
+		col := make([]float64, nRow)
+		for i := range col {
+			col[i] = float64(rng.Intn(9) - 4)
+		}
+		c := float64(rng.Intn(11) - 5)
+		h := float64(1 + rng.Intn(9))
+		reps := 1
+		if rng.Intn(2) == 0 {
+			reps = 2 + rng.Intn(2) // bit-exact duplicates of this column
+		}
+		for r := 0; r < reps; r++ {
+			cost = append(cost, c)
+			hi = append(hi, h)
+			cols = append(cols, col)
+		}
+	}
+	p := NewProblem()
+	for j := range cols {
+		p.AddVariable(0, hi[j], cost[j], "")
+	}
+	for i := 0; i < nRow; i++ {
+		var terms []Term
+		for j := range cols {
+			if c := cols[j][i]; c != 0 {
+				terms = append(terms, Term{Var: j, Coef: c})
+			}
+		}
+		if len(terms) == 0 {
+			continue
+		}
+		sense := Sense(rng.Intn(3))
+		rhs := float64(rng.Intn(31) - 5)
+		reps := 1
+		if rng.Intn(3) == 0 {
+			reps = 2 // duplicate row, possibly with a different RHS
+		}
+		for r := 0; r < reps; r++ {
+			p.AddConstraint(terms, sense, rhs+float64(r*rng.Intn(4)), "")
+		}
+	}
+	return p
+}
+
+// TestAggregateRoundTripBattery solves ~1000 duplicate-heavy random
+// instances with and without aggregation: identical status, objective to
+// 1e-9, and a KKT certificate on the disaggregated optimum. Exact
+// disaggregation means the reduced solve is invisible except in time.
+func TestAggregateRoundTripBattery(t *testing.T) {
+	iters := 1000
+	if testing.Short() {
+		iters = 200
+	}
+	rng := rand.New(rand.NewSource(808))
+	a0 := ReadEngineStats().AggMerges
+	for it := 0; it < iters; it++ {
+		p := randomAggregateLP(rng)
+		agg, err := p.Solve()
+		if err != nil {
+			t.Fatalf("iter %d agg: %v", it, err)
+		}
+		q := p.Clone()
+		q.DisableAggregation = true
+		ref, err := q.Solve()
+		if err != nil {
+			t.Fatalf("iter %d ref: %v", it, err)
+		}
+		if agg.Status != ref.Status {
+			t.Fatalf("iter %d: status diverged agg=%v ref=%v", it, agg.Status, ref.Status)
+		}
+		if ref.Status != Optimal {
+			continue
+		}
+		if math.Abs(agg.Obj-ref.Obj) > 1e-9*(1+math.Abs(ref.Obj)) {
+			t.Fatalf("iter %d: obj diverged agg=%.12g ref=%.12g", it, agg.Obj, ref.Obj)
+		}
+		if err := VerifyKKT(p, agg, 1e-6); err != nil {
+			t.Fatalf("iter %d: disaggregated optimum fails certificate: %v", it, err)
+		}
+	}
+	merges := ReadEngineStats().AggMerges - a0
+	t.Logf("%d instances: %d aggregated solves", iters, merges)
+	if merges == 0 {
+		t.Errorf("battery never aggregated; the duplicate-skewed generator should trigger merges")
+	}
+}
+
+// FuzzAggregatePresolve feeds arbitrary instances through the aggregation
+// path and its disabled twin: verdicts and optima must agree, and the
+// disaggregated optimum must carry a full KKT certificate.
+func FuzzAggregatePresolve(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 2, 5, 1, 5, 1, 5, 1, 1, 1, 1, 0, 9})
+	f.Add([]byte{4, 3, 8, 0, 8, 0, 2, 200, 7, 7, 7, 1, 2, 3, 4, 5, 6})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := decodeLP(data)
+		agg, err := p.Solve()
+		if err != nil {
+			return
+		}
+		q := p.Clone()
+		q.DisableAggregation = true
+		ref, err := q.Solve()
+		if err != nil {
+			return
+		}
+		if agg.Status != ref.Status {
+			t.Fatalf("status diverged: agg=%v ref=%v", agg.Status, ref.Status)
+		}
+		if ref.Status != Optimal {
+			return
+		}
+		if math.Abs(agg.Obj-ref.Obj) > 1e-6*(1+math.Abs(ref.Obj)) {
+			t.Fatalf("obj diverged: agg=%g ref=%g", agg.Obj, ref.Obj)
+		}
+		if err := VerifyKKT(p, agg, 1e-6); err != nil {
+			t.Fatalf("aggregated optimum fails certificate: %v", err)
+		}
+	})
+}

@@ -1,0 +1,363 @@
+package lp
+
+// Bordered factorization of a dense coupling column.
+//
+// On the paper's min-max allocation LPs one basis column — the makespan
+// variable T — appears in every load row (nnz ≈ m/2). Factoring it into the
+// LU poisons everything downstream: the U closure of that column densifies,
+// the hyper-sparse FTRAN/BTRAN m/8 abort fires on every pivot, and each
+// iteration pays Ω(m/2) regardless of how sparse the rest of the basis is.
+//
+// The classical cure is to keep the coupling column OUT of the factorization
+// and handle it by a rank-one bordered (Sherman–Morrison) correction:
+//
+//	B = B₀ + (a_c − e_ρ)·e_sᵀ
+//
+// where slot s of the true basis holds the coupling column a_c, and B₀ is
+// the same basis with the unit column e_ρ standing in for it (ρ a support
+// row of a_c chosen so B₀ stays nonsingular — its unit column must not
+// already be basic). The LU factors B₀, which is as sparse as the rest of
+// the basis; all products with B⁻¹ are recovered from B₀⁻¹ plus the border
+// column f = B₀⁻¹a_c. Since B₀⁻¹e_ρ = e_s by construction:
+//
+//	FTRAN:  x = B⁻¹w:    x₀ = B₀⁻¹w,  t = x₀[s]/f[s],  x = x₀ − t·(f − e_s)
+//	BTRAN:  y = wᵀB⁻¹:   y₀ = wᵀB₀⁻¹, q = (w·f − w[s])/f[s], y = y₀ − q·z
+//	        with z = e_sᵀB₀⁻¹ (one cached unit BTRAN, invalidated per update)
+//
+// The crucial property for the T-series: x₀[s] = (B₀⁻¹w)[s] is ZERO for
+// almost every entering column (s is reachable only through rows coupled to
+// ρ), so the FTRAN correction usually vanishes and the hyper-sparse result
+// passes through untouched — the engine gets sparse-basis pivot costs while
+// the true basis contains a half-dense column.
+//
+// Updates: when a pivot replaces the column in slot r ≠ s, B₀ takes the
+// same replacement (one ordinary Forrest–Tomlin update) and f is patched by
+// the product-form eta of that replacement, f ← E·f. When the coupling
+// column itself leaves (r == s), the FT update makes the LU factor the true
+// basis again and the border simply disengages. Stability is policed by
+// borderDiagEps on the divisor f[s] — a failed check tears the border down
+// and refactors plain, the same decline-not-guess discipline as the rest of
+// the engine. Both per-pivot drift checks run on border-corrected values
+// against independent routes, so a wrong correction cannot survive a pivot.
+
+import "math"
+
+// borderOff tears down the border; the caller is responsible for the LU
+// matching rv.basis again (refactor or an update that restored it).
+func (rv *revEngine) borderOff() {
+	rv.borderOn = false
+	rv.zValid = false
+}
+
+// bumpBGen advances the border's row-mark generation (wrap-safe).
+func (rv *revEngine) bumpBGen() int32 {
+	rv.bGen++
+	if rv.bGen < 0 {
+		for i := range rv.bMark {
+			rv.bMark[i] = 0
+		}
+		rv.bGen = 1
+	}
+	return rv.bGen
+}
+
+// engageBorder flips the border on for slot s with stand-in row rho and
+// counts the solve once.
+func (rv *revEngine) engageBorder(s int, rho int32) {
+	rv.borderOn = true
+	rv.borderSlot = s
+	rv.borderRow = rho
+	rv.zValid = false
+	if !rv.borderUsed {
+		rv.borderUsed = true
+		borderSolves.Add(1)
+	}
+}
+
+// maybeEngageBorderAtFactor scans the current basis (about to be factored)
+// for a column dense enough to border — the crash-install path, where the
+// heuristic vertex already contains the makespan column. ρ is the support
+// row of the column with the largest coefficient among rows whose own unit
+// column is nonbasic (a basic unit column would collide with e_ρ and make
+// B₀ singular).
+func (rv *revEngine) maybeEngageBorderAtFactor(p *Problem) {
+	if p.DisableBorder || rv.borderOn {
+		return
+	}
+	cut := int32(borderColCut(rv.m))
+	s, sNnz := -1, int32(0)
+	for i, bc := range rv.basis {
+		if nz := rv.colPtr[bc+1] - rv.colPtr[bc]; nz >= cut && nz > sNnz {
+			s, sNnz = i, nz
+		}
+	}
+	if s < 0 {
+		return
+	}
+	c := rv.basis[s]
+	rho, bestA := int32(-1), 0.0
+	for t := rv.colPtr[c]; t < rv.colPtr[c+1]; t++ {
+		i := rv.rowIdx[t]
+		uc := rv.slackOf[i]
+		if uc < 0 {
+			uc = rv.artOf[i]
+		}
+		if uc >= 0 && rv.inBase[uc] {
+			continue
+		}
+		if a := math.Abs(rv.colVal[t]); a > bestA {
+			bestA, rho = a, i
+		}
+	}
+	if rho < 0 {
+		return
+	}
+	rv.engageBorder(s, rho)
+}
+
+// factorBordered factors B₀ (the basis with e_ρ in the border slot) and
+// refreshes the border column f = B₀⁻¹a_c. false → the caller falls back to
+// a plain factorization of the true basis.
+func (rv *revEngine) factorBordered() bool {
+	s := rv.borderSlot
+	c := rv.basis[s]
+	// The synthetic unit column e_ρ lives at column index n; reset reserved
+	// the extra colPtr slot and one spare nonzero for it.
+	pos := rv.colPtr[rv.n]
+	rv.rowIdx[pos] = rv.borderRow
+	rv.colVal[pos] = 1
+	rv.colPtr[rv.n+1] = pos + 1
+	rv.fBasis = growInt(rv.fBasis, rv.m)
+	copy(rv.fBasis, rv.basis[:rv.m])
+	rv.fBasis[s] = rv.n
+	if !rv.lu.factor(rv.m, rv.colPtr, rv.rowIdx, rv.colVal, rv.fBasis) {
+		return false
+	}
+	rv.zValid = false
+	return rv.recomputeF0(c)
+}
+
+// recomputeF0 refreshes f = B₀⁻¹a_c from the current (bordered) LU and
+// re-tests the Sherman–Morrison divisor f[s] against borderDiagEps·‖f‖∞.
+// Clobbers lu.xSlot.
+func (rv *revEngine) recomputeF0(c int) bool {
+	sup := rv.lu.ftran(rv.rowIdx[rv.colPtr[c]:rv.colPtr[c+1]], rv.colVal[rv.colPtr[c]:rv.colPtr[c+1]], false)
+	f := rv.f0[:rv.m]
+	for i := range f {
+		f[i] = 0
+	}
+	mx := 0.0
+	for _, si := range sup {
+		v := rv.lu.xSlot[si]
+		f[si] = v
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	rv.f0mx = mx
+	rv.f0s = f[rv.borderSlot]
+	return mx > 0 && math.Abs(rv.f0s) >= borderDiagEps*mx
+}
+
+// ensureZ caches z = e_sᵀB₀⁻¹ (support-tracked in zRow/zTouch). It must run
+// BEFORE any same-iteration btranUnit whose result is still live, because
+// both share lu.yRow.
+func (rv *revEngine) ensureZ() {
+	if rv.zValid {
+		return
+	}
+	for _, r := range rv.zTouch {
+		rv.zRow[r] = 0
+	}
+	rv.zTouch = rv.zTouch[:0]
+	for _, r := range rv.lu.btranUnit(rv.borderSlot) {
+		if v := rv.lu.yRow[r]; v != 0 {
+			rv.zRow[r] = v
+			rv.zTouch = append(rv.zTouch, r)
+		}
+	}
+	rv.zValid = true
+}
+
+// enterFtran computes x = B⁻¹a_e for entering column e, spike saved for the
+// FT update. Without the border — or when the correction coefficient is
+// exactly zero, the common T-series case — the hyper-sparse lu result
+// passes through untouched. Otherwise the corrected column is materialized
+// densely in bW (support = allSlots); lu.xSlot still holds the uncorrected
+// x₀ = B₀⁻¹a_e, which borderUpdate's eta patch relies on.
+func (rv *revEngine) enterFtran(e int) ([]int32, []float64) {
+	sup := rv.lu.ftran(rv.rowIdx[rv.colPtr[e]:rv.colPtr[e+1]], rv.colVal[rv.colPtr[e]:rv.colPtr[e+1]], true)
+	if !rv.borderOn {
+		return sup, rv.lu.xSlot
+	}
+	s := rv.borderSlot
+	x0s := rv.lu.xSlot[s]
+	if x0s == 0 {
+		return sup, rv.lu.xSlot
+	}
+	t := x0s / rv.f0s
+	w := rv.bW[:rv.m]
+	x0 := rv.lu.xSlot
+	f := rv.f0
+	for i := 0; i < rv.m; i++ {
+		w[i] = x0[i] - t*f[i]
+	}
+	w[s] = t
+	return rv.allSlots[:rv.m], w
+}
+
+// bFtranDense is the border-aware dense FTRAN x = B⁻¹w (consumes w, result
+// aliases lu.xSlot exactly like lu.ftranDense).
+func (rv *revEngine) bFtranDense(w []float64) []float64 {
+	x := rv.lu.ftranDense(w)
+	if rv.borderOn {
+		s := rv.borderSlot
+		if t := x[s] / rv.f0s; t != 0 {
+			f := rv.f0
+			for i := 0; i < rv.m; i++ {
+				x[i] -= t * f[i]
+			}
+			x[s] = t
+		}
+	}
+	return x
+}
+
+// rowBtran computes the pivot row y = e_rᵀB⁻¹, border-corrected in place in
+// lu.yRow. The returned support list is lu.yTouch extended (without
+// duplicates — pivotRow accumulates over it) by the correction's rows.
+func (rv *revEngine) rowBtran(r int) []int32 {
+	if !rv.borderOn {
+		return rv.lu.btranUnit(r)
+	}
+	rv.ensureZ() // must precede btranUnit: both write lu.yRow
+	yT := rv.lu.btranUnit(r)
+	s := rv.borderSlot
+	num := rv.f0[r]
+	if r == s {
+		num -= 1
+	}
+	if num == 0 {
+		return yT
+	}
+	q := num / rv.f0s
+	gen := rv.bumpBGen()
+	for _, rr := range yT {
+		rv.bMark[rr] = gen
+	}
+	y := rv.lu.yRow
+	for _, rr := range rv.zTouch {
+		if rv.bMark[rr] != gen {
+			rv.bMark[rr] = gen
+			yT = append(yT, rr)
+		}
+		y[rr] -= q * rv.zRow[rr]
+	}
+	rv.lu.yTouch = yT
+	return yT
+}
+
+// btranDenseB is the border-aware dense BTRAN y = cᵀB⁻¹ for a slot-space
+// cost vector (result aliases lu.yRow like lu.btranDense).
+func (rv *revEngine) btranDenseB(cSlot []float64) []float64 {
+	if !rv.borderOn {
+		return rv.lu.btranDense(cSlot)
+	}
+	rv.ensureZ() // must precede btranDense: both write lu.yRow
+	y := rv.lu.btranDense(cSlot)
+	s := rv.borderSlot
+	num := -cSlot[s]
+	for i := 0; i < rv.m; i++ {
+		if v := rv.f0[i]; v != 0 {
+			num += cSlot[i] * v
+		}
+	}
+	if num != 0 {
+		q := num / rv.f0s
+		for _, rr := range rv.zTouch {
+			y[rr] -= q * rv.zRow[rr]
+		}
+	}
+	return y
+}
+
+// borderUpdate applies the basis replacement at slot r to the
+// factorization. Under the border: a pivot AT the border slot swaps the
+// coupling column out, so the FT update (whose spike is the true entering
+// column) makes the LU exact and the border disengages; any other pivot
+// updates B₀ and patches f by the product-form eta of the replacement,
+// f ← E·f with E built from x₀ = B₀⁻¹a_e (still in lu.xSlot from
+// enterFtran). false → the caller must recover() (full refactorization,
+// which re-fators bordered or tears down as borderOn dictates).
+func (rv *revEngine) borderUpdate(r int) bool {
+	if !rv.lu.update(r) {
+		return false
+	}
+	engUpdates.Add(1)
+	if !rv.borderOn {
+		return true
+	}
+	rv.zValid = false
+	if r == rv.borderSlot {
+		rv.borderOff()
+		return true
+	}
+	x0 := rv.lu.xSlot
+	f := rv.f0
+	if math.Abs(x0[r]) <= pivotEps {
+		// Eta pivot too small (the corrected pivot passed the ratio test on
+		// the border correction alone): rebuild f from the updated LU.
+		if !rv.recomputeF0(rv.basis[rv.borderSlot]) {
+			rv.borderOff()
+			return false
+		}
+		return true
+	}
+	pr := f[r] / x0[r]
+	if pr != 0 {
+		if rv.lu.xDense {
+			for i := 0; i < rv.m; i++ {
+				f[i] -= pr * x0[i]
+			}
+		} else {
+			for _, si := range rv.lu.xTouch {
+				f[si] -= pr * x0[si]
+			}
+		}
+	}
+	f[r] = pr
+	rv.f0s = f[rv.borderSlot]
+	// f0mx is maintained as an upper bound (entries only ever compared
+	// downward, so overestimating is the safe direction).
+	if a := math.Abs(pr); a > rv.f0mx {
+		rv.f0mx = a
+	}
+	if math.Abs(rv.f0s) < borderDiagEps*rv.f0mx {
+		rv.borderOff()
+		return false
+	}
+	return true
+}
+
+// engagePivotBorder installs entering column e as a bordered coupling
+// column at pivot time: the LU absorbs e_ρ at slot r (so it keeps factoring
+// the sparse B₀) while the engine's books record e basic. Called instead of
+// the ordinary FT update, after the commit updated the books. false → the
+// caller must recover() (the LU and the books disagree until then).
+func (rv *revEngine) engagePivotBorder(r int, rho int32, e int) bool {
+	// Overwrite the saved spike (the dense entering column) with e_ρ, then
+	// update: LU ← B₀ = current basis with e_ρ at slot r.
+	unitRow := [1]int32{rho}
+	unitVal := [1]float64{1}
+	rv.lu.ftran(unitRow[:], unitVal[:], true)
+	if !rv.lu.update(r) {
+		return false
+	}
+	engUpdates.Add(1)
+	rv.engageBorder(r, rho)
+	if !rv.recomputeF0(e) {
+		rv.borderOff()
+		return false
+	}
+	return true
+}

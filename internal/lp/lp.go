@@ -123,6 +123,28 @@ type Problem struct {
 	// pivot-count benchmarks; pricing choice can change which tied-optimal
 	// vertex a solve lands on, never the verdict. Copied by Clone.
 	DisableDevex bool
+
+	// DisableCrash ignores any crash point set by SetCrashPoint: every
+	// solve starts from the standard slack/artificial basis. Ablation knob
+	// for the crash-vs-cold property battery. Copied by Clone.
+	DisableCrash bool
+
+	// DisableAggregation skips the duplicate-column/duplicate-row
+	// aggregation pass in front of cold Problem.Solve calls (presolve.go).
+	// Ablation knob for the aggregation round-trip battery. Copied by Clone.
+	DisableAggregation bool
+
+	// DisableBorder pins the revised engine to plain LU factorization of
+	// the full basis: dense coupling columns (the T-series makespan column)
+	// are factored in place instead of being held out in a bordered
+	// Sherman–Morrison solve (border.go). Ablation knob. Copied by Clone.
+	DisableBorder bool
+
+	// crashPoint, when non-nil, is a caller-supplied primal point in
+	// original variable space that solvers may round to a starting vertex
+	// (crash basis). It is advisory: solvers verify feasibility before
+	// adopting it and silently fall back to the cold start otherwise.
+	crashPoint []float64
 }
 
 // NewProblem returns an empty problem.
@@ -176,18 +198,39 @@ func (p *Problem) AddConstraint(terms []Term, sense Sense, rhs float64, name str
 	return len(p.rows) - 1
 }
 
+// SetCrashPoint supplies a primal point in original variable space (one
+// entry per variable added so far) as a crash-basis hint: solvers round it
+// to a nearby vertex and start there when the vertex verifies as feasible,
+// skipping phase 1. The hint is advisory — an infeasible or malformed point
+// is declined and the solve proceeds cold, never wrong. Pass nil to clear.
+// The hint survives Clone, so branch-and-bound node problems inherit it.
+func (p *Problem) SetCrashPoint(x []float64) {
+	if x == nil {
+		p.crashPoint = nil
+		return
+	}
+	p.crashPoint = append([]float64(nil), x...)
+}
+
+// CrashPoint returns the crash hint set by SetCrashPoint (nil when unset).
+func (p *Problem) CrashPoint() []float64 { return p.crashPoint }
+
 // Clone returns a deep copy of the problem.
 func (p *Problem) Clone() *Problem {
 	c := &Problem{
-		costs:           append([]float64(nil), p.costs...),
-		lo:              append([]float64(nil), p.lo...),
-		hi:              append([]float64(nil), p.hi...),
-		names:           append([]string(nil), p.names...),
-		rows:            make([]Constraint, len(p.rows)),
-		MaxIter:         p.MaxIter,
-		DisableSparse:   p.DisableSparse,
-		DisablePresolve: p.DisablePresolve,
-		DisableDevex:    p.DisableDevex,
+		costs:              append([]float64(nil), p.costs...),
+		lo:                 append([]float64(nil), p.lo...),
+		hi:                 append([]float64(nil), p.hi...),
+		names:              append([]string(nil), p.names...),
+		rows:               make([]Constraint, len(p.rows)),
+		MaxIter:            p.MaxIter,
+		DisableSparse:      p.DisableSparse,
+		DisablePresolve:    p.DisablePresolve,
+		DisableDevex:       p.DisableDevex,
+		DisableCrash:       p.DisableCrash,
+		DisableAggregation: p.DisableAggregation,
+		DisableBorder:      p.DisableBorder,
+		crashPoint:         append([]float64(nil), p.crashPoint...),
 	}
 	for i, r := range p.rows {
 		c.rows[i] = Constraint{Terms: append([]Term(nil), r.Terms...), Sense: r.Sense, RHS: r.RHS, Name: r.Name}

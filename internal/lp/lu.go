@@ -52,7 +52,6 @@ package lp
 
 import (
 	"math"
-	"sort"
 )
 
 // luEnt is one off-diagonal entry of the dynamic U factor, identified by
@@ -162,6 +161,71 @@ type luFactor struct {
 	multVals []float64
 	rcount   []int32
 	order    []int32
+	sortCnt  []int32
+
+	// Arena behind the per-id ucol/urow slices; see entPool.
+	ents entPool
+}
+
+// entPool is a grow-only arena of luEnt storage reused across
+// factorizations: reset rewinds the carve cursor instead of freeing each
+// id's slice, so the U column/row appends stop churning the heap. (Before
+// the arena, the permutation shifting between refactorizations meant the
+// per-id capacities rarely fit the next round — the urow append alone
+// showed up as thousands of allocations per solve at scale.) A slice that
+// outgrows its carve is moved to a double-size carve; appends never fall
+// back to the heap while a block has room.
+type entPool struct {
+	blocks [][]luEnt
+	bi     int // block being carved
+	used   int // entries carved from blocks[bi]
+}
+
+// entBlock is the arena block granularity: 8192 luEnts = 128 KiB.
+const entBlock = 8192
+
+func (ep *entPool) reset() { ep.bi, ep.used = 0, 0 }
+
+// carve returns a zero-length slice with capacity c backed by the arena.
+// The three-index slice pins cap at the carve boundary, so an append past
+// it cannot bleed into a neighbouring carve.
+func (ep *entPool) carve(c int) []luEnt {
+	for {
+		if ep.bi >= len(ep.blocks) {
+			sz := entBlock
+			if c > sz {
+				sz = c
+			}
+			ep.blocks = append(ep.blocks, make([]luEnt, sz))
+		}
+		b := ep.blocks[ep.bi]
+		if ep.used+c <= len(b) {
+			s := b[ep.used : ep.used : ep.used+c]
+			ep.used += c
+			return s
+		}
+		ep.bi++
+		ep.used = 0
+	}
+}
+
+// regrow moves s to a carve of twice its capacity.
+func (ep *entPool) regrow(s []luEnt) []luEnt {
+	c := 2 * cap(s)
+	if c < 4 {
+		c = 4
+	}
+	ns := ep.carve(c)[:len(s)]
+	copy(ns, s)
+	return ns
+}
+
+// entAppend appends e to s, growing through the arena instead of the heap.
+func (lu *luFactor) entAppend(s []luEnt, e luEnt) []luEnt {
+	if len(s) == cap(s) {
+		s = lu.ents.regrow(s)
+	}
+	return append(s, e)
 }
 
 // grow32 / growF resize helpers keeping capacity across pooled reuse.
@@ -218,10 +282,14 @@ func (lu *luFactor) reset(m int) {
 		lu.ucol = lu.ucol[:m]
 		lu.urow = lu.urow[:m]
 	}
+	// Hand every id's U storage back to the arena (the headers are
+	// re-carved on first append); rewinding the cursor frees everything at
+	// once.
 	for k := 0; k < m; k++ {
-		lu.ucol[k] = lu.ucol[k][:0]
-		lu.urow[k] = lu.urow[k][:0]
+		lu.ucol[k] = nil
+		lu.urow[k] = nil
 	}
+	lu.ents.reset()
 	lu.rowOfId = grow32(lu.rowOfId, m)
 	lu.slotOfId = grow32(lu.slotOfId, m)
 	lu.idOfRow = grow32(lu.idOfRow, m)
@@ -468,20 +536,30 @@ func (lu *luFactor) factor(m int, colPtr, rowIdx []int32, colVal []float64, basi
 			rcount[rowIdx[t]]++
 		}
 	}
-	order := lu.order[:0]
-	for slot := 0; slot < m; slot++ {
-		order = append(order, int32(slot))
+	// Sparsest column first; ties by slot order. Column nnz is bounded by
+	// m, so a stable counting sort replaces the comparator sort — same
+	// elimination principle, deterministic (slot order is a total order
+	// over the ties), and no per-call closure or comparator overhead.
+	order := lu.order[:m]
+	cnt := grow32(lu.sortCnt, m+1)
+	lu.sortCnt = cnt
+	for i := 0; i <= m; i++ {
+		cnt[i] = 0
 	}
-	// Sparsest column first; ties by column index. Column ids are unique,
-	// so the comparator is a total order and the (unstable) sort is
-	// deterministic.
-	sort.Slice(order, func(a, b int) bool {
-		ca, cb := basis[order[a]], basis[order[b]]
-		if d := (colPtr[ca+1] - colPtr[ca]) - (colPtr[cb+1] - colPtr[cb]); d != 0 {
-			return d < 0
-		}
-		return ca < cb
-	})
+	for slot := 0; slot < m; slot++ {
+		c := basis[slot]
+		cnt[colPtr[c+1]-colPtr[c]]++
+	}
+	run := int32(0)
+	for k := 0; k <= m; k++ {
+		cnt[k], run = run, run+cnt[k]
+	}
+	for slot := 0; slot < m; slot++ {
+		c := basis[slot]
+		k := colPtr[c+1] - colPtr[c]
+		order[cnt[k]] = int32(slot)
+		cnt[k]++
+	}
 	lu.order = order
 
 	w := lu.wrow
@@ -554,8 +632,8 @@ func (lu *luFactor) factor(m int, colPtr, rowIdx []int32, colVal []float64, basi
 				continue
 			}
 			if id2 := lu.idOfRow[i]; id2 >= 0 && id2 != id {
-				lu.ucol[id] = append(lu.ucol[id], luEnt{id2, i, v})
-				lu.urow[id2] = append(lu.urow[id2], luEnt{id, r, v})
+				lu.ucol[id] = lu.entAppend(lu.ucol[id], luEnt{id2, i, v})
+				lu.urow[id2] = lu.entAppend(lu.urow[id2], luEnt{id, r, v})
 				lu.nnzU++
 			} else {
 				lu.lIdx = append(lu.lIdx, i)
@@ -1050,8 +1128,8 @@ func (lu *luFactor) update(slot int) bool {
 			continue
 		}
 		i := lu.idOfRow[r]
-		lu.ucol[s] = append(lu.ucol[s], luEnt{i, r, v})
-		lu.urow[i] = append(lu.urow[i], luEnt{s, rs, v})
+		lu.ucol[s] = lu.entAppend(lu.ucol[s], luEnt{i, r, v})
+		lu.urow[i] = lu.entAppend(lu.urow[i], luEnt{s, rs, v})
 		lu.nnzU++
 	}
 	lu.udiag[s] = dnew

@@ -256,6 +256,10 @@ func presolveProblem(p *Problem) (*presolved, Status) {
 	red := NewProblem()
 	red.MaxIter = p.MaxIter
 	red.DisableSparse = p.DisableSparse
+	red.DisableDevex = p.DisableDevex
+	red.DisableCrash = p.DisableCrash
+	red.DisableAggregation = p.DisableAggregation
+	red.DisableBorder = p.DisableBorder
 	red.DisablePresolve = true
 	ps.colMap = make([]int, n)
 	ps.fixed = fixed
@@ -265,6 +269,17 @@ func presolveProblem(p *Problem) (*presolved, Status) {
 			continue
 		}
 		ps.colMap[j] = red.AddVariable(lo[j], hi[j], p.costs[j], p.names[j])
+	}
+	// A crash hint survives the reduction: eliminated coordinates drop,
+	// the rest map through colMap.
+	if p.crashPoint != nil && len(p.crashPoint) == n {
+		cp := make([]float64, len(red.costs))
+		for j := 0; j < n; j++ {
+			if c := ps.colMap[j]; c >= 0 {
+				cp[c] = p.crashPoint[j]
+			}
+		}
+		red.crashPoint = cp
 	}
 	ps.rowMap = make([]int, m)
 	for i := 0; i < m; i++ {

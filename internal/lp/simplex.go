@@ -808,13 +808,35 @@ func (p *Problem) Solve() (*Solution, error) {
 			return &Solution{Status: Infeasible}, nil
 		}
 		if ps != nil {
-			ws := wsPool.Get().(*workspace)
-			sol, err := solveColdAuto(ps.reduced, ws)
-			wsPool.Put(ws)
+			sol, err := ps.reduced.solveAggregated()
 			if err != nil {
 				return nil, err
 			}
 			return ps.postsolve(sol), nil
+		}
+	}
+	return p.solveAggregated()
+}
+
+// solveAggregated runs the aggregation reduction (aggregate.go) in front
+// of the cold solve: p → aggregate → solveColdAuto → disaggregate. The
+// layers compose as p → presolve → aggregate → solve, with each postsolve
+// unwinding in reverse.
+func (p *Problem) solveAggregated() (*Solution, error) {
+	if !p.DisableAggregation {
+		ag, st := aggregateProblem(p)
+		if st == Infeasible {
+			return &Solution{Status: Infeasible}, nil
+		}
+		if ag != nil {
+			aggMerges.Add(1)
+			ws := wsPool.Get().(*workspace)
+			sol, err := solveColdAuto(ag.reduced, ws)
+			wsPool.Put(ws)
+			if err != nil {
+				return nil, err
+			}
+			return ag.postsolve(sol), nil
 		}
 	}
 	ws := wsPool.Get().(*workspace)
@@ -843,19 +865,21 @@ func solveColdAuto(p *Problem, ws *workspace) (*Solution, error) {
 	return sol, err
 }
 
-// solveCold runs the full two-phase primal simplex. ws (optional) backs the
-// dense matrix with a pooled arena — callers that retain std/t (warm
-// solvers) must pass ws == nil. tag, when non-nil, enables the Basis
-// snapshot on optimal solutions.
-func solveCold(p *Problem, ws *workspace, tag *basisTag) (*Solution, *standard, *tableau, error) {
+// coldSetup standardizes p and erects the phase-0 system shared by every
+// tableau-path start: the identity basis scan, the artificial append, the
+// sparse-kernel init, and (for warm-capable solves) the pristine snapshot.
+// A non-nil Solution or error is a final verdict (the std/t returns are
+// then nil); otherwise the tableau is ready for phase 1 — or, on the crash
+// path, for a direct basis install (Incremental.rebuildFromCrash).
+func coldSetup(p *Problem, ws *workspace, tag *basisTag) (*Solution, *standard, *tableau, int, int, error) {
 	for j := range p.lo {
 		if math.IsNaN(p.lo[j]) || math.IsNaN(p.hi[j]) {
-			return nil, nil, nil, fmt.Errorf("%w: NaN bound on variable %d", ErrBadModel, j)
+			return nil, nil, nil, 0, 0, fmt.Errorf("%w: NaN bound on variable %d", ErrBadModel, j)
 		}
 	}
 	std, st := standardize(p, ws, tag != nil, false)
 	if st == Infeasible {
-		return &Solution{Status: Infeasible}, nil, nil, nil
+		return &Solution{Status: Infeasible}, nil, nil, 0, 0, nil
 	}
 
 	m, n := len(std.a), len(std.c)
@@ -957,6 +981,19 @@ func solveCold(p *Problem, ws *workspace, tag *basisTag) (*Solution, *standard, 
 			}
 		}
 	}
+	return nil, std, t, artStart, maxIter, nil
+}
+
+// solveCold runs the full two-phase primal simplex. ws (optional) backs the
+// dense matrix with a pooled arena — callers that retain std/t (warm
+// solvers) must pass ws == nil. tag, when non-nil, enables the Basis
+// snapshot on optimal solutions.
+func solveCold(p *Problem, ws *workspace, tag *basisTag) (*Solution, *standard, *tableau, error) {
+	sol, std, t, artStart, maxIter, err := coldSetup(p, ws, tag)
+	if sol != nil || err != nil {
+		return sol, nil, nil, err
+	}
+	n := len(std.c)
 
 	totalIters := 0
 

@@ -37,6 +37,11 @@ var (
 	engDrifts    atomic.Int64 // drift-check trips (each forces a refactorization)
 	engRefactors atomic.Int64 // LU refactorizations, scheduled or forced
 	engUpdates   atomic.Int64 // successful Forrest–Tomlin updates
+
+	crashInstalls atomic.Int64 // crash bases installed and verified (phase 1 skipped)
+	crashDeclines atomic.Int64 // crash hints declined (infeasible point, singular basis…)
+	borderSolves  atomic.Int64 // solves that ran with a bordered coupling column
+	aggMerges     atomic.Int64 // cold solves that went through a non-trivial aggregation
 )
 
 // EngineStats is a snapshot of the revised engine's global counters.
@@ -47,6 +52,11 @@ type EngineStats struct {
 	Drifts    int64 // incremental-pricing drift trips
 	Refactors int64 // LU refactorizations
 	Updates   int64 // Forrest–Tomlin updates applied
+
+	CrashInstalls int64 // crash bases installed and verified (phase 1 skipped)
+	CrashDeclines int64 // crash hints declined (solve proceeded cold)
+	BorderSolves  int64 // solves that held a coupling column behind the SM border
+	AggMerges     int64 // cold solves that went through a non-trivial aggregation
 }
 
 // ReadEngineStats returns the current revised-engine counters.
@@ -57,6 +67,11 @@ func ReadEngineStats() EngineStats {
 		Drifts:    engDrifts.Load(),
 		Refactors: engRefactors.Load(),
 		Updates:   engUpdates.Load(),
+
+		CrashInstalls: crashInstalls.Load(),
+		CrashDeclines: crashDeclines.Load(),
+		BorderSolves:  borderSolves.Load(),
+		AggMerges:     aggMerges.Load(),
 	}
 }
 

@@ -146,7 +146,67 @@ const (
 	// simplex agree on borderline instances. Applied in per-value relative
 	// form psTol·(1+|v|) against the row's own RHS or bound magnitude.
 	psTol = feasEps
+
+	// crashSnapEps is the window within which a crash-point coordinate is
+	// snapped onto a variable bound during vertex rounding (crash.go).
+	// Dimensionless — applied in relative form crashSnapEps·(1+|bound|).
+	// Values inside the window are treated as nonbasic at the bound; the
+	// row residuals the snap introduces are re-judged against the SCALED
+	// feasibility tolerance before the crash basis is accepted.
+	crashSnapEps = 1e-9
+
+	// crashRowEps is the per-row residual tolerance for accepting a crash
+	// point: after slack completion every standardized row must balance
+	// within crashRowEps × the standard form's primal scale, else the
+	// crash declines and the solve starts cold. SCALED (absolute
+	// residuals against RHS data). Aligned with feasEps so a crash-built
+	// start is held to exactly the phase-1 feasibility bar.
+	crashRowEps = feasEps
+
+	// crashInstallEps is the STRICT verification tolerance on the basic
+	// values of an installed crash basis, in relative form
+	// crashInstallEps·(1+|value|). It is deliberately much tighter than
+	// the scaled feasibility tolerance: the plan's point is constructed
+	// exactly, so a verified refactorization should reproduce it to LU
+	// roundoff (~1e-12 relative) — anything larger is a real residual the
+	// rounding introduced (e.g. a pass-B column parked on a bound). Phase
+	// 2 preserves whatever violation the start carries all the way into a
+	// claimed optimum, so install-time leniency here would surface as an
+	// infeasible "optimal" vertex and, on the MILP route, a wrong node
+	// bound. Declining costs pivots; accepting costs correctness.
+	crashInstallEps = 1e-7
+
+	// aggEps is the coefficient-identity tolerance of the aggregation
+	// pass (presolve.go): two columns (or rows) merge only when their
+	// coefficients match bit-for-bit after Float64bits comparison — aggEps
+	// guards only the RHS consistency check of duplicate EQ rows, in
+	// relative form aggEps·(1+|rhs|). Dimensionless.
+	aggEps = 1e-12
+
+	// borderDiagEps is the relative stability floor of the bordered
+	// Sherman–Morrison solve (border.go): the border diagonal f₀[s] must
+	// exceed borderDiagEps × ‖f₀‖∞, else the border is torn down and the
+	// coupling column re-enters the LU basis. Dimensionless — a ratio
+	// within one FTRAN result, same discipline as ftDiagEps; 1e-6 for the
+	// same reason (declining costs one refactorization, accepting a tiny
+	// divisor poisons every later solve).
+	borderDiagEps = 1e-6
 )
+
+// borderColCut returns the minimum column density (nonzeros) at which the
+// revised engine holds a basis column out of the LU factorization behind a
+// Sherman–Morrison border (border.go). Columns below the cut factor in
+// place: the bordered solve costs two sparse passes plus a rank-one
+// correction, which only pays for itself when the column would otherwise
+// densify the U factor — on the paper's min-max family the makespan column
+// couples every load row (nnz ≈ m/2), while genuine structural columns
+// carry O(1) entries.
+func borderColCut(m int) int {
+	if c := m / 8; c > 32 {
+		return c
+	}
+	return 32
+}
 
 // pow2Scale returns the power-of-two magnitude of v: the smallest 2^k with
 // 2^k > |v|, floored at 1 (so |v| ≤ 1 yields 1, and an exact power of two

@@ -153,9 +153,21 @@ func (inc *Incremental) SolveFrom(b *Basis) (*Solution, error) {
 	return inc.reoptimize()
 }
 
-// rebuild discards all warm state and runs a cold two-phase solve, adopting
-// the resulting tableau when optimal.
+// rebuild discards all warm state and rebuilds: from the problem's crash
+// hint when one is set (installing the heuristic vertex directly, skipping
+// both simplex phases), else by an ordinary cold two-phase solve. The
+// reoptimize-internal fallbacks call rebuildCold directly — a state the
+// crash path just produced cannot be repaired by reproducing it.
 func (inc *Incremental) rebuild() (*Solution, error) {
+	if sol, err, ok := inc.rebuildFromCrash(); ok {
+		return sol, err
+	}
+	return inc.rebuildCold()
+}
+
+// rebuildCold discards all warm state and runs a cold two-phase solve,
+// adopting the resulting tableau when optimal.
+func (inc *Incremental) rebuildCold() (*Solution, error) {
 	inc.coldSolves++
 	sol, std, t, err := solveCold(inc.p, nil, inc.tag)
 	if err != nil || sol.Status != Optimal {
@@ -167,6 +179,83 @@ func (inc *Incremental) rebuild() (*Solution, error) {
 	inc.factorPivots = t.pivots
 	inc.snapshotApplied()
 	return sol, nil
+}
+
+// rebuildFromCrash erects a fresh phase-0 tableau and installs the basis
+// crashed from the problem's hint through the install machinery — the same
+// Gauss–Jordan validation every stored-basis warm start takes — then lets
+// reoptimize repair the vertex (dual cleanup, primal finish, and all of its
+// cold-confirm fallbacks). ok=false declines: the caller falls back to
+// rebuildCold with the warm state invalidated, exactly as if no hint were
+// set.
+func (inc *Incremental) rebuildFromCrash() (*Solution, error, bool) {
+	p := inc.p
+	if p.DisableCrash || p.crashPoint == nil {
+		return nil, nil, false
+	}
+	sol, std, t, artStart, _, err := coldSetup(p, nil, inc.tag)
+	if err != nil || sol != nil {
+		// Structural verdicts (NaN bounds, standardize-Infeasible) belong to
+		// the cold authority's reporting path.
+		return nil, nil, false
+	}
+	if std.pat == nil {
+		// Dense-only standardization: buildCrashPlan needs pattern rows.
+		return nil, nil, false
+	}
+	inc.valid = false
+	nPre := std.nReal
+	m := len(t.a)
+	slackOf := make([]int32, m)
+	for i := 0; i < m; i++ {
+		if uc := std.unitCol[i]; uc < nPre {
+			slackOf[i] = int32(uc)
+		} else {
+			slackOf[i] = -1
+		}
+	}
+	plan := buildCrashPlan(p, std, nPre, slackOf)
+	if plan == nil {
+		crashDeclines.Add(1)
+		return nil, nil, false
+	}
+	inc.std, inc.t = std, t
+	cols := make([]int32, m)
+	for i := 0; i < m; i++ {
+		if a := plan.assign[i]; a >= 0 {
+			cols[i] = int32(a)
+		} else {
+			cols[i] = int32(std.unitCol[i])
+		}
+	}
+	status := make([]int8, len(std.c))
+	copy(status, plan.status)
+	if !inc.install(cols, status, false) {
+		crashDeclines.Add(1)
+		return nil, nil, false
+	}
+	t = inc.t // install replaced the live tableau
+	for j := artStart; j < len(std.c); j++ {
+		t.banned[j] = true
+	}
+	// Primal gate mirroring tryCrashBasis: every artificial slot must have
+	// vanished at the crash vertex (a banned artificial basic at ~0 is the
+	// legal redundant-row degenerate).
+	tol := feasTol(std.scale)
+	for i, bc := range t.basis {
+		if bc >= artStart && math.Abs(t.b[i]) > tol {
+			inc.valid = false
+			crashDeclines.Add(1)
+			return nil, nil, false
+		}
+	}
+	crashInstalls.Add(1)
+	inc.coldSolves++
+	inc.valid = true
+	inc.factorPivots = t.pivots
+	inc.snapshotApplied()
+	sol2, err2 := inc.reoptimize()
+	return sol2, err2, true
 }
 
 func (inc *Incremental) snapshotApplied() {
@@ -725,7 +814,7 @@ func (inc *Incremental) reoptimize() (*Solution, error) {
 		// that escape — any real violation discards the warm state and
 		// defers to the cold authority.
 		if inc.p.MaxViolation(sol.X) > warmFeasTol(inc.p) {
-			return inc.rebuild()
+			return inc.rebuildCold()
 		}
 		inc.warmSolves++
 		return sol, nil
@@ -747,9 +836,9 @@ func (inc *Incremental) reoptimize() (*Solution, error) {
 			return sol, nil
 		}
 		// Disagreement: the cold authority wins; adopt a fresh cold state.
-		return inc.rebuild()
+		return inc.rebuildCold()
 	default: // IterLimit, Unbounded
-		return inc.rebuild()
+		return inc.rebuildCold()
 	}
 }
 

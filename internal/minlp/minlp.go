@@ -109,6 +109,13 @@ type Options struct {
 	TimeLimit time.Duration
 	// DebugLPCheck forwards to the MILP tree (testing hook).
 	DebugLPCheck func(p *lp.Problem, sol *lp.Solution)
+	// CrashPoint, when non-nil, is a primal point in model-variable space
+	// (e.g. a heuristic allocation) handed to the LP layer as a crash
+	// hint on the master problem: cold solves and warm-start rebuilds
+	// construct a starting basis from it instead of marching from the
+	// all-slack vertex. Node clones inherit it. Strictly best-effort: the
+	// LP layer verifies every crash basis and falls back to a cold start.
+	CrashPoint []float64
 	// Parallelism forwards to the MILP tree's speculative LP pool and
 	// bounds the worker pool that evaluates the nonlinear constraints in
 	// the OA feasibility callback. Results are bit-identical for every
@@ -178,6 +185,9 @@ func SolveContext(ctx context.Context, m *model.Model, opts Options) *Result {
 	}
 
 	master := m.LPRelaxation()
+	if opts.CrashPoint != nil {
+		master.SetCrashPoint(opts.CrashPoint)
+	}
 
 	// Seed the master with grid linearizations: for each nonlinear
 	// constraint, sweep each of its variables over a geometric grid of its

@@ -68,6 +68,15 @@ type Stats struct {
 	EngineDrifts    int64 `json:"engineDrifts"`
 	EngineRefactors int64 `json:"engineRefactors"`
 	EngineUpdates   int64 `json:"engineUpdates"`
+
+	// Structure-exploiting layers (crash bases, bordered makespan column,
+	// aggregation presolve). Installs vs declines is the crash hit rate:
+	// declines rising means the heuristic points stopped rounding to
+	// feasible vertices and solves silently went cold.
+	EngineCrashInstalls int64 `json:"engineCrashInstalls"`
+	EngineCrashDeclines int64 `json:"engineCrashDeclines"`
+	EngineBorderSolves  int64 `json:"engineBorderSolves"`
+	EngineAggMerges     int64 `json:"engineAggMerges"`
 }
 
 func (c *counters) snapshot(cacheLen, tableFamilies, tableSegments int) Stats {
@@ -97,5 +106,10 @@ func (c *counters) snapshot(cacheLen, tableFamilies, tableSegments int) Stats {
 		EngineDrifts:    eng.Drifts,
 		EngineRefactors: eng.Refactors,
 		EngineUpdates:   eng.Updates,
+
+		EngineCrashInstalls: eng.CrashInstalls,
+		EngineCrashDeclines: eng.CrashDeclines,
+		EngineBorderSolves:  eng.BorderSolves,
+		EngineAggMerges:     eng.AggMerges,
 	}
 }
