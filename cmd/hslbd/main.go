@@ -24,6 +24,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -42,6 +43,16 @@ func run(args []string) error {
 	def := serve.DefaultOptions()
 	addr := fs.String("addr", ":8080", "listen address")
 	cacheSize := fs.Int("cache-size", def.CacheSize, "solution cache capacity (entries)")
+	cacheShards := fs.Int("cache-shards", 0,
+		"solution cache stripe count, rounded up to a power of two (0 = automatic, 1 = exact global LRU)")
+	shedCapacity := fs.Int("shed-capacity", 0,
+		"max concurrent load-shed (degraded parametric) answers when admission is saturated; 0 disables shedding")
+	snapshot := fs.String("snapshot", "",
+		"cache snapshot path: warm the cache from it on boot, write it back on graceful shutdown")
+	self := fs.String("self", "", "this replica's ID on the fleet's consistent-hash ring (required with -peers)")
+	peers := fs.String("peers", "",
+		"fleet membership for peer cache fill, as comma-separated id=url pairs (e.g. r1=http://h1:8080,r2=http://h2:8080); an entry matching -self is ignored, so every replica can share one list")
+	peerTimeout := fs.Duration("peer-timeout", 0, "per-probe peer cache-fill timeout (0 = 250ms default)")
 	disableCache := fs.Bool("disable-cache", false, "turn the solution cache off")
 	tableCacheSize := fs.Int("table-cache-size", 1024,
 		"parametric breakpoint-table capacity (task families); 0 disables tables")
@@ -57,6 +68,30 @@ func run(args []string) error {
 
 	opts := def
 	opts.CacheSize = *cacheSize
+	opts.CacheShards = *cacheShards
+	opts.ShedCapacity = *shedCapacity
+	opts.SnapshotPath = *snapshot
+	opts.SelfID = *self
+	opts.PeerTimeout = *peerTimeout
+	if *peers != "" {
+		specs, err := parsePeers(*peers)
+		if err != nil {
+			return err
+		}
+		// The fleet's shared membership list may include this replica
+		// itself (every member and the gateway can then be launched with
+		// the identical -peers value); drop the self entry here — the
+		// serve layer wants only the *other* replicas.
+		kept := specs[:0]
+		for _, p := range specs {
+			if p.ID != *self {
+				kept = append(kept, p)
+			}
+		}
+		if len(kept) > 0 {
+			opts.Peers = kept
+		}
+	}
 	opts.DisableCache = *disableCache
 	opts.TableCacheSize = *tableCacheSize
 	opts.MaxInFlight = *maxInFlight
@@ -71,6 +106,13 @@ func run(args []string) error {
 		return err
 	}
 	defer srv.Close()
+	if opts.SnapshotPath != "" {
+		loaded, dropped, err := srv.LoadSnapshotFile()
+		if err != nil {
+			return fmt.Errorf("loading snapshot: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "hslbd: snapshot warmup: %d entries loaded, %d dropped\n", loaded, dropped)
+	}
 
 	hs := &http.Server{
 		Addr:              *addr,
@@ -101,5 +143,30 @@ func run(args []string) error {
 	if err := hs.Shutdown(shCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
+	if opts.SnapshotPath != "" {
+		if err := srv.SaveSnapshotFile(); err != nil {
+			return fmt.Errorf("saving snapshot: %w", err)
+		}
+	}
 	return nil
+}
+
+// parsePeers parses the -peers flag: comma-separated id=url pairs.
+func parsePeers(s string) ([]serve.ReplicaSpec, error) {
+	var specs []serve.ReplicaSpec
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(part, "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("bad -peers entry %q: want id=url", part)
+		}
+		specs = append(specs, serve.ReplicaSpec{ID: id, URL: url})
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("-peers set but no id=url pairs found")
+	}
+	return specs, nil
 }

@@ -44,6 +44,30 @@ func TestRunRejectsBadOptions(t *testing.T) {
 	}
 }
 
+// TestRunPeersListMayIncludeSelf: every fleet member is launched with the
+// same shared membership list, so -peers containing the -self entry must be
+// accepted (the self entry dropped), not rejected by option validation.
+func TestRunPeersListMayIncludeSelf(t *testing.T) {
+	err := run([]string{
+		"-self", "r1",
+		"-peers", "r1=http://h1:8080,r2=http://h2:8080,r3=http://h3:8080",
+		"-addr", "256.0.0.1:0",
+	})
+	var oe *serve.OptionError
+	if err == nil || errors.As(err, &oe) {
+		t.Fatalf("want a listen error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "listen") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	// A membership list that is only ourselves degrades to a peerless
+	// server (no ring), again past validation.
+	err = run([]string{"-self", "r1", "-peers", "r1=http://h1:8080", "-addr", "256.0.0.1:0"})
+	if err == nil || errors.As(err, &oe) {
+		t.Fatalf("self-only list: want a listen error, got %v", err)
+	}
+}
+
 func TestRunDisableCacheLiftsCacheSize(t *testing.T) {
 	// -disable-cache with -cache-size 0 is a valid combination; it must get
 	// past option validation (and then fail on the unusable address rather

@@ -1,0 +1,117 @@
+// Command hslbgw is the fleet gateway for hslbd replicas: it decodes and
+// canonicalizes each solve request at the edge and routes it to the
+// replica that owns the instance's canonical key on the fleet's
+// consistent-hash ring, failing over once to the key's second owner when
+// the first is unreachable.
+//
+//	hslbgw -addr :8079 -replicas r0=http://h0:8080,r1=http://h1:8080,r2=http://h2:8080
+//
+// The replica IDs must match the -self/-peers IDs the hslbd replicas were
+// started with — the ring is computed independently by every fleet member
+// and must agree. See DESIGN.md "Fleet architecture".
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hslbgw:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hslbgw", flag.ContinueOnError)
+	addr := fs.String("addr", ":8079", "listen address")
+	replicas := fs.String("replicas", "",
+		"fleet replicas as comma-separated id=url pairs (required)")
+	timeout := fs.Duration("timeout", 0,
+		"per-attempt forward timeout (0 = unbounded; set above the replicas' -max-deadline)")
+	maxTasks := fs.Int("max-tasks", 0, "decode limit override (0 = replicas' default)")
+	maxTotalNodes := fs.Int("max-total-nodes", 0, "decode limit override (0 = replicas' default)")
+	maxBodyBytes := fs.Int64("max-body-bytes", 0, "decode limit override (0 = replicas' default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *replicas == "" {
+		return fmt.Errorf("-replicas is required")
+	}
+	specs, err := parseReplicas(*replicas)
+	if err != nil {
+		return err
+	}
+
+	gw, err := serve.NewGateway(serve.GatewayOptions{
+		Replicas:      specs,
+		Timeout:       *timeout,
+		MaxTasks:      *maxTasks,
+		MaxTotalNodes: *maxTotalNodes,
+		MaxBodyBytes:  *maxBodyBytes,
+	})
+	if err != nil {
+		return err
+	}
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           gw.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "hslbgw: routing %d replicas on %s\n", len(specs), ln.Addr())
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// parseReplicas parses the -replicas flag: comma-separated id=url pairs.
+func parseReplicas(s string) ([]serve.ReplicaSpec, error) {
+	var specs []serve.ReplicaSpec
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(part, "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("bad -replicas entry %q: want id=url", part)
+		}
+		specs = append(specs, serve.ReplicaSpec{ID: id, URL: url})
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("no id=url pairs in -replicas")
+	}
+	return specs, nil
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if err := run(nil); err == nil || !strings.Contains(err.Error(), "-replicas") {
+		t.Fatalf("missing -replicas accepted: %v", err)
+	}
+}
+
+func TestParseReplicas(t *testing.T) {
+	specs, err := parseReplicas("r0=http://a:1, r1=http://b:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 || specs[0].ID != "r0" || specs[1].URL != "http://b:2" {
+		t.Fatalf("parsed %+v", specs)
+	}
+	for _, bad := range []string{"", "r0", "=http://a", "r0=", ","} {
+		if _, err := parseReplicas(bad); err == nil {
+			t.Fatalf("%q accepted", bad)
+		}
+	}
+}
+
+// TestRunRejectsBadOptions: gateway option validation fires before any
+// socket is opened, with the typed error naming the field.
+func TestRunRejectsBadOptions(t *testing.T) {
+	err := run([]string{"-replicas", "r0=http://a:1,r0=http://b:2"})
+	var oe *serve.OptionError
+	if !errors.As(err, &oe) || oe.Field != "Replicas" {
+		t.Fatalf("duplicate replica IDs: %v", err)
+	}
+	err = run([]string{"-replicas", "r0=http://a:1", "-timeout", "-1s"})
+	if !errors.As(err, &oe) || oe.Field != "Timeout" {
+		t.Fatalf("negative timeout: %v", err)
+	}
+}
+
+func TestRunListenErrorAfterValidation(t *testing.T) {
+	err := run([]string{"-replicas", "r0=http://a:1", "-addr", "256.0.0.1:0"})
+	var oe *serve.OptionError
+	if err == nil || errors.As(err, &oe) {
+		t.Fatalf("want a listen error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "listen") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

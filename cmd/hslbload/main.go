@@ -1,0 +1,341 @@
+// Command hslbload is an open-loop load generator for the hslbd serving
+// stack: it offers requests at fixed rates (Poisson arrivals, independent
+// of completions — the generator never slows down because the service
+// does), draws instances from a Zipf-popular catalog with configurable
+// permute/rescale churn and a fresh-instance probability, and writes a
+// BENCH_serve.json with per-level latency quantiles, hit rate, shed rate,
+// and collapse rate.
+//
+//	hslbload -spawn 3 -levels 50,200,800 -duration 5s -out BENCH_serve.json
+//	hslbload -target http://localhost:8079 -levels 100 -duration 10s
+//
+// -spawn runs a self-contained in-process fleet (N replicas behind the
+// consistent-hash gateway) so CI can measure the serving stack without
+// orchestrating processes; -target points at an already-running hslbd or
+// hslbgw. Open-loop matters: closed-loop generators (fire, wait, fire)
+// hide collapse by throttling themselves to the service's pace, which is
+// exactly the signal a capacity test must not lose.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "hslbload:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	target    string
+	spawn     int
+	levels    []float64
+	duration  time.Duration
+	catalog   int
+	zipfS     float64
+	churn     float64
+	fresh     float64
+	seed      int64
+	out       string
+	route     string
+	reqTO     time.Duration
+	spawnInf  int
+	spawnShed int
+}
+
+func parseFlags(args []string) (*config, error) {
+	fs := flag.NewFlagSet("hslbload", flag.ContinueOnError)
+	c := &config{}
+	target := fs.String("target", "", "base URL of a running hslbd/hslbgw (mutually exclusive with -spawn)")
+	spawn := fs.Int("spawn", 0, "spin up an in-process fleet of this many replicas behind a gateway")
+	levels := fs.String("levels", "25,100,400", "comma-separated offered loads (requests/second)")
+	fs.DurationVar(&c.duration, "duration", 5*time.Second, "time to hold each offered-load level")
+	fs.IntVar(&c.catalog, "catalog", 64, "distinct instances in the popularity catalog")
+	fs.Float64Var(&c.zipfS, "zipf-s", 1.2, "Zipf exponent of instance popularity (>1)")
+	fs.Float64Var(&c.churn, "churn", 0.5, "probability a request respells its instance (permuted task order or power-of-two rescale)")
+	fs.Float64Var(&c.fresh, "fresh", 0.02, "probability a request is a brand-new instance (forced cold miss)")
+	fs.Int64Var(&c.seed, "seed", 1, "RNG seed for the catalog and arrival process")
+	fs.StringVar(&c.out, "out", "BENCH_serve.json", "output JSON path (- for stdout)")
+	fs.StringVar(&c.route, "route", "solve", "solver route to load (solve, minlp, parametric)")
+	fs.DurationVar(&c.reqTO, "request-timeout", 15*time.Second, "per-request client timeout (timeouts count as errors)")
+	fs.IntVar(&c.spawnInf, "spawn-max-inflight", 2, "MaxInFlight per spawned replica (small, so sheds are observable)")
+	fs.IntVar(&c.spawnShed, "spawn-shed", 32, "ShedCapacity per spawned replica")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	c.target, c.spawn = *target, *spawn
+	if (c.target == "") == (c.spawn == 0) {
+		return nil, fmt.Errorf("exactly one of -target and -spawn is required")
+	}
+	if c.catalog < 1 || c.zipfS <= 1 || c.churn < 0 || c.churn > 1 || c.fresh < 0 || c.fresh > 1 {
+		return nil, fmt.Errorf("bad catalog/zipf/churn/fresh configuration")
+	}
+	for _, part := range strings.Split(*levels, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad -levels entry %q", part)
+		}
+		c.levels = append(c.levels, v)
+	}
+	if len(c.levels) == 0 {
+		return nil, fmt.Errorf("-levels must name at least one offered load")
+	}
+	return c, nil
+}
+
+func run(args []string, logw io.Writer) error {
+	c, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+
+	target := c.target
+	if c.spawn > 0 {
+		fleet, err := spawnFleet(c.spawn, c.spawnInf, c.spawnShed)
+		if err != nil {
+			return err
+		}
+		defer fleet.close()
+		target = fleet.url
+		fmt.Fprintf(logw, "hslbload: spawned %d-replica fleet at %s\n", c.spawn, target)
+	}
+
+	gen := newWorkload(c)
+	client := &http.Client{Timeout: c.reqTO, Transport: &http.Transport{
+		MaxIdleConnsPerHost: 256,
+	}}
+
+	report := Report{
+		Target:   target,
+		Route:    c.route,
+		Catalog:  c.catalog,
+		ZipfS:    c.zipfS,
+		Churn:    c.churn,
+		Fresh:    c.fresh,
+		Seed:     c.seed,
+		Duration: c.duration.String(),
+		UnixTime: time.Now().Unix(),
+	}
+	for _, rate := range c.levels {
+		lvl := runLevel(client, target+"/v1/"+c.route, gen, rate, c)
+		report.Levels = append(report.Levels, lvl)
+		fmt.Fprintf(logw, "hslbload: %7.1f rps offered: sent %d, ok %d, p50 %.2fms p95 %.2fms p99 %.2fms, hit %.2f shed %.2f collapse %.2f reject %.2f\n",
+			rate, lvl.Sent, lvl.OK, lvl.P50Ms, lvl.P95Ms, lvl.P99Ms, lvl.HitRate, lvl.ShedRate, lvl.CollapseRate, lvl.RejectRate)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if c.out == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(c.out, data, 0o644)
+}
+
+// Report is the BENCH_serve.json shape.
+type Report struct {
+	Target   string  `json:"target"`
+	Route    string  `json:"route"`
+	Catalog  int     `json:"catalog"`
+	ZipfS    float64 `json:"zipfS"`
+	Churn    float64 `json:"churn"`
+	Fresh    float64 `json:"fresh"`
+	Seed     int64   `json:"seed"`
+	Duration string  `json:"duration"`
+	UnixTime int64   `json:"unixTime"`
+	Levels   []Level `json:"levels"`
+}
+
+// Level aggregates one offered-load step. Rates are fractions of sent
+// requests; quantiles are over completed (any status) requests.
+type Level struct {
+	OfferedRPS   float64 `json:"offeredRps"`
+	Sent         int64   `json:"sent"`
+	OK           int64   `json:"ok"`
+	Rejected     int64   `json:"rejected"` // 429s
+	Errors       int64   `json:"errors"`   // transport errors + non-200/429 statuses
+	P50Ms        float64 `json:"p50Ms"`
+	P95Ms        float64 `json:"p95Ms"`
+	P99Ms        float64 `json:"p99Ms"`
+	HitRate      float64 `json:"hitRate"`      // cached + table + peer-filled answers
+	ShedRate     float64 `json:"shedRate"`     // degraded (load-shed) answers
+	CollapseRate float64 `json:"collapseRate"` // singleflight-collapsed answers
+	RejectRate   float64 `json:"rejectRate"`
+}
+
+// runLevel offers load at rate for c.duration and aggregates the answers.
+// Open loop: the arrival timer never waits for a response — each arrival
+// fires in its own goroutine, and the level ends by draining outstanding
+// requests (bounded by the client timeout).
+func runLevel(client *http.Client, url string, gen *workload, rate float64, c *config) Level {
+	lvl := Level{OfferedRPS: rate}
+	var mu sync.Mutex
+	var lats []float64
+	var wg sync.WaitGroup
+
+	arrivals := rand.New(rand.NewSource(c.seed ^ int64(math.Float64bits(rate))))
+	deadline := time.Now().Add(c.duration)
+	next := time.Now()
+	for next.Before(deadline) {
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		body := gen.nextBody()
+		lvl.Sent++
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			start := time.Now()
+			status, meta, err := post(client, url, body)
+			ms := float64(time.Since(start)) / float64(time.Millisecond)
+			mu.Lock()
+			defer mu.Unlock()
+			lats = append(lats, ms)
+			switch {
+			case err != nil:
+				lvl.Errors++
+			case status == 200:
+				lvl.OK++
+				if meta.Cached || meta.TableHit || meta.PeerFill {
+					lvl.HitRate++ // count now, normalize below
+				}
+				if meta.Degraded {
+					lvl.ShedRate++
+				}
+				if meta.Collapsed {
+					lvl.CollapseRate++
+				}
+			case status == 429:
+				lvl.Rejected++
+			default:
+				lvl.Errors++
+			}
+		}()
+		// Poisson arrivals: exponential inter-arrival at the offered rate.
+		next = next.Add(time.Duration(arrivals.ExpFloat64() / rate * float64(time.Second)))
+	}
+	wg.Wait()
+
+	sort.Float64s(lats)
+	q := func(p float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lats)-1))
+		return lats[i]
+	}
+	lvl.P50Ms, lvl.P95Ms, lvl.P99Ms = q(0.50), q(0.95), q(0.99)
+	if lvl.Sent > 0 {
+		n := float64(lvl.Sent)
+		lvl.HitRate /= n
+		lvl.ShedRate /= n
+		lvl.CollapseRate /= n
+		lvl.RejectRate = float64(lvl.Rejected) / n
+	}
+	return lvl
+}
+
+func post(client *http.Client, url, body string) (int, serve.MetaBody, error) {
+	resp, err := client.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, serve.MetaBody{}, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, serve.MetaBody{}, err
+	}
+	var envelope struct {
+		Meta serve.MetaBody `json:"meta"`
+	}
+	if resp.StatusCode == 200 {
+		if err := json.Unmarshal(data, &envelope); err != nil {
+			return resp.StatusCode, serve.MetaBody{}, err
+		}
+	}
+	return resp.StatusCode, envelope.Meta, nil
+}
+
+// spawnedFleet is the -spawn in-process fleet: N replicas peered for
+// cache fill behind the consistent-hash gateway, all on loopback.
+type spawnedFleet struct {
+	url     string
+	servers []*serve.Server
+	tss     []*httptest.Server
+	gwTS    *httptest.Server
+	cancel  context.CancelFunc
+}
+
+func (f *spawnedFleet) close() {
+	f.gwTS.Close()
+	for i := range f.tss {
+		f.tss[i].Close()
+		f.servers[i].Close()
+	}
+	f.cancel()
+}
+
+func spawnFleet(n, maxInFlight, shed int) (*spawnedFleet, error) {
+	f := &spawnedFleet{
+		servers: make([]*serve.Server, n),
+		tss:     make([]*httptest.Server, n),
+	}
+	_, f.cancel = context.WithCancel(context.Background())
+	handlers := make([]http.Handler, n)
+	specs := make([]serve.ReplicaSpec, n)
+	for i := 0; i < n; i++ {
+		i := i
+		f.tss[i] = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			handlers[i].ServeHTTP(w, r)
+		}))
+		specs[i] = serve.ReplicaSpec{ID: fmt.Sprintf("r%d", i), URL: f.tss[i].URL}
+	}
+	for i := 0; i < n; i++ {
+		opts := serve.DefaultOptions()
+		opts.SelfID = specs[i].ID
+		for j, spec := range specs {
+			if j != i {
+				opts.Peers = append(opts.Peers, spec)
+			}
+		}
+		opts.MaxInFlight = maxInFlight
+		opts.ShedCapacity = shed
+		opts.TableCacheSize = 256
+		srv, err := serve.New(opts)
+		if err != nil {
+			f.cancel()
+			return nil, err
+		}
+		f.servers[i] = srv
+		handlers[i] = srv.Handler()
+	}
+	gw, err := serve.NewGateway(serve.GatewayOptions{Replicas: specs})
+	if err != nil {
+		f.cancel()
+		return nil, err
+	}
+	f.gwTS = httptest.NewServer(gw.Handler())
+	f.url = f.gwTS.URL
+	return f, nil
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// workload draws request bodies for the generator: a fixed catalog of
+// instances with Zipf popularity (a few instances dominate, as repeated
+// production queries do), a churn probability that respells the chosen
+// instance — permuted task order or an exact power-of-two rescale, both of
+// which canonicalize onto the instance's cache slot — and a fresh
+// probability that invents a never-seen instance (a guaranteed cold miss).
+type workload struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	zipf    *rand.Zipf
+	catalog [][]taskSpec
+	budgets []int
+	churn   float64
+	fresh   float64
+	freshID int
+}
+
+type taskSpec struct {
+	Name   string     `json:"name,omitempty"`
+	Params paramsSpec `json:"params"`
+}
+
+type paramsSpec struct {
+	A float64 `json:"a"`
+	B float64 `json:"b"`
+	C float64 `json:"c"`
+	D float64 `json:"d"`
+}
+
+type requestSpec struct {
+	Tasks      []taskSpec `json:"tasks"`
+	TotalNodes int        `json:"totalNodes"`
+}
+
+func newWorkload(c *config) *workload {
+	rng := rand.New(rand.NewSource(c.seed))
+	w := &workload{
+		rng:   rng,
+		zipf:  rand.NewZipf(rng, c.zipfS, 1, uint64(c.catalog-1)),
+		churn: c.churn,
+		fresh: c.fresh,
+	}
+	for i := 0; i < c.catalog; i++ {
+		tasks, budget := randomInstance(rng)
+		w.catalog = append(w.catalog, tasks)
+		w.budgets = append(w.budgets, budget)
+	}
+	return w
+}
+
+// randomInstance generates a modest solver instance: enough tasks to make
+// the solve real, small enough that the harness measures the serving
+// stack, not one giant MINLP.
+func randomInstance(rng *rand.Rand) ([]taskSpec, int) {
+	k := 2 + rng.Intn(4)
+	tasks := make([]taskSpec, k)
+	for i := range tasks {
+		tasks[i] = taskSpec{Params: paramsSpec{
+			A: 200 + rng.Float64()*5000,
+			B: rng.Float64() * 1e-3,
+			C: 1 + rng.Float64()*0.3,
+			D: rng.Float64() * 3,
+		}}
+	}
+	return tasks, 16 + rng.Intn(112)
+}
+
+// nextBody draws one request body. Safe for concurrent use (the arrival
+// loop is single-threaded today, but the lock keeps the generator honest).
+func (w *workload) nextBody() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var tasks []taskSpec
+	var budget int
+	if w.rng.Float64() < w.fresh {
+		// Never-seen instance: a forced cold miss.
+		w.freshID++
+		tasks, budget = randomInstance(w.rng)
+	} else {
+		i := int(w.zipf.Uint64())
+		tasks, budget = w.catalog[i], w.budgets[i]
+	}
+	tasks = append([]taskSpec(nil), tasks...)
+	if w.rng.Float64() < w.churn {
+		switch w.rng.Intn(2) {
+		case 0:
+			w.rng.Shuffle(len(tasks), func(a, b int) { tasks[a], tasks[b] = tasks[b], tasks[a] })
+		default:
+			e := w.rng.Intn(12) - 6
+			if e >= 0 {
+				e++ // skip the no-op rescale
+			}
+			for i := range tasks {
+				p := tasks[i].Params
+				tasks[i].Params = paramsSpec{
+					A: math.Ldexp(p.A, e),
+					B: math.Ldexp(p.B, e),
+					C: p.C,
+					D: math.Ldexp(p.D, e),
+				}
+			}
+		}
+	}
+	data, _ := json.Marshal(requestSpec{Tasks: tasks, TotalNodes: budget})
+	return string(data)
+}

@@ -1,0 +1,145 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// Ring is a consistent-hash ring assigning string keys to named members
+// (replicas). Each member contributes vnodes points on a 64-bit circle; a
+// key is owned by the member whose point is the first at or clockwise of
+// the key's hash. The construction is fully deterministic from the member
+// names and vnode count — SHA-256 of "id#i" for points, SHA-256 of the key
+// for lookups — so a gateway and every replica build byte-identical rings
+// from the same membership list without any coordination.
+//
+// The consistent-hashing contract, pinned by TestRingStability and
+// FuzzHashRing:
+//
+//   - every key has exactly one owner while the ring is non-empty;
+//   - removing a member only reassigns the keys that member owned;
+//   - adding a member only moves keys *to* the new member, in expectation
+//     K/N of them (concentration improving with vnodes).
+//
+// Ring is not synchronized: build it up front and treat it as read-only
+// while serving (membership in this system is a deploy-time decision; the
+// failure path is the gateway's retry, not a ring edit).
+type Ring struct {
+	vnodes int
+	points []ringPoint // sorted by (hash, id)
+	member map[string]bool
+}
+
+type ringPoint struct {
+	hash uint64
+	id   string
+}
+
+// DefaultVNodes is the default virtual-node count per member. 64 keeps the
+// largest-over-smallest ownership arc under ~1.4× for small fleets, and a
+// 3-replica ring is only 192 points — lookup is a binary search either way.
+// All parties of one fleet must agree on the value (it changes every point
+// hash), which is why it is a constructor argument, not a per-Add option.
+const DefaultVNodes = 64
+
+// NewRing builds an empty ring; vnodes <= 0 selects DefaultVNodes.
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	return &Ring{vnodes: vnodes, member: make(map[string]bool)}
+}
+
+// VNodes reports the per-member virtual-node count.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// hash64 is the first 8 bytes of SHA-256, big endian: stable across
+// processes, architectures, and Go versions — the property that lets every
+// fleet member compute placement independently.
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Add inserts members (idempotent per id; empty ids are ignored).
+func (r *Ring) Add(ids ...string) {
+	for _, id := range ids {
+		if id == "" || r.member[id] {
+			continue
+		}
+		r.member[id] = true
+		for i := 0; i < r.vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: hash64(id + "#" + strconv.Itoa(i)), id: id})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].id < r.points[b].id
+	})
+}
+
+// Remove deletes a member and its points (no-op for unknown ids).
+func (r *Ring) Remove(id string) {
+	if !r.member[id] {
+		return
+	}
+	delete(r.member, id)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.id != id {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Members returns the member ids in sorted order.
+func (r *Ring) Members() []string {
+	ids := make([]string, 0, len(r.member))
+	for id := range r.member {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Size reports the member count.
+func (r *Ring) Size() int { return len(r.member) }
+
+// Owner returns the member owning key, or "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	owners := r.Owners(key, 1)
+	if len(owners) == 0 {
+		return ""
+	}
+	return owners[0]
+}
+
+// Owners returns up to n distinct members in ring order starting at key's
+// owner: the owner first, then the members next clockwise — the natural
+// failover / peer-fill order, identical on every party that built the same
+// ring.
+func (r *Ring) Owners(key string, n int) []string {
+	if n <= 0 || len(r.points) == 0 {
+		return nil
+	}
+	if n > len(r.member) {
+		n = len(r.member)
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	owners := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for k := 0; k < len(r.points) && len(owners) < n; k++ {
+		p := r.points[(i+k)%len(r.points)]
+		if !seen[p.id] {
+			seen[p.id] = true
+			owners = append(owners, p.id)
+		}
+	}
+	return owners
+}

@@ -1,0 +1,150 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func ringKeys(n int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%016x%016x", rng.Uint64(), rng.Uint64())
+	}
+	return keys
+}
+
+// TestRingDeterministic: two independently built rings with the same
+// membership agree on every owner — the property that lets the gateway and
+// each replica compute placement without coordination.
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing(64)
+	b := NewRing(64)
+	a.Add("r0", "r1", "r2")
+	b.Add("r2", "r0", "r1") // different insertion order
+	for _, k := range ringKeys(500, 1) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("rings disagree on %s: %s vs %s", k, a.Owner(k), b.Owner(k))
+		}
+		oa, ob := a.Owners(k, 2), b.Owners(k, 2)
+		if len(oa) != 2 || len(ob) != 2 || oa[0] != ob[0] || oa[1] != ob[1] {
+			t.Fatalf("failover order disagrees on %s: %v vs %v", k, oa, ob)
+		}
+	}
+}
+
+// TestRingSingleOwnership: every key has exactly one owner; Owners returns
+// distinct members with the owner first.
+func TestRingSingleOwnership(t *testing.T) {
+	r := NewRing(64)
+	r.Add("a", "b", "c", "d", "e")
+	for _, k := range ringKeys(1000, 2) {
+		own := r.Owner(k)
+		if own == "" {
+			t.Fatalf("key %s lost (no owner)", k)
+		}
+		owners := r.Owners(k, 3)
+		if len(owners) != 3 || owners[0] != own {
+			t.Fatalf("Owners(%s, 3) = %v, owner %s", k, owners, own)
+		}
+		seen := map[string]bool{}
+		for _, id := range owners {
+			if seen[id] {
+				t.Fatalf("key %s double-owned: %v", k, owners)
+			}
+			seen[id] = true
+		}
+	}
+	empty := NewRing(64)
+	if empty.Owner("k") != "" || empty.Owners("k", 2) != nil {
+		t.Fatal("empty ring invented an owner")
+	}
+}
+
+// TestRingStability is the consistent-hashing contract: removing a member
+// reassigns only the keys it owned, and adding one only moves keys to the
+// newcomer — in both cases about K/N of them.
+func TestRingStability(t *testing.T) {
+	const members = 5
+	keys := ringKeys(4000, 3)
+	r := NewRing(64)
+	for i := 0; i < members; i++ {
+		r.Add(fmt.Sprintf("r%d", i))
+	}
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k] = r.Owner(k)
+	}
+
+	// Removal: survivors keep every key they owned.
+	r.Remove("r2")
+	moved := 0
+	for _, k := range keys {
+		after := r.Owner(k)
+		if before[k] != "r2" && after != before[k] {
+			t.Fatalf("removing r2 moved %s from %s to %s", k, before[k], after)
+		}
+		if before[k] == "r2" {
+			if after == "r2" || after == "" {
+				t.Fatalf("key %s still owned by removed member (or lost)", k)
+			}
+			moved++
+		}
+	}
+	if lo, hi := len(keys)/members/3, 3*len(keys)/members; moved < lo || moved > hi {
+		t.Fatalf("removal moved %d keys, expected around %d", moved, len(keys)/members)
+	}
+
+	// Re-addition: keys move only to the re-added member, and it reclaims
+	// exactly the ownership arcs it had (the ring is deterministic).
+	r.Add("r2")
+	gained := 0
+	for _, k := range keys {
+		after := r.Owner(k)
+		if after != before[k] {
+			t.Fatalf("re-adding r2 left %s with %s, originally %s", k, after, before[k])
+		}
+		if after == "r2" {
+			gained++
+		}
+	}
+	if gained != moved {
+		t.Fatalf("r2 reclaimed %d keys, owned %d before", gained, moved)
+	}
+}
+
+// TestRingBalance: with 64 vnodes no member of a small fleet owns a
+// pathological share of a uniform keyspace.
+func TestRingBalance(t *testing.T) {
+	r := NewRing(64)
+	r.Add("a", "b", "c")
+	counts := map[string]int{}
+	keys := ringKeys(6000, 4)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	mean := len(keys) / 3
+	for id, n := range counts {
+		if n < mean/2 || n > 2*mean {
+			t.Fatalf("member %s owns %d of %d keys (mean %d): ring badly unbalanced %v",
+				id, n, len(keys), mean, counts)
+		}
+	}
+}
+
+// TestRingAddIdempotent: re-adding a member or adding "" must not distort
+// the ring.
+func TestRingAddIdempotent(t *testing.T) {
+	r := NewRing(32)
+	r.Add("a", "b")
+	n := len(r.points)
+	r.Add("a", "", "b")
+	if len(r.points) != n || r.Size() != 2 {
+		t.Fatalf("idempotent add grew the ring: %d points, %d members", len(r.points), r.Size())
+	}
+	r.Remove("nope") // unknown: no-op
+	if r.Size() != 2 {
+		t.Fatal("removing an unknown member changed the ring")
+	}
+}

@@ -1,0 +1,214 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestShardedLRUBasics: get/put/refresh/len on a small striped cache.
+func TestShardedLRUBasics(t *testing.T) {
+	c := NewShardedLRU[int](64, 8)
+	if c.ShardCount() != 8 || c.Capacity() != 64 {
+		t.Fatalf("shape: %d shards cap %d", c.ShardCount(), c.Capacity())
+	}
+	if _, ok := c.Get("absent"); ok {
+		t.Fatal("phantom hit")
+	}
+	for i := 0; i < 40; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i)
+	}
+	if c.Len() != 40 {
+		t.Fatalf("len %d, want 40", c.Len())
+	}
+	for i := 0; i < 40; i++ {
+		v, ok := c.Get(fmt.Sprintf("k%d", i))
+		if !ok || v != i {
+			t.Fatalf("k%d: (%v, %v)", i, v, ok)
+		}
+	}
+	c.Put("k7", 700) // refresh
+	if v, _ := c.Get("k7"); v != 700 {
+		t.Fatalf("refresh lost: %d", v)
+	}
+	if c.Len() != 40 {
+		t.Fatalf("refresh changed len: %d", c.Len())
+	}
+}
+
+// TestShardedLRUCapacityExact: the total entry count never exceeds the
+// configured capacity, for capacities that do not divide the shard count.
+func TestShardedLRUCapacityExact(t *testing.T) {
+	for _, tc := range []struct{ cap, shards int }{
+		{1, 1}, {2, 2}, {3, 4}, {7, 4}, {64, 16}, {100, 16}, {4096, 64},
+	} {
+		c := NewShardedLRU[int](tc.cap, tc.shards)
+		total := 0
+		for i := range c.shards {
+			total += c.shards[i].cap
+		}
+		if total != tc.cap {
+			t.Fatalf("cap %d shards %d: shard caps sum to %d", tc.cap, tc.shards, total)
+		}
+		for i := 0; i < 4*tc.cap+13; i++ {
+			c.Put(fmt.Sprintf("key-%d", i), i)
+			if c.Len() > tc.cap {
+				t.Fatalf("cap %d shards %d: len %d after %d puts", tc.cap, tc.shards, c.Len(), i+1)
+			}
+		}
+	}
+}
+
+// TestShardedLRUShardClamp: shard counts are rounded to powers of two and
+// clamped so every shard owns at least one slot.
+func TestShardedLRUShardClamp(t *testing.T) {
+	if n := NewShardedLRU[int](1024, 5).ShardCount(); n != 8 {
+		t.Fatalf("5 shards rounded to %d, want 8", n)
+	}
+	if n := NewShardedLRU[int](2, 64).ShardCount(); n != 2 {
+		t.Fatalf("cap-2 cache got %d shards, want 2", n)
+	}
+	if n := NewShardedLRU[int](1, 64).ShardCount(); n != 1 {
+		t.Fatalf("cap-1 cache got %d shards, want 1", n)
+	}
+	if n := NewShardedLRU[int](4096, 0).ShardCount(); n&(n-1) != 0 || n < 1 {
+		t.Fatalf("auto shards %d not a power of two", n)
+	}
+}
+
+// TestShardedLRUPerShardEviction: with one shard the cache is the exact
+// textbook LRU (oldest-first); with many, eviction happens in the full
+// shard while other shards keep their entries.
+func TestShardedLRUPerShardEviction(t *testing.T) {
+	// Single shard: global LRU semantics.
+	c := NewShardedLRU[int](2, 1)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Get("a") // refresh a; b is now oldest
+	c.Put("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("single shard: LRU entry b survived")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("single shard: refreshed entry a evicted")
+	}
+
+	// Striped: filling one shard evicts only within it.
+	s := NewShardedLRU[int](64, 8)
+	target := s.ShardFor("seed-key")
+	var inTarget, elsewhere []string
+	for i := 0; inTarget == nil || len(inTarget) < 20 || len(elsewhere) < 5; i++ {
+		k := fmt.Sprintf("probe-%d", i)
+		if s.ShardFor(k) == target {
+			inTarget = append(inTarget, k)
+		} else if len(elsewhere) < 5 {
+			elsewhere = append(elsewhere, k)
+		}
+	}
+	for _, k := range elsewhere {
+		s.Put(k, 1)
+	}
+	for _, k := range inTarget { // 20 keys into a cap-8 shard
+		s.Put(k, 2)
+	}
+	for _, k := range elsewhere {
+		if _, ok := s.Get(k); !ok {
+			t.Fatalf("eviction leaked across shards: %s gone", k)
+		}
+	}
+}
+
+// TestShardedLRURange: Range visits every entry exactly once and stops when
+// asked.
+func TestShardedLRURange(t *testing.T) {
+	c := NewShardedLRU[int](128, 8)
+	want := map[string]int{}
+	for i := 0; i < 60; i++ {
+		k := fmt.Sprintf("r%d", i)
+		want[k] = i
+		c.Put(k, i)
+	}
+	got := map[string]int{}
+	c.Range(func(k string, v int) bool {
+		if _, dup := got[k]; dup {
+			t.Fatalf("key %s visited twice", k)
+		}
+		got[k] = v
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("visited %d entries, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("%s: %d want %d", k, got[k], v)
+		}
+	}
+	n := 0
+	c.Range(func(string, int) bool { n++; return n < 7 })
+	if n != 7 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+// TestShardedLRUConcurrent is the race-tier exercise: concurrent
+// Get/Put/evict/Range from many goroutines over a keyspace larger than the
+// cache, so eviction churns constantly while snapshots walk the shards.
+// Correctness assertions are minimal (hit values match what was put, the
+// bound holds); under -race this is primarily the data-race check demanded
+// by the striped design.
+func TestShardedLRUConcurrent(t *testing.T) {
+	const (
+		workers = 8
+		ops     = 2000
+		keys    = 512
+	)
+	c := NewShardedLRU[int](128, 16)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + w)))
+			for i := 0; i < ops; i++ {
+				k := fmt.Sprintf("key-%d", rng.Intn(keys))
+				switch rng.Intn(4) {
+				case 0, 1:
+					c.Put(k, len(k))
+				case 2:
+					if v, ok := c.Get(k); ok && v != len(k) {
+						t.Errorf("corrupt value for %s: %d", k, v)
+						return
+					}
+				case 3:
+					seen := 0
+					c.Range(func(key string, v int) bool {
+						if v != len(key) {
+							t.Errorf("corrupt range value for %s: %d", key, v)
+							return false
+						}
+						seen++
+						return seen < 64
+					})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 128 {
+		t.Fatalf("capacity bound broken under concurrency: %d", c.Len())
+	}
+}
+
+// TestShardForStable: the shard assignment is a pure function of the key.
+func TestShardForStable(t *testing.T) {
+	c := NewShardedLRU[int](256, 32)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("%x", rng.Int63())
+		if a, b := c.ShardFor(k), c.ShardFor(k); a != b || a < 0 || a >= 32 {
+			t.Fatalf("unstable or out-of-range shard for %s: %d vs %d", k, a, b)
+		}
+	}
+}

@@ -28,7 +28,12 @@ package lp
 // model (the HSLB stack additionally normalizes the time dimension at the
 // core layer, so the LP layer sees O(1) data from our own callers).
 
-import "math"
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+)
 
 const (
 	// costEps is the reduced-cost optimality tolerance of the primal
@@ -266,4 +271,28 @@ var debugInfeasConfirm func(resid float64, denseStatus Status)
 // infeasibility.
 func SetInfeasibleConfirmDebug(f func(resid float64, denseStatus Status)) {
 	debugInfeasConfirm = f
+}
+
+// ToleranceFingerprint returns a short, stable fingerprint of the LP
+// layer's tolerance configuration: the hash of every named epsilon above,
+// in fixed order. Persistent artifacts derived from solver answers (the
+// serve layer's disk-backed cache snapshots) embed it, so an entry written
+// by a binary with different tolerance semantics — where the same instance
+// may legitimately converge to a different vertex — is detected and
+// dropped at load instead of being replayed as a wrong answer.
+func ToleranceFingerprint() string {
+	vals := []float64{
+		costEps, pivotEps, feasEps, ratioTieEps, boundSnapEps,
+		progressRelEps, artPivotEps, dualFeasEps, dualPivotEps,
+		warmAcceptEps, revSanityEps, luTau, ftDiagEps, driftEps,
+		psTol, crashSnapEps, crashRowEps, crashInstallEps, aggEps,
+		borderDiagEps,
+	}
+	h := sha256.New()
+	var buf [8]byte
+	for _, v := range vals {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	return "lptol-" + hex.EncodeToString(h.Sum(nil))[:16]
 }

@@ -80,7 +80,7 @@ type Options struct {
 	// allocations, binaries), so their unit is fixed at 1 and never
 	// rescales with the problem data. The same reasoning covers the
 	// ±1e-9 Ceil/Floor snaps applied to integer bounds at node setup.
-	IntTol float64
+	IntTol   float64
 	GapTol   float64 // relative optimality gap, default 1e-9
 	MaxNodes int     // default 200000
 	// TimeLimit stops the search after the given wall-clock budget

@@ -208,4 +208,3 @@ func TestUnpermute(t *testing.T) {
 		}
 	}
 }
-

@@ -12,11 +12,11 @@ import (
 //
 // Counting discipline (pinned by TestSingleflightCounterAudit): counters
 // describing *requests* — requests, hits, misses, collapsed, canceled,
-// rejected, bounded, tableHits — increment once per request, in the
-// handler, even when many requests share one flight. Counters describing
-// *solver work* — solves, solveErrors, pivots, tableSolves, inFlight —
-// increment once per solver dispatch, in the flight leader, no matter how
-// many waiters observe the outcome.
+// rejected, bounded, tableHits, degraded — increment once per request, in
+// the handler, even when many requests share one flight. Counters
+// describing *solver work* — solves, solveErrors, pivots, tableSolves,
+// inFlight, sheds, shedErrors, peerChecks/Hits/Errors — increment once per
+// flight-leader dispatch, no matter how many waiters observe the outcome.
 type counters struct {
 	requests    atomic.Int64 // solve-family requests admitted to decoding
 	hits        atomic.Int64 // per-budget cache hits
@@ -34,6 +34,20 @@ type counters struct {
 	tableHits      atomic.Int64 // requests answered from a verified table bracket
 	tableSolves    atomic.Int64 // extra solves spent verifying bracket endpoints
 	tableConflicts atomic.Int64 // endpoint verifications that contradicted the analytic bracket
+
+	// Load shedding (tier-1 pressure response; see runSolve/tryShed).
+	sheds      atomic.Int64 // flights downgraded to the parametric heuristic
+	shedErrors atomic.Int64 // shed attempts whose heuristic solve itself failed
+	degraded   atomic.Int64 // requests answered with a degraded (shed) solution
+
+	// Peer cache-fill (fleet mode; see peerFill/handlePeerFill).
+	peerChecks atomic.Int64 // peer probes issued by flight leaders
+	peerHits   atomic.Int64 // probes that returned a usable cached solution
+	peerErrors atomic.Int64 // probes that failed (transport, engine mismatch, bad body)
+
+	// Cache snapshot persistence (see snapshot.go).
+	snapshotLoaded  atomic.Int64 // entries restored from the last snapshot load
+	snapshotDropped atomic.Int64 // snapshot entries rejected by re-validation
 }
 
 // Stats is the JSON snapshot shape of the service counters.
@@ -50,12 +64,23 @@ type Stats struct {
 	Pivots      int64 `json:"pivots"`
 	InFlight    int64 `json:"inFlight"`
 	CacheSize   int64 `json:"cacheSize"`
+	CacheShards int64 `json:"cacheShards"` // stripe count of the solution cache
 
 	TableHits      int64 `json:"tableHits"`
 	TableSolves    int64 `json:"tableSolves"`
 	TableConflicts int64 `json:"tableConflicts"`
 	TableFamilies  int64 `json:"tableFamilies"` // families holding a table
 	TableSegments  int64 `json:"tableSegments"` // verified brackets across all families
+
+	// Load shedding and fleet peer cache-fill.
+	Sheds           int64 `json:"sheds"`
+	ShedErrors      int64 `json:"shedErrors"`
+	Degraded        int64 `json:"degraded"`
+	PeerChecks      int64 `json:"peerChecks"`
+	PeerHits        int64 `json:"peerHits"`
+	PeerErrors      int64 `json:"peerErrors"`
+	SnapshotLoaded  int64 `json:"snapshotLoaded"`
+	SnapshotDropped int64 `json:"snapshotDropped"`
 
 	// Revised-simplex engine health (process-global, from lp.ReadEngineStats):
 	// how often the sparse LU engine answered cold solves itself versus
@@ -79,7 +104,7 @@ type Stats struct {
 	EngineAggMerges     int64 `json:"engineAggMerges"`
 }
 
-func (c *counters) snapshot(cacheLen, tableFamilies, tableSegments int) Stats {
+func (c *counters) snapshot(cacheLen, cacheShards, tableFamilies, tableSegments int) Stats {
 	eng := lp.ReadEngineStats()
 	return Stats{
 		Requests:    c.requests.Load(),
@@ -94,12 +119,22 @@ func (c *counters) snapshot(cacheLen, tableFamilies, tableSegments int) Stats {
 		Pivots:      c.pivots.Load(),
 		InFlight:    c.inFlight.Load(),
 		CacheSize:   int64(cacheLen),
+		CacheShards: int64(cacheShards),
 
 		TableHits:      c.tableHits.Load(),
 		TableSolves:    c.tableSolves.Load(),
 		TableConflicts: c.tableConflicts.Load(),
 		TableFamilies:  int64(tableFamilies),
 		TableSegments:  int64(tableSegments),
+
+		Sheds:           c.sheds.Load(),
+		ShedErrors:      c.shedErrors.Load(),
+		Degraded:        c.degraded.Load(),
+		PeerChecks:      c.peerChecks.Load(),
+		PeerHits:        c.peerHits.Load(),
+		PeerErrors:      c.peerErrors.Load(),
+		SnapshotLoaded:  c.snapshotLoaded.Load(),
+		SnapshotDropped: c.snapshotDropped.Load(),
 
 		EngineSolves:    eng.Solves,
 		EngineFallbacks: eng.Fallbacks,

@@ -1,0 +1,221 @@
+package serve
+
+import (
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/url"
+
+	"repro/internal/lp"
+)
+
+// This file is the replica side of fleet mode: the load-shedding downgrade
+// (tier 1 of the pressure response) and the peer cache-fill protocol that
+// lets replicas share solves instead of duplicating them.
+
+// engineHeader carries the engine fingerprint on every /v1/peerfill
+// response; a probe whose peer reports a different fingerprint is discarded
+// (a mixed-version fleet must not share solutions — the solver's tolerance
+// constants are part of the answer's identity).
+const engineHeader = "X-HSLB-Engine"
+
+// engineFingerprint identifies the solver configuration whose cached
+// solutions are interchangeable: today that is exactly the LP tolerance
+// set. Snapshot loading (snapshot.go) uses the same fingerprint.
+func engineFingerprint() string { return lp.ToleranceFingerprint() }
+
+// maxPeerBody bounds a peerfill response body; a canonical solution is a
+// node vector plus four diagnostic ints, so 1 MiB is generous.
+const maxPeerBody = 1 << 20
+
+// peerFillProbes caps how many ring owners a flight leader asks before
+// giving up and solving locally.
+const peerFillProbes = 2
+
+// wireSolution is the JSON shape of a cached canonical solution on the
+// peerfill and snapshot wires. Only proven-optimal solutions are ever
+// cached, so the bounded/bestBound/gap triple never travels.
+type wireSolution struct {
+	Nodes       []int `json:"nodes"`
+	SolverNodes int   `json:"solverNodes,omitempty"`
+	LPSolves    int   `json:"lpSolves,omitempty"`
+	OACuts      int   `json:"oaCuts,omitempty"`
+	Pivots      int   `json:"pivots,omitempty"`
+}
+
+func toWire(sol *canonSolution) wireSolution {
+	return wireSolution{
+		Nodes:       sol.nodes,
+		SolverNodes: sol.solverNodes,
+		LPSolves:    sol.lpSolves,
+		OACuts:      sol.oaCuts,
+		Pivots:      sol.pivots,
+	}
+}
+
+// fromWire validates a wire solution and rebuilds the cache entry. The
+// bytes come from a peer or a disk snapshot, so they are untrusted: an
+// empty or negative node vector is rejected rather than cached.
+func fromWire(w wireSolution) (*canonSolution, bool) {
+	if len(w.Nodes) == 0 {
+		return nil, false
+	}
+	for _, n := range w.Nodes {
+		if n < 1 {
+			return nil, false
+		}
+	}
+	if w.SolverNodes < 0 || w.LPSolves < 0 || w.OACuts < 0 || w.Pivots < 0 {
+		return nil, false
+	}
+	return &canonSolution{
+		nodes:       append([]int(nil), w.Nodes...),
+		solverNodes: w.SolverNodes,
+		lpSolves:    w.LPSolves,
+		oaCuts:      w.OACuts,
+		pivots:      w.Pivots,
+	}, true
+}
+
+// validCacheKey recognizes the only key shape the cache ever stores: a
+// hex-encoded SHA-256 (canon.go). Anything else on the peerfill or
+// snapshot wire is noise.
+func validCacheKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	_, err := hex.DecodeString(key)
+	return err == nil
+}
+
+// tryShed is tier 1 of the pressure response: the admission gate was
+// saturated, so instead of bouncing the flight with a 429, answer it with
+// the cheap parametric heuristic, bounded by its own shedSem so a stampede
+// of shed solves cannot starve the machine either. Returns false — caller
+// falls through to the 429 — when shedding is disabled, shed capacity is
+// also exhausted, or the heuristic itself fails. Shed answers are marked
+// degraded in meta and never cached: the next uncontended request for the
+// key gets the route's real answer.
+func (s *Server) tryShed(route, flightKey string, call *flightCall, canon *canonical) bool {
+	if s.shedSem == nil {
+		return false
+	}
+	select {
+	case s.shedSem <- struct{}{}:
+	default:
+		return false
+	}
+	defer func() { <-s.shedSem }()
+	s.stats.sheds.Add(1)
+	a, err := canon.prob.SolveParametricContext(call.ctx)
+	if err != nil {
+		s.stats.shedErrors.Add(1)
+		return false
+	}
+	sol := fromAllocation(canon.prob.CanonicalAllocation(a))
+	call.via = viaShed
+	s.flight.complete(flightKey, call, sol, nil)
+	return true
+}
+
+// peerFill asks the key's ring owners (excluding this replica) whether
+// they already cached the canonical solution. Strictly best-effort: any
+// transport error, engine mismatch, or malformed body makes the probe a
+// miss and the caller solves locally. Counters are flight-scoped — the
+// leader probes once per flight however many waiters collapsed onto it.
+func (s *Server) peerFill(ctx context.Context, key string) *canonSolution {
+	// Ask for one extra owner so that when this replica is itself on the
+	// owner list we still probe up to peerFillProbes real peers.
+	owners := s.ring.Owners(key, peerFillProbes+1)
+	probed := 0
+	for _, id := range owners {
+		if id == s.opts.SelfID || probed >= peerFillProbes {
+			continue
+		}
+		probed++
+		s.stats.peerChecks.Add(1)
+		if sol := s.probePeer(id, key); sol != nil {
+			s.stats.peerHits.Add(1)
+			return sol
+		}
+		if ctx.Err() != nil {
+			return nil
+		}
+	}
+	return nil
+}
+
+// probePeer issues one GET /v1/peerfill to peer id and validates the
+// answer. The probe deliberately does not inherit the flight context: its
+// own short client timeout (PeerTimeout) is the bound, and a flight
+// abandoned mid-probe is caught by the ctx check in peerFill.
+func (s *Server) probePeer(id, key string) *canonSolution {
+	base := s.peerURL[id]
+	if base == "" {
+		return nil
+	}
+	resp, err := s.peerClient.Get(base + "/v1/peerfill?key=" + url.QueryEscape(key))
+	if err != nil {
+		s.stats.peerErrors.Add(1)
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		// A clean miss is the common case, not an error.
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, maxPeerBody))
+		return nil
+	}
+	if resp.StatusCode != http.StatusOK || resp.Header.Get(engineHeader) != engineFingerprint() {
+		s.stats.peerErrors.Add(1)
+		return nil
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerBody))
+	if err != nil {
+		s.stats.peerErrors.Add(1)
+		return nil
+	}
+	var w wireSolution
+	if json.Unmarshal(body, &w) != nil {
+		s.stats.peerErrors.Add(1)
+		return nil
+	}
+	sol, ok := fromWire(w)
+	if !ok {
+		s.stats.peerErrors.Add(1)
+		return nil
+	}
+	return sol
+}
+
+// handlePeerFill serves this replica's side of the protocol: GET with a
+// canonical cache key returns the cached solution (200 + engine
+// fingerprint header) or a typed 404. It never solves — peer fill shares
+// work already done, it must not create new work.
+func (s *Server) handlePeerFill(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, &httpError{status: 405, body: ErrorBody{ErrorDetail{
+			Code: CodeMethodNotAllowed, Message: "use GET"}}})
+		return
+	}
+	key := r.URL.Query().Get("key")
+	if !validCacheKey(key) {
+		writeError(w, badRequest("key must be a hex SHA-256 cache key"))
+		return
+	}
+	w.Header().Set(engineHeader, engineFingerprint())
+	if s.cache == nil {
+		writeError(w, peerMiss)
+		return
+	}
+	sol, ok := s.cache.Get(key)
+	if !ok {
+		writeError(w, peerMiss)
+		return
+	}
+	writeJSON(w, 200, toWire(sol))
+}
+
+var peerMiss = &httpError{status: 404, body: ErrorBody{ErrorDetail{
+	Code: CodeNotFound, Message: "key not cached on this replica"}}}

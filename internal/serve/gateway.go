@@ -1,0 +1,236 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+// Gateway is the fleet's thin routing tier: it decodes and canonicalizes
+// each solve request at the edge, routes it to the canonical key's
+// consistent-hash owner, and streams the replica's response back verbatim.
+// Because routing is by *canonical* key, every spelling of the same
+// instance — permuted task order, power-of-two rescaled coefficients —
+// lands on the same replica and shares its cache entry; a random or
+// round-robin balancer would smear one hot instance across every replica's
+// cache instead.
+//
+// Failure handling: a transport-level error (replica down, connection
+// refused, timeout) fails over to the key's second ring owner, once. An
+// HTTP-level error is NOT retried — a replica that answered is alive, and
+// its typed error (429, 422, 500...) is the answer; retrying it would
+// double-count request-scoped statz counters on the fleet. When both
+// owners fail at the transport level the gateway answers 502
+// replica_unavailable.
+//
+// The gateway holds no solver state: responses are byte-identical to
+// talking to the owning replica directly (pinned by the replicated
+// differential battery).
+type Gateway struct {
+	opts   ServerOptions // decode limits only (MaxTasks, MaxTotalNodes, MaxBodyBytes)
+	ring   *fleet.Ring
+	url    map[string]string
+	client *http.Client
+	mux    *http.ServeMux
+
+	requests    atomic.Int64
+	forwarded   atomic.Int64
+	retries     atomic.Int64
+	unavailable atomic.Int64
+	badRequests atomic.Int64
+}
+
+// GatewayOptions configures a Gateway. Zero limits inherit DefaultOptions.
+type GatewayOptions struct {
+	// Replicas is the fleet membership: the same ID set every replica was
+	// configured with (the ring must agree fleet-wide), plus base URLs.
+	Replicas []ReplicaSpec
+	// MaxTasks / MaxTotalNodes / MaxBodyBytes mirror the replicas' decode
+	// limits so the gateway rejects exactly what a replica would reject.
+	MaxTasks      int
+	MaxTotalNodes int
+	MaxBodyBytes  int64
+	// Timeout bounds each forwarded attempt end-to-end; 0 means no bound
+	// (solves can be slow — set this above the replicas' MaxDeadline).
+	Timeout time.Duration
+}
+
+// NewGateway validates opts and builds the routing tier.
+func NewGateway(opts GatewayOptions) (*Gateway, error) {
+	if len(opts.Replicas) == 0 {
+		return nil, &OptionError{Field: "Replicas", Value: opts.Replicas,
+			Reason: "a gateway needs at least one replica"}
+	}
+	seen := map[string]bool{}
+	for _, r := range opts.Replicas {
+		if r.ID == "" || r.URL == "" {
+			return nil, &OptionError{Field: "Replicas", Value: r,
+				Reason: "every replica needs a non-empty ID and URL"}
+		}
+		if seen[r.ID] {
+			return nil, &OptionError{Field: "Replicas", Value: r.ID,
+				Reason: "replica IDs must be unique"}
+		}
+		seen[r.ID] = true
+	}
+	if opts.Timeout < 0 {
+		return nil, &OptionError{Field: "Timeout", Value: opts.Timeout,
+			Reason: "must be non-negative"}
+	}
+	def := DefaultOptions()
+	lim := ServerOptions{MaxTasks: def.MaxTasks, MaxTotalNodes: def.MaxTotalNodes, MaxBodyBytes: def.MaxBodyBytes}
+	if opts.MaxTasks > 0 {
+		lim.MaxTasks = opts.MaxTasks
+	}
+	if opts.MaxTotalNodes > 0 {
+		lim.MaxTotalNodes = opts.MaxTotalNodes
+	}
+	if opts.MaxBodyBytes > 0 {
+		lim.MaxBodyBytes = opts.MaxBodyBytes
+	}
+	g := &Gateway{
+		opts:   lim,
+		ring:   fleet.NewRing(fleet.DefaultVNodes),
+		url:    make(map[string]string, len(opts.Replicas)),
+		client: &http.Client{Timeout: opts.Timeout},
+		mux:    http.NewServeMux(),
+	}
+	for _, r := range opts.Replicas {
+		g.ring.Add(r.ID)
+		g.url[r.ID] = r.URL
+	}
+	g.mux.HandleFunc("/v1/solve", g.routeHandler(routeSolve))
+	g.mux.HandleFunc("/v1/minlp", g.routeHandler(routeMINLP))
+	g.mux.HandleFunc("/v1/parametric", g.routeHandler(routeParametric))
+	g.mux.HandleFunc("/v1/healthz", g.handleHealthz)
+	g.mux.HandleFunc("/v1/statz", g.handleStatz)
+	return g, nil
+}
+
+// Handler returns the gateway's HTTP handler.
+func (g *Gateway) Handler() http.Handler { return g.mux }
+
+// GatewayStats is the /v1/statz snapshot of the routing tier.
+type GatewayStats struct {
+	Requests    int64 `json:"requests"`    // solve-family requests received
+	Forwarded   int64 `json:"forwarded"`   // attempts forwarded to a replica
+	Retries     int64 `json:"retries"`     // transport-failure failovers to the second owner
+	Unavailable int64 `json:"unavailable"` // requests answered 502 (both owners down)
+	BadRequests int64 `json:"badRequests"` // rejected at the edge before routing
+	Replicas    int64 `json:"replicas"`    // ring size
+}
+
+// Stats snapshots the gateway counters.
+func (g *Gateway) Stats() GatewayStats {
+	return GatewayStats{
+		Requests:    g.requests.Load(),
+		Forwarded:   g.forwarded.Load(),
+		Retries:     g.retries.Load(),
+		Unavailable: g.unavailable.Load(),
+		BadRequests: g.badRequests.Load(),
+		Replicas:    int64(g.ring.Size()),
+	}
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, &httpError{status: 405, body: ErrorBody{ErrorDetail{
+			Code: CodeMethodNotAllowed, Message: "use GET"}}})
+		return
+	}
+	writeJSON(w, 200, map[string]interface{}{"status": "ok", "replicas": g.ring.Size()})
+}
+
+func (g *Gateway) handleStatz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, &httpError{status: 405, body: ErrorBody{ErrorDetail{
+			Code: CodeMethodNotAllowed, Message: "use GET"}}})
+		return
+	}
+	writeJSON(w, 200, g.Stats())
+}
+
+// routeHandler builds the forwarding handler of one solve route. The
+// request is decoded with the replicas' own decode path, so anything a
+// replica would reject is rejected here with the identical typed error —
+// and anything accepted routes by its canonical key.
+func (g *Gateway) routeHandler(route string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, &httpError{status: 405, body: ErrorBody{ErrorDetail{
+				Code: CodeMethodNotAllowed, Message: "use POST"}}})
+			return
+		}
+		g.requests.Add(1)
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.opts.MaxBodyBytes))
+		if err != nil {
+			g.badRequests.Add(1)
+			writeError(w, badRequest("reading body: %v", err))
+			return
+		}
+		req, herr := decodeSolveRequest(body, &g.opts)
+		if herr != nil {
+			g.badRequests.Add(1)
+			writeError(w, herr)
+			return
+		}
+		prob, herr := buildProblem(req)
+		if herr != nil {
+			g.badRequests.Add(1)
+			writeError(w, herr)
+			return
+		}
+		key := canonicalize(route, prob).key
+
+		// Owner first, then its ring successor as the one-shot failover.
+		for attempt, id := range g.ring.Owners(key, 2) {
+			if attempt == 1 {
+				g.retries.Add(1)
+			}
+			g.forwarded.Add(1)
+			resp, err := g.forward(r, id, body)
+			if err != nil {
+				continue // transport failure: the replica never saw it
+			}
+			w.Header().Set("X-HSLB-Replica", id)
+			relay(w, resp)
+			return
+		}
+		g.unavailable.Add(1)
+		writeError(w, &httpError{status: 502, body: ErrorBody{ErrorDetail{
+			Code:    CodeReplicaUnavailable,
+			Message: "the instance's replica and its failover are unreachable"}}})
+	}
+}
+
+// forward POSTs the original body bytes to one replica. The request
+// context is propagated so a client hanging up cancels the replica-side
+// solve wait too.
+func (g *Gateway) forward(r *http.Request, id string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
+		g.url[id]+r.URL.Path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return g.client.Do(req)
+}
+
+// relay copies a replica response to the client verbatim: status, the
+// response headers the service defines, and the body bytes untouched —
+// the gateway must be invisible in the bytes (X-HSLB-Replica aside, which
+// names where the answer came from).
+func relay(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	for _, h := range []string{"Content-Type", "X-HSLB-Cache", engineHeader} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}

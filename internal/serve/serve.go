@@ -40,6 +40,7 @@ import (
 
 	hslb "repro"
 	"repro/internal/core"
+	"repro/internal/fleet"
 )
 
 // ServerOptions tunes the service. The zero value is invalid — use
@@ -49,6 +50,39 @@ type ServerOptions struct {
 	// CacheSize bounds the solution cache (entries). Must be positive
 	// unless DisableCache is set.
 	CacheSize int
+	// CacheShards is the stripe count of the solution cache (rounded up to
+	// a power of two; per-shard locks). 0 selects an automatic count from
+	// GOMAXPROCS; 1 recovers the exact single-LRU eviction order. Must be
+	// non-negative.
+	CacheShards int
+	// ShedCapacity enables the load-shedding tier: when admission control
+	// would reject a solve (all slots busy, queue timeout expired), up to
+	// this many concurrent requests are instead answered by the cheap
+	// parametric heuristic solver and marked "degraded":true in meta —
+	// tier 1 of the pressure response, with 429 as tier 2 once shed
+	// capacity is also exhausted. 0 disables shedding (every admission
+	// failure is a 429). Must be non-negative. Degraded answers are never
+	// cached.
+	ShedCapacity int
+	// SelfID names this replica on the fleet's consistent-hash ring;
+	// required when Peers is set, ignored otherwise. Every fleet member
+	// (replicas and gateway) must use the same ID set and ring geometry.
+	SelfID string
+	// Peers lists the other replicas of the fleet for peer cache-fill: on
+	// a cache miss the flight leader first asks the key's ring owners
+	// (excluding itself) for their cached solution before spending a solve
+	// slot, so replicas share solves instead of duplicating them. IDs must
+	// be unique, non-empty, and distinct from SelfID.
+	Peers []ReplicaSpec
+	// PeerTimeout bounds each peer cache-fill probe; 0 means a 250ms
+	// default. Must be non-negative. Probes are best-effort: any error or
+	// timeout falls through to a normal solve.
+	PeerTimeout time.Duration
+	// SnapshotPath, when non-empty, is where LoadSnapshotFile/
+	// SaveSnapshotFile persist the solution cache across restarts (used by
+	// cmd/hslbd's -snapshot flag; the Server itself never touches the path
+	// spontaneously).
+	SnapshotPath string
 	// TableCacheSize bounds the parametric breakpoint-table cache
 	// (families). When positive, every proven-optimal min-max solve also
 	// certifies the budget bracket on which its allocation is constant
@@ -92,6 +126,7 @@ type ServerOptions struct {
 func DefaultOptions() ServerOptions {
 	return ServerOptions{
 		CacheSize:     4096,
+		CacheShards:   0, // automatic power-of-two stripe count
 		MaxInFlight:   runtime.GOMAXPROCS(0),
 		QueueTimeout:  2 * time.Second,
 		BatchWindow:   0,
@@ -99,6 +134,13 @@ func DefaultOptions() ServerOptions {
 		MaxTotalNodes: 1 << 20,
 		MaxBodyBytes:  4 << 20,
 	}
+}
+
+// ReplicaSpec names one fleet member: a stable ID (the consistent-hash
+// ring identity) and the base URL its HTTP interface listens on.
+type ReplicaSpec struct {
+	ID  string
+	URL string
 }
 
 // OptionError reports an invalid ServerOptions field at construction time.
@@ -122,6 +164,36 @@ func (o *ServerOptions) Validate() error {
 	if o.TableCacheSize < 0 {
 		return &OptionError{Field: "TableCacheSize", Value: o.TableCacheSize,
 			Reason: "must be non-negative (0 disables parametric tables)"}
+	}
+	if o.CacheShards < 0 {
+		return &OptionError{Field: "CacheShards", Value: o.CacheShards,
+			Reason: "must be non-negative (0 selects the automatic stripe count)"}
+	}
+	if o.ShedCapacity < 0 {
+		return &OptionError{Field: "ShedCapacity", Value: o.ShedCapacity,
+			Reason: "must be non-negative (0 disables load shedding)"}
+	}
+	if o.PeerTimeout < 0 {
+		return &OptionError{Field: "PeerTimeout", Value: o.PeerTimeout,
+			Reason: "must be non-negative"}
+	}
+	if len(o.Peers) > 0 {
+		if o.SelfID == "" {
+			return &OptionError{Field: "SelfID", Value: o.SelfID,
+				Reason: "required when Peers is set (this replica must be on the ring)"}
+		}
+		seen := map[string]bool{o.SelfID: true}
+		for _, p := range o.Peers {
+			if p.ID == "" || p.URL == "" {
+				return &OptionError{Field: "Peers", Value: p,
+					Reason: "every peer needs a non-empty ID and URL"}
+			}
+			if seen[p.ID] {
+				return &OptionError{Field: "Peers", Value: p.ID,
+					Reason: "peer IDs must be unique and distinct from SelfID"}
+			}
+			seen[p.ID] = true
+		}
 	}
 	if o.MaxInFlight <= 0 {
 		return &OptionError{Field: "MaxInFlight", Value: o.MaxInFlight, Reason: "must be positive"}
@@ -161,13 +233,20 @@ func (o *ServerOptions) Validate() error {
 // Server is the solve service. Create with New, expose via Handler, stop
 // with Close (which cancels all in-flight solves).
 type Server struct {
-	opts   ServerOptions
-	cache  *lruCache   // nil when disabled
-	tables *tableCache // nil when disabled (TableCacheSize == 0)
-	flight *flightGroup
-	sem    chan struct{}
-	stats  counters
-	mux    *http.ServeMux
+	opts    ServerOptions
+	cache   *solutionCache // nil when disabled
+	tables  *tableCache    // nil when disabled (TableCacheSize == 0)
+	flight  *flightGroup
+	sem     chan struct{}
+	shedSem chan struct{} // nil when shedding disabled
+	stats   counters
+	mux     *http.ServeMux
+
+	// Peer cache-fill state (nil / empty without Peers): the fleet ring
+	// over SelfID + peer IDs, the peer base URLs, and the probe client.
+	ring       *fleet.Ring
+	peerURL    map[string]string
+	peerClient *http.Client
 
 	base   context.Context
 	cancel context.CancelFunc
@@ -185,10 +264,27 @@ func New(opts ServerOptions) (*Server, error) {
 		mux:    http.NewServeMux(),
 	}
 	if !opts.DisableCache {
-		s.cache = newLRUCache(opts.CacheSize)
+		s.cache = newSolutionCache(opts.CacheSize, opts.CacheShards)
 	}
 	if opts.TableCacheSize > 0 {
 		s.tables = newTableCache(opts.TableCacheSize)
+	}
+	if opts.ShedCapacity > 0 {
+		s.shedSem = make(chan struct{}, opts.ShedCapacity)
+	}
+	if len(opts.Peers) > 0 {
+		s.ring = fleet.NewRing(fleet.DefaultVNodes)
+		s.ring.Add(opts.SelfID)
+		s.peerURL = make(map[string]string, len(opts.Peers))
+		for _, p := range opts.Peers {
+			s.ring.Add(p.ID)
+			s.peerURL[p.ID] = p.URL
+		}
+		to := opts.PeerTimeout
+		if to == 0 {
+			to = 250 * time.Millisecond
+		}
+		s.peerClient = &http.Client{Timeout: to}
 	}
 	s.base, s.cancel = context.WithCancel(context.Background())
 	s.mux.HandleFunc("/v1/solve", s.solveHandler(routeSolve))
@@ -196,6 +292,7 @@ func New(opts ServerOptions) (*Server, error) {
 	s.mux.HandleFunc("/v1/parametric", s.solveHandler(routeParametric))
 	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/v1/statz", s.handleStatz)
+	s.mux.HandleFunc("/v1/peerfill", s.handlePeerFill)
 	return s, nil
 }
 
@@ -208,15 +305,15 @@ func (s *Server) Close() { s.cancel() }
 
 // Stats snapshots the service counters.
 func (s *Server) Stats() Stats {
-	n := 0
+	n, shards := 0, 0
 	if s.cache != nil {
-		n = s.cache.len()
+		n, shards = s.cache.Len(), s.cache.ShardCount()
 	}
 	fams, segs := 0, 0
 	if s.tables != nil {
 		fams, segs = s.tables.len(), s.tables.segments()
 	}
-	return s.stats.snapshot(n, fams, segs)
+	return s.stats.snapshot(n, shards, fams, segs)
 }
 
 // Solver routes. The route is part of both the cache key and the flight
@@ -284,7 +381,7 @@ func (s *Server) solveHandler(route string) http.HandlerFunc {
 
 		// Fast path: the canonical instance was solved before.
 		if s.cache != nil {
-			if sol, ok := s.cache.get(canon.key); ok {
+			if sol, ok := s.cache.Get(canon.key); ok {
 				s.stats.hits.Add(1)
 				meta.Cached = true
 				writeSolution(w, prob, canon, sol, meta, "hit")
@@ -300,7 +397,7 @@ func (s *Server) solveHandler(route string) http.HandlerFunc {
 				s.stats.tableHits.Add(1)
 				meta.TableHit = true
 				if s.cache != nil {
-					s.cache.put(canon.key, sol)
+					s.cache.Put(canon.key, sol)
 				}
 				writeSolution(w, prob, canon, sol, meta, "table")
 				return
@@ -358,7 +455,21 @@ func (s *Server) solveHandler(route string) http.HandlerFunc {
 		if sol.bounded {
 			s.stats.bounded.Add(1)
 		}
-		writeSolution(w, prob, canon, sol, meta, "miss")
+		state := "miss"
+		switch call.via {
+		case viaShed:
+			// Tier-1 pressure response: the admission gate was saturated and
+			// the flight was downgraded to the parametric heuristic answer.
+			// Marked so clients (and the load harness) can tell a degraded
+			// answer from the route's real one.
+			meta.Degraded = true
+			state = "shed"
+			s.stats.degraded.Add(1)
+		case viaPeer:
+			meta.PeerFill = true
+			state = "peer"
+		}
+		writeSolution(w, prob, canon, sol, meta, state)
 	}
 }
 
@@ -375,8 +486,9 @@ func (s *Server) effectiveDeadline(deadlineMs int64) time.Duration {
 	return d
 }
 
-// runSolve is the leader goroutine of one flight: batch-window wait,
-// admission control, solve, publish, cache.
+// runSolve is the leader goroutine of one flight: batch-window wait, peer
+// cache-fill probe, admission control (with the load-shedding downgrade on
+// saturation), solve, publish, cache.
 func (s *Server) runSolve(route, flightKey string, call *flightCall, canon *canonical, deadline time.Duration) {
 	if s.opts.BatchWindow > 0 {
 		t := time.NewTimer(s.opts.BatchWindow)
@@ -389,7 +501,24 @@ func (s *Server) runSolve(route, flightKey string, call *flightCall, canon *cano
 		}
 	}
 
-	// Admission: one slot per running solve, bounded queue wait.
+	// Peer cache-fill: before spending a solve slot, ask the key's ring
+	// owners whether they already hold the canonical solution. A hit costs
+	// one small GET instead of a solve; any failure falls through.
+	if s.ring != nil {
+		if sol := s.peerFill(call.ctx, canon.key); sol != nil {
+			if s.cache != nil {
+				s.cache.Put(canon.key, sol)
+			}
+			call.via = viaPeer
+			s.flight.complete(flightKey, call, sol, nil)
+			return
+		}
+	}
+
+	// Admission: one slot per running solve, bounded queue wait. On
+	// saturation, tier 1 of the pressure response downgrades the flight to
+	// the parametric heuristic (tryShed); tier 2 — shedding disabled or
+	// shed capacity also exhausted — is the 429.
 	var queue <-chan time.Time
 	if s.opts.QueueTimeout > 0 {
 		t := time.NewTimer(s.opts.QueueTimeout)
@@ -399,18 +528,23 @@ func (s *Server) runSolve(route, flightKey string, call *flightCall, canon *cano
 	select {
 	case s.sem <- struct{}{}:
 	default:
-		if queue == nil {
+		admitted := false
+		if queue != nil {
+			select {
+			case s.sem <- struct{}{}:
+				admitted = true
+			case <-queue:
+			case <-call.ctx.Done():
+				s.flight.complete(flightKey, call, nil, call.ctx.Err())
+				return
+			}
+		}
+		if !admitted {
+			if s.tryShed(route, flightKey, call, canon) {
+				return
+			}
 			// rejected is counted per waiter in solveHandler.
 			s.flight.complete(flightKey, call, nil, errQueueFull)
-			return
-		}
-		select {
-		case s.sem <- struct{}{}:
-		case <-queue:
-			s.flight.complete(flightKey, call, nil, errQueueFull)
-			return
-		case <-call.ctx.Done():
-			s.flight.complete(flightKey, call, nil, call.ctx.Err())
 			return
 		}
 	}
@@ -441,7 +575,7 @@ func (s *Server) runSolve(route, flightKey string, call *flightCall, canon *cano
 	if s.cache != nil && !sol.bounded {
 		// Only proven-optimal solutions are replayable; a bounded
 		// incumbent is whatever the deadline happened to allow.
-		s.cache.put(canon.key, sol)
+		s.cache.Put(canon.key, sol)
 	}
 	s.flight.complete(flightKey, call, sol, nil)
 	// Waiters are unblocked; spend this flight's admission slot certifying

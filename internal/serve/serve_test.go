@@ -540,8 +540,13 @@ func TestQueueFull(t *testing.T) {
 }
 
 // TestCacheEviction: the LRU stays bounded and evicts oldest-first.
+// CacheShards = 1 pins the exact global-LRU order; with striping the bound
+// still holds but eviction order is per-shard (see internal/fleet tests).
 func TestCacheEviction(t *testing.T) {
-	srv, ts := newTestServer(t, func(o *ServerOptions) { o.CacheSize = 2 })
+	srv, ts := newTestServer(t, func(o *ServerOptions) {
+		o.CacheSize = 2
+		o.CacheShards = 1
+	})
 	// Note the distinct c exponents: with c shared, a = 10 vs 20 would be an
 	// exact power-of-two rescaling and correctly share one cache slot.
 	bodies := []string{

@@ -1,0 +1,201 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestSnapshotRoundTrip: a warmed cache snapshotted and loaded into a
+// fresh server serves the same instances as cache hits with byte-identical
+// solution blocks.
+func TestSnapshotRoundTrip(t *testing.T) {
+	srv, ts := newTestServer(t, nil)
+	rng := rand.New(rand.NewSource(42))
+	bodies := make([]string, 6)
+	want := make([][]byte, len(bodies))
+	for i := range bodies {
+		bodies[i] = requestFromProblem(randomCanonProblem(rng))
+		_, _, want[i], _ = postRaw(t, ts.URL+"/v1/solve", bodies[i])
+	}
+
+	var buf bytes.Buffer
+	if err := srv.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	srv2, ts2 := newTestServer(t, nil)
+	loaded, dropped, err := srv2.LoadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != len(bodies) || dropped != 0 {
+		t.Fatalf("loaded %d dropped %d, want %d/0", loaded, dropped, len(bodies))
+	}
+	for i, b := range bodies {
+		_, meta, sol, _ := postRaw(t, ts2.URL+"/v1/solve", b)
+		if !meta.Cached {
+			t.Fatalf("body %d: warmed server missed", i)
+		}
+		if !bytes.Equal(sol, want[i]) {
+			t.Fatalf("body %d: warmed response diverges\nwarm: %s\nlive: %s", i, sol, want[i])
+		}
+	}
+	if st := srv2.Stats(); st.SnapshotLoaded != int64(len(bodies)) || st.SnapshotDropped != 0 || st.Solves != 0 {
+		t.Fatalf("warmup counters: %+v", st)
+	}
+}
+
+// TestSnapshotStaleEngineDropped is the regression test for snapshot
+// re-validation: a snapshot recorded under a different engine fingerprint
+// (i.e. any change to the LP tolerance configuration) must be dropped
+// wholesale — replaying solutions across solver configurations would break
+// the byte-identity contract silently.
+func TestSnapshotStaleEngineDropped(t *testing.T) {
+	srv, ts := newTestServer(t, nil)
+	postRaw(t, ts.URL+"/v1/solve", twoTaskBody)
+	var buf bytes.Buffer
+	if err := srv.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rewrite the header as if an older engine had written the file.
+	lines := strings.SplitN(buf.String(), "\n", 2)
+	var hdr snapshotHeader
+	if err := json.Unmarshal([]byte(lines[0]), &hdr); err != nil {
+		t.Fatal(err)
+	}
+	hdr.Engine = "lptol-0000000000000000"
+	stale, _ := json.Marshal(hdr)
+	doctored := string(stale) + "\n" + lines[1]
+
+	srv2, ts2 := newTestServer(t, nil)
+	loaded, dropped, err := srv2.LoadSnapshot(strings.NewReader(doctored))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != 0 || dropped != 1 {
+		t.Fatalf("stale snapshot: loaded %d dropped %d, want 0/1", loaded, dropped)
+	}
+	if st := srv2.Stats(); st.SnapshotDropped != 1 || st.CacheSize != 0 {
+		t.Fatalf("stale entries reached the cache: %+v", st)
+	}
+	_, meta, _, _ := postRaw(t, ts2.URL+"/v1/solve", twoTaskBody)
+	if meta.Cached {
+		t.Fatal("request served from a stale-engine snapshot entry")
+	}
+
+	// An unrecognized schema is not a snapshot at all.
+	if _, _, err := srv2.LoadSnapshot(strings.NewReader(`{"schema":"bogus/9"}` + "\n")); err == nil {
+		t.Fatal("bogus schema accepted")
+	}
+}
+
+// TestSnapshotEntryValidation: malformed lines, corrupt keys, and invalid
+// node vectors are dropped individually without poisoning the rest.
+func TestSnapshotEntryValidation(t *testing.T) {
+	srv, ts := newTestServer(t, nil)
+	postRaw(t, ts.URL+"/v1/solve", twoTaskBody)
+	var buf bytes.Buffer
+	if err := srv.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	doctored := buf.String() +
+		"this is not json\n" +
+		`{"key":"zz","sol":{"nodes":[1]}}` + "\n" + // key not a hex sha-256
+		fmt.Sprintf(`{"key":%q,"sol":{"nodes":[]}}`, strings.Repeat("a", 64)) + "\n" + // empty vector
+		fmt.Sprintf(`{"key":%q,"sol":{"nodes":[0,-3]}}`, strings.Repeat("b", 64)) + "\n" // non-positive counts
+
+	srv2, _ := newTestServer(t, nil)
+	loaded, dropped, err := srv2.LoadSnapshot(strings.NewReader(doctored))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != 1 || dropped != 4 {
+		t.Fatalf("loaded %d dropped %d, want 1/4", loaded, dropped)
+	}
+}
+
+// TestSnapshotFiles: the SnapshotPath round trip, including the
+// missing-file cold start.
+func TestSnapshotFiles(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.snap")
+	srv, ts := newTestServer(t, func(o *ServerOptions) { o.SnapshotPath = path })
+	if loaded, dropped, err := srv.LoadSnapshotFile(); err != nil || loaded != 0 || dropped != 0 {
+		t.Fatalf("cold start: %d/%d, %v", loaded, dropped, err)
+	}
+	postRaw(t, ts.URL+"/v1/solve", twoTaskBody)
+	if err := srv.SaveSnapshotFile(); err != nil {
+		t.Fatal(err)
+	}
+	srv2, ts2 := newTestServer(t, func(o *ServerOptions) { o.SnapshotPath = path })
+	if loaded, _, err := srv2.LoadSnapshotFile(); err != nil || loaded != 1 {
+		t.Fatalf("warm boot: loaded %d, %v", loaded, err)
+	}
+	_, meta, _, _ := postRaw(t, ts2.URL+"/v1/solve", twoTaskBody)
+	if !meta.Cached {
+		t.Fatal("warm boot did not serve from the snapshot")
+	}
+	if srv3, _ := newTestServer(t, nil); srv3.SaveSnapshotFile() == nil {
+		t.Fatal("SaveSnapshotFile without a SnapshotPath must fail")
+	}
+}
+
+// TestSnapshotUnderConcurrency exercises snapshot save/load racing live
+// cache traffic; meaningful under -race (short tier).
+func TestSnapshotUnderConcurrency(t *testing.T) {
+	srv, err := New(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	// Seed keys directly through the cache (no HTTP: this is a pure
+	// data-race exercise of Range vs Put/Get vs LoadSnapshot).
+	sol := &canonSolution{nodes: []int{1, 2}}
+	keyOf := func(i int) string { return fmt.Sprintf("%064x", i) }
+	for i := 0; i < 64; i++ {
+		srv.cache.Put(keyOf(i), sol)
+	}
+	var base bytes.Buffer
+	if err := srv.SaveSnapshot(&base); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				switch (i + w) % 3 {
+				case 0:
+					srv.cache.Put(keyOf(i%128), sol)
+				case 1:
+					srv.cache.Get(keyOf(i % 128))
+				default:
+					var buf bytes.Buffer
+					if err := srv.SaveSnapshot(&buf); err != nil {
+						t.Errorf("save: %v", err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			if _, _, err := srv.LoadSnapshot(bytes.NewReader(base.Bytes())); err != nil {
+				t.Errorf("load: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
